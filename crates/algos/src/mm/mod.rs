@@ -1,0 +1,71 @@
+//! The n-MM problem (Section 4.1): multiply two √n×√n matrices over a
+//! semiring on `M(n)`.
+//!
+//! Three algorithms:
+//!
+//! * [`standard::RecursiveMm`] — the paper's 8-way recursive algorithm
+//!   (Thm. 4.2): `H_MM(n, p, σ) = O(n/p^{2/3} + σ·log p)`, `Θ(1)`-optimal.
+//! * [`space::SpaceEfficientMm`] — the §4.1.1 variant with `O(1)` memory
+//!   blow-up per VP: `H = O(n/√p + σ·√p)`, optimal among constant-memory
+//!   algorithms (Irony–Toledo–Tiskin bound).
+//! * [`cannon::CannonMm`] — Cannon's classic flat algorithm on a Morton
+//!   layout, the one-level class-C baseline: `H = O(n/√p + σ·√n)`. It loses
+//!   to the recursive algorithm on both the bandwidth term (`√p` vs `p^{2/3}`
+//!   denominators) and the latency term (`√n` vs `log p` supersteps).
+//!
+//! Inputs and outputs are distributed one entry per VP, as the paper
+//! prescribes ("no entry initially replicated"; the layout itself is free).
+
+pub mod cannon;
+pub mod space;
+pub mod standard;
+
+use crate::semiring::{Matrix, Semiring};
+
+/// Input of the n-MM problem: the operand matrices.
+#[derive(Debug, Clone)]
+pub struct MmInput<V> {
+    /// Left operand (√n × √n).
+    pub a: Matrix<V>,
+    /// Right operand (√n × √n).
+    pub b: Matrix<V>,
+}
+
+impl<V: Semiring> MmInput<V> {
+    /// Bundles two equally sized square matrices.
+    pub fn new(a: Matrix<V>, b: Matrix<V>) -> Self {
+        assert_eq!(a.side(), b.side(), "operands must agree in shape");
+        MmInput { a, b }
+    }
+
+    /// The problem size `n` (entries per matrix).
+    pub fn n(&self) -> usize {
+        self.a.len()
+    }
+}
+
+/// A matrix entry in flight: global coordinates plus value.
+pub type Entry<V> = (u32, u32, V);
+
+/// Message payload of the MM algorithms.
+#[derive(Debug, Clone)]
+pub enum MmMsg<V> {
+    /// An entry of the left operand.
+    A(u32, u32, V),
+    /// An entry of the right operand.
+    B(u32, u32, V),
+    /// A partial-product entry headed for a C owner.
+    M(u32, u32, V),
+}
+
+/// Accumulates `val` into the entry with coordinates `(i, j)` of `acc`,
+/// inserting it if absent. Linear scan: per-VP entry counts are `O(n^{1/3})`.
+pub(crate) fn accumulate<V: Semiring>(acc: &mut Vec<Entry<V>>, i: u32, j: u32, val: V) {
+    for e in acc.iter_mut() {
+        if e.0 == i && e.1 == j {
+            e.2 = e.2.add(&val);
+            return;
+        }
+    }
+    acc.push((i, j, val));
+}

@@ -1,0 +1,426 @@
+//! The 8-way recursive network-oblivious MM algorithm (Section 4.1).
+//!
+//! Specified on `M(n)`. The recursion at level `t` partitions each segment of
+//! `V_t = n/8^t` VPs into eight subsegments `S_{hkl}`, replicates the operand
+//! quadrants so that `S_{hkl}` receives `A_{hl}` and `B_{lk}`, recurses, and
+//! finally sums `C_{hk} = M_{hk0} + M_{hk1}` at the level-`t` owners of `C`.
+//! Each level contributes `O(1)` supersteps of label `3t` in which every VP
+//! sends/receives `O(2^t)` messages; the recursion bottoms out at
+//! `τ = (log n)/3`, where each VP multiplies its `n^{1/6}×n^{1/6}` blocks
+//! sequentially (computing `n^{1/3}` of the `n^{3/2}` multiplicative terms).
+//!
+//! Theorem 4.2: `H_MM(n, p, σ) = O(n/p^{2/3} + σ·log p)`; with the dummy
+//! messages (`wise: true`, the default) the algorithm is `(Θ(1), n)`-wise and
+//! `Θ(1)`-optimal for `σ = O(n/(p^{2/3}·log p))`.
+
+use super::{accumulate, Entry, MmInput, MmMsg};
+use crate::common::wiseness_dummies;
+use crate::semiring::{Matrix, Semiring};
+use nob_machine::{NobAlgorithm, Program};
+use std::marker::PhantomData;
+
+/// Per-VP state: current operand entries (descending the recursion) and the
+/// accumulated product entries (ascending).
+#[derive(Debug, Clone)]
+pub struct MmState<V> {
+    a: Vec<Entry<V>>,
+    b: Vec<Entry<V>>,
+    c: Vec<Entry<V>>,
+}
+
+/// The subproblem owned by a VP's segment at a recursion level: operand and
+/// product offsets, submatrix side, and segment geometry. Derived from the VP
+/// index alone — the digits of `vp` in base 8 are the `(h, k, l)` choices of
+/// the path from the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SubProblem {
+    ra: usize,
+    ca: usize,
+    rb: usize,
+    cb: usize,
+    rc: usize,
+    cc: usize,
+    side: usize,
+    seg_base: usize,
+    seg_size: usize,
+}
+
+/// Walks `t` levels of the recursion tree towards `vp`.
+fn path(vp: usize, t: usize, s: usize, n: usize) -> SubProblem {
+    let mut sub = SubProblem {
+        ra: 0,
+        ca: 0,
+        rb: 0,
+        cb: 0,
+        rc: 0,
+        cc: 0,
+        side: s,
+        seg_base: 0,
+        seg_size: n,
+    };
+    for _ in 0..t {
+        let child = sub.seg_size / 8;
+        let digit = (vp - sub.seg_base) / child;
+        let (h, k, l) = (digit >> 2 & 1, digit >> 1 & 1, digit & 1);
+        let half = sub.side / 2;
+        sub.ra += h * half;
+        sub.ca += l * half;
+        sub.rb += l * half;
+        sub.cb += k * half;
+        sub.rc += h * half;
+        sub.cc += k * half;
+        sub.side = half;
+        sub.seg_base += digit * child;
+        sub.seg_size = child;
+    }
+    sub
+}
+
+/// The owner of the entry with sub-local linear index `e` in a segment whose
+/// VPs each hold `2^t` entries.
+#[inline]
+fn owner(seg_base: usize, e: usize, t: usize) -> usize {
+    seg_base + (e >> t)
+}
+
+/// The 8-way recursive network-oblivious matrix multiplication.
+///
+/// Supported sizes: `n = 64^e` (so that the matrix side is a power of two and
+/// the recursion depth `log_8 n` is integral, as the paper assumes).
+#[derive(Debug, Clone)]
+pub struct RecursiveMm<V> {
+    /// Emit the wiseness dummy messages of Section 4.1 (default: true).
+    pub wise: bool,
+    _marker: PhantomData<V>,
+}
+
+impl<V> Default for RecursiveMm<V> {
+    fn default() -> Self {
+        RecursiveMm { wise: true, _marker: PhantomData }
+    }
+}
+
+impl<V> RecursiveMm<V> {
+    /// Creates the algorithm, choosing whether to emit wiseness dummies.
+    pub fn new(wise: bool) -> Self {
+        RecursiveMm { wise, _marker: PhantomData }
+    }
+
+    /// Whether `n` is a supported problem size (`n = 64^e`, `e ≥ 1`).
+    pub fn supports(n: usize) -> bool {
+        n >= 64 && n.is_power_of_two() && n.trailing_zeros() % 6 == 0
+    }
+}
+
+impl<V: Semiring> NobAlgorithm for RecursiveMm<V> {
+    type State = MmState<V>;
+    type Msg = MmMsg<V>;
+    type Input = MmInput<V>;
+    type Output = Matrix<V>;
+
+    fn name(&self) -> String {
+        format!("mm-recursive(wise={})", self.wise)
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n
+    }
+
+    fn init(&self, n: usize, input: &MmInput<V>) -> Vec<MmState<V>> {
+        assert!(Self::supports(n), "RecursiveMm supports n = 64^e, got {n}");
+        assert_eq!(input.n(), n);
+        let s = input.a.side();
+        (0..n)
+            .map(|vp| {
+                let (i, j) = ((vp / s) as u32, (vp % s) as u32);
+                MmState {
+                    a: vec![(i, j, input.a.get(i as usize, j as usize).clone())],
+                    b: vec![(i, j, input.b.get(i as usize, j as usize).clone())],
+                    c: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    fn build(&self, n: usize) -> Program<MmState<V>, MmMsg<V>> {
+        assert!(Self::supports(n), "RecursiveMm supports n = 64^e, got {n}");
+        let s = 1usize << (n.trailing_zeros() / 2); // matrix side √n
+        let tau = (n.trailing_zeros() / 3) as usize; // recursion depth
+        let mut prog: Program<MmState<V>, MmMsg<V>> = Program::new(n, n);
+        let log_v = prog.log_v();
+        let wise = self.wise;
+
+        // --- Distribution steps D_0 .. D_{τ−1} ------------------------------
+        for t in 0..tau {
+            let label = (3 * t) as u32;
+            prog.step(label, "mm-distribute", move |st, ctx, inbox, out| {
+                // Ingest the operand entries routed here by D_{t−1}.
+                if t > 0 {
+                    st.a.clear();
+                    st.b.clear();
+                    for msg in inbox.drain(..) {
+                        match msg {
+                            MmMsg::A(i, j, v) => st.a.push((i, j, v)),
+                            MmMsg::B(i, j, v) => st.b.push((i, j, v)),
+                            MmMsg::M(..) => unreachable!("no products during descent"),
+                        }
+                    }
+                }
+                let sub = path(ctx.vp, t, s, ctx.v);
+                let half = sub.side / 2;
+                let child_seg = sub.seg_size / 8;
+                let child_side = half;
+                for (i, j, val) in &st.a {
+                    let (li, lj) = (*i as usize - sub.ra, *j as usize - sub.ca);
+                    let (h, l) = ((li >= half) as usize, (lj >= half) as usize);
+                    let e = (li - h * half) * child_side + (lj - l * half);
+                    for k in 0..2usize {
+                        let seg = sub.seg_base + (h * 4 + k * 2 + l) * child_seg;
+                        out.send(owner(seg, e, t + 1), MmMsg::A(*i, *j, val.clone()));
+                    }
+                }
+                for (i, j, val) in &st.b {
+                    let (li, lj) = (*i as usize - sub.rb, *j as usize - sub.cb);
+                    let (l, k) = ((li >= half) as usize, (lj >= half) as usize);
+                    let e = (li - l * half) * child_side + (lj - k * half);
+                    for h in 0..2usize {
+                        let seg = sub.seg_base + (h * 4 + k * 2 + l) * child_seg;
+                        out.send(owner(seg, e, t + 1), MmMsg::B(*i, *j, val.clone()));
+                    }
+                }
+                if wise {
+                    wiseness_dummies(ctx, label, 1 << t, out);
+                }
+            });
+        }
+
+        // --- Base: sequential n^{1/6}-side multiply, send M upward ----------
+        {
+            let label = (3 * (tau - 1)) as u32;
+            prog.step(label, "mm-base", move |st, ctx, inbox, out| {
+                st.a.clear();
+                st.b.clear();
+                for msg in inbox.drain(..) {
+                    match msg {
+                        MmMsg::A(i, j, v) => st.a.push((i, j, v)),
+                        MmMsg::B(i, j, v) => st.b.push((i, j, v)),
+                        MmMsg::M(..) => unreachable!("no products during descent"),
+                    }
+                }
+                let sub = path(ctx.vp, tau, s, ctx.v);
+                let side = sub.side;
+                // Dense local blocks.
+                let mut a = vec![V::zero(); side * side];
+                let mut b = vec![V::zero(); side * side];
+                for (i, j, v) in &st.a {
+                    a[(*i as usize - sub.ra) * side + (*j as usize - sub.ca)] = v.clone();
+                }
+                for (i, j, v) in &st.b {
+                    b[(*i as usize - sub.rb) * side + (*j as usize - sub.cb)] = v.clone();
+                }
+                let parent = path(ctx.vp, tau - 1, s, ctx.v);
+                for i in 0..side {
+                    for j in 0..side {
+                        let mut acc = V::zero();
+                        for k in 0..side {
+                            acc = acc.add(&a[i * side + k].mul(&b[k * side + j]));
+                        }
+                        let (gi, gj) = (sub.rc + i, sub.cc + j);
+                        let e = (gi - parent.rc) * parent.side + (gj - parent.cc);
+                        out.send(
+                            owner(parent.seg_base, e, tau - 1),
+                            MmMsg::M(gi as u32, gj as u32, acc),
+                        );
+                    }
+                }
+                if wise {
+                    wiseness_dummies(ctx, label, 1 << (tau - 1), out);
+                }
+            });
+        }
+
+        // --- Combine steps K_{τ−1} .. K_1 -----------------------------------
+        for t in (1..tau).rev() {
+            let label = (3 * (t - 1)) as u32;
+            prog.step(label, "mm-combine", move |st, ctx, inbox, out| {
+                st.c.clear();
+                for msg in inbox.drain(..) {
+                    if let MmMsg::M(i, j, v) = msg {
+                        accumulate(&mut st.c, i, j, v);
+                    }
+                }
+                let parent = path(ctx.vp, t - 1, s, ctx.v);
+                for (i, j, val) in &st.c {
+                    let e = (*i as usize - parent.rc) * parent.side + (*j as usize - parent.cc);
+                    out.send(owner(parent.seg_base, e, t - 1), MmMsg::M(*i, *j, val.clone()));
+                }
+                if wise {
+                    wiseness_dummies(ctx, label, 1 << (t - 1), out);
+                }
+            });
+        }
+
+        // --- Final ingest: every VP ends with its single C entry ------------
+        prog.step(log_v - 1, "mm-finalize", move |st, _ctx, inbox, _out| {
+            st.c.clear();
+            for msg in inbox.drain(..) {
+                if let MmMsg::M(i, j, v) = msg {
+                    accumulate(&mut st.c, i, j, v);
+                }
+            }
+        });
+        prog
+    }
+
+    fn extract(&self, n: usize, states: Vec<MmState<V>>) -> Matrix<V> {
+        let s = 1usize << (n.trailing_zeros() / 2);
+        let mut out = Matrix::zero(s);
+        for st in &states {
+            for (i, j, v) in &st.c {
+                out.set(*i as usize, *j as usize, v.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinPlus, NumF64, WrapU64};
+    use nob_machine::{execute, execute_folded, RunOptions};
+
+    fn random_input(s: usize, seed: u64) -> MmInput<WrapU64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let a = Matrix::from_fn(s, |_, _| WrapU64(next() % 1000));
+        let b = Matrix::from_fn(s, |_, _| WrapU64(next() % 1000));
+        MmInput::new(a, b)
+    }
+
+    #[test]
+    fn supports_only_powers_of_64() {
+        assert!(RecursiveMm::<WrapU64>::supports(64));
+        assert!(RecursiveMm::<WrapU64>::supports(4096));
+        assert!(!RecursiveMm::<WrapU64>::supports(256));
+        assert!(!RecursiveMm::<WrapU64>::supports(63));
+    }
+
+    #[test]
+    fn multiplies_correctly_n64() {
+        let input = random_input(8, 42);
+        let expect = input.a.mul_reference(&input.b);
+        let alg = RecursiveMm::<WrapU64>::default();
+        let (got, trace) = execute(&alg, 64, &input, &RunOptions::default()).unwrap();
+        assert_eq!(got, expect);
+        // Superstep structure: τ = 2 levels → D0, D1, base, K1, final = 5.
+        assert_eq!(trace.superstep_count(), 5);
+    }
+
+    #[test]
+    fn multiplies_correctly_n4096() {
+        let input = random_input(64, 7);
+        let expect = input.a.mul_reference(&input.b);
+        let alg = RecursiveMm::<WrapU64>::default();
+        let (got, _) = execute(&alg, 4096, &input, &RunOptions::default()).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn works_over_the_tropical_semiring() {
+        // Min-plus product = one step of APSP.
+        let s = 8;
+        let a = Matrix::from_fn(s, |i, j| {
+            if i == j {
+                MinPlus(0.0)
+            } else {
+                MinPlus(((i * 31 + j * 17) % 9 + 1) as f64)
+            }
+        });
+        let input = MmInput::new(a.clone(), a.clone());
+        let expect = a.mul_reference(&a);
+        let alg = RecursiveMm::<MinPlus>::default();
+        let (got, _) = execute(&alg, 64, &input, &RunOptions::default()).unwrap();
+        assert!(got.close_to(&expect));
+    }
+
+    #[test]
+    fn works_over_f64() {
+        let s = 8;
+        let a = Matrix::from_fn(s, |i, j| NumF64((i as f64) + 0.25 * j as f64));
+        let b = Matrix::from_fn(s, |i, j| NumF64(1.0 / (1.0 + i as f64 + j as f64)));
+        let input = MmInput::new(a.clone(), b.clone());
+        let expect = a.mul_reference(&b);
+        let alg = RecursiveMm::<NumF64>::default();
+        let (got, _) = execute(&alg, 64, &input, &RunOptions::default()).unwrap();
+        assert!(got.close_to(&expect));
+    }
+
+    #[test]
+    fn folding_preserves_output_and_metrics() {
+        let input = random_input(8, 3);
+        let alg = RecursiveMm::<WrapU64>::default();
+        let (full_out, full_trace) = execute(&alg, 64, &input, &RunOptions::default()).unwrap();
+        for p in [2usize, 8, 16, 64] {
+            let (out, trace) =
+                execute_folded(&alg, 64, &input, p, &RunOptions::default()).unwrap();
+            assert_eq!(out, full_out, "folded output diverges at p = {p}");
+            let mut q = 2;
+            while q <= p {
+                assert_eq!(trace.fold(q), full_trace.fold(q), "metrics diverge at {p}/{q}");
+                q *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_follow_the_theorem_shape() {
+        // h of the level-t supersteps is O(2^t) at full granularity.
+        let input = random_input(64, 11);
+        let alg = RecursiveMm::<WrapU64>::new(false);
+        let (_, trace) = execute(&alg, 4096, &input, &RunOptions::default()).unwrap();
+        for step in &trace.steps {
+            let t = step.label / 3;
+            assert!(
+                step.h(trace.log_v) <= 6 << t,
+                "label {} degree {} too large",
+                step.label,
+                step.h(trace.log_v)
+            );
+        }
+    }
+
+    #[test]
+    fn communication_complexity_matches_theorem_4_2() {
+        let input = random_input(64, 5);
+        let alg = RecursiveMm::<WrapU64>::default();
+        let (_, trace) = execute(&alg, 4096, &input, &RunOptions::default()).unwrap();
+        // H(n, p, 0) should scale like n/p^{2/3}: ratios across p follow 4x.
+        let h8 = trace.comm_complexity(8, 0.0);
+        let h64 = trace.comm_complexity(64, 0.0);
+        let h512 = trace.comm_complexity(512, 0.0);
+        assert!(h8 / h64 > 2.5 && h8 / h64 < 6.0, "h8/h64 = {}", h8 / h64);
+        assert!(h64 / h512 > 2.5 && h64 / h512 < 6.0, "h64/h512 = {}", h64 / h512);
+        // Against the closed form, the constant stays modest.
+        for p in [8usize, 64, 512, 4096] {
+            let measured = trace.comm_complexity(p, 0.0);
+            let theory = nob_core::lower_bounds::upper::mm(4096, p, 0.0);
+            let ratio = measured / theory;
+            assert!(ratio < 16.0, "p={p}: measured/theory = {ratio}");
+        }
+    }
+
+    #[test]
+    fn wiseness_is_constant_with_dummies() {
+        let input = random_input(8, 9);
+        let alg = RecursiveMm::<WrapU64>::default();
+        let (_, trace) = execute(&alg, 64, &input, &RunOptions::default()).unwrap();
+        let w = nob_core::wiseness::alpha_max(&trace, 64);
+        assert!(w.alpha >= 0.2, "alpha = {}", w.alpha);
+    }
+}

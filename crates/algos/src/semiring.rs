@@ -1,0 +1,242 @@
+//! Semiring substrate for matrix multiplication.
+//!
+//! Kerr's lower bound (used by Lemma 4.1 and the definition of the n-MM
+//! problem in Section 4.1) concerns algorithms using only *semiring*
+//! operations — no subtraction, so all `n^{3/2}` multiplicative terms must be
+//! computed. The MM algorithms here are generic over a [`Semiring`];
+//! instances include the numeric semiring, a wrapping-integer semiring (for
+//! exact tests), the Boolean semiring (transitive closure) and the tropical
+//! min-plus semiring (shortest paths, used by the APSP example).
+
+use std::fmt::Debug;
+
+/// A (commutative) semiring `(⊕, ⊗, 0, 1)`.
+pub trait Semiring: Clone + Send + Sync + PartialEq + Debug + 'static {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Semiring addition `⊕`.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Semiring multiplication `⊗`.
+    fn mul(&self, rhs: &Self) -> Self;
+    /// Approximate equality for result validation (exact by default).
+    fn close_to(&self, rhs: &Self) -> bool {
+        self == rhs
+    }
+}
+
+/// The numeric semiring `(ℝ, +, ×)` on `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumF64(pub f64);
+
+impl Semiring for NumF64 {
+    fn zero() -> Self {
+        NumF64(0.0)
+    }
+    fn one() -> Self {
+        NumF64(1.0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        NumF64(self.0 + rhs.0)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        NumF64(self.0 * rhs.0)
+    }
+    fn close_to(&self, rhs: &Self) -> bool {
+        let scale = self.0.abs().max(rhs.0.abs()).max(1.0);
+        (self.0 - rhs.0).abs() <= 1e-9 * scale
+    }
+}
+
+/// The wrapping-integer semiring `(ℤ_{2^64}, +, ×)` — exact, used by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrapU64(pub u64);
+
+impl Semiring for WrapU64 {
+    fn zero() -> Self {
+        WrapU64(0)
+    }
+    fn one() -> Self {
+        WrapU64(1)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        WrapU64(self.0.wrapping_add(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        WrapU64(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+/// The Boolean semiring `({0,1}, ∨, ∧)` — reachability / transitive closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoolOrAnd(pub bool);
+
+impl Semiring for BoolOrAnd {
+    fn zero() -> Self {
+        BoolOrAnd(false)
+    }
+    fn one() -> Self {
+        BoolOrAnd(true)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        BoolOrAnd(self.0 || rhs.0)
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        BoolOrAnd(self.0 && rhs.0)
+    }
+}
+
+/// The tropical semiring `(ℝ ∪ {∞}, min, +)` — shortest paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinPlus(pub f64);
+
+impl Semiring for MinPlus {
+    fn zero() -> Self {
+        MinPlus(f64::INFINITY)
+    }
+    fn one() -> Self {
+        MinPlus(0.0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        MinPlus(self.0.min(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        MinPlus(self.0 + rhs.0)
+    }
+    fn close_to(&self, rhs: &Self) -> bool {
+        (self.0.is_infinite() && rhs.0.is_infinite())
+            || (self.0 - rhs.0).abs() <= 1e-9 * self.0.abs().max(rhs.0.abs()).max(1.0)
+    }
+}
+
+/// A dense square matrix over a semiring (row-major).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<V> {
+    side: usize,
+    data: Vec<V>,
+}
+
+impl<V: Semiring> Matrix<V> {
+    /// The all-zero matrix of the given side.
+    pub fn zero(side: usize) -> Self {
+        Matrix { side, data: vec![V::zero(); side * side] }
+    }
+
+    /// Builds a matrix from row-major data.
+    pub fn from_rows(side: usize, data: Vec<V>) -> Self {
+        assert_eq!(data.len(), side * side);
+        Matrix { side, data }
+    }
+
+    /// Builds a matrix from a coordinate function.
+    pub fn from_fn(side: usize, mut f: impl FnMut(usize, usize) -> V) -> Self {
+        let mut data = Vec::with_capacity(side * side);
+        for i in 0..side {
+            for j in 0..side {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { side, data }
+    }
+
+    /// Matrix side length.
+    #[inline]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of entries (`n` in the paper's n-MM problem).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> &V {
+        &self.data[i * self.side + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: V) {
+        self.data[i * self.side + j] = v;
+    }
+
+    /// Row-major view of the entries.
+    #[inline]
+    pub fn rows(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Classic cubic reference product (the correctness oracle for the
+    /// network-oblivious algorithms).
+    pub fn mul_reference(&self, rhs: &Matrix<V>) -> Matrix<V> {
+        assert_eq!(self.side, rhs.side);
+        let s = self.side;
+        let mut out = Matrix::zero(s);
+        for i in 0..s {
+            for j in 0..s {
+                let mut acc = V::zero();
+                for k in 0..s {
+                    acc = acc.add(&self.get(i, k).mul(rhs.get(k, j)));
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Entrywise approximate equality.
+    pub fn close_to(&self, rhs: &Matrix<V>) -> bool {
+        self.side == rhs.side && self.data.iter().zip(&rhs.data).all(|(a, b)| a.close_to(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<V: Semiring>(a: V, b: V, c: V) {
+        // Associativity / commutativity of ⊕, identity, distributivity spot checks.
+        assert!(a.add(&b).close_to(&b.add(&a)));
+        assert!(a.add(&V::zero()).close_to(&a));
+        assert!(a.mul(&V::one()).close_to(&a));
+        assert!(a.add(&b).add(&c).close_to(&a.add(&b.add(&c))));
+        assert!(a.mul(&b.add(&c)).close_to(&a.mul(&b).add(&a.mul(&c))));
+        // 0 annihilates.
+        assert!(a.mul(&V::zero()).close_to(&V::zero()));
+    }
+
+    #[test]
+    fn semiring_laws_hold() {
+        laws(NumF64(2.5), NumF64(-1.0), NumF64(4.0));
+        laws(WrapU64(7), WrapU64(u64::MAX - 3), WrapU64(12));
+        laws(BoolOrAnd(true), BoolOrAnd(false), BoolOrAnd(true));
+        laws(MinPlus(3.0), MinPlus(1.5), MinPlus(9.0));
+    }
+
+    #[test]
+    fn reference_product_identity() {
+        let id = Matrix::from_fn(4, |i, j| if i == j { WrapU64::one() } else { WrapU64::zero() });
+        let a = Matrix::from_fn(4, |i, j| WrapU64((i * 4 + j) as u64));
+        assert_eq!(a.mul_reference(&id), a);
+        assert_eq!(id.mul_reference(&a), a);
+    }
+
+    #[test]
+    fn tropical_product_is_min_plus() {
+        // 2x2 shortest-path step.
+        let a = Matrix::from_rows(2, vec![MinPlus(0.0), MinPlus(5.0), MinPlus(2.0), MinPlus(0.0)]);
+        let sq = a.mul_reference(&a);
+        assert!(sq.get(0, 1).close_to(&MinPlus(5.0)));
+        assert!(sq.get(1, 0).close_to(&MinPlus(2.0)));
+    }
+}

@@ -1,0 +1,512 @@
+//! The n-sort problem (Section 4.3): rank n keys by comparisons.
+//!
+//! [`ColumnSort`] is the paper's network-oblivious algorithm on `M(n)`: a
+//! recursive version of Leighton's Columnsort. The keys form an `r×s` matrix
+//! (column-major; each column is an aligned segment of `r` VPs) and the eight
+//! phases alternate recursive column sorts (phases 1, 3, 5, 7) with fixed
+//! permutations: transpose (2), untranspose (4), and the ±r/2 cyclic shift
+//! (6, 8) of the paper's footnote 6.
+//!
+//! Two implementation choices, both documented deviations with unchanged
+//! asymptotics:
+//!
+//! * **Shape**: the paper takes `r = n^{2/3}` (`r ≥ s²`); Leighton's
+//!   correctness condition is `r ≥ 2(s−1)²`, which `r = s²` misses. We take
+//!   `r = 2^{⌈2·log m/3⌉+1} = Θ(m^{2/3})` — same recurrence
+//!   `H(m) = 4·H(Θ(m^{2/3})) + O(m/p + σ)`, hence the same Theorem 4.8 bound
+//!   `H_sort(n, p, σ) = O((n/p + σ)·(log n/log(n/p))^{log_{3/2} 4})` — which
+//!   satisfies Leighton's condition at every recursion level.
+//! * **The −∞ convention, tag-free**: footnote 6 asks phase 7 to treat the
+//!   r/2 keys wrapped by the cyclic shift as smaller than the rest of column
+//!   0. After phase 5 the sequence is sorted up to local disorder of width
+//!   `< m − r`, so every wrapped key (the last r/2 positions) is ≥ every key
+//!   in the first r/2 positions. Sorting column 0 *normally* therefore puts
+//!   the wrapped block contiguously on top, and the "−∞" behaviour is
+//!   recovered by a column-0-aware inverse shift in phase 8 — no tags, which
+//!   matters because tags would not survive the *recursive* phase-7 sorts
+//!   (their own phases 6–8 would clobber them).
+//!
+//! [`BitonicSort`] is the one-level baseline: `Θ(log² n)` compare-exchange
+//! supersteps, `H = Θ((n/p)·log p·log n + σ·log²n)` — asymptotically worse
+//! than Columnsort for `p = n^{Ω(1)}`.
+
+use crate::common::{ilog2, wiseness_dummies};
+use nob_machine::{Ctx, NobAlgorithm, Program};
+
+/// Trait bound bundle for sortable keys.
+pub trait SortKey: Ord + Clone + Send + Sync + Default + std::fmt::Debug + 'static {}
+impl<K: Ord + Clone + Send + Sync + Default + std::fmt::Debug + 'static> SortKey for K {}
+
+/// Base-case threshold: segments of at most this many VPs sort by
+/// gather/sort/scatter (degree ≤ 32 = O(1)).
+const BASE: usize = 32;
+
+/// The column length `r` used for an m-key Columnsort instance: the smallest
+/// power of two `≥ 2·m^{2/3}` (clamped so that `s = m/r ≥ 2`).
+pub fn column_len(m: usize) -> usize {
+    let lm = ilog2(m) as usize;
+    1usize << ((2 * lm / 3 + 1).min(lm - 1))
+}
+
+/// Leighton's correctness condition for an `r×s` Columnsort step.
+pub fn leighton_ok(r: usize, s: usize) -> bool {
+    s >= 2 && r >= 2 * (s - 1) * (s - 1)
+}
+
+// --------------------------------------------------------------------------
+// Phase permutations (positions are column-major linear ranks within the
+// m-key instance: q ↔ (row q mod r, column q div r)).
+// --------------------------------------------------------------------------
+
+/// Phase 2: pick up in column-major order, deposit in row-major order.
+#[inline]
+fn transpose(q: usize, r: usize, s: usize, _m: usize) -> usize {
+    (q % s) * r + q / s
+}
+
+/// Phase 4: the inverse "diagonalizing" permutation.
+#[inline]
+fn untranspose(q: usize, r: usize, s: usize, _m: usize) -> usize {
+    (q % r) * s + q / r
+}
+
+/// Phase 6: cyclic shift down by r/2 (footnote 6 of the paper).
+#[inline]
+fn shift(q: usize, r: usize, _s: usize, m: usize) -> usize {
+    (q + r / 2) % m
+}
+
+/// Phase 8: inverse shift, with the column-0 fix-up implementing the
+/// wrapped-keys-as-−∞ convention (see module docs): after the normal phase-7
+/// sort, column 0 holds the globally smallest r/2 keys followed by the r/2
+/// wrapped (largest) keys.
+#[inline]
+fn unshift_fix(q: usize, r: usize, _s: usize, m: usize) -> usize {
+    if q < r / 2 {
+        q // column-0 lower part: already in final position
+    } else if q < r {
+        m - r + q // column-0 upper part: the wrapped keys go back to the tail
+    } else {
+        q - r / 2 // other columns: plain inverse shift
+    }
+}
+
+// --------------------------------------------------------------------------
+// Sequential reference (same phases; the executable specification the
+// superstep program is tested against).
+// --------------------------------------------------------------------------
+
+/// Sequential recursive Columnsort.
+pub fn columnsort_seq<K: SortKey>(items: &mut [K]) {
+    let m = items.len();
+    if m <= BASE {
+        items.sort();
+        return;
+    }
+    let r = column_len(m);
+    let s = m / r;
+    debug_assert!(leighton_ok(r, s), "r = {r}, s = {s}");
+    let sort_columns = |v: &mut [K]| {
+        for col in v.chunks_mut(r) {
+            columnsort_seq(col);
+        }
+    };
+    let permute = |v: &mut [K], f: fn(usize, usize, usize, usize) -> usize| {
+        let mut out: Vec<K> = v.to_vec();
+        for (q, item) in v.iter().enumerate() {
+            out[f(q, r, s, m)] = item.clone();
+        }
+        v.clone_from_slice(&out);
+    };
+    sort_columns(items); // 1
+    permute(items, transpose); // 2
+    sort_columns(items); // 3
+    permute(items, untranspose); // 4
+    sort_columns(items); // 5
+    permute(items, shift); // 6
+    sort_columns(items); // 7
+    permute(items, unshift_fix); // 8
+}
+
+// --------------------------------------------------------------------------
+// The network-oblivious superstep program.
+// --------------------------------------------------------------------------
+
+/// Recursive Columnsort on `M(n)` (one key per VP). Supports every power of
+/// two `n ≥ 2`.
+#[derive(Debug, Clone)]
+pub struct ColumnSort<K> {
+    /// Emit wiseness dummy messages (default: true).
+    pub wise: bool,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K> Default for ColumnSort<K> {
+    fn default() -> Self {
+        ColumnSort { wise: true, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<K> ColumnSort<K> {
+    /// Creates the algorithm, choosing whether to emit wiseness dummies.
+    pub fn new(wise: bool) -> Self {
+        ColumnSort { wise, _marker: std::marker::PhantomData }
+    }
+}
+
+/// Replaces the held key if a permutation/scatter delivered a new one.
+fn ingest_item<K: SortKey>(st: &mut K, inbox: &mut Vec<K>) {
+    debug_assert!(inbox.len() <= 1, "at most one key per VP outside gather");
+    if let Some(item) = inbox.pop() {
+        *st = item;
+    }
+}
+
+/// Emits the schedule sorting every aligned m-segment ascending.
+fn emit_sort<K: SortKey>(prog: &mut Program<K, K>, n: usize, m: usize, wise: bool) {
+    let log_v = ilog2(n);
+    let label = log_v - ilog2(m);
+    if m <= BASE {
+        // Gather to the segment leader…
+        prog.step(label, "sort-gather", move |st: &mut K, ctx, inbox, out| {
+            ingest_item(st, inbox);
+            let base = ctx.vp - ctx.vp % m;
+            if ctx.vp != base {
+                out.send(base, st.clone());
+            }
+        });
+        // …sort locally, scatter back.
+        prog.step(label, "sort-scatter", move |st: &mut K, ctx, inbox, out| {
+            let base = ctx.vp - ctx.vp % m;
+            if ctx.vp == base {
+                let mut all: Vec<K> = std::mem::take(inbox);
+                all.push(st.clone());
+                all.sort();
+                let mut iter = all.into_iter();
+                *st = iter.next().expect("segment non-empty");
+                for (off, item) in iter.enumerate() {
+                    out.send(base + off + 1, item);
+                }
+            } else {
+                inbox.clear();
+            }
+        });
+        return;
+    }
+
+    let r = column_len(m);
+    let s = m / r;
+    debug_assert!(leighton_ok(r, s), "r = {r}, s = {s} at m = {m}");
+
+    let permute = |prog: &mut Program<K, K>,
+                   name: &'static str,
+                   f: fn(usize, usize, usize, usize) -> usize| {
+        prog.step(label, name, move |st: &mut K, ctx: &Ctx, inbox, out| {
+            ingest_item(st, inbox);
+            let base = ctx.vp - ctx.vp % m;
+            let q = ctx.vp - base;
+            out.send(base + f(q, r, s, m), st.clone());
+            if wise {
+                wiseness_dummies(ctx, label, 1, out);
+            }
+        });
+    };
+
+    emit_sort(prog, n, r, wise); // 1
+    permute(prog, "sort-transpose", transpose); // 2
+    emit_sort(prog, n, r, wise); // 3
+    permute(prog, "sort-untranspose", untranspose); // 4
+    emit_sort(prog, n, r, wise); // 5
+    permute(prog, "sort-shift", shift); // 6
+    emit_sort(prog, n, r, wise); // 7
+    permute(prog, "sort-unshift", unshift_fix); // 8
+}
+
+impl<K: SortKey> NobAlgorithm for ColumnSort<K> {
+    type State = K;
+    type Msg = K;
+    type Input = [K];
+    type Output = Vec<K>;
+
+    fn name(&self) -> String {
+        format!("sort-columnsort(wise={})", self.wise)
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n
+    }
+
+    fn init(&self, n: usize, input: &[K]) -> Vec<K> {
+        assert!(n.is_power_of_two() && n >= 2, "n must be a power of two");
+        assert_eq!(input.len(), n);
+        input.to_vec()
+    }
+
+    fn build(&self, n: usize) -> Program<K, K> {
+        let mut prog = Program::new(n, n);
+        let log_v = prog.log_v();
+        emit_sort(&mut prog, n, n, self.wise);
+        prog.step(log_v - 1, "sort-finalize", |st, _ctx, inbox, _out| {
+            ingest_item(st, inbox);
+        });
+        prog
+    }
+
+    fn extract(&self, _n: usize, states: Vec<K>) -> Vec<K> {
+        states
+    }
+}
+
+// --------------------------------------------------------------------------
+// Bitonic baseline.
+// --------------------------------------------------------------------------
+
+/// Batcher's bitonic sorting network on `M(n)`: stage `k` merges bitonic runs
+/// of length `2^k`; the substage exchanging at bit `j` is a
+/// `(log n − 1 − j)`-superstep. The flat class-C baseline for E5.
+#[derive(Debug, Clone, Default)]
+pub struct BitonicSort<K> {
+    _marker: std::marker::PhantomData<K>,
+}
+
+/// Completes the compare-exchange of substage `(k, j)`.
+fn bitonic_combine<K: SortKey>(st: &mut K, ctx: &Ctx, inbox: &mut Vec<K>, k: u32, j: u32) {
+    let other = inbox.pop().expect("bitonic partner key");
+    let ascending = ctx.vp >> (k as usize) & 1 == 0;
+    let upper = ctx.vp >> (j as usize) & 1 == 1;
+    let keep_max = ascending == upper;
+    if (other > *st) == keep_max {
+        *st = other;
+    }
+}
+
+impl<K: SortKey> NobAlgorithm for BitonicSort<K> {
+    type State = K;
+    type Msg = K;
+    type Input = [K];
+    type Output = Vec<K>;
+
+    fn name(&self) -> String {
+        "sort-bitonic".to_string()
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n
+    }
+
+    fn init(&self, n: usize, input: &[K]) -> Vec<K> {
+        assert!(n.is_power_of_two() && n >= 2);
+        assert_eq!(input.len(), n);
+        input.to_vec()
+    }
+
+    fn build(&self, n: usize) -> Program<K, K> {
+        let mut prog = Program::new(n, n);
+        let log_n = prog.log_v();
+        let mut pending: Option<(u32, u32)> = None;
+        for k in 1..=log_n {
+            for j in (0..k).rev() {
+                let p = pending;
+                let label = log_n - 1 - j;
+                prog.step(label, "bitonic-exchange", move |st: &mut K, ctx, inbox, out| {
+                    if let Some((pk, pj)) = p {
+                        bitonic_combine(st, ctx, inbox, pk, pj);
+                    }
+                    out.send(ctx.vp ^ (1 << j), st.clone());
+                });
+                pending = Some((k, j));
+            }
+        }
+        let p = pending;
+        prog.step(log_n - 1, "bitonic-finalize", move |st, ctx, inbox, _out| {
+            if let Some((pk, pj)) = p {
+                bitonic_combine(st, ctx, inbox, pk, pj);
+            }
+        });
+        prog
+    }
+
+    fn extract(&self, _n: usize, states: Vec<K>) -> Vec<K> {
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nob_machine::{execute, execute_folded, RunOptions};
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    #[test]
+    fn column_len_satisfies_leighton_at_every_level() {
+        let mut m = 64usize;
+        while m <= 1 << 22 {
+            let r = column_len(m);
+            let s = m / r;
+            assert!(leighton_ok(r, s), "m={m}: r={r}, s={s}");
+            assert!(r < m, "must recurse on smaller instances");
+            // r = Θ(m^{2/3}): within [m^{2/3}, 4·m^{2/3}].
+            let target = (m as f64).powf(2.0 / 3.0);
+            assert!(r as f64 >= target && (r as f64) <= 4.0 * target, "m={m}: r={r}");
+            m *= 2;
+        }
+    }
+
+    #[test]
+    fn sequential_columnsort_sorts_random_and_adversarial_inputs() {
+        let mut rng = xorshift(99);
+        for &m in &[64usize, 128, 512, 1024, 4096] {
+            // Random u64 keys.
+            for trial in 0..8 {
+                let mut items: Vec<u64> = (0..m).map(|_| rng()).collect();
+                let mut want = items.clone();
+                want.sort();
+                columnsort_seq(&mut items);
+                assert_eq!(items, want, "m={m} trial={trial}");
+            }
+            // Random 0-1 inputs (the hard cases by the 0-1 principle).
+            for trial in 0..64 {
+                let mut items: Vec<u64> = (0..m).map(|_| rng() & 1).collect();
+                let mut want = items.clone();
+                want.sort();
+                columnsort_seq(&mut items);
+                assert_eq!(items, want, "0-1 m={m} trial={trial}");
+            }
+            // Reverse-sorted input.
+            let mut rev: Vec<u64> = (0..m as u64).rev().collect();
+            columnsort_seq(&mut rev);
+            assert!(rev.windows(2).all(|w| w[0] <= w[1]), "reverse m={m}");
+        }
+    }
+
+    #[test]
+    fn distributed_columnsort_matches_std_sort() {
+        let mut rng = xorshift(7);
+        for &n in &[2usize, 16, 64, 128, 512] {
+            let keys: Vec<u64> = (0..n).map(|_| rng() % 10_000).collect();
+            let mut want = keys.clone();
+            want.sort();
+            let alg = ColumnSort::<u64>::default();
+            let (got, _) = execute(&alg, n, &keys[..], &RunOptions::default()).unwrap();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn distributed_columnsort_handles_duplicates_and_extremes() {
+        let n = 256;
+        let keys: Vec<u64> = (0..n).map(|i| [0, u64::MAX, 42, 42][i % 4]).collect();
+        let mut want = keys.clone();
+        want.sort();
+        let alg = ColumnSort::<u64>::default();
+        let (got, _) = execute(&alg, n, &keys[..], &RunOptions::default()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn folding_preserves_output_and_metrics() {
+        let mut rng = xorshift(3);
+        let n = 128;
+        let keys: Vec<u64> = (0..n).map(|_| rng()).collect();
+        let alg = ColumnSort::<u64>::default();
+        let (full, full_trace) = execute(&alg, n, &keys[..], &RunOptions::default()).unwrap();
+        for p in [2usize, 8, 32, 128] {
+            let (out, trace) =
+                execute_folded(&alg, n, &keys[..], p, &RunOptions::default()).unwrap();
+            assert_eq!(out, full);
+            let mut q = 2;
+            while q <= p {
+                assert_eq!(trace.fold(q), full_trace.fold(q));
+                q *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_matches_std_sort() {
+        let mut rng = xorshift(17);
+        for &n in &[2usize, 8, 64, 256, 1024] {
+            let keys: Vec<u64> = (0..n).map(|_| rng() % 1000).collect();
+            let mut want = keys.clone();
+            want.sort();
+            let alg = BitonicSort::<u64>::default();
+            let (got, _) = execute(&alg, n, &keys[..], &RunOptions::default()).unwrap();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn communication_complexity_matches_theorem_4_8() {
+        let mut rng = xorshift(23);
+        let n = 4096;
+        let keys: Vec<u64> = (0..n).map(|_| rng()).collect();
+        let alg = ColumnSort::<u64>::new(false);
+        let (_, trace) = execute(&alg, n, &keys[..], &RunOptions::default()).unwrap();
+        for p in [4usize, 64, 256] {
+            let measured = trace.comm_complexity(p, 0.0);
+            let theory = nob_core::lower_bounds::upper::sort(n, p, 0.0);
+            let ratio = measured / theory;
+            assert!(ratio > 0.05 && ratio < 20.0, "p={p}: measured/theory = {ratio}");
+        }
+    }
+
+    /// Number of supersteps that still communicate after folding onto p
+    /// processors — read straight off the static schedule (no execution
+    /// needed). For both sorts every such superstep moves Θ(n/p) keys per
+    /// processor, so this count is the H(n, p, 0)/(n/p) shape.
+    fn crossing_steps<A: nob_machine::NobAlgorithm>(alg: &A, n: usize, p: usize) -> usize {
+        let log_p = p.trailing_zeros();
+        alg.build(n).labels().iter().filter(|&&l| l < log_p).count()
+    }
+
+    #[test]
+    fn columnsort_bitonic_crossover() {
+        // Columnsort's crossing-superstep count is (log n/log(n/p))^{log_{3/2}4}
+        // — constant for p = n^{1−δ} — while bitonic's grows like
+        // log p·(log n − log p). The constants favour bitonic at small n; the
+        // crossover for δ = 1/2 sits near n = 2^20. We (a) verify that the
+        // static schedule predicts the *measured* H at a simulable size, and
+        // (b) locate the crossover from the schedules alone (programs are
+        // static, so the schedule is the ground truth for S^i).
+        let col = ColumnSort::<u64>::new(false);
+        let bit = BitonicSort::<u64>::default();
+
+        // (a) Schedule-predicted shape matches measured H at n = 4096, p = 64.
+        let mut rng = xorshift(31);
+        let n = 4096;
+        let p = 64;
+        let keys: Vec<u64> = (0..n).map(|_| rng()).collect();
+        let (_, t_col) = execute(&col, n, &keys[..], &RunOptions::default()).unwrap();
+        let (_, t_bit) = execute(&bit, n, &keys[..], &RunOptions::default()).unwrap();
+        let per_proc = (n / p) as f64;
+        for (t, alg_steps, name) in [
+            (&t_col, crossing_steps(&col, n, p), "columnsort"),
+            (&t_bit, crossing_steps(&bit, n, p), "bitonic"),
+        ] {
+            let measured = t.comm_complexity(p, 0.0);
+            let predicted = alg_steps as f64 * per_proc;
+            let ratio = measured / predicted;
+            assert!(ratio > 0.3 && ratio < 1.5, "{name}: measured {measured} vs predicted {predicted}");
+        }
+        // Below the crossover, bitonic's smaller step count wins.
+        assert!(crossing_steps(&bit, n, p) < crossing_steps(&col, n, p));
+
+        // (b) Above the crossover (n = 2^20, p = 2^10 = n^{1/2}) the
+        // oblivious recursion's constant step count beats bitonic's
+        // log p·(log n − log p) growth: 84 vs 165 supersteps.
+        let n = 1usize << 20;
+        let p = 1usize << 10;
+        let c = crossing_steps(&col, n, p);
+        let b = crossing_steps(&bit, n, p);
+        assert!(c < b, "above crossover columnsort should win: {c} vs {b}");
+    }
+}

@@ -1,0 +1,788 @@
+//! The (n,2)-stencil problem (Section 4.4.2): evaluate an n×n×n space-time
+//! DAG where node `(x, y, t)` depends on the nine nodes
+//! `(x+δx, y+δy, t−1)`, `δx, δy ∈ {0, ±1}`.
+//!
+//! ## Geometry
+//!
+//! Rotate twice: `u = x+t`, `w = t−x+(n−1)` and `p = y+t`, `q = t−y+(n−1)`,
+//! with the coupling `u+w = p+q = 2t+(n−1)`. Dependencies decrease in all
+//! four rotated coordinates, so blocks defined by a 4D box grid
+//! `(a, b, e, f) = (u, w, p, q) div len` admit a wavefront schedule by
+//! `ph = a+b+e+f`. Non-empty blocks satisfy `|(a+b) − (e+f)| ≤ 1`; the
+//! `(a+b) = (e+f)` family corresponds to the paper's *octahedra*, the
+//! off-by-one families to its *tetrahedra*, and the phases `ph = 0 … 4k−4`
+//! are the paper's `4k−3` interleaved stripes of at most `k²` polyhedra (we
+//! run the two families of an odd phase as two sub-rounds, a ×2 superstep
+//! constant). Each live block runs on the k²-way subdivision of its parent's
+//! VP segment, selected by `(b mod k, f mod k)`.
+//!
+//! Specified on `M(n²)` with `k = 2^⌈√log n⌉`; distribution supersteps of
+//! label `2ℓ·log k` start every phase and an up-propagation superstep closes
+//! every block, giving (Thm. 4.13)
+//!
+//! ```text
+//! H_2-stencil(n, p, σ) = O((n²/√p)·8^{√log n})   for σ = O(n²/p),
+//! ```
+//!
+//! `Ω(1/8^{√log n})`-optimal against Lemma 4.10's `Ω(n²/√p)`.
+//!
+//! [`NaiveStencil2`] is the time-stepping baseline (`n` label-0 supersteps,
+//! `H = Θ(n·(√(n²/p) + σ))`).
+
+use nob_machine::{Ctx, NobAlgorithm, Outbox, Program};
+use std::collections::HashMap;
+
+/// The 9-point local rule. `neigh[dy+1][dx+1]` is `v(x+δx, y+δy, t−1)`
+/// (None outside the spatial square).
+pub trait Stencil2Op: Clone + Send + Sync + 'static {
+    /// Cell value type.
+    type V: Clone + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static;
+    /// Combine the available predecessors.
+    fn apply(neigh: &[[Option<&Self::V>; 3]; 3]) -> Self::V;
+}
+
+/// Exact integer test rule: `1 + Σ present predecessors` (wrapping).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WrapSum2Op;
+
+impl Stencil2Op for WrapSum2Op {
+    type V = u64;
+    fn apply(neigh: &[[Option<&u64>; 3]; 3]) -> u64 {
+        let mut acc = 1u64;
+        for row in neigh {
+            for v in row.iter().flatten() {
+                acc = acc.wrapping_add(**v);
+            }
+        }
+        acc
+    }
+}
+
+/// Sequential reference: returns the t = n−1 plane (row-major `x·n + y`).
+pub fn stencil2_reference<O: Stencil2Op>(input: &[O::V], n: usize) -> Vec<O::V> {
+    assert_eq!(input.len(), n * n);
+    let mut cur = input.to_vec();
+    let at = |g: &[O::V], x: i64, y: i64| -> Option<O::V> {
+        (0 <= x && x < n as i64 && 0 <= y && y < n as i64)
+            .then(|| g[x as usize * n + y as usize].clone())
+    };
+    for _t in 1..n {
+        let mut next = Vec::with_capacity(n * n);
+        for x in 0..n as i64 {
+            for y in 0..n as i64 {
+                let vals: Vec<[Option<O::V>; 3]> = (-1..=1)
+                    .map(|dy| {
+                        [at(&cur, x - 1, y + dy), at(&cur, x, y + dy), at(&cur, x + 1, y + dy)]
+                    })
+                    .collect();
+                let borrowed: [[Option<&O::V>; 3]; 3] = [
+                    [vals[0][0].as_ref(), vals[0][1].as_ref(), vals[0][2].as_ref()],
+                    [vals[1][0].as_ref(), vals[1][1].as_ref(), vals[1][2].as_ref()],
+                    [vals[2][0].as_ref(), vals[2][1].as_ref(), vals[2][2].as_ref()],
+                ];
+                next.push(O::apply(&borrowed));
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+// --------------------------------------------------------------------------
+// Geometry.
+// --------------------------------------------------------------------------
+
+#[inline]
+fn rot(xy: i64, t: i64, n: i64) -> (i64, i64) {
+    (xy + t, t - xy + (n - 1))
+}
+
+#[inline]
+fn in_region(x: i64, y: i64, t: i64, n: i64) -> bool {
+    0 <= x && x < n && 0 <= y && y < n && 0 <= t && t < n
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Geo2 {
+    n: i64,
+    k: usize,
+    log_k: u32,
+    levels: u32,
+}
+
+/// A level-ℓ block: 4D rotated box indices.
+type Block = (i64, i64, i64, i64);
+
+impl Geo2 {
+    fn new(n: usize) -> Geo2 {
+        let log_n = n.trailing_zeros().max(1);
+        let k = 1usize << (log_n as f64).sqrt().ceil() as u32;
+        let mut levels = 0;
+        let mut m = n;
+        while m >= k && m > 1 {
+            levels += 1;
+            m /= k;
+        }
+        Geo2 { n: n as i64, k, log_k: k.trailing_zeros(), levels }
+    }
+
+    /// Spatial segment side at level ℓ (segment = m² VPs).
+    #[inline]
+    fn m(&self, level: u32) -> usize {
+        (self.n as usize) / self.k.pow(level)
+    }
+
+    #[inline]
+    fn len(&self, level: u32) -> i64 {
+        2 * self.n / self.k.pow(level) as i64
+    }
+
+    /// Resolves the digit-sum pair `(g, h)` of a phase unit `(ph, δ)` inside
+    /// a parent whose global plane-sum difference is `d = (a+b) − (e+f)`.
+    ///
+    /// `g + h = ph` and, because the global coupling `|sums(u,w) − sums(p,q)|
+    /// ≤ 1` must hold after appending the digits, `g − h = −d·k + (δ − 1)`
+    /// with `δ ∈ {0, 1, 2}`. Returns `None` when the unit is empty for this
+    /// parent (parity mismatch or out-of-range sums).
+    fn digit_sums(&self, ph: usize, delta: usize, d: i64) -> Option<(i64, i64)> {
+        let k = self.k as i64;
+        let gmh = -d * k + (delta as i64 - 1);
+        let gph = ph as i64;
+        if (gph + gmh).rem_euclid(2) != 0 {
+            return None;
+        }
+        let g = (gph + gmh) / 2;
+        let h = gph - g;
+        let max = 2 * k - 2;
+        ((0..=max).contains(&g) && (0..=max).contains(&h)).then_some((g, h))
+    }
+
+    /// Segment base VP of the block with w-index `b` and q-index `f` at ℓ.
+    fn seg_base(&self, b: i64, f: i64, level: u32) -> usize {
+        let k = self.k as i64;
+        let mut base = 0usize;
+        for j in 1..=level {
+            let mj = self.m(j);
+            let shift = self.k.pow(level - j) as i64;
+            let bd = (b / shift).rem_euclid(k) as usize;
+            let fd = (f / shift).rem_euclid(k) as usize;
+            base += (bd * self.k + fd) * mj * mj;
+        }
+        base
+    }
+
+    /// Owner VP of spatial column `(x, y)` within the level-ℓ block `(…b…f)`.
+    fn owner(&self, b: i64, f: i64, x: i64, y: i64, level: u32) -> usize {
+        let m = self.m(level) as i64;
+        self.seg_base(b, f, level)
+            + (x.rem_euclid(m) * m + y.rem_euclid(m)) as usize
+    }
+
+    /// The block containing rotated point `(u, w, p, q)` at level ℓ.
+    #[inline]
+    fn block_of(&self, u: i64, w: i64, p: i64, q: i64, level: u32) -> Block {
+        let len = self.len(level);
+        (u.div_euclid(len), w.div_euclid(len), p.div_euclid(len), q.div_euclid(len))
+    }
+
+    /// Whether the block's box can contain problem nodes.
+    fn block_live(&self, (a, b, e, f): Block, level: u32) -> bool {
+        if a < 0 || b < 0 || e < 0 || f < 0 {
+            return false;
+        }
+        let len = self.len(level);
+        let c = self.n - 1;
+        // Each rotated plane must clip its diamond…
+        let du = c.clamp(a * len, (a + 1) * len - 1);
+        let dw = c.clamp(b * len, (b + 1) * len - 1);
+        if (du - c).abs() + (dw - c).abs() > c {
+            return false;
+        }
+        let dp = c.clamp(e * len, (e + 1) * len - 1);
+        let dq = c.clamp(f * len, (f + 1) * len - 1);
+        if (dp - c).abs() + (dq - c).abs() > c {
+            return false;
+        }
+        // …and the u+w and p+q windows must overlap (coupling u+w = p+q).
+        let s_uw = (a + b) * len;
+        let s_pq = (e + f) * len;
+        s_uw < s_pq + 2 * len - 1 && s_pq < s_uw + 2 * len - 1
+    }
+
+    /// The live block on this VP's level-ℓ segment under the phase-unit
+    /// trail `qs = [(ph, δ), …]`, if any.
+    fn my_block(&self, vp: usize, level: u32, qs: &[(usize, usize)]) -> Option<Block> {
+        debug_assert_eq!(qs.len(), level as usize);
+        let k = self.k as i64;
+        // Decode (b, f) digits from the VP index; force (a, e) digits from
+        // the phase units and the running parent sum difference.
+        let mut rem = vp;
+        let mut b = 0i64;
+        let mut f = 0i64;
+        let mut a = 0i64;
+        let mut e = 0i64;
+        for (j, &(ph, delta)) in qs.iter().enumerate() {
+            let j = j as u32 + 1;
+            let mj = self.m(j);
+            let digit_pair = rem / (mj * mj);
+            rem %= mj * mj;
+            let bd = (digit_pair / self.k) as i64;
+            let fd = (digit_pair % self.k) as i64;
+            let d = (a + b) - (e + f);
+            let (g, h) = self.digit_sums(ph, delta, d)?;
+            let ad = g - bd;
+            let ed = h - fd;
+            if !(0..k).contains(&ad) || !(0..k).contains(&ed) {
+                return None;
+            }
+            b = b * k + bd;
+            f = f * k + fd;
+            a = a * k + ad;
+            e = e * k + ed;
+        }
+        let blk = (a, b, e, f);
+        self.block_live(blk, level).then_some(blk)
+    }
+}
+
+// --------------------------------------------------------------------------
+// State, messages, evaluation.
+// --------------------------------------------------------------------------
+
+type ServeMask = u32;
+
+/// Per-VP value store for the (n,2)-stencil.
+#[derive(Debug, Clone, Default)]
+pub struct Stencil2State<V> {
+    store: HashMap<(i64, i64, i64), (V, ServeMask)>,
+}
+
+impl<V: Clone> Stencil2State<V> {
+    fn insert(&mut self, key: (i64, i64, i64), val: V, mask: ServeMask) {
+        self.store.entry(key).and_modify(|e| e.1 |= mask).or_insert((val, mask));
+    }
+
+    fn value(&self, x: i64, y: i64, t: i64) -> Option<&V> {
+        self.store.get(&(x, y, t)).map(|(v, _)| v)
+    }
+
+    /// Iterates the held cells (diagnostics and tests).
+    pub fn store_iter(&self) -> impl Iterator<Item = (&(i64, i64, i64), &(V, ServeMask))> {
+        self.store.iter()
+    }
+}
+
+/// A cell value in flight.
+#[derive(Debug, Clone)]
+pub struct Cell2Msg<V> {
+    x: i64,
+    y: i64,
+    t: i64,
+    val: V,
+    mask: ServeMask,
+}
+
+fn ingest<V: Clone>(st: &mut Stencil2State<V>, inbox: &mut Vec<Cell2Msg<V>>) {
+    for m in inbox.drain(..) {
+        st.insert((m.x, m.y, m.t), m.val, m.mask);
+    }
+}
+
+/// Is `(x, y, t)` needed inside block `blk` (input-halo cell or t=0 input)?
+fn needed_by(geo: &Geo2, x: i64, y: i64, t: i64, blk: Block, level: u32) -> bool {
+    let len = geo.len(level);
+    let (a, b, e, f) = blk;
+    let (u, w) = rot(x, t, geo.n);
+    let (p, q) = rot(y, t, geo.n);
+    let inside = |uu: i64, ww: i64, pp: i64, qq: i64| {
+        uu >= a * len
+            && uu < (a + 1) * len
+            && ww >= b * len
+            && ww < (b + 1) * len
+            && pp >= e * len
+            && pp < (e + 1) * len
+            && qq >= f * len
+            && qq < (f + 1) * len
+    };
+    if inside(u, w, p, q) {
+        return t == 0;
+    }
+    for (du, dw) in [(2i64, 0i64), (1, 1), (0, 2)] {
+        for (dp, dq) in [(2i64, 0i64), (1, 1), (0, 2)] {
+            let (sx, sy, st) = (x + du - 1, y + dp - 1, t + 1);
+            if inside(u + du, w + dw, p + dp, q + dq) && in_region(sx, sy, st, geo.n) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is the cell on the output halo of its block?
+fn on_output_halo(geo: &Geo2, x: i64, y: i64, t: i64, blk: Block, level: u32) -> bool {
+    let len = geo.len(level);
+    let (a, b, e, f) = blk;
+    let (u, w) = rot(x, t, geo.n);
+    let (p, q) = rot(y, t, geo.n);
+    u >= (a + 1) * len - 2
+        || w >= (b + 1) * len - 2
+        || p >= (e + 1) * len - 2
+        || q >= (f + 1) * len - 2
+}
+
+/// Evaluates row `t` of block `blk` (cells owned by `vp`), storing with
+/// `mask` and optionally shipping scratch copies to spatial neighbours.
+#[allow(clippy::too_many_arguments)]
+fn eval_row2<O: Stencil2Op>(
+    geo: &Geo2,
+    st: &mut Stencil2State<O::V>,
+    ctx: &Ctx,
+    blk: Block,
+    level: u32,
+    t: i64,
+    mask: ServeMask,
+    send_neighbours: bool,
+    out: &mut Outbox<Cell2Msg<O::V>>,
+) {
+    if t < 1 || t >= geo.n {
+        return;
+    }
+    let len = geo.len(level);
+    let (a, b, e, f) = blk;
+    let m = geo.m(level) as i64;
+    let my_off = (ctx.vp - geo.seg_base(b, f, level)) as i64;
+    // x from the (u, w) plane: u ∈ [a·len, (a+1)len) with w = 2t+(n−1)−u in
+    // [b·len, (b+1)len); likewise y.
+    let u_lo = (a * len).max(2 * t + (geo.n - 1) - ((b + 1) * len - 1));
+    let u_hi = ((a + 1) * len - 1).min(2 * t + (geo.n - 1) - b * len);
+    let p_lo = (e * len).max(2 * t + (geo.n - 1) - ((f + 1) * len - 1));
+    let p_hi = ((e + 1) * len - 1).min(2 * t + (geo.n - 1) - f * len);
+    for u in u_lo..=u_hi {
+        let x = u - t;
+        for p in p_lo..=p_hi {
+            let y = p - t;
+            if !in_region(x, y, t, geo.n) {
+                continue;
+            }
+            if x.rem_euclid(m) * m + y.rem_euclid(m) != my_off {
+                continue;
+            }
+            let mut vals: [[Option<&O::V>; 3]; 3] = Default::default();
+            let mut missing = false;
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    let (px, py) = (x + dx, y + dy);
+                    if in_region(px, py, t - 1, geo.n) {
+                        let v = st.value(px, py, t - 1);
+                        if v.is_none() {
+                            missing = true;
+                        }
+                        vals[(dy + 1) as usize][(dx + 1) as usize] = v;
+                    }
+                }
+            }
+            debug_assert!(!missing, "missing predecessor of ({x},{y},{t}) on VP {}", ctx.vp);
+            let val = O::apply(&vals);
+            st.insert((x, y, t), val.clone(), mask);
+            if send_neighbours && m > 1 {
+                let mut dsts: Vec<usize> = Vec::with_capacity(8);
+                for dy in -1..=1i64 {
+                    for dx in -1..=1i64 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let dst = geo.owner(b, f, x + dx, y + dy, level);
+                        if dst != ctx.vp && !dsts.contains(&dst) {
+                            dsts.push(dst);
+                        }
+                    }
+                }
+                for dst in dsts {
+                    out.send(dst, Cell2Msg { x, y, t, val: val.clone(), mask: 0 });
+                }
+            }
+        }
+    }
+}
+
+/// Appends the up-propagation superstep of level-ℓ blocks (single-VP blocks
+/// also evaluate here).
+fn emit_upprop2<O: Stencil2Op>(
+    prog: &mut Program<Stencil2State<O::V>, Cell2Msg<O::V>>,
+    geo: Geo2,
+    level: u32,
+    qs: Vec<(usize, usize)>,
+    eval_local: bool,
+) {
+    let parent_label = 2 * (level - 1) * geo.log_k;
+    prog.step(parent_label, "stencil2-upprop", move |st, ctx, inbox, out| {
+        ingest(st, inbox);
+        let Some(blk) = geo.my_block(ctx.vp, level, &qs) else {
+            return;
+        };
+        if eval_local {
+            let len = geo.len(level);
+            let (a, b, _, _) = blk;
+            let t_min = ((a + b) * len - (geo.n - 1)).div_euclid(2);
+            for r in 0..2 * len {
+                eval_row2::<O>(&geo, st, ctx, blk, level, t_min + r, 1 << level, false, out);
+            }
+        }
+        let (_, b, _, f) = blk;
+        let parent_b = b.div_euclid(geo.k as i64);
+        let parent_f = f.div_euclid(geo.k as i64);
+        let mut halo: Vec<Cell2Msg<O::V>> = Vec::new();
+        for (&(x, y, t), (val, mask)) in st.store.iter() {
+            if mask & (1 << level) != 0 && on_output_halo(&geo, x, y, t, blk, level) {
+                halo.push(Cell2Msg { x, y, t, val: val.clone(), mask: 1 << (level - 1) });
+            }
+        }
+        for msg in halo {
+            let dst = geo.owner(parent_b, parent_f, msg.x, msg.y, level - 1);
+            if dst == ctx.vp {
+                st.insert((msg.x, msg.y, msg.t), msg.val, msg.mask);
+            } else {
+                out.send(dst, msg);
+            }
+        }
+    });
+}
+
+/// Emits the schedule for all live level-ℓ blocks under phase trail `qs`.
+fn emit_eval2<O: Stencil2Op>(
+    prog: &mut Program<Stencil2State<O::V>, Cell2Msg<O::V>>,
+    geo: Geo2,
+    level: u32,
+    qs: Vec<(usize, usize)>,
+) {
+    let m = geo.m(level);
+
+    if level > 0 && (level >= geo.levels || m < geo.k) {
+        if m > 1 {
+            let label = 2 * level * geo.log_k;
+            let len = geo.len(level);
+            for r in 0..2 * len {
+                let qs_c = qs.clone();
+                prog.step(label, "stencil2-row", move |st, ctx, inbox, out| {
+                    ingest(st, inbox);
+                    if let Some(blk) = geo.my_block(ctx.vp, level, &qs_c) {
+                        let (a, b, _, _) = blk;
+                        let len = geo.len(level);
+                        let t_min = ((a + b) * len - (geo.n - 1)).div_euclid(2);
+                        eval_row2::<O>(&geo, st, ctx, blk, level, t_min + r, 1 << level, true, out);
+                    }
+                });
+            }
+        }
+        emit_upprop2::<O>(prog, geo, level, qs, m == 1);
+        return;
+    }
+
+    // 4k−3 wavefront phases, each in three δ sub-rounds (see
+    // `Geo2::digit_sums`: the live digit-sum split depends on the parent's
+    // plane-sum difference, which ranges over {−1, 0, +1}).
+    for ph in 0..(4 * geo.k - 3) {
+        for delta in 0..3usize {
+            let label = 2 * level * geo.log_k;
+            let qs_c = qs.clone();
+            prog.step(label, "stencil2-distribute", move |st, ctx, inbox, out| {
+                ingest(st, inbox);
+                let k = geo.k as i64;
+                let mseg = geo.m(level);
+                let my_seg_base = ctx.vp - (ctx.vp % (mseg * mseg));
+                let mut qs_child = Vec::with_capacity(qs_c.len() + 1);
+                qs_child.extend_from_slice(&qs_c);
+                qs_child.push((ph, delta));
+                let mut sends: Vec<(usize, Cell2Msg<O::V>)> = Vec::new();
+                for (&(x, y, t), (val, mask)) in st.store.iter() {
+                    if mask & (1 << level) == 0 {
+                        continue;
+                    }
+                    let (u, w) = rot(x, t, geo.n);
+                    let (p, q) = rot(y, t, geo.n);
+                    let mut targets: Vec<Block> = Vec::new();
+                    for (du, dw) in [(0i64, 0i64), (2, 0), (1, 1), (0, 2)] {
+                        for (dp, dq) in [(0i64, 0i64), (2, 0), (1, 1), (0, 2)] {
+                            if (du + dw == 0) != (dp + dq == 0) {
+                                continue; // successors advance both planes
+                            }
+                            let blk =
+                                geo.block_of(u + du, w + dw, p + dp, q + dq, level + 1);
+                            if !targets.contains(&blk) {
+                                targets.push(blk);
+                            }
+                        }
+                    }
+                    for blk in targets {
+                        let (a, b, e, f) = blk;
+                        // In-unit check: digit sums must match (ph, δ) under
+                        // the target's parent sum difference.
+                        let d = (a.div_euclid(k) + b.div_euclid(k))
+                            - (e.div_euclid(k) + f.div_euclid(k));
+                        let Some((g, h)) = geo.digit_sums(ph, delta, d) else {
+                            continue;
+                        };
+                        if a.rem_euclid(k) + b.rem_euclid(k) != g
+                            || e.rem_euclid(k) + f.rem_euclid(k) != h
+                        {
+                            continue;
+                        }
+                        // Child must sit inside my level-ℓ segment.
+                        let child_base = geo.seg_base(b, f, level + 1);
+                        if child_base < my_seg_base
+                            || child_base >= my_seg_base + mseg * mseg
+                        {
+                            continue;
+                        }
+                        if geo.my_block(child_base, level + 1, &qs_child) != Some(blk) {
+                            continue;
+                        }
+                        if !needed_by(&geo, x, y, t, blk, level + 1) {
+                            continue;
+                        }
+                        let canonical = geo.owner(b, f, x, y, level + 1);
+                        sends.push((
+                            canonical,
+                            Cell2Msg { x, y, t, val: val.clone(), mask: 1 << (level + 1) },
+                        ));
+                        // Scratch copies to in-box successor owners.
+                        let len = geo.len(level + 1);
+                        let inside = |uu: i64, ww: i64, pp: i64, qq: i64| {
+                            uu >= a * len
+                                && uu < (a + 1) * len
+                                && ww >= b * len
+                                && ww < (b + 1) * len
+                                && pp >= e * len
+                                && pp < (e + 1) * len
+                                && qq >= f * len
+                                && qq < (f + 1) * len
+                        };
+                        let mut dsts: Vec<usize> = Vec::new();
+                        for (du, dw) in [(2i64, 0i64), (1, 1), (0, 2)] {
+                            for (dp, dq) in [(2i64, 0i64), (1, 1), (0, 2)] {
+                                let (sx, sy, stt) = (x + du - 1, y + dp - 1, t + 1);
+                                if inside(u + du, w + dw, p + dp, q + dq)
+                                    && in_region(sx, sy, stt, geo.n)
+                                {
+                                    let dst = geo.owner(b, f, sx, sy, level + 1);
+                                    if dst != canonical && !dsts.contains(&dst) {
+                                        dsts.push(dst);
+                                    }
+                                }
+                            }
+                        }
+                        for dst in dsts {
+                            sends.push((dst, Cell2Msg { x, y, t, val: val.clone(), mask: 0 }));
+                        }
+                    }
+                }
+                for (dst, msg) in sends {
+                    if dst == ctx.vp {
+                        st.insert((msg.x, msg.y, msg.t), msg.val, msg.mask);
+                    } else {
+                        out.send(dst, msg);
+                    }
+                }
+            });
+            let mut qs_next = qs.clone();
+            qs_next.push((ph, delta));
+            emit_eval2::<O>(prog, geo, level + 1, qs_next);
+        }
+    }
+
+    if level > 0 {
+        emit_upprop2::<O>(prog, geo, level, qs, false);
+    }
+}
+
+/// The recursive octahedron/tetrahedron (n,2)-stencil algorithm on `M(n²)`.
+/// Supports every power of two `n ≥ 2`.
+#[derive(Debug, Clone, Default)]
+pub struct OctaStencil<O> {
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O: Stencil2Op> NobAlgorithm for OctaStencil<O> {
+    type State = Stencil2State<O::V>;
+    type Msg = Cell2Msg<O::V>;
+    type Input = [O::V];
+    type Output = Vec<O::V>;
+
+    fn name(&self) -> String {
+        "stencil2-octa".to_string()
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n * n
+    }
+
+    fn init(&self, n: usize, input: &[O::V]) -> Vec<Stencil2State<O::V>> {
+        assert!(n.is_power_of_two() && n >= 2);
+        assert_eq!(input.len(), n * n);
+        (0..n * n)
+            .map(|vp| {
+                let (x, y) = (vp / n, vp % n);
+                let mut st = Stencil2State::default();
+                st.insert((x as i64, y as i64, 0), input[x * n + y].clone(), 1);
+                st
+            })
+            .collect()
+    }
+
+    fn build(&self, n: usize) -> Program<Stencil2State<O::V>, Cell2Msg<O::V>> {
+        let geo = Geo2::new(n);
+        let mut prog = Program::new(n * n, n);
+        emit_eval2::<O>(&mut prog, geo, 0, Vec::new());
+        prog
+    }
+
+    fn extract(&self, n: usize, states: Vec<Stencil2State<O::V>>) -> Vec<O::V> {
+        let mut out = vec![O::V::default(); n * n];
+        let t_last = (n - 1) as i64;
+        for st in &states {
+            for (&(x, y, t), (val, _)) in st.store.iter() {
+                if t == t_last {
+                    out[x as usize * n + y as usize] = val.clone();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Time-stepping baseline on `M(n²)` for the (n,2)-stencil.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveStencil2<O> {
+    _marker: std::marker::PhantomData<O>,
+}
+
+/// Naive VP state: my value plus last-step neighbour values keyed by (δx, δy).
+#[derive(Debug, Clone, Default)]
+pub struct Naive2State<V> {
+    cur: V,
+    neigh: Vec<((i64, i64), V)>,
+}
+
+impl<O: Stencil2Op> NobAlgorithm for NaiveStencil2<O> {
+    type State = Naive2State<O::V>;
+    type Msg = ((i64, i64), O::V);
+    type Input = [O::V];
+    type Output = Vec<O::V>;
+
+    fn name(&self) -> String {
+        "stencil2-naive".to_string()
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n * n
+    }
+
+    fn init(&self, n: usize, input: &[O::V]) -> Vec<Naive2State<O::V>> {
+        assert_eq!(input.len(), n * n);
+        input.iter().map(|v| Naive2State { cur: v.clone(), neigh: Vec::new() }).collect()
+    }
+
+    fn build(&self, n: usize) -> Program<Naive2State<O::V>, ((i64, i64), O::V)> {
+        let mut prog = Program::new(n * n, n);
+        for step in 0..n {
+            prog.step(0, "naive2-step", move |st: &mut Naive2State<O::V>, ctx, inbox, out| {
+                st.neigh.clear();
+                for m in inbox.drain(..) {
+                    st.neigh.push(m);
+                }
+                if step > 0 {
+                    let mut vals: [[Option<&O::V>; 3]; 3] = Default::default();
+                    vals[1][1] = Some(&st.cur);
+                    for ((dx, dy), v) in &st.neigh {
+                        vals[(dy + 1) as usize][(dx + 1) as usize] = Some(v);
+                    }
+                    st.cur = O::apply(&vals);
+                }
+                if step + 1 < ctx.n {
+                    let (x, y) = ((ctx.vp / ctx.n) as i64, (ctx.vp % ctx.n) as i64);
+                    for dx in -1..=1i64 {
+                        for dy in -1..=1i64 {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let (nx, ny) = (x + dx, y + dy);
+                            if in_region(nx, ny, 0, ctx.n as i64) {
+                                // The receiver records us at the inverse offset.
+                                out.send(
+                                    (nx * ctx.n as i64 + ny) as usize,
+                                    ((-dx, -dy), st.cur.clone()),
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        prog
+    }
+
+    fn extract(&self, _n: usize, states: Vec<Naive2State<O::V>>) -> Vec<O::V> {
+        states.into_iter().map(|s| s.cur).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nob_machine::{execute, execute_folded, RunOptions};
+
+    fn input(n: usize) -> Vec<u64> {
+        (0..(n * n) as u64).map(|x| x.wrapping_mul(0x9e37_79b9) % 911).collect()
+    }
+
+    #[test]
+    fn naive2_matches_reference() {
+        for &n in &[2usize, 4, 8, 16] {
+            let xs = input(n);
+            let want = stencil2_reference::<WrapSum2Op>(&xs, n);
+            let alg = NaiveStencil2::<WrapSum2Op>::default();
+            let (got, _) = execute(&alg, n, &xs[..], &RunOptions::default()).unwrap();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn octa_matches_reference() {
+        for &n in &[4usize, 8, 16] {
+            let xs = input(n);
+            let want = stencil2_reference::<WrapSum2Op>(&xs, n);
+            let alg = OctaStencil::<WrapSum2Op>::default();
+            let (got, _) = execute(&alg, n, &xs[..], &RunOptions::default()).unwrap();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn octa_folding_is_consistent() {
+        let n = 8;
+        let xs = input(n);
+        let alg = OctaStencil::<WrapSum2Op>::default();
+        let (full, full_trace) = execute(&alg, n, &xs[..], &RunOptions::default()).unwrap();
+        for p in [2usize, 4, 16, 64] {
+            let (out, trace) = execute_folded(&alg, n, &xs[..], p, &RunOptions::default()).unwrap();
+            assert_eq!(out, full);
+            assert_eq!(trace.fold(p), full_trace.fold(p));
+        }
+    }
+
+    #[test]
+    fn communication_complexity_matches_theorem_4_13() {
+        // H(n, p, 0) = O((n²/√p)·8^√log n): measured/theory bounded.
+        for &n in &[8usize, 16] {
+            let xs = input(n);
+            let alg = OctaStencil::<WrapSum2Op>::default();
+            let (_, trace) = execute(&alg, n, &xs[..], &RunOptions::default()).unwrap();
+            for p in [4usize, 16] {
+                let measured = trace.comm_complexity(p, 0.0);
+                let theory = nob_core::lower_bounds::upper::stencil2(n, p, 0.0);
+                let ratio = measured / theory;
+                assert!(ratio < 8.0, "n={n} p={p}: measured/theory = {ratio}");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Criterion wall-time benches for the superstep VM running each Section-4
+//! algorithm (harness health; the paper-facing metrics are in the `exp_*`
+//! binaries). One group per algorithm family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_algos::broadcast::ObliviousBroadcast;
+use nob_algos::fft::{BinaryExchangeFft, RecursiveFft};
+use nob_algos::mm::cannon::CannonMm;
+use nob_algos::mm::space::SpaceEfficientMm;
+use nob_algos::mm::standard::RecursiveMm;
+use nob_algos::semiring::WrapU64;
+use nob_algos::sort::{BitonicSort, ColumnSort};
+use nob_algos::stencil::{DiamondStencil, NaiveStencil, WrapSumOp};
+use nob_bench::{random_keys, random_mm, stencil_input, test_signal};
+use nob_machine::{execute, RunOptions};
+use std::hint::black_box;
+
+fn bench_mm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mm");
+    g.sample_size(10);
+    let n = 4096;
+    let input = random_mm(n, 42);
+    g.bench_function("recursive/n=4096", |b| {
+        b.iter(|| {
+            execute(
+                &RecursiveMm::<WrapU64>::default(),
+                n,
+                black_box(&input),
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("space/n=4096", |b| {
+        b.iter(|| {
+            execute(
+                &SpaceEfficientMm::<WrapU64>::default(),
+                n,
+                black_box(&input),
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("cannon/n=4096", |b| {
+        b.iter(|| {
+            execute(&CannonMm::<WrapU64>::default(), n, black_box(&input), &RunOptions::default())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    g.sample_size(10);
+    let n = 4096;
+    let xs = test_signal(n);
+    g.bench_function("recursive/n=4096", |b| {
+        b.iter(|| {
+            execute(&RecursiveFft::default(), n, black_box(&xs[..]), &RunOptions::default())
+                .unwrap()
+        })
+    });
+    g.bench_function("binary-exchange/n=4096", |b| {
+        b.iter(|| {
+            execute(&BinaryExchangeFft, n, black_box(&xs[..]), &RunOptions::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort");
+    g.sample_size(10);
+    let n = 1024;
+    let keys = random_keys(n, 7);
+    g.bench_function("columnsort/n=1024", |b| {
+        b.iter(|| {
+            execute(&ColumnSort::<u64>::default(), n, black_box(&keys[..]), &RunOptions::default())
+                .unwrap()
+        })
+    });
+    g.bench_function("bitonic/n=1024", |b| {
+        b.iter(|| {
+            execute(
+                &BitonicSort::<u64>::default(),
+                n,
+                black_box(&keys[..]),
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil");
+    g.sample_size(10);
+    let n = 128;
+    let xs = stencil_input(n);
+    g.bench_function("diamond/n=128", |b| {
+        b.iter(|| {
+            execute(
+                &DiamondStencil::<WrapSumOp>::default(),
+                n,
+                black_box(&xs[..]),
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("naive/n=128", |b| {
+        b.iter(|| {
+            execute(
+                &NaiveStencil::<WrapSumOp>::default(),
+                n,
+                black_box(&xs[..]),
+                &RunOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    g.sample_size(10);
+    let n = 1 << 14;
+    g.bench_function("oblivious/n=16384", |b| {
+        b.iter(|| execute(&ObliviousBroadcast, n, black_box(&7u64), &RunOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mm, bench_fft, bench_sort, bench_stencil, bench_broadcast);
+criterion_main!(benches);

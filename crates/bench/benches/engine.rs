@@ -1,0 +1,48 @@
+//! Engine micro-benches: superstep execution and metric-recording
+//! throughput, full-granularity vs folded execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_machine::{run, run_folded, Program, RunOptions};
+use std::hint::black_box;
+
+/// A butterfly-exchange program: `log v` supersteps, every VP sends one
+/// message per superstep (the densest per-VP communication pattern).
+fn butterfly(v: usize) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for l in 0..log_v {
+        let d = v >> (l + 1);
+        prog.step(l, "bfly", move |st, ctx, inbox, out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            out.send(ctx.vp ^ d, *st);
+        });
+    }
+    prog
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for &v in &[1usize << 10, 1 << 14] {
+        let prog = butterfly(v);
+        let states: Vec<u64> = (0..v as u64).collect();
+        g.bench_function(format!("full/v={v}"), |b| {
+            b.iter(|| run(&prog, black_box(states.clone()), &RunOptions::default()).unwrap())
+        });
+        g.bench_function(format!("full-novalidate/v={v}"), |b| {
+            let opts = RunOptions { validate: false, ..Default::default() };
+            b.iter(|| run(&prog, black_box(states.clone()), &opts).unwrap())
+        });
+        g.bench_function(format!("folded-p16/v={v}"), |b| {
+            b.iter(|| {
+                run_folded(&prog, black_box(states.clone()), 16, &RunOptions::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

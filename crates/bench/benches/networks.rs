@@ -1,0 +1,42 @@
+//! Network-simulator benches: h-relation routing throughput and the
+//! D-BSP fitting procedure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_networks::{fit_dbsp, route_h_relation, Hypercube, Mesh2D};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(10);
+    let p = 256;
+    // A fixed pseudo-random 4-relation.
+    let mut seed = 1u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed as usize
+    };
+    let msgs: Vec<(usize, usize)> =
+        (0..4 * p).map(|i| (i % p, rng() % p)).collect();
+    let mesh = Mesh2D::new(p);
+    let cube = Hypercube::new(p);
+    g.bench_function("mesh2d/p=256/h=4", |b| {
+        b.iter(|| route_h_relation(&mesh, black_box(&msgs)))
+    });
+    g.bench_function("hypercube/p=256/h=4", |b| {
+        b.iter(|| route_h_relation(&cube, black_box(&msgs)))
+    });
+    g.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fitting");
+    g.sample_size(10);
+    let mesh = Mesh2D::new(64);
+    g.bench_function("fit_dbsp/mesh2d/p=64", |b| b.iter(|| fit_dbsp(&mesh, black_box(42))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ascend–descend protocol rewriter benches (Section 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nob_core::metrics::{CommTrace, SuperstepRecord};
+use nob_machine::protocol::ascend_descend;
+use std::hint::black_box;
+
+fn single_sender(v: usize, n: u64) -> (CommTrace, Vec<Vec<(u32, u32)>>) {
+    let log_v = v.trailing_zeros();
+    let mut t = CommTrace::new(v, n as usize);
+    let msgs: Vec<(u32, u32)> = (0..n).map(|_| (0u32, (v / 2) as u32)).collect();
+    t.steps.push(SuperstepRecord::from_counted_edges(0, log_v, &[(0, v / 2, n)]));
+    (t, vec![msgs])
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ascend-descend");
+    g.sample_size(10);
+    for &(v, burst) in &[(256usize, 4096u64), (1024, 16384)] {
+        let (trace, log) = single_sender(v, burst);
+        g.bench_function(format!("rewrite/v={v}/burst={burst}"), |b| {
+            b.iter(|| ascend_descend(black_box(&trace), black_box(&log), 64))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

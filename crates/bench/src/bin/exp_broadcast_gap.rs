@@ -1,0 +1,57 @@
+//! E9 (Thm 4.16) — the oblivious-broadcast optimality gap.
+//!
+//! A network-oblivious broadcast fixes its superstep count t; Thm 4.16 then
+//! forces `GAP(σ1, σ2) = Ω(log σ2 / (log σ1 + log log σ2))`. We measure the
+//! gap of the cluster-halving oblivious tree (t = log p) against the best
+//! σ-aware algorithm across σ, and compare its growth with the predicted
+//! form.
+
+use nob_algos::broadcast::{measured_gap, AwareBroadcast, ObliviousBroadcast};
+use nob_bench::{fmt, Table};
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    let n = 1usize << 14;
+    let p = n;
+    let (_, t_obl) = execute(&ObliviousBroadcast, n, &1u64, &RunOptions::default()).unwrap();
+
+    let sigma1 = 2.0f64;
+    let mut tab = Table::new(&["sigma2", "H_oblivious", "H_aware", "GAP", "Thm4.16 shape"]);
+    for &sigma2 in &[2.0f64, 8.0, 64.0, 512.0, 4096.0, 32768.0] {
+        let aware = AwareBroadcast::for_sigma(sigma2);
+        let (_, t_aw) = execute(&aware, n, &1u64, &RunOptions::default()).unwrap();
+        let gap = measured_gap(&t_obl, &t_aw, p, sigma2);
+        let predicted = sigma2.max(2.0).log2()
+            / (sigma1.log2() + sigma2.max(2.0).log2().max(2.0).log2());
+        tab.row(vec![
+            fmt(sigma2),
+            fmt(t_obl.comm_complexity(p, sigma2)),
+            fmt(t_aw.comm_complexity(p, sigma2)),
+            fmt(gap),
+            fmt(predicted),
+        ]);
+    }
+    tab.print(&format!(
+        "E9: oblivious broadcast gap, n = p = {n} (GAP must grow ~ log sigma2 / (log sigma1 + log log sigma2))"
+    ));
+
+    // The structural reason (Thm 4.16's proof): an oblivious algorithm fixes
+    // its fan-out κ (equivalently its superstep count t); every fixed κ is
+    // bad for some σ. No row of this table is within O(1) of the diagonal
+    // everywhere.
+    let kappas = [2usize, 16, 256];
+    let mut tab = Table::new(&["sigma", "H(k=2)", "H(k=16)", "H(k=256)", "H(tuned k)"]);
+    for &sigma in &[0.0f64, 4.0, 64.0, 1024.0, 16384.0] {
+        let mut cells = vec![fmt(sigma)];
+        for &k in &kappas {
+            let alg = AwareBroadcast { kappa: k };
+            let (_, t) = execute(&alg, n, &1u64, &RunOptions::default()).unwrap();
+            cells.push(fmt(t.comm_complexity(p, sigma)));
+        }
+        let tuned = AwareBroadcast::for_sigma(sigma);
+        let (_, t) = execute(&tuned, n, &1u64, &RunOptions::default()).unwrap();
+        cells.push(fmt(t.comm_complexity(p, sigma)));
+        tab.row(cells);
+    }
+    tab.print("E9: every fixed fan-out loses somewhere (the obliviousness obstruction)");
+}

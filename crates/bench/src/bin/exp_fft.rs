@@ -1,0 +1,64 @@
+//! E4 (Thm 4.5 / Cor 4.6) — communication complexity of the recursive n-FFT.
+//!
+//! Regenerates `H_FFT(n, p, σ)` against the `(n/p + σ)·log n/log(n/p)` form,
+//! the Lemma-4.4 lower bound, the binary-exchange baseline, and the D-BSP
+//! communication times of Corollary 4.6.
+
+use nob_algos::fft::{BinaryExchangeFft, RecursiveFft};
+use nob_bench::{fmt, test_signal, Table};
+use nob_core::{lower_bounds, machines};
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    for &n in &[256usize, 4096] {
+        let xs = test_signal(n);
+        let (_, t_rec) =
+            execute(&RecursiveFft::default(), n, &xs[..], &RunOptions::default()).unwrap();
+        let (_, t_plain) =
+            execute(&RecursiveFft::new(false), n, &xs[..], &RunOptions::default()).unwrap();
+        let (_, t_bin) = execute(&BinaryExchangeFft, n, &xs[..], &RunOptions::default()).unwrap();
+
+        for &sigma in &[0.0f64, 8.0] {
+            let mut tab = Table::new(&[
+                "p",
+                "H_rec",
+                "H_rec(no dummies)",
+                "Thm4.5",
+                "H/Thm",
+                "LB(4.4)",
+                "H/LB",
+                "H_binex",
+                "binex/rec'",
+            ]);
+            let mut p = 2usize;
+            while p <= n {
+                let h = t_rec.comm_complexity(p, sigma);
+                let hp = t_plain.comm_complexity(p, sigma);
+                let th = lower_bounds::upper::fft(n, p, sigma);
+                let lb = lower_bounds::fft(n, p, sigma);
+                let hb = t_bin.comm_complexity(p, sigma);
+                tab.row(vec![
+                    p.to_string(),
+                    fmt(h),
+                    fmt(hp),
+                    fmt(th),
+                    fmt(h / th),
+                    fmt(lb),
+                    fmt(h / lb),
+                    fmt(hb),
+                    fmt(hb / hp),
+                ]);
+                p *= 4;
+            }
+            tab.print(&format!("E4: n-FFT, n = {n}, sigma = {sigma}"));
+        }
+
+        let mut tab = Table::new(&["machine", "D_rec", "D_binex", "binex/rec"]);
+        for m in machines::standard_suite(64.min(n)) {
+            let dr = t_rec.comm_time(&m);
+            let db = t_bin.comm_time(&m);
+            tab.row(vec![m.name.clone(), fmt(dr), fmt(db), fmt(db / dr)]);
+        }
+        tab.print(&format!("E4/Cor 4.6: n-FFT on D-BSP, n = {n}, p = {}", 64.min(n)));
+    }
+}

@@ -1,0 +1,26 @@
+//! E10 (Figure 1) — the diamond-DAG decomposition.
+//!
+//! Renders the k×k grid of sub-diamonds of a diamond of side n with each
+//! sub-diamond labelled by its evaluation phase (the 2k−1 "horizontal
+//! stripes" of Figure 1 are the anti-diagonals of this grid).
+
+fn main() {
+    let k = 8usize; // one recursion level with k = 2^⌈√log n⌉ for n = 256
+    println!("Figure 1: decomposition of a diamond of side n into 2k-1 = {} stripes", 2 * k - 1);
+    println!("of up to k = {k} diamonds of side n/k; cell (a,b) shows its phase a+b.\n");
+    println!("(Rotated coordinates: u = x+t rightward, w = t-x upward; dependencies");
+    println!("flow toward increasing u and w, so equal-phase cells are independent.)\n");
+    for b in (0..k).rev() {
+        // Indent to draw the rotated grid as the paper's diamond.
+        print!("{}", " ".repeat(2 * b));
+        for a in 0..k {
+            print!("{:>3} ", a + b);
+        }
+        println!();
+    }
+    println!("\nStripe populations (phase -> #diamonds):");
+    for q in 0..2 * k - 1 {
+        let count = (0..k).filter(|&a| q >= a && q - a < k).count();
+        println!("  phase {q:>2}: {count} diamonds evaluated in parallel on M(n/k) submachines");
+    }
+}

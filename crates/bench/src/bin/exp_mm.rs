@@ -1,0 +1,69 @@
+//! E1 (Thm 4.2) — communication complexity of the recursive n-MM algorithm.
+//!
+//! Regenerates, for each n and p: the measured `H(n, p, σ)`, the Theorem-4.2
+//! closed form `n/p^{2/3} + σ·log p`, their ratio (bounded ⇒ the bound's
+//! shape holds), the Lemma-4.1 lower bound and the optimality factor, plus
+//! Cannon's algorithm as the flat class-C competitor.
+
+use nob_algos::mm::cannon::CannonMm;
+use nob_algos::mm::standard::RecursiveMm;
+use nob_algos::semiring::WrapU64;
+use nob_bench::{fmt, random_mm, Table};
+use nob_core::lower_bounds;
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    for &n in &[64usize, 4096] {
+        let input = random_mm(n, 42);
+        let rec = RecursiveMm::<WrapU64>::default();
+        let rec_plain = RecursiveMm::<WrapU64>::new(false);
+        let can = CannonMm::<WrapU64>::default();
+        let (_, t_rec) = execute(&rec, n, &input, &RunOptions::default()).unwrap();
+        let (_, t_plain) = execute(&rec_plain, n, &input, &RunOptions::default()).unwrap();
+        let (_, t_can) = execute(&can, n, &input, &RunOptions::default()).unwrap();
+
+        for &sigma in &[0.0f64, 16.0] {
+            let mut tab = Table::new(&[
+                "p",
+                "H_rec",
+                "H_rec(no dummies)",
+                "Thm4.2",
+                "H/Thm",
+                "LB(4.1)",
+                "H/LB",
+                "H_cannon",
+                "cannon/rec'",
+            ]);
+            let mut p = 2usize;
+            while p <= n {
+                let h = t_rec.comm_complexity(p, sigma);
+                let hp = t_plain.comm_complexity(p, sigma);
+                let th = lower_bounds::upper::mm(n, p, sigma);
+                let lb = lower_bounds::mm(n, p, sigma);
+                let hc = t_can.comm_complexity(p, sigma);
+                tab.row(vec![
+                    p.to_string(),
+                    fmt(h),
+                    fmt(hp),
+                    fmt(th),
+                    fmt(h / th),
+                    fmt(lb),
+                    fmt(h / lb),
+                    fmt(hc),
+                    fmt(hc / hp),
+                ]);
+                p *= 8;
+            }
+            tab.print(&format!("E1: n-MM, n = {n}, sigma = {sigma}"));
+        }
+
+        let w = nob_core::wiseness::alpha_max(&t_rec, n);
+        println!(
+            "\nwiseness alpha({}) = {:.3} (binding fold {:?}); total messages = {}",
+            n,
+            w.alpha,
+            w.binding_fold,
+            t_rec.total_messages()
+        );
+    }
+}

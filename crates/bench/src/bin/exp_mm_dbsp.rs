@@ -1,0 +1,45 @@
+//! E2 (Cor 4.3) — communication time of n-MM on D-BSP machines.
+//!
+//! Regenerates `D(n, p, g, ℓ)` for the recursive algorithm, the
+//! space-efficient variant and Cannon's baseline on the standard machine
+//! suite; Corollary 4.3 predicts the recursive algorithm is Θ(1)-optimal on
+//! the machines with non-increasing g and ℓ/g and `ℓ_0/g_0 = O(n/p)`.
+
+use nob_algos::mm::cannon::CannonMm;
+use nob_algos::mm::space::SpaceEfficientMm;
+use nob_algos::mm::standard::RecursiveMm;
+use nob_algos::semiring::WrapU64;
+use nob_bench::{fmt, random_mm, Table};
+use nob_core::machines;
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    let n = 4096usize;
+    let input = random_mm(n, 7);
+    let (_, t_rec) =
+        execute(&RecursiveMm::<WrapU64>::default(), n, &input, &RunOptions::default()).unwrap();
+    let (_, t_spc) =
+        execute(&SpaceEfficientMm::<WrapU64>::default(), n, &input, &RunOptions::default())
+            .unwrap();
+    let (_, t_can) =
+        execute(&CannonMm::<WrapU64>::default(), n, &input, &RunOptions::default()).unwrap();
+
+    for &p in &[64usize, 512] {
+        let mut tab = Table::new(&["machine", "D_rec", "D_space", "D_cannon", "cannon/rec", "l0/g0<=n/p"]);
+        for m in machines::standard_suite(p) {
+            let dr = t_rec.comm_time(&m);
+            let ds = t_spc.comm_time(&m);
+            let dc = t_can.comm_time(&m);
+            let cond = m.ell[0] / m.g[0] <= (n / p) as f64;
+            tab.row(vec![
+                m.name.clone(),
+                fmt(dr),
+                fmt(ds),
+                fmt(dc),
+                fmt(dc / dr),
+                cond.to_string(),
+            ]);
+        }
+        tab.print(&format!("E2: n-MM on D-BSP, n = {n}, p = {p}"));
+    }
+}

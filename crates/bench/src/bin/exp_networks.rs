@@ -1,0 +1,64 @@
+//! E14 — D-BSP describes point-to-point networks (the §1/§2 premise).
+//!
+//! Fits per-cluster `(g_i, ℓ_i)` from routed h-relations on the mesh and
+//! hypercube simulators, compares them with the analytic presets, and checks
+//! D-BSP's predictive power: predicted `D` (with fitted parameters) vs the
+//! directly simulated routing time of the FFT's message log.
+
+use nob_algos::fft::RecursiveFft;
+use nob_bench::{fmt, test_signal, Table};
+use nob_core::machines;
+use nob_machine::execute_with_log;
+use nob_networks::{fit_dbsp, simulate_trace, Hypercube, LinearArray, Mesh2D, Topology, Torus2D};
+
+fn main() {
+    let p = 64usize;
+    let mesh = Mesh2D::new(p);
+    let cube = Hypercube::new(p);
+    let torus = Torus2D::new(p);
+    let array = LinearArray::new(p);
+    let fit_m = fit_dbsp(&mesh, 42);
+    let fit_h = fit_dbsp(&cube, 42);
+    let fit_t = fit_dbsp(&torus, 42);
+    let fit_a = fit_dbsp(&array, 42);
+    let preset_m = machines::mesh2d(p);
+    let preset_h = machines::hypercube(p);
+    let preset_a = machines::linear_array(p);
+
+    let mut tab = Table::new(&[
+        "level",
+        "mesh g fit",
+        "mesh g preset",
+        "torus g fit",
+        "array g fit",
+        "array g preset",
+        "cube g fit",
+        "cube g preset",
+    ]);
+    for i in 0..p.trailing_zeros() as usize {
+        tab.row(vec![
+            i.to_string(),
+            fmt(fit_m.machine.g[i]),
+            fmt(preset_m.g[i]),
+            fmt(fit_t.machine.g[i]),
+            fmt(fit_a.machine.g[i]),
+            fmt(preset_a.g[i]),
+            fmt(fit_h.machine.g[i]),
+            fmt(preset_h.g[i]),
+        ]);
+    }
+    tab.print(&format!("E14: fitted vs preset D-BSP parameters, p = {p}"));
+
+    // Predictive power on a real trace.
+    let n = 1024usize;
+    let xs = test_signal(n);
+    let (_, trace, log) = execute_with_log(&RecursiveFft::new(false), n, &xs[..]).unwrap();
+    let mut tab = Table::new(&["network", "D predicted (fit)", "routing simulated", "pred/sim"]);
+    for (name, predicted, simulated) in [
+        (mesh.name(), trace.comm_time(&fit_m.machine), simulate_trace(&mesh, &trace, &log) as f64),
+        (cube.name(), trace.comm_time(&fit_h.machine), simulate_trace(&cube, &trace, &log) as f64),
+    ] {
+        tab.row(vec![name, fmt(predicted), fmt(simulated), fmt(predicted / simulated)]);
+    }
+    tab.print(&format!("E14: D-BSP prediction vs packet simulation (n-FFT, n = {n}, p = {p})"));
+}

@@ -1,0 +1,123 @@
+//! E13 (Section 5, Lemma 5.1 / Thm 5.3) — the ascend–descend protocol.
+//!
+//! The paper's motivating pattern: one 0-superstep in which VP0 sends n
+//! messages to VP_{v/2} — `(Θ(1), p)`-full but only `(Θ(1/p), p)`-wise.
+//! Under the standard protocol its communication time on a D-BSP is `n·g_0`;
+//! the ascend–descend protocol spreads the burst over the cluster tree. We
+//! rewrite the recorded execution per Lemma 5.1 and compare `D` on the
+//! machine suite, plus the overhead the protocol adds to an already balanced
+//! algorithm (bounded by Thm 5.3's O(log² p)).
+
+use nob_algos::sort::ColumnSort;
+use nob_bench::{fmt, random_keys, Table};
+use nob_core::{fullness, machines, wiseness};
+use nob_machine::protocol::{ascend_descend, ascend_descend_geometric};
+use nob_machine::{execute_with_log, NobAlgorithm, Program};
+
+/// The Section-5 single-sender pattern as a standalone algorithm.
+struct SingleSender {
+    msgs: usize,
+}
+
+impl NobAlgorithm for SingleSender {
+    type State = u64;
+    type Msg = u64;
+    type Input = u64;
+    type Output = u64;
+
+    fn name(&self) -> String {
+        "single-sender".into()
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n
+    }
+
+    fn init(&self, n: usize, input: &u64) -> Vec<u64> {
+        let mut s = vec![0; n];
+        s[0] = *input;
+        s
+    }
+
+    fn build(&self, n: usize) -> Program<u64, u64> {
+        let mut prog = Program::new(n, n);
+        let m = self.msgs;
+        prog.step(0, "burst", move |st, ctx, _inbox, out| {
+            if ctx.vp == 0 {
+                for _ in 0..m {
+                    out.send(ctx.v / 2, *st);
+                }
+            }
+        });
+        prog.step(prog.log_v() - 1, "consume", |st, _ctx, inbox, _out| {
+            *st = inbox.drain(..).sum();
+        });
+        prog
+    }
+
+    fn extract(&self, _n: usize, states: Vec<u64>) -> u64 {
+        states[states.len() / 2]
+    }
+}
+
+fn main() {
+    let v = 256usize;
+    let burst = 4096usize;
+    let alg = SingleSender { msgs: burst };
+    let (_, trace, log) = execute_with_log(&alg, v, &1).unwrap();
+    println!(
+        "single-sender: alpha(p=256) = {} (poor wiseness), gamma(p=256) = {} (good fullness)",
+        fmt(wiseness::alpha_max(&trace, 256).alpha),
+        fmt(fullness::gamma_max(&trace, 256).gamma),
+    );
+
+    for &p in &[16usize, 64] {
+        let rewritten = ascend_descend(&trace, &log, p);
+        let geometric = ascend_descend_geometric(&trace, &log, p);
+        let mut tab = Table::new(&[
+            "machine",
+            "D_standard",
+            "D_ascend-descend",
+            "D_a-d(telescoped)",
+            "speedup",
+            "telescoped gain",
+        ]);
+        for m in machines::standard_suite(p) {
+            let d_std = trace.comm_time(&m);
+            let d_ad = rewritten.comm_time(&m);
+            let d_geo = geometric.comm_time(&m);
+            tab.row(vec![
+                m.name.clone(),
+                fmt(d_std),
+                fmt(d_ad),
+                fmt(d_geo),
+                fmt(d_std / d_geo),
+                fmt(d_ad / d_geo),
+            ]);
+        }
+        tab.print(&format!(
+            "E13: ascend-descend on the single-sender burst (v = {v}, {burst} msgs), p = {p}"
+        ));
+    }
+
+    // Overhead on an already balanced algorithm stays within Thm 5.3's
+    // polylog factor.
+    let n = 512usize;
+    let keys = random_keys(n, 3);
+    let (_, t_sort, log_sort) = execute_with_log(&ColumnSort::<u64>::default(), n, &keys[..]).unwrap();
+    let p = 16usize;
+    let rewritten = ascend_descend(&t_sort, &log_sort, p);
+    let mut tab = Table::new(&["machine", "D_standard", "D_ascend-descend", "overhead", "log^2 p"]);
+    for m in machines::standard_suite(p) {
+        let d_std = t_sort.comm_time(&m);
+        let d_ad = rewritten.comm_time(&m);
+        tab.row(vec![
+            m.name.clone(),
+            fmt(d_std),
+            fmt(d_ad),
+            fmt(d_ad / d_std),
+            fmt((p as f64).log2().powi(2)),
+        ]);
+    }
+    tab.print(&format!("E13: protocol overhead on Columnsort (n = {n}), p = {p} (Thm 5.3 bound)"));
+}

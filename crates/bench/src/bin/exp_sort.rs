@@ -1,0 +1,77 @@
+//! E5 (Thm 4.8 / Cor 4.9) — communication complexity of recursive Columnsort.
+//!
+//! Regenerates `H_sort(n, p, σ)` against the
+//! `(n/p + σ)·(log n/log(n/p))^{log_{3/2} 4}` closed form and the bitonic
+//! baseline at simulable sizes; then, because both algorithms are static,
+//! reads their *schedules* (superstep label sequences) at large n to locate
+//! the Columnsort/bitonic crossover that direct simulation cannot reach.
+
+use nob_algos::sort::{BitonicSort, ColumnSort};
+use nob_bench::{fmt, random_keys, Table};
+use nob_core::lower_bounds;
+use nob_machine::{execute, NobAlgorithm, RunOptions};
+
+fn crossing_steps<A: NobAlgorithm>(alg: &A, n: usize, p: usize) -> usize {
+    let log_p = p.trailing_zeros();
+    alg.build(n).labels().iter().filter(|&&l| l < log_p).count()
+}
+
+fn main() {
+    let col = ColumnSort::<u64>::default();
+    let bit = BitonicSort::<u64>::default();
+
+    for &n in &[512usize, 4096] {
+        let keys = random_keys(n, 23);
+        let (_, t_col) = execute(&col, n, &keys[..], &RunOptions::default()).unwrap();
+        let (_, t_bit) = execute(&bit, n, &keys[..], &RunOptions::default()).unwrap();
+        for &sigma in &[0.0f64, 8.0] {
+            let mut tab = Table::new(&[
+                "p",
+                "H_colsort",
+                "Thm4.8",
+                "H/Thm",
+                "LB(4.7)",
+                "H/LB",
+                "H_bitonic",
+                "bitonic/col",
+            ]);
+            let mut p = 2usize;
+            while p <= n {
+                let h = t_col.comm_complexity(p, sigma);
+                let th = lower_bounds::upper::sort(n, p, sigma);
+                let lb = lower_bounds::sort(n, p, sigma);
+                let hb = t_bit.comm_complexity(p, sigma);
+                tab.row(vec![
+                    p.to_string(),
+                    fmt(h),
+                    fmt(th),
+                    fmt(h / th),
+                    fmt(lb),
+                    fmt(h / lb),
+                    fmt(hb),
+                    fmt(hb / h),
+                ]);
+                p *= 4;
+            }
+            tab.print(&format!("E5: n-sort, n = {n}, sigma = {sigma}"));
+        }
+    }
+
+    // Schedule-level crossover study at p = √n (Cor 4.9 regime p = n^{1−δ},
+    // δ = 1/2): crossing-superstep counts are the H(n,p,0)/(n/p) shape.
+    let mut tab = Table::new(&["n", "p=sqrt(n)", "colsort steps", "bitonic steps", "winner"]);
+    for lg in [12u32, 14, 16, 18, 20, 22] {
+        let n = 1usize << lg;
+        let p = 1usize << (lg / 2);
+        let c = crossing_steps(&col, n, p);
+        let b = crossing_steps(&bit, n, p);
+        tab.row(vec![
+            format!("2^{lg}"),
+            p.to_string(),
+            c.to_string(),
+            b.to_string(),
+            if c < b { "columnsort" } else { "bitonic" }.to_string(),
+        ]);
+    }
+    tab.print("E5: schedule-predicted crossover (crossing supersteps at p = sqrt(n))");
+}

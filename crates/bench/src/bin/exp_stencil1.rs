@@ -1,0 +1,54 @@
+//! E6 (Thm 4.11 / Cor 4.12) — the (n,1)-stencil diamond algorithm.
+//!
+//! Regenerates `H_1-stencil(n, p, σ)` against `n·4^√log n`, the Lemma-4.10
+//! lower bound `Ω(n)`, the naive time-stepping baseline, and the σ-crossover
+//! where the oblivious decomposition starts winning; plus Cor 4.12's D-BSP
+//! communication times.
+
+use nob_algos::stencil::{DiamondStencil, NaiveStencil, WrapSumOp};
+use nob_bench::{fmt, stencil_input, Table};
+use nob_core::{lower_bounds, machines};
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    for &n in &[64usize, 256] {
+        let xs = stencil_input(n);
+        let (_, t_d) =
+            execute(&DiamondStencil::<WrapSumOp>::default(), n, &xs[..], &RunOptions::default())
+                .unwrap();
+        let (_, t_n) =
+            execute(&NaiveStencil::<WrapSumOp>::default(), n, &xs[..], &RunOptions::default())
+                .unwrap();
+
+        let mut tab = Table::new(&["p", "sigma", "H_diamond", "H_naive", "naive/diamond", "H_d/Thm4.11", "H_d/LB"]);
+        for &p in &[4usize, 8, 16] {
+            for sigma in [0.0, 1.0, (n / p) as f64] {
+                let hd = t_d.comm_complexity(p, sigma);
+                let hn = t_n.comm_complexity(p, sigma);
+                let th = lower_bounds::upper::stencil1(n, p, sigma);
+                let lb = lower_bounds::stencil(n, 1, p, sigma);
+                tab.row(vec![
+                    p.to_string(),
+                    fmt(sigma),
+                    fmt(hd),
+                    fmt(hn),
+                    fmt(hn / hd),
+                    fmt(hd / th),
+                    fmt(hd / lb),
+                ]);
+            }
+        }
+        tab.print(&format!("E6: (n,1)-stencil, n = {n}"));
+
+        let mut tab = Table::new(&["machine", "D_diamond", "D_naive", "naive/diamond"]);
+        for m in machines::standard_suite(8) {
+            tab.row(vec![
+                m.name.clone(),
+                fmt(t_d.comm_time(&m)),
+                fmt(t_n.comm_time(&m)),
+                fmt(t_n.comm_time(&m) / t_d.comm_time(&m)),
+            ]);
+        }
+        tab.print(&format!("E6/Cor 4.12: (n,1)-stencil on D-BSP, n = {n}, p = 8"));
+    }
+}

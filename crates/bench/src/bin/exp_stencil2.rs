@@ -1,0 +1,47 @@
+//! E7 (Thm 4.13 / Cor 4.14) — the (n,2)-stencil octahedron/tetrahedron
+//! algorithm on M(n²).
+//!
+//! Regenerates `H_2-stencil(n, p, σ)` against `(n²/√p)·8^√log n` and the
+//! Lemma-4.10 lower bound `Ω(n²/√p)`, plus the naive baseline.
+
+use nob_algos::stencil2::{NaiveStencil2, OctaStencil, WrapSum2Op};
+use nob_bench::{fmt, Table};
+use nob_core::lower_bounds;
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    for &n in &[8usize, 16] {
+        let xs: Vec<u64> =
+            (0..(n * n) as u64).map(|x| x.wrapping_mul(0x9e37_79b9) % 911).collect();
+        let (_, t_o) =
+            execute(&OctaStencil::<WrapSum2Op>::default(), n, &xs[..], &RunOptions::default())
+                .unwrap();
+        let (_, t_n) =
+            execute(&NaiveStencil2::<WrapSum2Op>::default(), n, &xs[..], &RunOptions::default())
+                .unwrap();
+
+        let mut tab = Table::new(&["p", "sigma", "H_octa", "H_naive", "naive/octa", "H_o/Thm4.13", "H_o/LB"]);
+        let v = n * n;
+        for &p in &[4usize, 16, 64] {
+            if p > v {
+                continue;
+            }
+            for sigma in [0.0, (v / p) as f64] {
+                let ho = t_o.comm_complexity(p, sigma);
+                let hn = t_n.comm_complexity(p, sigma);
+                let th = lower_bounds::upper::stencil2(n, p, sigma);
+                let lb = lower_bounds::stencil(n, 2, p, sigma);
+                tab.row(vec![
+                    p.to_string(),
+                    fmt(sigma),
+                    fmt(ho),
+                    fmt(hn),
+                    fmt(hn / ho),
+                    fmt(ho / th),
+                    fmt(ho / lb),
+                ]);
+            }
+        }
+        tab.print(&format!("E7: (n,2)-stencil, n = {n} (v = {v})"));
+    }
+}

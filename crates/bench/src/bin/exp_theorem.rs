@@ -1,0 +1,72 @@
+//! E11 (Thm 3.4) — the optimality theorem's inequality chain, end to end.
+//!
+//! For each pair (network-oblivious algorithm A, class-C competitor C):
+//! measure the premise constant β (evaluation-model optimality of A against
+//! C at the σ values the proof instantiates), measure A's wiseness α, and
+//! verify `D_A ≤ (1+α)/(αβ)·D_C` on every admissible machine of the
+//! standard suite — the exact statement of the theorem.
+
+use nob_algos::fft::{BinaryExchangeFft, RecursiveFft};
+use nob_algos::mm::cannon::CannonMm;
+use nob_algos::mm::standard::RecursiveMm;
+use nob_algos::semiring::WrapU64;
+use nob_algos::sort::{BitonicSort, ColumnSort};
+use nob_bench::{fmt, random_keys, random_mm, test_signal, Table};
+use nob_core::machines;
+use nob_core::theorem::{check_thm_3_4, SigmaRanges};
+use nob_core::CommTrace;
+use nob_machine::{execute, RunOptions};
+
+fn report(name: &str, a: &CommTrace, c: &CommTrace, p_bar: usize) {
+    let machines: Vec<_> = [16usize, 64]
+        .iter()
+        .flat_map(|&p| machines::standard_suite(p))
+        .filter(|m| m.p <= p_bar)
+        .collect();
+    let ranges = SigmaRanges::unrestricted(p_bar);
+    let rep = check_thm_3_4(a, c, p_bar, &ranges, &machines);
+    let mut tab = Table::new(&["machine", "p", "admissible", "D_A", "D_C", "(1+a)/(ab)*D_C", "holds"]);
+    for m in &rep.machines {
+        tab.row(vec![
+            m.machine.clone(),
+            m.p.to_string(),
+            m.admissible.to_string(),
+            fmt(m.d_a),
+            fmt(m.d_c),
+            fmt(m.bound),
+            m.holds.to_string(),
+        ]);
+    }
+    tab.print(&format!(
+        "E11: Thm 3.4 for {name}: alpha = {}, beta = {}, factor = {} -> all_hold = {}",
+        fmt(rep.alpha),
+        fmt(rep.beta),
+        fmt(rep.factor),
+        rep.all_hold()
+    ));
+    assert!(rep.all_hold(), "optimality theorem violated — metric pipeline bug");
+}
+
+fn main() {
+    let n = 4096usize;
+    let input = random_mm(n, 5);
+    let (_, a) =
+        execute(&RecursiveMm::<WrapU64>::default(), n, &input, &RunOptions::default()).unwrap();
+    let (_, c) =
+        execute(&CannonMm::<WrapU64>::default(), n, &input, &RunOptions::default()).unwrap();
+    report("n-MM (recursive vs Cannon)", &a, &c, n);
+
+    let n = 1024usize;
+    let xs = test_signal(n);
+    let (_, a) = execute(&RecursiveFft::default(), n, &xs[..], &RunOptions::default()).unwrap();
+    let (_, c) = execute(&BinaryExchangeFft, n, &xs[..], &RunOptions::default()).unwrap();
+    report("n-FFT (recursive vs binary-exchange)", &a, &c, n);
+
+    let n = 1024usize;
+    let keys = random_keys(n, 11);
+    let (_, a) =
+        execute(&ColumnSort::<u64>::default(), n, &keys[..], &RunOptions::default()).unwrap();
+    let (_, c) =
+        execute(&BitonicSort::<u64>::default(), n, &keys[..], &RunOptions::default()).unwrap();
+    report("n-sort (Columnsort vs bitonic)", &a, &c, n);
+}

@@ -1,0 +1,55 @@
+//! E12 (Def 3.2 / Def 5.2) — measured wiseness α and fullness γ.
+//!
+//! For every Section-4 algorithm, with and without the paper's dummy
+//! messages: the dummies are exactly what lifts α to Θ(1) (the paper's
+//! claim), while fullness is less sensitive.
+
+use nob_algos::fft::RecursiveFft;
+use nob_algos::mm::space::SpaceEfficientMm;
+use nob_algos::mm::standard::RecursiveMm;
+use nob_algos::semiring::WrapU64;
+use nob_algos::sort::ColumnSort;
+use nob_bench::{fmt, random_keys, random_mm, test_signal, Table};
+use nob_core::{fullness, wiseness, CommTrace};
+use nob_machine::{execute, RunOptions};
+
+fn main() {
+    let mut tab = Table::new(&["algorithm", "dummies", "alpha(p=v)", "binding fold", "gamma(p=v)"]);
+    let mut add = |name: &str, wise: bool, trace: &CommTrace| {
+        let v = trace.v();
+        let w = wiseness::alpha_max(trace, v);
+        let f = fullness::gamma_max(trace, v);
+        tab.row(vec![
+            name.to_string(),
+            wise.to_string(),
+            fmt(w.alpha),
+            format!("{:?}", w.binding_fold),
+            fmt(f.gamma),
+        ]);
+    };
+
+    let n = 4096usize;
+    let input = random_mm(n, 9);
+    for wise in [true, false] {
+        let (_, t) = execute(&RecursiveMm::<WrapU64>::new(wise), n, &input, &RunOptions::default())
+            .unwrap();
+        add("mm-recursive", wise, &t);
+        let (_, t) =
+            execute(&SpaceEfficientMm::<WrapU64>::new(wise), n, &input, &RunOptions::default())
+                .unwrap();
+        add("mm-space", wise, &t);
+    }
+    let n = 1024usize;
+    let xs = test_signal(n);
+    for wise in [true, false] {
+        let (_, t) = execute(&RecursiveFft::new(wise), n, &xs[..], &RunOptions::default()).unwrap();
+        add("fft-recursive", wise, &t);
+    }
+    let keys = random_keys(n, 13);
+    for wise in [true, false] {
+        let (_, t) =
+            execute(&ColumnSort::<u64>::new(wise), n, &keys[..], &RunOptions::default()).unwrap();
+        add("sort-columnsort", wise, &t);
+    }
+    tab.print("E12: measured wiseness / fullness (Definitions 3.2 and 5.2)");
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the model-stack constructors and checkers.
+
+use std::fmt;
+
+/// Errors raised when constructing or combining model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A processor / virtual-processor count that must be a power of two was not.
+    NotPowerOfTwo {
+        /// Name of the offending quantity (e.g. `"p"`, `"v"`).
+        what: &'static str,
+        /// The value supplied.
+        value: usize,
+    },
+    /// A parameter vector has the wrong length (must be `log2 p` entries).
+    BadVectorLength {
+        /// Name of the offending vector (`"g"` or `"ell"`).
+        what: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Number of entries supplied.
+        got: usize,
+    },
+    /// A parameter that must be non-negative (or finite) was not.
+    BadParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description of the violation.
+        reason: &'static str,
+    },
+    /// A fold target exceeded the machine size or was zero.
+    BadFold {
+        /// Requested number of processors.
+        p: usize,
+        /// Number of processing elements of the machine being folded.
+        v: usize,
+    },
+    /// A superstep label outside the admissible range `[0, log v)`.
+    BadLabel {
+        /// The offending label.
+        label: u32,
+        /// `log2` of the machine size.
+        log_v: u32,
+    },
+    /// A message violated the i-superstep cluster constraint: in an `i`-superstep
+    /// a processing element may only address peers whose index agrees on the `i`
+    /// most significant bits.
+    ClusterViolation {
+        /// Superstep label.
+        label: u32,
+        /// Source processing element.
+        src: usize,
+        /// Destination processing element.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} = {value} is not a power of two")
+            }
+            ModelError::BadVectorLength { what, expected, got } => {
+                write!(f, "vector {what} has {got} entries, expected {expected}")
+            }
+            ModelError::BadParameter { what, reason } => {
+                write!(f, "parameter {what}: {reason}")
+            }
+            ModelError::BadFold { p, v } => {
+                write!(f, "cannot fold a machine of {v} processing elements onto p = {p}")
+            }
+            ModelError::BadLabel { label, log_v } => {
+                write!(f, "superstep label {label} outside [0, {log_v})")
+            }
+            ModelError::ClusterViolation { label, src, dst } => write!(
+                f,
+                "message {src} -> {dst} leaves its {label}-cluster in a {label}-superstep"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

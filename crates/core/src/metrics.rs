@@ -1,0 +1,433 @@
+//! Communication metrics: per-superstep degrees, the `F^i`/`S^i` aggregates,
+//! communication complexity `H` (Eq. 1) and communication time `D` (Eq. 2).
+//!
+//! A [`CommTrace`] is the record of one execution of a *static* algorithm on
+//! the specification machine `M(v)`. Because the communication pattern of a
+//! static algorithm depends only on the input size, a single trace at full
+//! granularity determines the metrics of **every** folding `M(2^j)`: a message
+//! `u → w` is external at fold `2^j` iff the top `j` index bits of `u` and `w`
+//! differ ([`crate::folding::external_at_fold`]). Each [`SuperstepRecord`]
+//! therefore stores the superstep degree `h^s(n, 2^j)` for all folds `j` at
+//! once, and [`CommTrace::fold`] assembles the cumulative degrees
+//! `F^i(n, 2^j)` analytically.
+
+use crate::error::ModelError;
+use crate::model::{log2_exact, DbspMachine};
+use serde::{Deserialize, Serialize};
+
+/// Metrics of a single superstep, for every folding of the machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperstepRecord {
+    /// The superstep label `i` (it is an `i`-superstep).
+    pub label: u32,
+    /// `h_by_fold[j-1]` is the degree `h^s(n, 2^j)` of this superstep when the
+    /// algorithm is folded onto `2^j` processors, for `1 ≤ j ≤ log v`:
+    /// the maximum over processors of the larger of (messages sent, messages
+    /// received), counting only messages that cross processor boundaries.
+    pub h_by_fold: Vec<u64>,
+    /// Total number of (point-to-point, constant-size) messages exchanged.
+    pub total_msgs: u64,
+}
+
+impl SuperstepRecord {
+    /// Builds the record of a superstep from its message multiset, given as
+    /// counted edges `(src VP, dst VP, multiplicity)`.
+    ///
+    /// Cost: `O(|edges| · log v + v)` time, `O(v)` scratch.
+    pub fn from_counted_edges(label: u32, log_v: u32, edges: &[(usize, usize, u64)]) -> Self {
+        let v = 1usize << log_v;
+        let mut h_by_fold = Vec::with_capacity(log_v as usize);
+        let mut out = vec![0u64; v];
+        let mut inc = vec![0u64; v];
+        let mut total = 0u64;
+        for &(_, _, c) in edges {
+            total += c;
+        }
+        for j in 1..=log_v {
+            let shift = log_v - j;
+            let procs = 1usize << j;
+            out[..procs].fill(0);
+            inc[..procs].fill(0);
+            for &(src, dst, c) in edges {
+                let ps = src >> shift;
+                let pd = dst >> shift;
+                if ps != pd {
+                    out[ps] += c;
+                    inc[pd] += c;
+                }
+            }
+            let h = (0..procs).map(|k| out[k].max(inc[k])).max().unwrap_or(0);
+            h_by_fold.push(h);
+        }
+        SuperstepRecord { label, h_by_fold, total_msgs: total }
+    }
+
+    /// Builds the record from unit-multiplicity messages.
+    pub fn from_messages<I>(label: u32, log_v: u32, msgs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let edges: Vec<(usize, usize, u64)> = msgs.into_iter().map(|(s, d)| (s, d, 1)).collect();
+        Self::from_counted_edges(label, log_v, &edges)
+    }
+
+    /// The degree `h^s(n, 2^j)` of this superstep at fold `2^j` (`1 ≤ j ≤ log v`).
+    ///
+    /// For `j ≤ label` the superstep is local after folding, so the degree is 0
+    /// (guaranteed by the cluster constraint on messages).
+    #[inline]
+    pub fn h(&self, j: u32) -> u64 {
+        if j == 0 {
+            0
+        } else {
+            self.h_by_fold[(j - 1) as usize]
+        }
+    }
+}
+
+/// The `F^i`/`S^i` aggregates of a trace folded onto `p` processors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldedMetrics {
+    /// Number of processors of the folded machine.
+    pub p: usize,
+    /// `f[i] = F^i(n, p)`: cumulative degree of all i-supersteps, `0 ≤ i < log p`.
+    pub f: Vec<u64>,
+    /// `s[i] = S^i(n)`: number of i-supersteps, `0 ≤ i < log p`.
+    pub s: Vec<u64>,
+}
+
+impl FoldedMetrics {
+    /// Communication complexity `H(n, p, σ) = Σ_i (F^i + S^i·σ)` (Eq. 1).
+    pub fn comm_complexity(&self, sigma: f64) -> f64 {
+        self.f
+            .iter()
+            .zip(&self.s)
+            .map(|(&f, &s)| f as f64 + s as f64 * sigma)
+            .sum()
+    }
+
+    /// Communication time `D(n, p, g, ℓ) = Σ_i (F^i·g_i + S^i·ℓ_i)` (Eq. 2)
+    /// on a D-BSP machine with `p` processors.
+    pub fn comm_time(&self, machine: &DbspMachine) -> Result<f64, ModelError> {
+        if machine.p != self.p {
+            return Err(ModelError::BadFold { p: machine.p, v: self.p });
+        }
+        Ok(self
+            .f
+            .iter()
+            .zip(&self.s)
+            .zip(machine.g.iter().zip(&machine.ell))
+            .map(|((&f, &s), (&g, &l))| f as f64 * g + s as f64 * l)
+            .sum())
+    }
+
+    /// Total message volume charged at this fold: `Σ_i F^i`.
+    pub fn total_f(&self) -> u64 {
+        self.f.iter().sum()
+    }
+
+    /// Total superstep count charged at this fold: `Σ_i S^i`.
+    pub fn total_s(&self) -> u64 {
+        self.s.iter().sum()
+    }
+}
+
+/// The complete communication record of one execution on `M(v)`.
+///
+/// ```
+/// use nob_core::metrics::{CommTrace, SuperstepRecord};
+/// use nob_core::machines;
+///
+/// // One 0-superstep on M(8): a bisection exchange of degree 1.
+/// let mut trace = CommTrace::new(8, 8);
+/// let msgs: Vec<(usize, usize)> = (0..4).map(|k| (k, k + 4)).collect();
+/// trace.steps.push(SuperstepRecord::from_messages(0, 3, msgs));
+///
+/// // Eq. (1) on M(p, σ): H = F^0 + S^0·σ.
+/// assert_eq!(trace.comm_complexity(2, 10.0), 4.0 + 10.0);
+/// assert_eq!(trace.comm_complexity(8, 0.0), 1.0);
+///
+/// // Eq. (2) on a D-BSP preset.
+/// let d = trace.comm_time(&machines::mesh2d(4));
+/// assert_eq!(d, 2.0 * 2.0 + 2.0); // h·g_0 + ℓ_0 on the 2x2 mesh
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommTrace {
+    /// `log2 v` where `v` is the number of processing elements of the machine.
+    pub log_v: u32,
+    /// Input size `n` the algorithm was run on (carried for reporting).
+    pub n: usize,
+    /// One record per superstep, in execution order.
+    pub steps: Vec<SuperstepRecord>,
+}
+
+impl CommTrace {
+    /// Creates an empty trace for a machine of `v` processing elements.
+    pub fn new(v: usize, n: usize) -> Self {
+        CommTrace { log_v: log2_exact(v), n, steps: Vec::new() }
+    }
+
+    /// Number of processing elements `v`.
+    #[inline]
+    pub fn v(&self) -> usize {
+        1usize << self.log_v
+    }
+
+    /// Number of supersteps executed.
+    #[inline]
+    pub fn superstep_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total number of messages exchanged over the whole execution.
+    pub fn total_messages(&self) -> u64 {
+        self.steps.iter().map(|s| s.total_msgs).sum()
+    }
+
+    /// Maximum per-VP degree over the execution (fold at full granularity).
+    pub fn max_degree(&self) -> u64 {
+        self.steps.iter().map(|s| s.h(self.log_v)).max().unwrap_or(0)
+    }
+
+    /// `S^i(n)` for `0 ≤ i < log v`: the number of i-supersteps.
+    pub fn s_counts(&self) -> Vec<u64> {
+        let mut s = vec![0u64; (self.log_v.max(1)) as usize];
+        for step in &self.steps {
+            s[step.label as usize] += 1;
+        }
+        s
+    }
+
+    /// Folds the trace onto `p` processors, producing the `F^i(n, p)` and
+    /// `S^i(n)` aggregates for `0 ≤ i < log p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not a power of two in `[2, v]`.
+    pub fn fold(&self, p: usize) -> FoldedMetrics {
+        assert!(
+            p.is_power_of_two() && p >= 2 && p <= self.v(),
+            "fold target p = {p} must be a power of two in [2, {}]",
+            self.v()
+        );
+        let j = log2_exact(p);
+        let len = j as usize;
+        let mut f = vec![0u64; len];
+        let mut s = vec![0u64; len];
+        for step in &self.steps {
+            if step.label < j {
+                f[step.label as usize] += step.h(j);
+                s[step.label as usize] += 1;
+            }
+        }
+        FoldedMetrics { p, f, s }
+    }
+
+    /// Communication complexity `H(n, p, σ)` (Eq. 1) of the folding on `M(p, σ)`.
+    pub fn comm_complexity(&self, p: usize, sigma: f64) -> f64 {
+        self.fold(p).comm_complexity(sigma)
+    }
+
+    /// Communication time `D(n, p, g, ℓ)` (Eq. 2) of the folding on a D-BSP.
+    ///
+    /// # Panics
+    /// Panics if the machine is larger than the trace's `M(v)`.
+    pub fn comm_time(&self, machine: &DbspMachine) -> f64 {
+        self.fold(machine.p)
+            .comm_time(machine)
+            .expect("fold(machine.p) produces matching metrics")
+    }
+
+    /// Appends the records of `other` (executed on the same machine size) to
+    /// this trace, as if the two programs ran back to back.
+    pub fn extend(&mut self, other: &CommTrace) {
+        assert_eq!(self.log_v, other.log_v, "traces from different machine sizes");
+        self.steps.extend(other.steps.iter().cloned());
+    }
+
+    /// Serializes the trace to a compact line-oriented text format (one
+    /// header line, then one line per superstep: `label total h(2) h(4) …`).
+    /// Used by the experiment harness to archive runs without extra
+    /// dependencies.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "commtrace v1 log_v={} n={} steps={}", self.log_v, self.n, self.steps.len())
+            .unwrap();
+        for s in &self.steps {
+            write!(out, "{} {}", s.label, s.total_msgs).unwrap();
+            for h in &s.h_by_fold {
+                write!(out, " {h}").unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        out
+    }
+
+    /// Parses the [`CommTrace::to_text`] format.
+    pub fn from_text(text: &str) -> Result<CommTrace, ModelError> {
+        let bad = |reason: &'static str| ModelError::BadParameter { what: "trace", reason };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(bad("empty input"))?;
+        let mut log_v = None;
+        let mut n = None;
+        for tok in header.split_whitespace() {
+            if let Some(v) = tok.strip_prefix("log_v=") {
+                log_v = v.parse::<u32>().ok();
+            } else if let Some(v) = tok.strip_prefix("n=") {
+                n = v.parse::<usize>().ok();
+            }
+        }
+        let (log_v, n) = (log_v.ok_or(bad("missing log_v"))?, n.ok_or(bad("missing n"))?);
+        let mut steps = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let label: u32 =
+                it.next().and_then(|t| t.parse().ok()).ok_or(bad("missing label"))?;
+            let total_msgs: u64 =
+                it.next().and_then(|t| t.parse().ok()).ok_or(bad("missing total"))?;
+            let h_by_fold: Vec<u64> =
+                it.map(|t| t.parse().map_err(|_| bad("bad degree"))).collect::<Result<_, _>>()?;
+            if h_by_fold.len() != log_v as usize {
+                return Err(bad("degree vector length mismatch"));
+            }
+            steps.push(SuperstepRecord { label, h_by_fold, total_msgs });
+        }
+        Ok(CommTrace { log_v, n, steps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One superstep on v = 8 where VP 0 sends one message to each other VP.
+    fn star_step() -> SuperstepRecord {
+        let msgs: Vec<(usize, usize)> = (1..8).map(|d| (0, d)).collect();
+        SuperstepRecord::from_messages(0, 3, msgs)
+    }
+
+    #[test]
+    fn star_degrees_by_fold() {
+        let s = star_step();
+        // Fold to 2 procs: proc 0 = VPs 0..4 sends 4 external messages (to 4,5,6,7).
+        assert_eq!(s.h(1), 4);
+        // Fold to 4 procs: proc 0 = VPs {0,1} sends 6 external; max recv = 2.
+        assert_eq!(s.h(2), 6);
+        // Full granularity: VP0 sends 7.
+        assert_eq!(s.h(3), 7);
+        assert_eq!(s.total_msgs, 7);
+    }
+
+    #[test]
+    fn internal_messages_do_not_count() {
+        // All messages stay within the first half: invisible at fold 2.
+        let msgs = vec![(0usize, 1usize), (1, 2), (2, 3), (3, 0)];
+        let s = SuperstepRecord::from_messages(1, 3, msgs);
+        assert_eq!(s.h(1), 0);
+        // At fold 4: procs {0,1} and {2,3} exchange: 1->2 and 3->0 cross.
+        assert_eq!(s.h(2), 1);
+        assert_eq!(s.h(3), 1);
+    }
+
+    #[test]
+    fn counted_edges_match_unit_messages() {
+        let unit: Vec<(usize, usize)> = vec![(0, 5); 10];
+        let a = SuperstepRecord::from_messages(0, 3, unit);
+        let b = SuperstepRecord::from_counted_edges(0, 3, &[(0, 5, 10)]);
+        assert_eq!(a, b);
+        assert_eq!(a.h(1), 10);
+    }
+
+    #[test]
+    fn h_relation_is_max_of_in_and_out() {
+        // VP0 sends 3 to VP4; VP5, VP6 each send 1 to VP1.
+        let msgs = vec![(0, 4), (0, 4), (0, 4), (5, 1), (6, 1)];
+        let s = SuperstepRecord::from_messages(0, 3, msgs);
+        // Fold 2: proc0 out=3 in=2 -> 3; proc1 out=2 in=3 -> 3.
+        assert_eq!(s.h(1), 3);
+        assert_eq!(s.h(3), 3); // VP0 out=3; VP1 in=2; VP4 in=3.
+    }
+
+    fn two_step_trace() -> CommTrace {
+        let mut t = CommTrace::new(8, 8);
+        // A 0-superstep: bisection exchange, each VP k <-> k+4. Degree 1 everywhere.
+        let msgs: Vec<(usize, usize)> =
+            (0..4).flat_map(|k| [(k, k + 4), (k + 4, k)]).collect();
+        t.steps.push(SuperstepRecord::from_messages(0, 3, msgs));
+        // A 1-superstep: within each half, k <-> k+2.
+        let msgs: Vec<(usize, usize)> = (0..2)
+            .flat_map(|k| [(k, k + 2), (k + 2, k), (k + 4, k + 6), (k + 6, k + 4)])
+            .collect();
+        t.steps.push(SuperstepRecord::from_messages(1, 3, msgs));
+        t
+    }
+
+    #[test]
+    fn fold_aggregates_by_label() {
+        let t = two_step_trace();
+        let m8 = t.fold(8);
+        assert_eq!(m8.f, vec![1, 1, 0]);
+        assert_eq!(m8.s, vec![1, 1, 0]);
+        let m4 = t.fold(4);
+        // At p = 4 the 0-superstep still has degree... each proc of 2 VPs
+        // sends 2 external in step 0 (k and k+1 both cross halves): h = 2.
+        // Step 1 (label 1): VPs {0,1} -> {2,3}: proc0 sends 2: h = 2.
+        assert_eq!(m4.f, vec![2, 2]);
+        assert_eq!(m4.s, vec![1, 1]);
+        let m2 = t.fold(2);
+        // Step 0: 4 messages each way across the bisection: h = 4.
+        // Step 1 label >= log p: local, dropped.
+        assert_eq!(m2.f, vec![4]);
+        assert_eq!(m2.s, vec![1]);
+    }
+
+    #[test]
+    fn comm_complexity_eq1() {
+        let t = two_step_trace();
+        // H(n, 8, σ) = (1 + σ) + (1 + σ) + 0 = 2 + 2σ.
+        assert_eq!(t.comm_complexity(8, 0.0), 2.0);
+        assert_eq!(t.comm_complexity(8, 3.0), 8.0);
+        // H(n, 2, σ) = 4 + σ.
+        assert_eq!(t.comm_complexity(2, 5.0), 9.0);
+    }
+
+    #[test]
+    fn comm_time_eq2() {
+        let t = two_step_trace();
+        let m = DbspMachine::new(8, vec![4.0, 2.0, 1.0], vec![16.0, 4.0, 1.0]).unwrap();
+        // D = F0*g0 + S0*l0 + F1*g1 + S1*l1 + 0 = 4 + 16 + 2 + 4 = 26.
+        assert_eq!(t.comm_time(&m), 26.0);
+        let m2 = DbspMachine::new(2, vec![1.0], vec![10.0]).unwrap();
+        assert_eq!(t.comm_time(&m2), 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fold_rejects_bad_p() {
+        two_step_trace().fold(3);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut t = two_step_trace();
+        let u = two_step_trace();
+        t.extend(&u);
+        assert_eq!(t.superstep_count(), 4);
+        assert_eq!(t.comm_complexity(8, 0.0), 4.0);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = two_step_trace();
+        let text = t.to_text();
+        let back = CommTrace::from_text(&text).unwrap();
+        assert_eq!(back, t);
+        // Malformed inputs are rejected, not mis-parsed.
+        assert!(CommTrace::from_text("").is_err());
+        assert!(CommTrace::from_text("commtrace v1 log_v=3 steps=1\n0 1 9 9").is_err());
+        assert!(CommTrace::from_text("commtrace v1 log_v=3 n=8 steps=1\n0 x 1 1 1").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the model stack.
+//!
+//! The key idea: Lemma 3.1, Lemma 3.3 and Theorem 3.4 are *theorems* about
+//! the quantities the paper defines. If our metric bookkeeping implements the
+//! definitions correctly, the theorems must hold on every randomly generated
+//! static program and every admissible machine — any counterexample found by
+//! proptest is a bug in the pipeline, not in the paper.
+
+use nob_core::folding::message_allowed;
+use nob_core::machines;
+use nob_core::metrics::{CommTrace, SuperstepRecord};
+use nob_core::model::DbspMachine;
+use nob_core::theorem::{check_thm_3_4, lemma_3_1_holds, lemma_3_3, SigmaRanges};
+use nob_core::wiseness::alpha_profile;
+use proptest::prelude::*;
+
+/// A randomly generated static program trace on M(2^log_v): a list of
+/// supersteps, each with a label and a set of cluster-respecting messages.
+fn arb_trace(log_v: u32) -> impl Strategy<Value = CommTrace> {
+    let v = 1usize << log_v;
+    let step = (0..log_v, proptest::collection::vec((0..v, 0..v, 1u64..5), 0..24)).prop_map(
+        move |(label, raw)| {
+            // Clamp each message into the sender's label-cluster.
+            let cluster = v >> label;
+            let edges: Vec<(usize, usize, u64)> = raw
+                .into_iter()
+                .map(|(src, dst, c)| {
+                    let base = (src / cluster) * cluster;
+                    let dst = base + dst % cluster;
+                    debug_assert!(message_allowed(src, dst, log_v, label));
+                    (src, dst, c)
+                })
+                .filter(|(s, d, _)| s != d)
+                .collect();
+            SuperstepRecord::from_counted_edges(label, log_v, &edges)
+        },
+    );
+    proptest::collection::vec(step, 1..10).prop_map(move |steps| {
+        let mut t = CommTrace::new(v, v);
+        t.steps = steps;
+        t
+    })
+}
+
+/// A random D-BSP machine satisfying the monotonicity assumptions of Thm 3.4.
+fn arb_monotone_machine(p: usize) -> impl Strategy<Value = DbspMachine> {
+    let len = p.trailing_zeros().max(1) as usize;
+    (
+        1.0f64..8.0,
+        proptest::collection::vec(0.3f64..1.0, len),
+        0.0f64..64.0,
+        proptest::collection::vec(0.3f64..1.0, len),
+    )
+        .prop_map(move |(g0, g_decay, r0, r_decay)| {
+            let mut g = Vec::with_capacity(len);
+            let mut ell = Vec::with_capacity(len);
+            let mut gi = g0;
+            let mut ri = r0;
+            for k in 0..len {
+                g.push(gi);
+                ell.push(gi * ri);
+                gi *= g_decay[k];
+                ri *= r_decay[k];
+            }
+            DbspMachine::new(p, g, ell).unwrap().named("random-monotone")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 3.1 holds on arbitrary cluster-respecting message patterns.
+    #[test]
+    fn lemma_3_1_universal(t in (2u32..7).prop_flat_map(arb_trace)) {
+        let v = t.v();
+        prop_assert!(lemma_3_1_holds(&t, v));
+        // ... and between every intermediate pair of folds.
+        let mut p = 2;
+        while p <= v {
+            prop_assert!(lemma_3_1_holds(&t, p));
+            p *= 2;
+        }
+    }
+
+    /// The evaluation model is the D-BSP with g = 1, ℓ = σ (Section 2).
+    #[test]
+    fn eval_model_is_flat_dbsp(t in (2u32..6).prop_flat_map(arb_trace), sigma in 0.0f64..100.0) {
+        let v = t.v();
+        let mut p = 2;
+        while p <= v {
+            let m = machines::evaluation(p, sigma);
+            prop_assert!((t.comm_time(&m) - t.comm_complexity(p, sigma)).abs() < 1e-6);
+            p *= 2;
+        }
+    }
+
+    /// Degrees can only grow with message multiplicity.
+    #[test]
+    fn h_monotone_in_multiplicity(log_v in 2u32..6, src in 0usize..32, dst in 0usize..32, c in 1u64..50) {
+        let v = 1usize << log_v;
+        let (src, dst) = (src % v, dst % v);
+        prop_assume!(src != dst);
+        let small = SuperstepRecord::from_counted_edges(0, log_v, &[(src, dst, c)]);
+        let big = SuperstepRecord::from_counted_edges(0, log_v, &[(src, dst, c + 1)]);
+        for j in 1..=log_v {
+            prop_assert!(small.h(j) <= big.h(j));
+        }
+    }
+
+    /// Lemma 3.3 on random sequences whose prefixes are dominated.
+    #[test]
+    fn lemma_3_3_universal(
+        ys in proptest::collection::vec(0.0f64..10.0, 1..8),
+        deficit in proptest::collection::vec(0.0f64..1.0, 8),
+        f0 in 0.0f64..5.0,
+        decay in proptest::collection::vec(0.0f64..1.0, 8),
+    ) {
+        // Construct xs with every prefix sum below ys's prefix sum.
+        let m = ys.len();
+        let mut xs = vec![0.0; m];
+        let mut slack = 0.0;
+        for k in 0..m {
+            xs[k] = ys[k] - deficit[k].min(ys[k] + slack).max(0.0);
+            slack += ys[k] - xs[k];
+        }
+        let mut fs = vec![0.0; m];
+        let mut f = f0;
+        for k in 0..m {
+            fs[k] = f;
+            f *= decay[k];
+        }
+        // Premise holds by construction, so the lemma must conclude true.
+        prop_assert_eq!(lemma_3_3(&xs, &ys, &fs), Some(true));
+    }
+
+    /// Theorem 3.4's inequality chain holds end-to-end on random trace pairs
+    /// and random admissible machines (with the unrestricted σ premise).
+    #[test]
+    fn thm_3_4_universal(
+        (a, c) in (3u32..6).prop_flat_map(|lv| (arb_trace(lv), arb_trace(lv))),
+        ms in proptest::collection::vec((1u32..6).prop_flat_map(|j| arb_monotone_machine(1usize << j)), 1..4),
+    ) {
+        let p_bar = a.v();
+        let ranges = SigmaRanges::unrestricted(p_bar);
+        let machines: Vec<DbspMachine> = ms.into_iter().filter(|m| m.p <= p_bar).collect();
+        prop_assume!(!machines.is_empty());
+        let report = check_thm_3_4(&a, &c, p_bar, &ranges, &machines);
+        // When α or β degenerate the theorem is vacuous (bound = ∞): all_hold
+        // accounts for that via the infinite bound.
+        prop_assert!(report.all_hold(), "violation: {report:#?}");
+    }
+
+    /// Wiseness is monotone: (α, p)-wise implies (α, p′)-wise for p′ ≤ p.
+    #[test]
+    fn wiseness_monotone(t in (3u32..7).prop_flat_map(arb_trace)) {
+        let prof = alpha_profile(&t, t.v());
+        for w in prof.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The superstep execution engine: full-granularity and folded runs.
+
+use crate::program::{validate_outbox, Ctx, Envelope, Outbox, Program};
+use nob_core::metrics::{CommTrace, SuperstepRecord};
+use nob_core::model::log2_exact;
+use nob_core::ModelError;
+use rayon::prelude::*;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Execute VPs of a superstep in parallel with rayon (the engine falls
+    /// back to serial execution for machines smaller than 128 VPs).
+    pub parallel: bool,
+    /// Check the i-superstep cluster constraint on every message.
+    pub validate: bool,
+    /// Keep the raw per-superstep message log `(src, dst)` — needed by the
+    /// ascend–descend protocol rewriter; costs memory proportional to the
+    /// total message volume.
+    pub collect_messages: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { parallel: true, validate: true, collect_messages: false }
+    }
+}
+
+impl RunOptions {
+    /// Options for metric-collection runs that also keep the message log.
+    pub fn with_log() -> Self {
+        RunOptions { collect_messages: true, ..Default::default() }
+    }
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone)]
+pub struct RunResult<S> {
+    /// Final per-VP states (index = VP id; for folded runs, VP states are
+    /// still reported per VP, grouped under their owning processor).
+    pub states: Vec<S>,
+    /// The communication trace (granularity `v` for [`run`], granularity `p`
+    /// for [`run_folded`]).
+    pub trace: CommTrace,
+    /// Raw message log (one entry per superstep) when requested.
+    pub message_log: Option<Vec<Vec<(u32, u32)>>>,
+}
+
+const PARALLEL_THRESHOLD: usize = 128;
+
+/// Executes `prog` at full granularity on `M(v)`.
+///
+/// `states` must hold exactly one state per VP. The returned trace records,
+/// for each superstep, the degree of every folding `M(2^j)`, so that
+/// `H(n, 2^j, σ)` and `D(n, p, g, ℓ)` can be evaluated analytically afterward.
+pub fn run<S: Send, M: Send>(
+    prog: &Program<S, M>,
+    mut states: Vec<S>,
+    opts: &RunOptions,
+) -> Result<RunResult<S>, ModelError> {
+    let v = prog.v();
+    let log_v = prog.log_v();
+    assert_eq!(states.len(), v, "one state per VP required");
+    let mut inboxes: Vec<Vec<M>> = (0..v).map(|_| Vec::new()).collect();
+    let mut trace = CommTrace::new(v, prog.n());
+    let mut message_log = opts.collect_messages.then(Vec::new);
+
+    for step in prog.steps() {
+        // --- computation + send phase -----------------------------------
+        let run_one = |vp: usize, state: &mut S, inbox: &mut Vec<M>| -> Vec<(usize, Envelope<M>)> {
+            let ctx = Ctx { vp, v, log_v, n: prog.n() };
+            let mut out = Outbox::new();
+            (step.exec)(state, &ctx, inbox, &mut out);
+            inbox.clear();
+            out.msgs
+        };
+        let outboxes: Vec<Vec<(usize, Envelope<M>)>> = if opts.parallel && v >= PARALLEL_THRESHOLD
+        {
+            states
+                .par_iter_mut()
+                .zip(inboxes.par_iter_mut())
+                .enumerate()
+                .map(|(vp, (state, inbox))| run_one(vp, state, inbox))
+                .collect()
+        } else {
+            states
+                .iter_mut()
+                .zip(inboxes.iter_mut())
+                .enumerate()
+                .map(|(vp, (state, inbox))| run_one(vp, state, inbox))
+                .collect()
+        };
+
+        // --- validation ---------------------------------------------------
+        if opts.validate {
+            for (src, out) in outboxes.iter().enumerate() {
+                let shim = Outbox { msgs: out.iter().map(|(d, _)| (*d, Envelope::Dummy)).collect() };
+                validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
+            }
+        }
+
+        // --- metrics -------------------------------------------------------
+        let edges: Vec<(usize, usize, u64)> = outboxes
+            .iter()
+            .enumerate()
+            .flat_map(|(src, out)| out.iter().map(move |(dst, _)| (src, *dst, 1)))
+            .collect();
+        trace.steps.push(SuperstepRecord::from_counted_edges(step.label, log_v, &edges));
+        if let Some(log) = message_log.as_mut() {
+            log.push(edges.iter().map(|&(s, d, _)| (s as u32, d as u32)).collect());
+        }
+
+        // --- routing (messages become visible next superstep) --------------
+        for (_, out) in outboxes.into_iter().enumerate() {
+            for (dst, env) in out {
+                if let Envelope::Data(m) = env {
+                    inboxes[dst].push(m);
+                }
+            }
+        }
+    }
+
+    Ok(RunResult { states, trace, message_log })
+}
+
+/// Executes the *folding* of `prog` on `M(p)` with `p ≤ v`: processor `r`
+/// carries out the work of the `v/p` consecutively numbered VPs starting at
+/// `r·v/p` (Section 2 of the paper).
+///
+/// Supersteps with label `≥ log p` become local computation: they are still
+/// executed (the VP closures run and their messages are delivered — all
+/// destinations are then within the same processor) but produce no superstep
+/// record, exactly as in the paper's folding semantics. The returned trace
+/// has granularity `p`.
+pub fn run_folded<S: Send, M: Send>(
+    prog: &Program<S, M>,
+    mut states: Vec<S>,
+    p: usize,
+    opts: &RunOptions,
+) -> Result<RunResult<S>, ModelError> {
+    let v = prog.v();
+    let log_v = prog.log_v();
+    if !p.is_power_of_two() || p < 2 || p > v {
+        return Err(ModelError::BadFold { p, v });
+    }
+    let log_p = log2_exact(p);
+    let width = v / p;
+    assert_eq!(states.len(), v, "one state per VP required");
+    let mut inboxes: Vec<Vec<M>> = (0..v).map(|_| Vec::new()).collect();
+    let mut trace = CommTrace::new(p, prog.n());
+
+    for step in prog.steps() {
+        // Each processor executes its VP block sequentially (in VP order).
+        let run_block = |proc: usize,
+                         block: &mut [S],
+                         inbox_block: &mut [Vec<M>]|
+         -> Vec<Vec<(usize, Envelope<M>)>> {
+            let mut outs = Vec::with_capacity(width);
+            for off in 0..width {
+                let vp = proc * width + off;
+                let ctx = Ctx { vp, v, log_v, n: prog.n() };
+                let mut out = Outbox::new();
+                (step.exec)(&mut block[off], &ctx, &mut inbox_block[off], &mut out);
+                inbox_block[off].clear();
+                outs.push(out.msgs);
+            }
+            outs
+        };
+        let outboxes: Vec<Vec<Vec<(usize, Envelope<M>)>>> = if opts.parallel && p >= 2 && v >= PARALLEL_THRESHOLD {
+            states
+                .par_chunks_mut(width)
+                .zip(inboxes.par_chunks_mut(width))
+                .enumerate()
+                .map(|(proc, (block, inb))| run_block(proc, block, inb))
+                .collect()
+        } else {
+            states
+                .chunks_mut(width)
+                .zip(inboxes.chunks_mut(width))
+                .enumerate()
+                .map(|(proc, (block, inb))| run_block(proc, block, inb))
+                .collect()
+        };
+
+        if opts.validate {
+            for (proc, outs) in outboxes.iter().enumerate() {
+                for (off, out) in outs.iter().enumerate() {
+                    let src = proc * width + off;
+                    let shim =
+                        Outbox { msgs: out.iter().map(|(d, _)| (*d, Envelope::Dummy)).collect() };
+                    validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
+                }
+            }
+        }
+
+        // Metrics at granularity p, only while the superstep communicates.
+        if step.label < log_p {
+            let edges: Vec<(usize, usize, u64)> = outboxes
+                .iter()
+                .enumerate()
+                .flat_map(|(proc, outs)| {
+                    outs.iter().flat_map(move |out| {
+                        out.iter().map(move |(dst, _)| (proc, dst / width, 1))
+                    })
+                })
+                .filter(|(ps, pd, _)| ps != pd)
+                .collect();
+            trace.steps.push(SuperstepRecord::from_counted_edges(step.label, log_p, &edges));
+        }
+
+        for outs in outboxes {
+            for out in outs {
+                for (dst, env) in out {
+                    if let Envelope::Data(m) = env {
+                        inboxes[dst].push(m);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(RunResult { states, trace, message_log: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cluster-halving broadcast: in superstep i the first VP of each
+    /// i-cluster forwards the value to the first VP of the sibling
+    /// (i+1)-cluster. log v supersteps with labels 0, 1, …, log v − 1.
+    fn broadcast_program(v: usize) -> Program<Option<u64>, u64> {
+        let mut p: Program<Option<u64>, u64> = Program::new(v, v);
+        let log_v = p.log_v();
+        for i in 0..log_v {
+            p.step(i, "bcast", move |state, ctx, inbox, out| {
+                if let Some(m) = inbox.pop() {
+                    *state = Some(m);
+                }
+                let cluster = ctx.v >> i;
+                if ctx.vp % cluster == 0 {
+                    if let Some(val) = *state {
+                        out.send(ctx.vp + cluster / 2, val);
+                    }
+                }
+            });
+        }
+        // Messages sent in the last round are only visible after its barrier:
+        // consume them in a final (cheap, innermost-label) superstep.
+        p.step(log_v - 1, "consume", |state, _, inbox, _| {
+            if let Some(m) = inbox.pop() {
+                *state = Some(m);
+            }
+        });
+        p
+    }
+
+    #[test]
+    fn broadcast_reaches_cluster_leaders() {
+        let v = 16;
+        let mut states = vec![None; v];
+        states[0] = Some(99);
+        let res = run(&broadcast_program(v), states, &RunOptions::default()).unwrap();
+        // After log v rounds every cluster leader (here: every even-indexed
+        // chain) has the value; with v = 16 all VPs that are the first of
+        // some cluster at some level got it: 0, 8, 4, 12, 2, 6, 10, 14, odds.
+        let got: Vec<usize> = res.states.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(i, _)| i).collect();
+        assert_eq!(got.len(), 16, "all VPs reached: {got:?}");
+        // Metrics: one i-superstep per level plus the silent consume step.
+        assert_eq!(res.trace.superstep_count(), 5);
+        assert_eq!(res.trace.s_counts(), vec![1, 1, 1, 2]);
+        let m = res.trace.fold(16);
+        assert_eq!(m.f, vec![1, 1, 1, 1]);
+        // At fold 2 only the label-0 superstep communicates.
+        let m2 = res.trace.fold(2);
+        assert_eq!(m2.f, vec![1]);
+        assert_eq!(m2.s, vec![1]);
+    }
+
+    #[test]
+    fn folded_run_matches_full_run() {
+        let v = 16;
+        let mut states = vec![None; v];
+        states[0] = Some(7);
+        let prog = broadcast_program(v);
+        let full = run(&prog, states.clone(), &RunOptions::default()).unwrap();
+        for p in [2usize, 4, 8, 16] {
+            let folded = run_folded(&prog, states.clone(), p, &RunOptions::default()).unwrap();
+            // Same outputs...
+            assert_eq!(folded.states, full.states, "states diverge at p = {p}");
+            // ...and metrics matching the analytic fold at every sub-level.
+            let mut q = 2;
+            while q <= p {
+                assert_eq!(
+                    folded.trace.fold(q),
+                    full.trace.fold(q),
+                    "fold metrics diverge at p = {p}, q = {q}"
+                );
+                q *= 2;
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_violations_are_caught() {
+        let mut p: Program<(), u32> = Program::new(8, 8);
+        // A label-2 superstep trying to cross the bisection.
+        p.step(2, "bad", |_, ctx, _, out| {
+            if ctx.vp == 0 {
+                out.send(7, 1);
+            }
+        });
+        let err = match run(&p, vec![(); 8], &RunOptions::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a cluster violation"),
+        };
+        assert!(matches!(err, ModelError::ClusterViolation { label: 2, src: 0, dst: 7 }));
+        // Without validation the engine lets it pass (for experiments).
+        let opts = RunOptions { validate: false, ..Default::default() };
+        assert!(run(&p, vec![(); 8], &opts).is_ok());
+    }
+
+    #[test]
+    fn dummies_count_in_metrics_but_are_not_delivered() {
+        let mut p: Program<u64, u64> = Program::new(4, 4);
+        p.step(0, "dummy-send", |_, ctx, _, out| {
+            if ctx.vp == 0 {
+                out.send_dummy(2);
+            }
+        });
+        p.step(0, "count-inbox", |state, _, inbox, _| {
+            *state = inbox.len() as u64;
+        });
+        let res = run(&p, vec![0; 4], &RunOptions::default()).unwrap();
+        assert_eq!(res.states, vec![0, 0, 0, 0], "dummy delivered?");
+        assert_eq!(res.trace.steps[0].total_msgs, 1);
+        assert_eq!(res.trace.steps[0].h(1), 1);
+    }
+
+    #[test]
+    fn message_log_records_raw_edges() {
+        let mut p: Program<(), u8> = Program::new(4, 4);
+        p.step(0, "x", |_, ctx, _, out| {
+            if ctx.vp < 2 {
+                out.send(ctx.vp + 2, 1);
+            }
+        });
+        let res = run(&p, vec![(); 4], &RunOptions::with_log()).unwrap();
+        let log = res.message_log.unwrap();
+        assert_eq!(log, vec![vec![(0, 2), (1, 3)]]);
+    }
+
+    #[test]
+    fn inbox_is_cleared_between_supersteps() {
+        let mut p: Program<Vec<u64>, u64> = Program::new(4, 4);
+        p.step(0, "send", |_, ctx, _, out| out.send(ctx.vp ^ 1, ctx.vp as u64));
+        p.step(0, "recv", |state, _, inbox, _| state.extend(inbox.drain(..)));
+        p.step(0, "recv-again", |state, _, inbox, _| state.extend(inbox.drain(..)));
+        let res = run(&p, vec![Vec::new(); 4], &RunOptions::default()).unwrap();
+        // Each VP received exactly one message, in the second superstep only.
+        assert!(res.states.iter().all(|s| s.len() == 1));
+    }
+}

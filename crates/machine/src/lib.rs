@@ -1,0 +1,42 @@
+//! # nob-machine — an instrumented superstep virtual machine for `M(v)`
+//!
+//! Executes network-oblivious algorithms written for the specification model
+//! `M(v(n))` of Bilardi et al. (*Network-Oblivious Algorithms*, IPDPS'07 /
+//! JACM'16), recording the communication metrics that the `nob-core` model
+//! stack evaluates on `M(p, σ)` and D-BSP(p, g, ℓ).
+//!
+//! ## Programming model
+//!
+//! A *static* algorithm is a [`program::Program`]: a fixed sequence of
+//! labelled supersteps. Each superstep is one SPMD closure executed by every
+//! virtual processor (VP); a VP reads the messages delivered by the previous
+//! superstep, updates its local state, and sends constant-size messages to
+//! peers in its label-cluster. This mirrors the paper's `M(v)` primitives
+//! (`send`, `receive`, `sync(i)`) while making the Section-3 "static
+//! algorithm" restriction — same label sequence for all processing elements,
+//! terminating with a sync — a structural property of the program object.
+//!
+//! ## Execution modes
+//!
+//! * [`engine::run`] — full-granularity execution on `M(v)`, parallelized
+//!   across VPs with rayon. Produces the output states plus a
+//!   [`nob_core::CommTrace`] carrying per-superstep degrees for *every*
+//!   folding `M(2^j)` at once.
+//! * [`engine::run_folded`] — actually executes the folding on `p < v`
+//!   processors (processor `r` simulates the `v/p` consecutive VPs starting
+//!   at `r·v/p`, as prescribed in Section 2), recording metrics at
+//!   granularity `p`. Used to cross-check the analytic folding.
+//! * [`protocol::ascend_descend`] — rewrites a message log into the
+//!   Section-5 ascend–descend protocol execution, the basis of Theorem 5.3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod program;
+pub mod protocol;
+pub mod traits;
+
+pub use engine::{run, run_folded, RunOptions, RunResult};
+pub use program::{Ctx, Outbox, Program, Superstep};
+pub use traits::{execute, execute_folded, execute_with_log, NobAlgorithm};

@@ -1,0 +1,223 @@
+//! Static superstep programs: the executable form of an `M(v)` algorithm.
+
+use nob_core::folding::message_allowed;
+use nob_core::model::log2_exact;
+
+/// Execution context handed to a superstep closure: the identity of the VP
+/// and the machine geometry (mirrors the paper's assumption that each
+/// processing element knows its index `r` and the machine size `v`).
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Index of this virtual processor, `0 ≤ vp < v`.
+    pub vp: usize,
+    /// Number of virtual processors of the machine.
+    pub v: usize,
+    /// `log2 v`.
+    pub log_v: u32,
+    /// Input size the program was built for.
+    pub n: usize,
+}
+
+impl Ctx {
+    /// The segment (cluster) of size `seg` containing this VP; `seg` must
+    /// divide the machine evenly. Returns `(segment index, offset within)`.
+    #[inline]
+    pub fn segment(&self, seg: usize) -> (usize, usize) {
+        (self.vp / seg, self.vp % seg)
+    }
+}
+
+/// Internal envelope distinguishing payload messages from the *dummy*
+/// messages the paper's algorithms add to enforce wiseness. Dummies are
+/// counted by the metric pipeline but never delivered to user code.
+#[derive(Debug, Clone)]
+pub(crate) enum Envelope<M> {
+    Data(M),
+    Dummy,
+}
+
+/// Per-VP staging buffer for outgoing messages of one superstep.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    pub(crate) msgs: Vec<(usize, Envelope<M>)>,
+}
+
+impl<M> Outbox<M> {
+    pub(crate) fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Sends a constant-size message to VP `dst` (the paper's `send(m, q)`);
+    /// it is delivered at the start of the next superstep.
+    #[inline]
+    pub fn send(&mut self, dst: usize, msg: M) {
+        self.msgs.push((dst, Envelope::Data(msg)));
+    }
+
+    /// Sends a dummy message to VP `dst`: it contributes to the degree
+    /// metrics (this is the paper's wiseness device) but is not delivered.
+    #[inline]
+    pub fn send_dummy(&mut self, dst: usize) {
+        self.msgs.push((dst, Envelope::Dummy));
+    }
+
+    /// Number of messages staged so far (data + dummy).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing was staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// The SPMD body of one superstep.
+pub type StepFn<S, M> = Box<dyn Fn(&mut S, &Ctx, &mut Vec<M>, &mut Outbox<M>) + Send + Sync>;
+
+/// One labelled superstep: every VP runs `exec`, then a `sync(label)` barrier
+/// is performed. In an `i`-superstep messages may only target VPs in the
+/// sender's `i`-cluster (checked by the engine when validation is enabled).
+pub struct Superstep<S, M> {
+    /// The sync label `i` of this `i`-superstep, `0 ≤ i < log v`.
+    pub label: u32,
+    /// Short human-readable tag (for error messages and trace dumps).
+    pub name: &'static str,
+    /// The SPMD closure.
+    pub exec: StepFn<S, M>,
+}
+
+/// A static program for `M(v)`: a fixed, input-independent sequence of
+/// labelled supersteps. The paper's restrictions hold by construction: all
+/// processing elements share one sequence of sync labels, and the program
+/// ends at a barrier.
+pub struct Program<S, M> {
+    v: usize,
+    log_v: u32,
+    n: usize,
+    steps: Vec<Superstep<S, M>>,
+}
+
+impl<S, M> Program<S, M> {
+    /// Creates an empty program for a machine of `v` VPs (a power of two ≥ 2)
+    /// and input size `n`.
+    pub fn new(v: usize, n: usize) -> Self {
+        assert!(v.is_power_of_two() && v >= 2, "v = {v} must be a power of two >= 2");
+        Program { v, log_v: log2_exact(v), n, steps: Vec::new() }
+    }
+
+    /// Number of virtual processors.
+    #[inline]
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// `log2 v`.
+    #[inline]
+    pub fn log_v(&self) -> u32 {
+        self.log_v
+    }
+
+    /// Input size the program was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The superstep sequence.
+    #[inline]
+    pub fn steps(&self) -> &[Superstep<S, M>] {
+        &self.steps
+    }
+
+    /// Appends an `i`-superstep with the given SPMD body.
+    ///
+    /// # Panics
+    /// Panics if `label ≥ log v` (labels address cluster levels `0..log v`).
+    pub fn step(
+        &mut self,
+        label: u32,
+        name: &'static str,
+        exec: impl Fn(&mut S, &Ctx, &mut Vec<M>, &mut Outbox<M>) + Send + Sync + 'static,
+    ) -> &mut Self {
+        assert!(
+            label < self.log_v.max(1),
+            "label {label} out of range for v = {} (program step `{name}`)",
+            self.v
+        );
+        self.steps.push(Superstep { label, name, exec: Box::new(exec) });
+        self
+    }
+
+    /// The sequence of sync labels (the paper's per-algorithm label trace).
+    pub fn labels(&self) -> Vec<u32> {
+        self.steps.iter().map(|s| s.label).collect()
+    }
+}
+
+/// Checks an outbox against the cluster constraint of an `i`-superstep.
+pub(crate) fn validate_outbox<M>(
+    src: usize,
+    label: u32,
+    log_v: u32,
+    v: usize,
+    out: &Outbox<M>,
+) -> Result<(), nob_core::ModelError> {
+    for &(dst, _) in &out.msgs {
+        if dst >= v {
+            return Err(nob_core::ModelError::BadParameter {
+                what: "dst",
+                reason: "message destination out of machine range",
+            });
+        }
+        if !message_allowed(src, dst, log_v, label) {
+            return Err(nob_core::ModelError::ClusterViolation { label, src, dst });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builder_checks_labels() {
+        let mut p: Program<u64, u64> = Program::new(8, 8);
+        p.step(0, "ok", |_, _, _, _| {});
+        p.step(2, "ok", |_, _, _, _| {});
+        assert_eq!(p.labels(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 3 out of range")]
+    fn program_builder_rejects_big_labels() {
+        let mut p: Program<u64, u64> = Program::new(8, 8);
+        p.step(3, "bad", |_, _, _, _| {});
+    }
+
+    #[test]
+    fn outbox_counts_dummies() {
+        let mut o: Outbox<u32> = Outbox::new();
+        o.send(1, 42);
+        o.send_dummy(2);
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn validate_outbox_flags_cluster_escape() {
+        let mut o: Outbox<u32> = Outbox::new();
+        o.send(4, 1); // VP 0 -> VP 4 crosses the top bisection of v = 8.
+        assert!(validate_outbox(0, 1, 3, 8, &o).is_err());
+        assert!(validate_outbox(0, 0, 3, 8, &o).is_ok());
+    }
+
+    #[test]
+    fn ctx_segment_arithmetic() {
+        let c = Ctx { vp: 13, v: 16, log_v: 4, n: 16 };
+        assert_eq!(c.segment(4), (3, 1));
+        assert_eq!(c.segment(16), (0, 13));
+    }
+}

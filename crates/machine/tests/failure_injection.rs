@@ -1,0 +1,88 @@
+//! Failure-injection tests: the engine must reject model violations loudly
+//! rather than mis-account them.
+
+use nob_machine::{run, run_folded, Program, RunOptions};
+use nob_core::ModelError;
+
+#[test]
+fn message_outside_cluster_is_rejected_with_the_offending_edge() {
+    let mut p: Program<(), u8> = Program::new(16, 16);
+    p.step(2, "escape", |_, ctx, _, out| {
+        if ctx.vp == 5 {
+            out.send(12, 1); // 5 and 12 differ in the top two bits
+        }
+    });
+    match run(&p, vec![(); 16], &RunOptions::default()) {
+        Err(ModelError::ClusterViolation { label: 2, src: 5, dst: 12 }) => {}
+        Err(other) => panic!("expected cluster violation, got {other:?}"),
+        Ok(_) => panic!("expected cluster violation, got success"),
+    }
+}
+
+#[test]
+fn out_of_range_destination_is_rejected() {
+    let mut p: Program<(), u8> = Program::new(8, 8);
+    p.step(0, "overflow", |_, ctx, _, out| {
+        if ctx.vp == 0 {
+            out.send(8, 1);
+        }
+    });
+    assert!(run(&p, vec![(); 8], &RunOptions::default()).is_err());
+}
+
+#[test]
+fn folded_execution_validates_too() {
+    let mut p: Program<(), u8> = Program::new(16, 16);
+    p.step(3, "escape", |_, ctx, _, out| {
+        if ctx.vp == 0 {
+            out.send(15, 1);
+        }
+    });
+    assert!(run_folded(&p, vec![(); 16], 4, &RunOptions::default()).is_err());
+}
+
+#[test]
+fn bad_fold_targets_are_rejected() {
+    let mut p: Program<u8, u8> = Program::new(8, 8);
+    p.step(0, "noop", |_, _, _, _| {});
+    for bad_p in [0usize, 3, 16] {
+        match run_folded(&p, vec![0; 8], bad_p, &RunOptions::default()) {
+            Err(ModelError::BadFold { .. }) => {}
+            other => panic!("p = {bad_p}: expected BadFold, got {:?}", other.is_ok()),
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "one state per VP")]
+fn wrong_state_count_panics() {
+    let mut p: Program<u8, u8> = Program::new(8, 8);
+    p.step(0, "noop", |_, _, _, _| {});
+    let _ = run(&p, vec![0; 7], &RunOptions::default());
+}
+
+#[test]
+fn self_messages_are_internal_at_every_fold() {
+    // A VP sending to itself communicates with no one: degrees stay zero.
+    let mut p: Program<u8, u8> = Program::new(8, 8);
+    p.step(0, "selfie", |_, ctx, _, out| out.send(ctx.vp, 9));
+    let res = run(&p, vec![0; 8], &RunOptions::default()).unwrap();
+    for j in 1..=3 {
+        assert_eq!(res.trace.steps[0].h(j), 0, "self-messages must fold away");
+    }
+    assert_eq!(res.trace.steps[0].total_msgs, 8);
+}
+
+#[test]
+fn validation_off_really_skips_the_checks() {
+    let mut p: Program<(), u8> = Program::new(8, 8);
+    p.step(2, "escape", |_, ctx, _, out| {
+        if ctx.vp == 0 {
+            out.send(7, 1);
+        }
+    });
+    let opts = RunOptions { validate: false, ..Default::default() };
+    // Runs to completion; the metric pipeline still records the message.
+    let res = run(&p, vec![(); 8], &opts).unwrap();
+    assert_eq!(res.trace.steps[0].total_msgs, 1);
+}

@@ -1,0 +1,46 @@
+//! Spectral analysis with the network-oblivious FFT: find the dominant
+//! periodicities of a noisy signal, then compare what the same computation
+//! would cost on different machines — without changing a line of the
+//! algorithm.
+//!
+//! Run with: `cargo run --example spectrum`
+
+use network_oblivious::algos::fft::{BinaryExchangeFft, Complex, RecursiveFft};
+use network_oblivious::core::machines;
+use network_oblivious::machine::{execute, RunOptions};
+
+fn main() {
+    let n = 4096usize;
+    // Two tones + deterministic "noise".
+    let xs: Vec<Complex> = (0..n)
+        .map(|t| {
+            let th = 2.0 * std::f64::consts::PI * t as f64 / n as f64;
+            let noise = ((t as u64).wrapping_mul(0x9e37_79b9) % 1000) as f64 / 5000.0;
+            Complex::new((73.0 * th).cos() + 0.6 * (220.0 * th).cos() + noise, 0.0)
+        })
+        .collect();
+
+    // Dummies off for the cost comparison: the baseline sends none either.
+    let (spectrum, trace) =
+        execute(&RecursiveFft::new(false), n, &xs[..], &RunOptions::default()).unwrap();
+
+    // Peak picking over the first half (real signal).
+    let mut mags: Vec<(usize, f64)> =
+        spectrum.iter().take(n / 2).enumerate().map(|(k, c)| (k, c.norm_sq().sqrt())).collect();
+    mags.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("dominant bins: {:?}", &mags[..4].iter().map(|(k, _)| *k).collect::<Vec<_>>());
+    assert!(mags[..4].iter().any(|(k, _)| *k == 73));
+    assert!(mags[..4].iter().any(|(k, _)| *k == 220));
+
+    // The oblivious algorithm vs the flat baseline, across machines.
+    let (_, t_bin) = execute(&BinaryExchangeFft, n, &xs[..], &RunOptions::default()).unwrap();
+    println!("\n{:<24} {:>12} {:>12} {:>8}", "machine", "D_recursive", "D_binex", "ratio");
+    for m in machines::standard_suite(256) {
+        let dr = trace.comm_time(&m);
+        let db = t_bin.comm_time(&m);
+        println!("{:<24} {:>12.0} {:>12.0} {:>8.2}", m.name, dr, db, db / dr);
+    }
+    println!("\nsame program, every machine — the oblivious recursion wins wherever the");
+    println!("hierarchy matters (ratio > 1); at p close to n the one-level baseline's");
+    println!("log p supersteps match the oblivious log n/log(n/p) and the gap closes.");
+}

@@ -1,0 +1,94 @@
+//! Integration: cross-crate model consistency on real algorithm traces.
+//!
+//! * Lemma 3.1 holds for every recorded trace (it is a theorem about the
+//!   metric definitions);
+//! * `H(n, p, σ)` coincides with `D` on the flat machine `g = 1, ℓ = σ`
+//!   (the Section-2 identification of the evaluation model with BSP);
+//! * the wiseness/fullness orderings of Section 5;
+//! * the network simulators deliver what the presets promise (shape-level).
+
+use network_oblivious::algos::fft::RecursiveFft;
+use network_oblivious::algos::mm::standard::RecursiveMm;
+use network_oblivious::algos::mm::MmInput;
+use network_oblivious::algos::semiring::{Matrix, WrapU64};
+use network_oblivious::algos::sort::ColumnSort;
+use network_oblivious::core::theorem::lemma_3_1_holds;
+use network_oblivious::core::{fullness, machines, wiseness, CommTrace};
+use network_oblivious::machine::{execute, RunOptions};
+use network_oblivious::networks::{fit_dbsp, Hypercube, Mesh2D};
+
+fn traces() -> Vec<(String, CommTrace)> {
+    let mut out = Vec::new();
+    let s = 8usize;
+    let input = MmInput::new(
+        Matrix::from_fn(s, |i, j| WrapU64((i * 17 + j) as u64)),
+        Matrix::from_fn(s, |i, j| WrapU64((i + j * 13) as u64)),
+    );
+    let (_, t) =
+        execute(&RecursiveMm::<WrapU64>::default(), 64, &input, &RunOptions::default()).unwrap();
+    out.push(("mm".into(), t));
+    let xs: Vec<_> = (0..256)
+        .map(|t| network_oblivious::algos::fft::Complex::new(t as f64, -(t as f64)))
+        .collect();
+    let (_, t) = execute(&RecursiveFft::default(), 256, &xs[..], &RunOptions::default()).unwrap();
+    out.push(("fft".into(), t));
+    let keys: Vec<u64> = (0..128u64).rev().collect();
+    let (_, t) =
+        execute(&ColumnSort::<u64>::default(), 128, &keys[..], &RunOptions::default()).unwrap();
+    out.push(("sort".into(), t));
+    out
+}
+
+#[test]
+fn lemma_3_1_holds_on_all_algorithm_traces() {
+    for (name, t) in traces() {
+        assert!(lemma_3_1_holds(&t, t.v()), "Lemma 3.1 violated by {name}");
+    }
+}
+
+#[test]
+fn evaluation_model_is_flat_dbsp_on_all_traces() {
+    for (name, t) in traces() {
+        for p in [2usize, 16, 64] {
+            for sigma in [0.0, 3.5, 64.0] {
+                let h = t.comm_complexity(p, sigma);
+                let d = t.comm_time(&machines::evaluation(p, sigma));
+                assert!((h - d).abs() < 1e-9, "{name}: H != D at p={p}, sigma={sigma}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wise_algorithms_are_full() {
+    // Section 5: (Θ(1), p)-wiseness implies (Θ(1), p)-fullness when every
+    // superstep communicates at least one message.
+    for (name, t) in traces() {
+        let p = t.v();
+        let alpha = wiseness::alpha_max(&t, p).alpha;
+        let gamma = fullness::gamma_max(&t, p).gamma;
+        assert!(alpha > 0.05, "{name}: alpha = {alpha}");
+        assert!(gamma >= alpha * 0.5, "{name}: gamma {gamma} << alpha {alpha}");
+    }
+}
+
+#[test]
+fn fitted_networks_match_preset_shapes() {
+    // Mesh bandwidth decays by ~2 per level pair (√ of cluster size);
+    // hypercube stays within a small band.
+    let mesh = Mesh2D::new(64);
+    let fit = fit_dbsp(&mesh, 11);
+    let preset = machines::mesh2d(64);
+    for i in 0..5 {
+        let shape_fit = fit.machine.g[i] / fit.machine.g[i + 1].max(1e-9);
+        let shape_preset = preset.g[i] / preset.g[i + 1];
+        assert!(
+            shape_fit / shape_preset < 3.0 && shape_preset / shape_fit < 3.0,
+            "mesh level {i}: fitted decay {shape_fit} vs preset {shape_preset}"
+        );
+    }
+    let cube = Hypercube::new(64);
+    let fit = fit_dbsp(&cube, 11);
+    let spread = fit.machine.g[0] / fit.machine.g[5].max(1e-9);
+    assert!(spread < 5.0, "hypercube g spread {spread}");
+}

@@ -1,0 +1,130 @@
+//! Integration: the corollaries of Section 4 — the optimality theorem
+//! instantiated with the σ-ranges the paper uses for each algorithm.
+//!
+//! Corollary 4.3 (MM):  p̄ = n, σ^m_i = 0, σ^M_i = n/((i+1)·2^{2i/3});
+//! Corollary 4.6 (FFT): p̄ = n, σ^m_i = 0, σ^M_i = n/2^i;
+//! Corollary 4.9 (sort): p̄ = n, σ^m_i = 0, σ^M_i = +∞.
+//!
+//! For each, we take the network-oblivious algorithm as A and the flat
+//! baseline as the class-C competitor C, and check the Theorem 3.4
+//! conclusion `D_A ≤ (1+α)/(αβ)·D_C` on every admissible preset machine.
+
+use network_oblivious::algos::fft::{BinaryExchangeFft, RecursiveFft};
+use network_oblivious::algos::mm::cannon::CannonMm;
+use network_oblivious::algos::mm::standard::RecursiveMm;
+use network_oblivious::algos::mm::MmInput;
+use network_oblivious::algos::semiring::{Matrix, WrapU64};
+use network_oblivious::algos::sort::{BitonicSort, ColumnSort};
+use network_oblivious::core::machines;
+use network_oblivious::core::theorem::{check_thm_3_4, lemma_3_1_holds, SigmaRanges};
+use network_oblivious::core::CommTrace;
+use network_oblivious::machine::{execute, RunOptions};
+
+fn machine_suite(p_bar: usize) -> Vec<network_oblivious::core::DbspMachine> {
+    [4usize, 16, 64]
+        .iter()
+        .filter(|&&p| p <= p_bar)
+        .flat_map(|&p| machines::standard_suite(p))
+        .collect()
+}
+
+fn assert_corollary(name: &str, a: &CommTrace, c: &CommTrace, ranges: SigmaRanges) {
+    let p_bar = a.v();
+    let rep = check_thm_3_4(a, c, p_bar, &ranges, &machine_suite(p_bar));
+    assert!(
+        rep.machines.iter().any(|m| m.admissible),
+        "{name}: no admissible machines — corollary vacuous"
+    );
+    assert!(rep.all_hold(), "{name}: Thm 3.4 conclusion violated: {rep:#?}");
+    assert!(rep.alpha > 0.0, "{name}: wiseness degenerate");
+}
+
+#[test]
+fn corollary_4_3_matrix_multiplication() {
+    let n = 4096usize;
+    let s = 64;
+    let mut rng = 7u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let input = MmInput::new(
+        Matrix::from_fn(s, |_, _| WrapU64(next() % 100)),
+        Matrix::from_fn(s, |_, _| WrapU64(next() % 100)),
+    );
+    let (_, a) =
+        execute(&RecursiveMm::<WrapU64>::default(), n, &input, &RunOptions::default()).unwrap();
+    let (_, c) =
+        execute(&CannonMm::<WrapU64>::default(), n, &input, &RunOptions::default()).unwrap();
+    // σ^M_i = n/((i+1)·2^{2i/3}) as in the proof of Cor 4.3.
+    let log_n = n.trailing_zeros() as usize;
+    let sigma_max: Vec<f64> = (0..log_n)
+        .map(|i| n as f64 / ((i as f64 + 1.0) * 2f64.powf(2.0 * i as f64 / 3.0)))
+        .collect();
+    assert_corollary("Cor 4.3", &a, &c, SigmaRanges::zero_to(sigma_max));
+    assert!(lemma_3_1_holds(&a, n));
+}
+
+#[test]
+fn corollary_4_6_fft() {
+    let n = 1024usize;
+    let xs: Vec<_> = (0..n)
+        .map(|t| {
+            let th = 2.0 * std::f64::consts::PI * t as f64 / n as f64;
+            network_oblivious::algos::fft::Complex::new(th.cos(), th.sin() * 0.5)
+        })
+        .collect();
+    let (_, a) = execute(&RecursiveFft::default(), n, &xs[..], &RunOptions::default()).unwrap();
+    let (_, c) = execute(&BinaryExchangeFft, n, &xs[..], &RunOptions::default()).unwrap();
+    // σ^M_i = n/2^i as in the proof of Cor 4.6.
+    let log_n = n.trailing_zeros() as usize;
+    let sigma_max: Vec<f64> = (0..log_n).map(|i| n as f64 / 2f64.powi(i as i32)).collect();
+    assert_corollary("Cor 4.6", &a, &c, SigmaRanges::zero_to(sigma_max));
+    assert!(lemma_3_1_holds(&a, n));
+}
+
+#[test]
+fn corollary_4_9_sorting() {
+    let n = 1024usize;
+    let mut rng = 3u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let keys: Vec<u64> = (0..n).map(|_| next()).collect();
+    let (_, a) =
+        execute(&ColumnSort::<u64>::default(), n, &keys[..], &RunOptions::default()).unwrap();
+    let (_, c) =
+        execute(&BitonicSort::<u64>::default(), n, &keys[..], &RunOptions::default()).unwrap();
+    // σ^M_i = +∞ as in the proof of Cor 4.9.
+    assert_corollary("Cor 4.9", &a, &c, SigmaRanges::unrestricted(n));
+    assert!(lemma_3_1_holds(&a, n));
+}
+
+#[test]
+fn theorem_conclusion_is_invariant_under_swapping_roles() {
+    // Thm 3.4 holds for ANY pair in C, including with roles reversed:
+    // the checker must never report a violation (a violation would mean the
+    // metric pipeline broke, not the paper).
+    let n = 256usize;
+    let mut rng = 5u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let keys: Vec<u64> = (0..n).map(|_| next()).collect();
+    let (_, a) =
+        execute(&ColumnSort::<u64>::default(), n, &keys[..], &RunOptions::default()).unwrap();
+    let (_, c) =
+        execute(&BitonicSort::<u64>::default(), n, &keys[..], &RunOptions::default()).unwrap();
+    for (x, y) in [(&a, &c), (&c, &a)] {
+        let rep = check_thm_3_4(x, y, n, &SigmaRanges::unrestricted(n), &machine_suite(n));
+        assert!(rep.all_hold());
+    }
+}
