@@ -23,7 +23,7 @@
 //! numbers; [`naive_dft`] is the `O(n²)` correctness oracle.
 
 use crate::common::{bit_reverse, ilog2, wiseness_dummies};
-use nob_machine::{Ctx, NobAlgorithm, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Program};
 
 /// A double-precision complex number (the FFT value type).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -40,20 +40,25 @@ impl Complex {
         Complex { re, im }
     }
 
-    /// Complex addition.
+    /// Complex addition. (Deliberately an inherent method, not `std::ops`:
+    /// the algorithm code calls these explicitly and the type stays a plain
+    /// value pair.)
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, o: Complex) -> Complex {
         Complex::new(self.re + o.re, self.im + o.im)
     }
 
     /// Complex subtraction.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
     }
 
     /// Complex multiplication.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, o: Complex) -> Complex {
         Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
     }
@@ -91,7 +96,7 @@ pub fn naive_dft(xs: &[Complex]) -> Vec<Complex> {
 }
 
 /// Per-VP state: the single resident value.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FftState {
     val: Complex,
 }
@@ -107,7 +112,7 @@ enum Pending {
     Bfly,
 }
 
-fn do_pending(st: &mut FftState, ctx: &Ctx, inbox: &mut Vec<Complex>, pending: Pending) {
+fn do_pending(st: &mut FftState, ctx: &Ctx, inbox: &mut Inbox<'_, Complex>, pending: Pending) {
     match pending {
         Pending::None => {}
         Pending::Perm => {
@@ -273,7 +278,7 @@ impl BinaryExchangeFft {
 }
 
 /// Completes the DIF butterfly of the round with stride `d` (block `2d`).
-fn binex_combine(st: &mut FftState, ctx: &Ctx, inbox: &mut Vec<Complex>, d: usize) {
+fn binex_combine(st: &mut FftState, ctx: &Ctx, inbox: &mut Inbox<'_, Complex>, d: usize) {
     let other = inbox.pop().expect("butterfly partner message");
     st.val = if ctx.vp & d == 0 {
         st.val.add(other)

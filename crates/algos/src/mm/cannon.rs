@@ -16,7 +16,7 @@
 use super::MmInput;
 use crate::common::{morton_decode, morton_encode};
 use crate::semiring::{Matrix, Semiring};
-use nob_machine::{NobAlgorithm, Program};
+use nob_machine::{Inbox, NobAlgorithm, Program};
 use std::marker::PhantomData;
 
 /// Per-VP state: the resident entries (values travel; coordinates are
@@ -52,11 +52,11 @@ impl<V> Default for CannonMm<V> {
 impl<V> CannonMm<V> {
     /// Whether `n` is a supported size (`4^m`, `m ≥ 1`).
     pub fn supports(n: usize) -> bool {
-        n >= 4 && n.is_power_of_two() && n.trailing_zeros() % 2 == 0
+        n >= 4 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2)
     }
 }
 
-fn ingest<V>(st: &mut CannonState<V>, inbox: &mut Vec<CannonMsg<V>>) {
+fn ingest<V>(st: &mut CannonState<V>, inbox: &mut Inbox<'_, CannonMsg<V>>) {
     for msg in inbox.drain(..) {
         match msg {
             CannonMsg::A(v) => st.a = v,

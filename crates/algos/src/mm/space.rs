@@ -18,7 +18,7 @@
 use super::{MmInput, MmMsg};
 use crate::common::{morton_decode, wiseness_dummies};
 use crate::semiring::{Matrix, Semiring};
-use nob_machine::{Ctx, NobAlgorithm, Outbox, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program};
 use std::marker::PhantomData;
 
 /// Per-VP state: exactly one entry of each matrix.
@@ -51,7 +51,7 @@ impl<V> SpaceEfficientMm<V> {
 
     /// Whether `n` is a supported size (`4^m`, `m ≥ 1`).
     pub fn supports(n: usize) -> bool {
-        n >= 4 && n.is_power_of_two() && n.trailing_zeros() % 2 == 0
+        n >= 4 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2)
     }
 }
 
@@ -82,7 +82,7 @@ fn send_permuted<V: Semiring>(
 }
 
 /// Replaces the held operand entries with the ones that just arrived.
-fn ingest<V: Semiring>(st: &mut SpaceMmState<V>, inbox: &mut Vec<MmMsg<V>>) {
+fn ingest<V: Semiring>(st: &mut SpaceMmState<V>, inbox: &mut Inbox<'_, MmMsg<V>>) {
     for msg in inbox.drain(..) {
         match msg {
             MmMsg::A(i, j, v) => st.a = (i, j, v),

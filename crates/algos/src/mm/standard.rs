@@ -108,7 +108,7 @@ impl<V> RecursiveMm<V> {
 
     /// Whether `n` is a supported problem size (`n = 64^e`, `e ≥ 1`).
     pub fn supports(n: usize) -> bool {
-        n >= 64 && n.is_power_of_two() && n.trailing_zeros() % 6 == 0
+        n >= 64 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(6)
     }
 }
 

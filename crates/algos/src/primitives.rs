@@ -8,7 +8,7 @@
 //! of the FFT and sorting algorithms. They double as small, readable examples
 //! of the programming model.
 
-use nob_machine::{NobAlgorithm, Program};
+use nob_machine::{Inbox, NobAlgorithm, Program};
 
 /// A binary associative combiner used by [`TreeReduce`] and [`TreeScan`].
 /// Function pointers keep the algorithm objects cheap to clone and the
@@ -130,7 +130,7 @@ impl<T: Clone + Send + Sync + Default + 'static> NobAlgorithm for TreeScan<T> {
         for t in 1..=log_v {
             let label = log_v - t;
             let half = 1usize << (t - 1);
-            prog.step(label, "scan-up", move |st: &mut ScanState<T>, _ctx, inbox: &mut Vec<T>, out| {
+            prog.step(label, "scan-up", move |st: &mut ScanState<T>, _ctx, inbox: &mut Inbox<T>, out| {
                 for m in inbox.drain(..) {
                     st.lefts.push(m.clone());
                     st.subtree = op(&m, &st.subtree);
@@ -213,7 +213,7 @@ impl NobAlgorithm for MatrixTranspose {
 
     fn init(&self, n: usize, input: &[f64]) -> Vec<f64> {
         assert_eq!(input.len(), n);
-        assert!(n.is_power_of_two() && n.trailing_zeros() % 2 == 0, "n must be an even power of 2");
+        assert!(n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2), "n must be an even power of 2");
         input.to_vec()
     }
 

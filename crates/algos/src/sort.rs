@@ -31,7 +31,7 @@
 //! than Columnsort for `p = n^{Ω(1)}`.
 
 use crate::common::{ilog2, wiseness_dummies};
-use nob_machine::{Ctx, NobAlgorithm, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Program};
 
 /// Trait bound bundle for sortable keys.
 pub trait SortKey: Ord + Clone + Send + Sync + Default + std::fmt::Debug + 'static {}
@@ -155,7 +155,7 @@ impl<K> ColumnSort<K> {
 }
 
 /// Replaces the held key if a permutation/scatter delivered a new one.
-fn ingest_item<K: SortKey>(st: &mut K, inbox: &mut Vec<K>) {
+fn ingest_item<K: SortKey>(st: &mut K, inbox: &mut Inbox<'_, K>) {
     debug_assert!(inbox.len() <= 1, "at most one key per VP outside gather");
     if let Some(item) = inbox.pop() {
         *st = item;
@@ -179,7 +179,7 @@ fn emit_sort<K: SortKey>(prog: &mut Program<K, K>, n: usize, m: usize, wise: boo
         prog.step(label, "sort-scatter", move |st: &mut K, ctx, inbox, out| {
             let base = ctx.vp - ctx.vp % m;
             if ctx.vp == base {
-                let mut all: Vec<K> = std::mem::take(inbox);
+                let mut all: Vec<K> = inbox.drain(..).collect();
                 all.push(st.clone());
                 all.sort();
                 let mut iter = all.into_iter();
@@ -270,7 +270,7 @@ pub struct BitonicSort<K> {
 }
 
 /// Completes the compare-exchange of substage `(k, j)`.
-fn bitonic_combine<K: SortKey>(st: &mut K, ctx: &Ctx, inbox: &mut Vec<K>, k: u32, j: u32) {
+fn bitonic_combine<K: SortKey>(st: &mut K, ctx: &Ctx, inbox: &mut Inbox<'_, K>, k: u32, j: u32) {
     let other = inbox.pop().expect("bitonic partner key");
     let ascending = ctx.vp >> (k as usize) & 1 == 0;
     let upper = ctx.vp >> (j as usize) & 1 == 1;

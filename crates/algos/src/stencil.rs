@@ -35,7 +35,7 @@
 //! computed cell (a simulator convenience — the paper's algorithm retains
 //! only O(1) halo values per VP; metrics are unaffected).
 
-use nob_machine::{Ctx, NobAlgorithm, Outbox, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program};
 use std::collections::HashMap;
 
 /// The local rule: combine the three predecessors (absent at the spatial
@@ -182,7 +182,7 @@ impl Geo {
         // intersects it iff the box's closest corner does.
         let cu = (self.n - 1).clamp(u0, u0 + len - 1);
         let cw = (self.n - 1).clamp(w0, w0 + len - 1);
-        if (cu - (self.n - 1)).abs() + (cw - (self.n - 1)).abs() <= self.n - 1 {
+        if (cu - (self.n - 1)).abs() + (cw - (self.n - 1)).abs() < self.n {
             Some((a, b))
         } else {
             None
@@ -234,7 +234,7 @@ pub struct CellMsg<V> {
     mask: ServeMask,
 }
 
-fn ingest<V: Clone>(st: &mut StencilState<V>, inbox: &mut Vec<CellMsg<V>>) {
+fn ingest<V: Clone>(st: &mut StencilState<V>, inbox: &mut Inbox<'_, CellMsg<V>>) {
     for m in inbox.drain(..) {
         st.insert((m.x, m.t), m.val, m.mask);
     }
@@ -254,7 +254,7 @@ pub struct DiamondStencil<O> {
 /// Does `(x, t)` — a stored cell — need to be shipped into child block
 /// `(a, b)` of `level` for this phase? True when the cell is outside the box
 /// but feeds a node inside it, or is a `t = 0` input node inside it.
-fn needed_by<O: StencilOp>(geo: &Geo, x: i64, t: i64, a: i64, b: i64, level: u32) -> bool {
+fn needed_by(geo: &Geo, x: i64, t: i64, a: i64, b: i64, level: u32) -> bool {
     let len = geo.len(level);
     let (u, w) = to_uw(x, t, geo.n);
     let inside = |uu: i64, ww: i64| {
@@ -448,7 +448,7 @@ fn emit_eval<O: StencilOp>(
                     if geo.my_block(child_rep, level + 1, &qs_child) != Some((a, b)) {
                         continue;
                     }
-                    if !needed_by::<O>(&geo, x, t, a, b, level + 1) {
+                    if !needed_by(&geo, x, t, a, b, level + 1) {
                         continue;
                     }
                     // Serve copy to the canonical owner of column x…

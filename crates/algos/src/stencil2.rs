@@ -29,7 +29,7 @@
 //! [`NaiveStencil2`] is the time-stepping baseline (`n` label-0 supersteps,
 //! `H = Θ(n·(√(n²/p) + σ))`).
 
-use nob_machine::{Ctx, NobAlgorithm, Outbox, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program};
 use std::collections::HashMap;
 
 /// The 9-point local rule. `neigh[dy+1][dx+1]` is `v(x+δx, y+δy, t−1)`
@@ -282,7 +282,7 @@ pub struct Cell2Msg<V> {
     mask: ServeMask,
 }
 
-fn ingest<V: Clone>(st: &mut Stencil2State<V>, inbox: &mut Vec<Cell2Msg<V>>) {
+fn ingest<V: Clone>(st: &mut Stencil2State<V>, inbox: &mut Inbox<'_, Cell2Msg<V>>) {
     for m in inbox.drain(..) {
         st.insert((m.x, m.y, m.t), m.val, m.mask);
     }

@@ -49,5 +49,5 @@ pub mod theorem;
 pub mod wiseness;
 
 pub use error::ModelError;
-pub use metrics::{CommTrace, FoldedMetrics, SuperstepRecord};
+pub use metrics::{CommTrace, DegreeCounters, FoldedMetrics, SuperstepRecord};
 pub use model::{DbspMachine, EvalModel, SpecModel};

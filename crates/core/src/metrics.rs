@@ -30,6 +30,19 @@ pub struct SuperstepRecord {
 }
 
 impl SuperstepRecord {
+    /// Builds the record of a superstep from streaming [`DegreeCounters`]
+    /// filled during the engine's send phase. Equivalent to
+    /// [`SuperstepRecord::from_counted_edges`] over the same message multiset
+    /// (the property tests assert bit-for-bit equality), but costs `O(log v)`
+    /// here because the per-fold maxima were maintained incrementally.
+    pub fn from_degree_counters(label: u32, counters: &DegreeCounters) -> Self {
+        SuperstepRecord {
+            label,
+            h_by_fold: (1..=counters.levels()).map(|j| counters.level_max(j)).collect(),
+            total_msgs: counters.total(),
+        }
+    }
+
     /// Builds the record of a superstep from its message multiset, given as
     /// counted edges `(src VP, dst VP, multiplicity)`.
     ///
@@ -82,6 +95,229 @@ impl SuperstepRecord {
         } else {
             self.h_by_fold[(j - 1) as usize]
         }
+    }
+}
+
+/// Streaming per-fold degree counters: the allocation-free replacement for
+/// materializing one `(src, dst, 1)` edge per message and re-scanning the
+/// edge list once per fold level.
+///
+/// One `DegreeCounters` instance is reused across all supersteps of a run.
+/// For every fold level `j` (`1 ≤ j ≤ levels`) it maintains per-processor
+/// sent/received counts plus a *running maximum* `max_k max(out_k, in_k)`;
+/// since counts only grow within a superstep, the running maximum equals the
+/// final maximum, so producing a [`SuperstepRecord`] costs `O(levels)` with
+/// no scan. Stale counts from previous supersteps are invalidated by an
+/// epoch stamp instead of zeroing, so [`DegreeCounters::begin_superstep`] is
+/// `O(1)`.
+///
+/// Per message the work is `O(#levels at which the message is external)`:
+/// the externality threshold comes from one `xor`/`leading_zeros`, and a
+/// message internal at every tracked level (e.g. a VP sending to itself, or
+/// a processor-internal message in a folded run) costs `O(1)`.
+#[derive(Debug, Clone)]
+pub struct DegreeCounters {
+    /// `log2 v` of the id space messages are expressed in (VP granularity).
+    log_v: u32,
+    /// Number of fold levels tracked: `log_v` for full-granularity runs,
+    /// `log p` for folded runs.
+    levels: u32,
+    /// Whether messages internal at every tracked level count toward
+    /// `total()`. Full-granularity traces count them (a self-send is still a
+    /// message); folded traces only count processor-external messages,
+    /// matching the paper's folding semantics.
+    count_internal: bool,
+    /// Flattened per-level counters; level `j` occupies `2^j` slots starting
+    /// at `2^j - 2`.
+    out_cnt: Vec<u64>,
+    in_cnt: Vec<u64>,
+    out_epoch: Vec<u32>,
+    in_epoch: Vec<u32>,
+    /// `max_by_level[j - 1]` = running `max_k max(out_k, in_k)` at level `j`.
+    max_by_level: Vec<u64>,
+    total: u64,
+    epoch: u32,
+}
+
+impl DegreeCounters {
+    /// Counters for a full-granularity run on `M(2^log_v)`: all `log_v` fold
+    /// levels are tracked and internal (self-send) messages count toward the
+    /// total, mirroring [`SuperstepRecord::from_counted_edges`].
+    pub fn full(log_v: u32) -> Self {
+        Self::with_levels(log_v, log_v, true)
+    }
+
+    /// Counters for a folded run on `M(2^log_p)` whose messages are given at
+    /// VP granularity (`2^log_v` ids): only `log_p` levels are tracked, and
+    /// messages internal to a processor are not counted at all.
+    pub fn folded(log_v: u32, log_p: u32) -> Self {
+        Self::with_levels(log_v, log_p, false)
+    }
+
+    fn with_levels(log_v: u32, levels: u32, count_internal: bool) -> Self {
+        assert!(levels <= log_v, "cannot track more fold levels than log v");
+        let slots = (1usize << (levels + 1)) - 2;
+        DegreeCounters {
+            log_v,
+            levels,
+            count_internal,
+            out_cnt: vec![0; slots],
+            in_cnt: vec![0; slots],
+            out_epoch: vec![0; slots],
+            in_epoch: vec![0; slots],
+            max_by_level: vec![0; levels as usize],
+            total: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Invalidates all counts in `O(1)` (epoch bump); call between
+    /// supersteps.
+    pub fn begin_superstep(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped (after 2^32 supersteps): hard-reset the stamps so
+            // stale epoch-0 counts cannot be mistaken for current ones.
+            self.out_epoch.fill(u32::MAX);
+            self.in_epoch.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.max_by_level.fill(0);
+        self.total = 0;
+    }
+
+    /// Records one message `src → dst` (VP-granularity ids). Dummy messages
+    /// are recorded exactly like payload messages — the paper's wiseness
+    /// device counts them in every degree metric.
+    #[inline]
+    pub fn record(&mut self, src: usize, dst: usize) {
+        let x = src ^ dst;
+        if x == 0 {
+            if self.count_internal {
+                self.total += 1;
+            }
+            return;
+        }
+        // The message is external at fold 2^j iff the top j bits differ,
+        // i.e. for all j > common_prefix = log_v - bitlen(x).
+        let bitlen = usize::BITS - x.leading_zeros();
+        let j_min = (self.log_v - bitlen) + 1;
+        if j_min > self.levels {
+            if self.count_internal {
+                self.total += 1;
+            }
+            return;
+        }
+        self.total += 1;
+        for j in j_min..=self.levels {
+            let shift = self.log_v - j;
+            let base = (1usize << j) - 2;
+            let ps = base + (src >> shift);
+            let pd = base + (dst >> shift);
+            let sent = Self::bump(&mut self.out_cnt, &mut self.out_epoch, ps, self.epoch);
+            let recv = Self::bump(&mut self.in_cnt, &mut self.in_epoch, pd, self.epoch);
+            let m = &mut self.max_by_level[(j - 1) as usize];
+            *m = (*m).max(sent.max(recv));
+        }
+    }
+
+    #[inline]
+    fn bump(cnt: &mut [u64], epoch: &mut [u32], idx: usize, cur: u32) -> u64 {
+        if epoch[idx] != cur {
+            epoch[idx] = cur;
+            cnt[idx] = 0;
+        }
+        cnt[idx] += 1;
+        cnt[idx]
+    }
+
+    /// Number of tracked fold levels.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The superstep degree `h^s` at fold `2^j` so far (`1 ≤ j ≤ levels`).
+    #[inline]
+    pub fn level_max(&self, j: u32) -> u64 {
+        self.max_by_level[(j - 1) as usize]
+    }
+
+    /// Messages recorded this superstep (per the `count_internal` policy).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Accumulates superstep records in flat, pre-reserved storage.
+///
+/// The engine's steady-state loop must not allocate; pushing a
+/// [`SuperstepRecord`] directly would allocate its `h_by_fold` vector per
+/// superstep. A `TraceBuilder` instead appends `(label, total, h…)` to three
+/// flat vectors reserved up front (the program length bounds the superstep
+/// count), and materializes the [`CommTrace`] once at the end of the run.
+#[derive(Debug)]
+pub struct TraceBuilder {
+    /// `log2` of the trace granularity (`log v` or `log p`).
+    log_gran: u32,
+    n: usize,
+    labels: Vec<u32>,
+    totals: Vec<u64>,
+    /// Row-major `[step][fold level]` degree matrix.
+    flat_h: Vec<u64>,
+}
+
+impl TraceBuilder {
+    /// A builder for a trace at granularity `gran` with room for
+    /// `expected_steps` supersteps without reallocation.
+    pub fn new(gran: usize, n: usize, expected_steps: usize) -> Self {
+        let log_gran = log2_exact(gran);
+        TraceBuilder {
+            log_gran,
+            n,
+            labels: Vec::with_capacity(expected_steps),
+            totals: Vec::with_capacity(expected_steps),
+            flat_h: Vec::with_capacity(expected_steps * log_gran as usize),
+        }
+    }
+
+    /// Appends one superstep's metrics from its streaming counters.
+    /// Allocation-free while within the reserved capacity.
+    pub fn push_superstep(&mut self, label: u32, counters: &DegreeCounters) {
+        debug_assert_eq!(counters.levels(), self.log_gran, "granularity mismatch");
+        self.labels.push(label);
+        self.totals.push(counters.total());
+        for j in 1..=counters.levels() {
+            self.flat_h.push(counters.level_max(j));
+        }
+    }
+
+    /// Number of supersteps pushed so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no superstep has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Materializes the accumulated records as a [`CommTrace`].
+    pub fn finish(self) -> CommTrace {
+        let levels = self.log_gran as usize;
+        let steps = self
+            .labels
+            .iter()
+            .zip(&self.totals)
+            .enumerate()
+            .map(|(i, (&label, &total))| SuperstepRecord {
+                label,
+                h_by_fold: self.flat_h[i * levels..(i + 1) * levels].to_vec(),
+                total_msgs: total,
+            })
+            .collect();
+        CommTrace { log_v: self.log_gran, n: self.n, steps }
     }
 }
 
@@ -330,6 +566,61 @@ mod tests {
         // At fold 4: procs {0,1} and {2,3} exchange: 1->2 and 3->0 cross.
         assert_eq!(s.h(2), 1);
         assert_eq!(s.h(3), 1);
+    }
+
+    /// Streams unit edges through counters; multiplicity `c` becomes `c`
+    /// calls, as the engine produces.
+    fn stream(label: u32, counters: &mut DegreeCounters, edges: &[(usize, usize, u64)]) -> SuperstepRecord {
+        counters.begin_superstep();
+        for &(s, d, c) in edges {
+            for _ in 0..c {
+                counters.record(s, d);
+            }
+        }
+        SuperstepRecord::from_degree_counters(label, counters)
+    }
+
+    #[test]
+    fn degree_counters_match_counted_edges_exactly() {
+        let log_v = 4u32;
+        let v = 1usize << log_v;
+        let mut counters = DegreeCounters::full(log_v);
+        // A deterministic pseudo-random pattern including self-sends, bursts
+        // and cross-bisection traffic; reuse the counters across "supersteps"
+        // to exercise the epoch invalidation.
+        let mut state = 0x1234_5678u64;
+        for round in 0..32 {
+            let mut edges = Vec::new();
+            for _ in 0..(round % 7) * 3 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let s = (state >> 20) as usize % v;
+                let d = (state >> 40) as usize % v;
+                let c = 1 + (state % 3);
+                edges.push((s, d, c));
+            }
+            let label = round % log_v;
+            let want = SuperstepRecord::from_counted_edges(label, log_v, &edges);
+            let got = stream(label, &mut counters, &edges);
+            assert_eq!(got, want, "divergence at round {round}: {edges:?}");
+        }
+    }
+
+    #[test]
+    fn folded_counters_drop_internal_messages() {
+        // v = 16 folded to p = 4 (levels = 2). A message 0 -> 3 is internal
+        // at p = 4 (same top-2 bits): not counted at all.
+        let mut c = DegreeCounters::folded(4, 2);
+        c.begin_superstep();
+        c.record(0, 3);
+        assert_eq!(c.total(), 0);
+        // 0 -> 12 crosses the bisection: external at both tracked levels.
+        c.record(0, 12);
+        assert_eq!(c.total(), 1);
+        let rec = SuperstepRecord::from_degree_counters(0, &c);
+        assert_eq!(rec.h_by_fold, vec![1, 1]);
+        // Matches the legacy path over processor-granularity external edges.
+        let want = SuperstepRecord::from_counted_edges(0, 2, &[(0, 3, 1)]);
+        assert_eq!(rec, want);
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl EvalModel {
     /// Creates an evaluation model `M(p, σ)`.
     pub fn new(p: usize, sigma: f64) -> Result<Self, ModelError> {
         require_pow2("p", p)?;
-        if !(sigma >= 0.0) || !sigma.is_finite() {
+        if sigma < 0.0 || !sigma.is_finite() {
             return Err(ModelError::BadParameter {
                 what: "sigma",
                 reason: "must be finite and >= 0",
@@ -140,7 +140,7 @@ impl DbspMachine {
                 return Err(ModelError::BadParameter { what, reason: "entries must be finite and >= 0" });
             }
         }
-        if g.iter().any(|&x| x == 0.0) {
+        if g.contains(&0.0) {
             // ℓ_i/g_i ratios appear throughout Thm 3.4; keep them well-defined.
             return Err(ModelError::BadParameter { what: "g", reason: "entries must be > 0" });
         }

@@ -1,22 +1,71 @@
-//! The superstep execution engine: full-granularity and folded runs.
+//! The superstep execution engine: full-granularity and folded runs on
+//! zero-allocation mailbox arenas.
+//!
+//! # Architecture: double-buffered mailbox arenas
+//!
+//! The legacy engine (preserved as [`crate::reference`]) materialized, per
+//! superstep, one `Vec` outbox per VP, one `(src, dst, 1)` edge per message
+//! and `O(v)` metric scratch per fold level. This engine replaces all of
+//! that with aggregate, cache-friendly structures that are allocated once
+//! per run and recycled, so **steady-state supersteps perform zero heap
+//! allocations** (serial path; the parallel path boxes one task per chunk):
+//!
+//! * **Two mailbox arenas** ([`mailbox::Arena`]): each is a contiguous
+//!   message slab plus a `v+1`-entry offset table giving every VP's inbox
+//!   range. Per superstep the engine *reads* the previous superstep's
+//!   messages from one arena while the routing pass counting-sorts this
+//!   superstep's sends into the other; then the two swap roles. Slabs only
+//!   ever grow to the high-water message volume.
+//! * **Chunked send staging** ([`mailbox::ChunkStage`]): VPs are divided
+//!   into contiguous chunks (one per worker when parallel, one total when
+//!   serial). Each chunk appends its `(dst, envelope)` pairs to a recycled
+//!   flat buffer with per-VP end markers — the "thread-local buckets" that
+//!   the routing pass merges into the arena.
+//! * **Streaming metrics** ([`nob_core::metrics::DegreeCounters`]): a single
+//!   pass over the staged messages validates the cluster constraint,
+//!   accumulates per-fold-level degree counters (epoch-stamped, with running
+//!   maxima, so emitting a [`SuperstepRecord`] is `O(log v)`), counts per
+//!   destination for the scatter, and optionally appends to the message
+//!   log — one loop where the legacy engine made `log v + 3` passes.
+//!
+//! # Invariants
+//!
+//! * **Delivery order** is ascending source VP, then send order — identical
+//!   to the legacy nested delivery loop (the counting sort is stable), so
+//!   `CommTrace` contents, message logs and final states are bit-for-bit
+//!   identical to the reference engine. The differential property tests in
+//!   `tests/engine_properties.rs` enforce this.
+//! * **Metrics are send-phase metrics**: dummy messages count toward every
+//!   degree (the paper's wiseness device) but are never delivered.
+//! * **Parallelism is adaptive**: the VP-execution phase parallelizes when
+//!   `v` is large enough relative to the worker pool for chunking to pay
+//!   ([`exec_chunks`]), and the scatter parallelizes only above a
+//!   per-superstep message volume threshold ([`route_parts`]) — replacing
+//!   the legacy fixed `PARALLEL_THRESHOLD = 128`. Parallel and serial paths
+//!   agree bit for bit.
 
-use crate::program::{validate_outbox, Ctx, Envelope, Outbox, Program};
-use nob_core::metrics::{CommTrace, SuperstepRecord};
+use crate::mailbox::{
+    clear_after_parallel_scatter, route_parallel, route_serial, Arena, ChunkStage, Inbox,
+};
+use crate::program::{Ctx, Envelope, Program};
+use nob_core::folding::message_allowed;
+use nob_core::metrics::{CommTrace, DegreeCounters, TraceBuilder};
 use nob_core::model::log2_exact;
 use nob_core::ModelError;
-use rayon::prelude::*;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
-    /// Execute VPs of a superstep in parallel with rayon (the engine falls
-    /// back to serial execution for machines smaller than 128 VPs).
+    /// Execute VPs of a superstep in parallel (the engine falls back to
+    /// serial execution when the machine is too small for the worker pool;
+    /// see the module docs on adaptive thresholds).
     pub parallel: bool,
     /// Check the i-superstep cluster constraint on every message.
     pub validate: bool,
-    /// Keep the raw per-superstep message log `(src, dst)` — needed by the
-    /// ascend–descend protocol rewriter; costs memory proportional to the
-    /// total message volume.
+    /// Keep the raw per-superstep message log — `(src VP, dst VP)` for
+    /// [`run`], `(src proc, dst proc)` of processor-external messages for
+    /// [`run_folded`] — needed by the ascend–descend protocol rewriter;
+    /// costs memory proportional to the total message volume.
     pub collect_messages: bool,
 }
 
@@ -42,11 +91,54 @@ pub struct RunResult<S> {
     /// The communication trace (granularity `v` for [`run`], granularity `p`
     /// for [`run_folded`]).
     pub trace: CommTrace,
-    /// Raw message log (one entry per superstep) when requested.
+    /// Raw message log (one entry per recorded superstep) when requested.
     pub message_log: Option<Vec<Vec<(u32, u32)>>>,
 }
 
-const PARALLEL_THRESHOLD: usize = 128;
+/// Minimum VPs per worker for the execution phase to parallelize: chunk
+/// dispatch costs a queue round-trip per worker, so tiny machines run
+/// serially no matter the pool width.
+const MIN_VPS_PER_WORKER: usize = 64;
+
+/// Minimum staged messages per worker for the scatter to parallelize: each
+/// worker scans the whole staging buffer, so the copy saved per worker must
+/// dominate the extra scan bandwidth.
+const MIN_MSGS_PER_ROUTE_WORKER: usize = 16 * 1024;
+
+/// Number of execution chunks for a machine of `v` VPs: one per pool worker
+/// when each worker gets at least [`MIN_VPS_PER_WORKER`] VPs, else 1
+/// (serial). Replaces the legacy fixed `PARALLEL_THRESHOLD = 128`.
+fn exec_chunks(v: usize, parallel: bool) -> usize {
+    if !parallel {
+        return 1;
+    }
+    let workers = rayon::current_num_threads();
+    if workers < 2 || v < 2 * MIN_VPS_PER_WORKER {
+        return 1;
+    }
+    workers.min(v / MIN_VPS_PER_WORKER).max(1)
+}
+
+/// Number of scatter partitions for a superstep that staged `msgs` messages.
+fn route_parts(msgs: usize, parallel: bool) -> usize {
+    if !parallel {
+        return 1;
+    }
+    let workers = rayon::current_num_threads();
+    if workers < 2 || msgs < 2 * MIN_MSGS_PER_ROUTE_WORKER {
+        return 1;
+    }
+    workers.min(msgs / MIN_MSGS_PER_ROUTE_WORKER).max(1)
+}
+
+/// The metric granularity of a run.
+enum Fold {
+    /// Record at VP granularity: every fold level, internal messages count.
+    Full,
+    /// Record at processor granularity `p < v`: levels `1..=log p`, only
+    /// supersteps with `label < log p`, only processor-external messages.
+    Folded { log_p: u32 },
+}
 
 /// Executes `prog` at full granularity on `M(v)`.
 ///
@@ -55,72 +147,10 @@ const PARALLEL_THRESHOLD: usize = 128;
 /// `H(n, 2^j, σ)` and `D(n, p, g, ℓ)` can be evaluated analytically afterward.
 pub fn run<S: Send, M: Send>(
     prog: &Program<S, M>,
-    mut states: Vec<S>,
+    states: Vec<S>,
     opts: &RunOptions,
 ) -> Result<RunResult<S>, ModelError> {
-    let v = prog.v();
-    let log_v = prog.log_v();
-    assert_eq!(states.len(), v, "one state per VP required");
-    let mut inboxes: Vec<Vec<M>> = (0..v).map(|_| Vec::new()).collect();
-    let mut trace = CommTrace::new(v, prog.n());
-    let mut message_log = opts.collect_messages.then(Vec::new);
-
-    for step in prog.steps() {
-        // --- computation + send phase -----------------------------------
-        let run_one = |vp: usize, state: &mut S, inbox: &mut Vec<M>| -> Vec<(usize, Envelope<M>)> {
-            let ctx = Ctx { vp, v, log_v, n: prog.n() };
-            let mut out = Outbox::new();
-            (step.exec)(state, &ctx, inbox, &mut out);
-            inbox.clear();
-            out.msgs
-        };
-        let outboxes: Vec<Vec<(usize, Envelope<M>)>> = if opts.parallel && v >= PARALLEL_THRESHOLD
-        {
-            states
-                .par_iter_mut()
-                .zip(inboxes.par_iter_mut())
-                .enumerate()
-                .map(|(vp, (state, inbox))| run_one(vp, state, inbox))
-                .collect()
-        } else {
-            states
-                .iter_mut()
-                .zip(inboxes.iter_mut())
-                .enumerate()
-                .map(|(vp, (state, inbox))| run_one(vp, state, inbox))
-                .collect()
-        };
-
-        // --- validation ---------------------------------------------------
-        if opts.validate {
-            for (src, out) in outboxes.iter().enumerate() {
-                let shim = Outbox { msgs: out.iter().map(|(d, _)| (*d, Envelope::Dummy)).collect() };
-                validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
-            }
-        }
-
-        // --- metrics -------------------------------------------------------
-        let edges: Vec<(usize, usize, u64)> = outboxes
-            .iter()
-            .enumerate()
-            .flat_map(|(src, out)| out.iter().map(move |(dst, _)| (src, *dst, 1)))
-            .collect();
-        trace.steps.push(SuperstepRecord::from_counted_edges(step.label, log_v, &edges));
-        if let Some(log) = message_log.as_mut() {
-            log.push(edges.iter().map(|&(s, d, _)| (s as u32, d as u32)).collect());
-        }
-
-        // --- routing (messages become visible next superstep) --------------
-        for (_, out) in outboxes.into_iter().enumerate() {
-            for (dst, env) in out {
-                if let Envelope::Data(m) = env {
-                    inboxes[dst].push(m);
-                }
-            }
-        }
-    }
-
-    Ok(RunResult { states, trace, message_log })
+    run_core(prog, states, Fold::Full, opts)
 }
 
 /// Executes the *folding* of `prog` on `M(p)` with `p ≤ v`: processor `r`
@@ -131,95 +161,203 @@ pub fn run<S: Send, M: Send>(
 /// executed (the VP closures run and their messages are delivered — all
 /// destinations are then within the same processor) but produce no superstep
 /// record, exactly as in the paper's folding semantics. The returned trace
-/// has granularity `p`.
+/// has granularity `p`. When `opts.collect_messages` is set, the log carries
+/// one entry per *recorded* superstep holding the processor-external
+/// `(src proc, dst proc)` pairs at granularity `p`, aligned with
+/// `trace.steps` for the protocol rewriter.
 pub fn run_folded<S: Send, M: Send>(
     prog: &Program<S, M>,
-    mut states: Vec<S>,
+    states: Vec<S>,
     p: usize,
     opts: &RunOptions,
 ) -> Result<RunResult<S>, ModelError> {
     let v = prog.v();
-    let log_v = prog.log_v();
     if !p.is_power_of_two() || p < 2 || p > v {
         return Err(ModelError::BadFold { p, v });
     }
-    let log_p = log2_exact(p);
-    let width = v / p;
+    run_core(prog, states, Fold::Folded { log_p: log2_exact(p) }, opts)
+}
+
+fn run_core<S: Send, M: Send>(
+    prog: &Program<S, M>,
+    mut states: Vec<S>,
+    fold: Fold,
+    opts: &RunOptions,
+) -> Result<RunResult<S>, ModelError> {
+    let v = prog.v();
+    let log_v = prog.log_v();
     assert_eq!(states.len(), v, "one state per VP required");
-    let mut inboxes: Vec<Vec<M>> = (0..v).map(|_| Vec::new()).collect();
-    let mut trace = CommTrace::new(p, prog.n());
+    let (gran, levels, mut counters) = match fold {
+        Fold::Full => (v, log_v, DegreeCounters::full(log_v)),
+        Fold::Folded { log_p } => (1usize << log_p, log_p, DegreeCounters::folded(log_v, log_p)),
+    };
+    // Shift from VP ids to metric-granularity processor ids.
+    let gran_shift = log_v - levels;
+
+    let n_chunks = exec_chunks(v, opts.parallel);
+    let chunk_vps = v.div_ceil(n_chunks);
+    let mut stages: Vec<ChunkStage<M>> = (0..n_chunks).map(|_| ChunkStage::new(chunk_vps)).collect();
+    let mut arenas = [Arena::<M>::new(v), Arena::<M>::new(v)];
+    let mut read_idx = 0usize;
+    let mut dst_counts = vec![0u32; v];
+    let mut cursors = vec![0u32; v];
+
+    let mut trace = TraceBuilder::new(gran, prog.n(), prog.steps().len());
+    let mut message_log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
 
     for step in prog.steps() {
-        // Each processor executes its VP block sequentially (in VP order).
-        let run_block = |proc: usize,
-                         block: &mut [S],
-                         inbox_block: &mut [Vec<M>]|
-         -> Vec<Vec<(usize, Envelope<M>)>> {
-            let mut outs = Vec::with_capacity(width);
-            for off in 0..width {
-                let vp = proc * width + off;
-                let ctx = Ctx { vp, v, log_v, n: prog.n() };
-                let mut out = Outbox::new();
-                (step.exec)(&mut block[off], &ctx, &mut inbox_block[off], &mut out);
-                inbox_block[off].clear();
-                outs.push(out.msgs);
-            }
-            outs
-        };
-        let outboxes: Vec<Vec<Vec<(usize, Envelope<M>)>>> = if opts.parallel && p >= 2 && v >= PARALLEL_THRESHOLD {
-            states
-                .par_chunks_mut(width)
-                .zip(inboxes.par_chunks_mut(width))
-                .enumerate()
-                .map(|(proc, (block, inb))| run_block(proc, block, inb))
-                .collect()
-        } else {
-            states
-                .chunks_mut(width)
-                .zip(inboxes.chunks_mut(width))
-                .enumerate()
-                .map(|(proc, (block, inb))| run_block(proc, block, inb))
-                .collect()
-        };
-
-        if opts.validate {
-            for (proc, outs) in outboxes.iter().enumerate() {
-                for (off, out) in outs.iter().enumerate() {
-                    let src = proc * width + off;
-                    let shim =
-                        Outbox { msgs: out.iter().map(|(d, _)| (*d, Envelope::Dummy)).collect() };
-                    validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
-                }
+        // --- computation + send phase -----------------------------------
+        {
+            let read = &mut arenas[read_idx];
+            let (slab, offsets) = read.take_read();
+            if n_chunks == 1 {
+                exec_chunk(prog, step, 0, v, &mut states, slab, offsets, &mut stages[0]);
+            } else {
+                rayon::scope(|s| {
+                    let mut slab_rest = slab;
+                    let mut states_rest = &mut states[..];
+                    for (ci, stage) in stages.iter_mut().enumerate() {
+                        let vp_lo = ci * chunk_vps;
+                        let vp_hi = (vp_lo + chunk_vps).min(v);
+                        if vp_lo >= vp_hi {
+                            break;
+                        }
+                        let cut = (offsets[vp_hi] - offsets[vp_lo]) as usize;
+                        let taken = std::mem::take(&mut slab_rest);
+                        let (chunk_slab, rest) = taken.split_at_mut(cut);
+                        slab_rest = rest;
+                        let taken = std::mem::take(&mut states_rest);
+                        let (chunk_states, rest) = taken.split_at_mut(vp_hi - vp_lo);
+                        states_rest = rest;
+                        let chunk_offsets = &offsets[vp_lo..=vp_hi];
+                        s.spawn(move |_| {
+                            exec_chunk(
+                                prog,
+                                step,
+                                vp_lo,
+                                vp_hi - vp_lo,
+                                chunk_states,
+                                chunk_slab,
+                                chunk_offsets,
+                                stage,
+                            );
+                        });
+                    }
+                });
             }
         }
 
-        // Metrics at granularity p, only while the superstep communicates.
-        if step.label < log_p {
-            let edges: Vec<(usize, usize, u64)> = outboxes
-                .iter()
-                .enumerate()
-                .flat_map(|(proc, outs)| {
-                    outs.iter().flat_map(move |out| {
-                        out.iter().map(move |(dst, _)| (proc, dst / width, 1))
-                    })
-                })
-                .filter(|(ps, pd, _)| ps != pd)
-                .collect();
-            trace.steps.push(SuperstepRecord::from_counted_edges(step.label, log_p, &edges));
-        }
-
-        for outs in outboxes {
-            for out in outs {
-                for (dst, env) in out {
-                    if let Envelope::Data(m) = env {
-                        inboxes[dst].push(m);
+        // --- streaming validation + metrics + routing counts (one pass) ---
+        let record_step = step.label < levels;
+        counters.begin_superstep();
+        dst_counts.fill(0);
+        let mut step_log: Option<Vec<(u32, u32)>> =
+            (message_log.is_some() && record_step).then(Vec::new);
+        for (ci, stage) in stages.iter().enumerate() {
+            let vp_lo = ci * chunk_vps;
+            let mut msg_idx = 0usize;
+            for (i, &end) in stage.vp_ends.iter().enumerate() {
+                let src = vp_lo + i;
+                for (dst, env) in &stage.outbox.msgs[msg_idx..end as usize] {
+                    let dst = *dst as usize;
+                    if opts.validate {
+                        if dst >= v {
+                            return Err(ModelError::BadParameter {
+                                what: "dst",
+                                reason: "message destination out of machine range",
+                            });
+                        }
+                        if !message_allowed(src, dst, log_v, step.label) {
+                            return Err(ModelError::ClusterViolation {
+                                label: step.label,
+                                src,
+                                dst,
+                            });
+                        }
+                    }
+                    if record_step {
+                        counters.record(src, dst);
+                    }
+                    if let Some(log) = step_log.as_mut() {
+                        match fold {
+                            Fold::Full => log.push((src as u32, dst as u32)),
+                            Fold::Folded { .. } => {
+                                let (ps, pd) = (src >> gran_shift, dst >> gran_shift);
+                                if ps != pd {
+                                    log.push((ps as u32, pd as u32));
+                                }
+                            }
+                        }
+                    }
+                    if matches!(env, Envelope::Data(_)) {
+                        // Saturating: a wrapped count would mis-size the
+                        // arena; saturation instead trips the scatter's
+                        // capacity assert (2^32 - 1 messages is the limit).
+                        dst_counts[dst] = dst_counts[dst].saturating_add(1);
                     }
                 }
+                msg_idx = end as usize;
             }
         }
+        if record_step {
+            trace.push_superstep(step.label, &counters);
+            if let (Some(log), Some(step_log)) = (message_log.as_mut(), step_log) {
+                log.push(step_log);
+            }
+        }
+
+        // --- routing (messages become visible next superstep) --------------
+        {
+            let write = &mut arenas[1 - read_idx];
+            let total = write.prepare_write(&dst_counts, &mut cursors);
+            let parts = route_parts(total, opts.parallel);
+            let (slab, offsets) = write.split_for_scatter(total);
+            if parts <= 1 {
+                route_serial(&mut stages, &mut cursors, slab);
+            } else {
+                route_parallel(&stages, offsets, &mut cursors, slab, parts);
+                clear_after_parallel_scatter(&mut stages);
+            }
+            write.commit_write(total);
+        }
+        read_idx = 1 - read_idx;
     }
 
-    Ok(RunResult { states, trace, message_log: None })
+    Ok(RunResult { states, trace: trace.finish(), message_log })
+}
+
+/// Runs the superstep closure for every VP of one chunk, carving per-VP
+/// inboxes out of the chunk's slab segment and staging sends contiguously.
+#[allow(clippy::too_many_arguments)]
+fn exec_chunk<S, M>(
+    prog: &Program<S, M>,
+    step: &crate::program::Superstep<S, M>,
+    vp_lo: usize,
+    vp_count: usize,
+    states: &mut [S],
+    slab: &mut [std::mem::MaybeUninit<M>],
+    offsets: &[u32],
+    stage: &mut ChunkStage<M>,
+) {
+    stage.reset();
+    let v = prog.v();
+    let log_v = prog.log_v();
+    let n = prog.n();
+    let base = offsets[0];
+    debug_assert_eq!((offsets[vp_count] - base) as usize, slab.len());
+    let mut slab_rest = slab;
+    for (i, state) in states.iter_mut().take(vp_count).enumerate() {
+        let len = (offsets[i + 1] - offsets[i]) as usize;
+        let taken = std::mem::take(&mut slab_rest);
+        let (mine, rest) = taken.split_at_mut(len);
+        slab_rest = rest;
+        let mut inbox = Inbox::over_slab(mine);
+        stage.outbox.begin_vp();
+        let ctx = Ctx { vp: vp_lo + i, v, log_v, n };
+        (step.exec)(state, &ctx, &mut inbox, &mut stage.outbox);
+        stage.vp_ends.push(stage.outbox.msgs.len() as u32);
+        // `inbox` drops here: unconsumed messages are discarded.
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +489,34 @@ mod tests {
     }
 
     #[test]
+    fn folded_message_log_is_processor_granularity() {
+        let mut p: Program<(), u8> = Program::new(8, 8);
+        // Label 0: VP0 -> VP7 crosses every boundary; VP4 -> VP5 is internal
+        // at p = 2 and p = 4... VP4 and VP5 share the top two bits of three.
+        p.step(0, "far", |_, ctx, _, out| {
+            if ctx.vp == 0 {
+                out.send(7, 1);
+            }
+            if ctx.vp == 4 {
+                out.send(5, 1);
+            }
+        });
+        // Label 2: local at p = 4, produces no record and no log entry.
+        p.step(2, "near", |_, ctx, _, out| {
+            if ctx.vp == 0 {
+                out.send(1, 1);
+            }
+        });
+        let res = run_folded(&p, vec![(); 8], 4, &RunOptions::with_log()).unwrap();
+        let log = res.message_log.unwrap();
+        assert_eq!(res.trace.superstep_count(), 1);
+        assert_eq!(log.len(), res.trace.superstep_count(), "log aligns with trace");
+        // VP0 -> VP7 becomes proc 0 -> proc 3; VP4 -> VP5 is internal to
+        // proc 2 and is not logged.
+        assert_eq!(log[0], vec![(0, 3)]);
+    }
+
+    #[test]
     fn inbox_is_cleared_between_supersteps() {
         let mut p: Program<Vec<u64>, u64> = Program::new(4, 4);
         p.step(0, "send", |_, ctx, _, out| out.send(ctx.vp ^ 1, ctx.vp as u64));
@@ -359,5 +525,32 @@ mod tests {
         let res = run(&p, vec![Vec::new(); 4], &RunOptions::default()).unwrap();
         // Each VP received exactly one message, in the second superstep only.
         assert!(res.states.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn arena_engine_matches_reference_engine() {
+        let v = 16;
+        let mut states = vec![None; v];
+        states[0] = Some(41);
+        let prog = broadcast_program(v);
+        let arena = run(&prog, states.clone(), &RunOptions::with_log()).unwrap();
+        let legacy =
+            crate::reference::run_reference(&prog, states.clone(), &RunOptions::with_log())
+                .unwrap();
+        assert_eq!(arena.states, legacy.states);
+        assert_eq!(arena.trace, legacy.trace);
+        assert_eq!(arena.message_log, legacy.message_log);
+        for p in [2usize, 4, 8] {
+            let a = run_folded(&prog, states.clone(), p, &RunOptions::default()).unwrap();
+            let l = crate::reference::run_folded_reference(
+                &prog,
+                states.clone(),
+                p,
+                &RunOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(a.states, l.states, "folded states diverge at p = {p}");
+            assert_eq!(a.trace, l.trace, "folded trace diverges at p = {p}");
+        }
     }
 }

@@ -28,15 +28,25 @@
 //!   granularity `p`. Used to cross-check the analytic folding.
 //! * [`protocol::ascend_descend`] — rewrites a message log into the
 //!   Section-5 ascend–descend protocol execution, the basis of Theorem 5.3.
+//! * [`reference::run_reference`] — the preserved legacy engine (per-VP
+//!   `Vec` mailboxes), kept as the differential-testing and benchmarking
+//!   baseline for the arena engine; see [`mailbox`] for the arena layout.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the `mailbox` module, which confines
+// the arena engine's entire unsafe surface behind documented invariants
+// (and the rayon shim's scoped-spawn lifetime extension, which lives in the
+// shim crate).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod mailbox;
 pub mod program;
 pub mod protocol;
+pub mod reference;
 pub mod traits;
 
 pub use engine::{run, run_folded, RunOptions, RunResult};
+pub use mailbox::Inbox;
 pub use program::{Ctx, Outbox, Program, Superstep};
 pub use traits::{execute, execute_folded, execute_with_log, NobAlgorithm};

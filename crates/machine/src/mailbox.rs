@@ -1,0 +1,566 @@
+//! Flat, double-buffered mailbox arenas: the zero-allocation message path.
+//!
+//! All of the engine's `unsafe` lives here, behind three small abstractions:
+//!
+//! * [`Arena`] — a contiguous message slab (`Vec<MaybeUninit<M>>`) plus
+//!   per-VP offset ranges. Two arenas are swapped each superstep: the engine
+//!   *reads* the messages delivered by the previous superstep from one while
+//!   the routing pass *writes* this superstep's messages into the other.
+//!   Steady-state supersteps reuse the slabs' capacity and allocate nothing.
+//! * [`Inbox`] — the per-VP view handed to superstep closures. It yields
+//!   messages **by value** straight out of the slab (`pop`, `drain`) and
+//!   drops whatever the closure did not consume, mirroring the semantics of
+//!   the per-VP `Vec` inboxes it replaces.
+//! * [`route_serial`] / [`route_parallel`] — the counting-sort scatter that
+//!   moves staged messages from the per-chunk outboxes into the write arena,
+//!   grouped by destination VP in ascending-source order (stable, so
+//!   delivery order is identical to the legacy per-VP delivery loop).
+//!
+//! # Safety invariants
+//!
+//! 1. `Arena.slab[..Arena.filled]` is initialized; everything past `filled`
+//!    is uninitialized. `filled` is only nonzero between a completed scatter
+//!    and the next read phase.
+//! 2. The read phase takes the initialized prefix with [`Arena::take_read`],
+//!    which resets `filled` to 0 first: from that point the [`Inbox`] views
+//!    own the messages (each slab slot is covered by exactly one inbox, per
+//!    the offsets built during scatter), and [`Inbox`]'s `Drop` consumes the
+//!    leftovers. If a VP closure panics, inboxes not yet constructed leak
+//!    their messages — safe, never observed as initialized again because
+//!    `filled` is already 0.
+//! 3. The parallel scatter partitions destinations into disjoint contiguous
+//!    ranges; each worker writes only slots and cursors of its range, and
+//!    reads each staged payload exactly once (ranges partition `[0, v)`).
+//!    Afterwards [`clear_after_parallel_scatter`] resets the staging buffers
+//!    without running destructors: every `Data` payload has been moved out,
+//!    and `Dummy` envelopes hold nothing.
+#![allow(unsafe_code)]
+
+use crate::program::Envelope;
+use std::mem::MaybeUninit;
+use std::ops::RangeFull;
+
+/// One half of the double buffer: a message slab grouped by destination VP.
+pub(crate) struct Arena<M> {
+    slab: Vec<MaybeUninit<M>>,
+    /// Half-open ranges: VP `r`'s inbox is `slab[offsets[r] .. offsets[r+1]]`.
+    offsets: Vec<u32>,
+    /// Initialized prefix length of `slab` (invariant 1).
+    filled: usize,
+}
+
+impl<M> Arena<M> {
+    pub(crate) fn new(v: usize) -> Self {
+        Arena { slab: Vec::new(), offsets: vec![0; v + 1], filled: 0 }
+    }
+
+    /// Hands the initialized prefix and the offset table to the read phase,
+    /// transferring ownership of the messages to the inboxes the engine will
+    /// carve out of the returned slice (invariant 2).
+    pub(crate) fn take_read(&mut self) -> (&mut [MaybeUninit<M>], &[u32]) {
+        let filled = std::mem::replace(&mut self.filled, 0);
+        (&mut self.slab[..filled], &self.offsets)
+    }
+
+    /// Rebuilds the offset table from per-destination counts (prefix sum)
+    /// and returns the total; the slab is grown to fit. Also leaves
+    /// `cursors[d] = offsets[d]` ready for the scatter.
+    pub(crate) fn prepare_write(&mut self, counts: &[u32], cursors: &mut [u32]) -> usize {
+        debug_assert_eq!(self.filled, 0, "arena overwritten while holding messages");
+        let v = counts.len();
+        debug_assert_eq!(self.offsets.len(), v + 1);
+        // Accumulate in u64 and check the fit: a wrapped u32 offset table
+        // would send the unsafe scatter out of bounds, so an over-capacity
+        // superstep must fail loudly instead (2^32 messages per superstep is
+        // the arena's design limit).
+        let mut acc = 0u64;
+        for d in 0..v {
+            self.offsets[d] = acc as u32;
+            cursors[d] = acc as u32;
+            acc += u64::from(counts[d]);
+        }
+        // Strict: a saturated per-destination count (u32::MAX) must also
+        // fail here rather than under-size the slab.
+        assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
+        self.offsets[v] = acc as u32;
+        let total = acc as usize;
+        if self.slab.len() < total {
+            self.slab.resize_with(total, MaybeUninit::uninit);
+        }
+        total
+    }
+
+    /// The scatter's working views: the first `total` slab slots (about to
+    /// be filled) and the offset table built by [`Arena::prepare_write`].
+    pub(crate) fn split_for_scatter(&mut self, total: usize) -> (&mut [MaybeUninit<M>], &[u32]) {
+        (&mut self.slab[..total], &self.offsets)
+    }
+
+    /// Marks `total` slots as initialized after a completed scatter.
+    #[inline]
+    pub(crate) fn commit_write(&mut self, total: usize) {
+        debug_assert!(total <= self.slab.len());
+        self.filled = total;
+    }
+}
+
+impl<M> Drop for Arena<M> {
+    fn drop(&mut self) {
+        // Drop messages sent by the final superstep (never delivered), like
+        // the legacy engine's inbox Vecs did on drop.
+        for slot in &mut self.slab[..self.filled] {
+            // SAFETY: invariant 1 — the prefix is initialized and owned.
+            unsafe { slot.assume_init_drop() };
+        }
+        self.filled = 0;
+    }
+}
+
+enum InboxRepr<'a, M> {
+    /// View into an arena slab; `buf[start..end]` is initialized and owned.
+    Slab { buf: &'a mut [MaybeUninit<M>], start: usize, end: usize },
+    /// Compatibility backing used by the reference engine: owns the messages
+    /// outright (front/back consumption are both O(1) on `vec::IntoIter`).
+    Owned(std::vec::IntoIter<M>),
+}
+
+/// The messages delivered to one VP at the start of a superstep.
+///
+/// Behaves like the `Vec<M>` inbox it replaces — `pop` takes the most
+/// recently delivered message, `drain(..)` consumes front to back, and
+/// anything left over is discarded when the superstep ends — but reads
+/// directly from the engine's flat mailbox arena.
+pub struct Inbox<'a, M> {
+    repr: InboxRepr<'a, M>,
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Wraps a fully initialized slab segment (engine-internal).
+    ///
+    /// SAFETY contract (upheld by the engine): every slot of `buf` is
+    /// initialized, and this inbox is the unique owner of those messages.
+    pub(crate) fn over_slab(buf: &'a mut [MaybeUninit<M>]) -> Self {
+        let end = buf.len();
+        Inbox { repr: InboxRepr::Slab { buf, start: 0, end } }
+    }
+
+    /// Takes ownership of a vector's messages (reference engine). The
+    /// vector's buffer is consumed — the reference engine pays one
+    /// allocation per delivered-to VP per superstep, like the legacy engine
+    /// paid for its per-VP outboxes.
+    pub(crate) fn over_vec(buf: &mut Vec<M>) -> Self {
+        Inbox { repr: InboxRepr::Owned(std::mem::take(buf).into_iter()) }
+    }
+
+    /// Number of unconsumed messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            InboxRepr::Slab { start, end, .. } => end - start,
+            InboxRepr::Owned(it) => it.len(),
+        }
+    }
+
+    /// Whether every delivered message has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes the most recently delivered message, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<M> {
+        match &mut self.repr {
+            InboxRepr::Slab { buf, start, end } => {
+                if start == end {
+                    None
+                } else {
+                    *end -= 1;
+                    // SAFETY: buf[start..end] initialized & owned; the slot
+                    // leaves the owned range before being read, exactly once.
+                    Some(unsafe { buf[*end].assume_init_read() })
+                }
+            }
+            InboxRepr::Owned(it) => it.next_back(),
+        }
+    }
+
+    /// Consumes all messages front to back (delivery order: ascending source
+    /// VP, then send order). Messages not iterated are still removed, like
+    /// `Vec::drain`.
+    #[inline]
+    pub fn drain(&mut self, _: RangeFull) -> Drain<'_, 'a, M> {
+        Drain { inbox: self }
+    }
+
+    /// The unconsumed messages as a slice, front (oldest) first.
+    pub fn as_slice(&self) -> &[M] {
+        match &self.repr {
+            InboxRepr::Slab { buf, start, end } => {
+                // SAFETY: buf[start..end] is initialized; MaybeUninit<M> is
+                // layout-compatible with M.
+                unsafe {
+                    std::slice::from_raw_parts(buf.as_ptr().add(*start).cast::<M>(), end - start)
+                }
+            }
+            InboxRepr::Owned(it) => it.as_slice(),
+        }
+    }
+
+    /// Iterates the unconsumed messages without removing them.
+    pub fn iter(&self) -> std::slice::Iter<'_, M> {
+        self.as_slice().iter()
+    }
+
+    /// Discards all unconsumed messages.
+    pub fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+impl<M> Drop for Inbox<'_, M> {
+    fn drop(&mut self) {
+        // Undelivered messages are discarded at the superstep boundary.
+        self.clear();
+    }
+}
+
+/// Front-to-back consuming iterator over an [`Inbox`].
+pub struct Drain<'i, 'a, M> {
+    inbox: &'i mut Inbox<'a, M>,
+}
+
+impl<M> Iterator for Drain<'_, '_, M> {
+    type Item = M;
+    fn next(&mut self) -> Option<M> {
+        match &mut self.inbox.repr {
+            InboxRepr::Slab { buf, start, end } => {
+                if start == end {
+                    None
+                } else {
+                    let i = *start;
+                    *start += 1;
+                    // SAFETY: as in `pop`; the slot leaves the owned range
+                    // before being read, exactly once.
+                    Some(unsafe { buf[i].assume_init_read() })
+                }
+            }
+            InboxRepr::Owned(it) => it.next(),
+        }
+    }
+}
+
+impl<M> Drop for Drain<'_, '_, M> {
+    fn drop(&mut self) {
+        // Vec::drain semantics: un-iterated messages are removed too.
+        self.inbox.clear();
+    }
+}
+
+/// Staged messages of one chunk of consecutive VPs, reused across supersteps.
+pub(crate) struct ChunkStage<M> {
+    /// Contiguous `(dst, envelope)` pairs in send order.
+    pub(crate) outbox: crate::program::Outbox<M>,
+    /// `vp_ends[i]` = end index (into `outbox.msgs`) of the messages sent by
+    /// the chunk's `i`-th VP.
+    pub(crate) vp_ends: Vec<u32>,
+}
+
+impl<M> ChunkStage<M> {
+    pub(crate) fn new(chunk_vps: usize) -> Self {
+        ChunkStage { outbox: crate::program::Outbox::new(), vp_ends: Vec::with_capacity(chunk_vps) }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.outbox.reset();
+        self.vp_ends.clear();
+    }
+}
+
+/// Serial counting-sort scatter: drains every staged message in ascending
+/// source order into its destination's slab range. Stable, so per-inbox
+/// delivery order matches the legacy nested delivery loop exactly.
+pub(crate) fn route_serial<M>(
+    stages: &mut [ChunkStage<M>],
+    cursors: &mut [u32],
+    slab: &mut [MaybeUninit<M>],
+) {
+    for stage in stages {
+        for (dst, env) in stage.outbox.msgs.drain(..) {
+            if let Envelope::Data(m) = env {
+                let cur = &mut cursors[dst as usize];
+                slab[*cur as usize].write(m);
+                *cur += 1;
+            }
+        }
+        stage.vp_ends.clear();
+    }
+}
+
+struct SendPtr<T>(*mut T);
+
+// Manual impls: the derive would bound `T: Copy`, but the pointer itself is
+// always copyable.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the scatter workers write disjoint slots (invariant 3).
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// wrapper, keeping the `Send` impl in effect under disjoint capture.
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Shared view of the staging buffers for the scatter workers. `M: Send`
+/// suffices (rather than `M: Sync`) because each payload is *moved* to
+/// exactly one worker — the one owning its destination range — and the only
+/// shared reads are of the plain-data `dst` tags (invariant 3).
+struct SharedStages<M> {
+    ptr: *const ChunkStage<M>,
+    len: usize,
+}
+
+impl<M> Clone for SharedStages<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for SharedStages<M> {}
+// SAFETY: see the type docs; constructed only by `route_parallel`, whose
+// workers partition payload ownership by destination.
+unsafe impl<M: Send> Send for SharedStages<M> {}
+unsafe impl<M: Send> Sync for SharedStages<M> {}
+
+impl<M> SharedStages<M> {
+    /// # Safety
+    /// Callers must uphold invariant 3: no concurrent mutation of the
+    /// stages, and by-value payload reads partitioned by destination.
+    unsafe fn as_slice<'s>(self) -> &'s [ChunkStage<M>] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// Parallel counting-sort scatter: destinations are partitioned into
+/// `parts` contiguous ranges balanced by message count; each worker scans
+/// every staged message and places the ones targeting its range. Stability
+/// per destination is preserved (each worker scans in ascending source
+/// order). Afterwards the caller must invoke
+/// [`clear_after_parallel_scatter`].
+pub(crate) fn route_parallel<M: Send>(
+    stages: &[ChunkStage<M>],
+    offsets: &[u32],
+    cursors: &mut [u32],
+    slab: &mut [MaybeUninit<M>],
+    parts: usize,
+) {
+    let v = cursors.len();
+    let total = offsets[v];
+    let base = SendPtr(slab.as_mut_ptr());
+    let shared = SharedStages { ptr: stages.as_ptr(), len: stages.len() };
+    rayon::scope(|s| {
+        let mut cursors_rest = &mut cursors[..];
+        let mut dst_lo = 0usize;
+        for k in 1..=parts {
+            // Cut destinations where the cumulative message count reaches
+            // k/parts of the total (count-balanced, not VP-balanced).
+            let target = (total as u64 * k as u64 / parts as u64) as u32;
+            let dst_hi = if k == parts {
+                v
+            } else {
+                offsets[dst_lo..=v].partition_point(|&o| o < target) + dst_lo
+            };
+            let dst_hi = dst_hi.clamp(dst_lo, v);
+            if dst_hi == dst_lo {
+                continue;
+            }
+            let take = std::mem::take(&mut cursors_rest);
+            let (cur_part, rest) = take.split_at_mut(dst_hi - dst_lo);
+            cursors_rest = rest;
+            let lo = dst_lo;
+            s.spawn(move |_| {
+                // SAFETY: invariant 3 — shared read-only view during the
+                // scatter; payload ownership is partitioned by destination.
+                let stages = unsafe { shared.as_slice() };
+                for stage in stages {
+                    for (dst, env) in &stage.outbox.msgs {
+                        let d = *dst as usize;
+                        if d >= lo && d < dst_hi {
+                            if let Envelope::Data(m) = env {
+                                let cur = &mut cur_part[d - lo];
+                                // SAFETY: invariant 3 — this worker owns
+                                // destination range [lo, dst_hi): each slot
+                                // is written once, each payload read once.
+                                unsafe {
+                                    let payload = std::ptr::read(m);
+                                    (*base.get().add(*cur as usize)).write(payload);
+                                }
+                                *cur += 1;
+                            }
+                        }
+                    }
+                }
+            });
+            dst_lo = dst_hi;
+        }
+    });
+}
+
+/// Resets the staging buffers after [`route_parallel`] without running
+/// destructors: every `Data` payload has already been moved into the arena.
+pub(crate) fn clear_after_parallel_scatter<M>(stages: &mut [ChunkStage<M>]) {
+    for stage in stages {
+        // SAFETY: invariant 3 — all payloads were moved out by the scatter;
+        // the remaining envelope shells (and `Dummy`s) own nothing.
+        unsafe { stage.outbox.msgs.set_len(0) };
+        stage.outbox.vp_start = 0;
+        stage.vp_ends.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staged(msgs: &[(u32, Option<String>)]) -> ChunkStage<String> {
+        let mut stage = ChunkStage::new(4);
+        for (dst, payload) in msgs {
+            match payload {
+                Some(m) => stage.outbox.send(*dst as usize, m.clone()),
+                None => stage.outbox.send_dummy(*dst as usize),
+            }
+        }
+        stage
+    }
+
+    fn arena_contents(arena: &mut Arena<String>, v: usize) -> Vec<Vec<String>> {
+        let (slab, offsets) = arena.take_read();
+        let mut out = Vec::new();
+        let mut rest = slab;
+        for vp in 0..v {
+            let len = (offsets[vp + 1] - offsets[vp]) as usize;
+            let take = std::mem::take(&mut rest);
+            let (mine, r) = take.split_at_mut(len);
+            rest = r;
+            let mut inbox = Inbox::over_slab(mine);
+            out.push(inbox.drain(..).collect());
+        }
+        out
+    }
+
+    #[test]
+    fn serial_scatter_groups_by_destination_in_source_order() {
+        let v = 4;
+        let mut arena: Arena<String> = Arena::new(v);
+        let mut stages = vec![
+            staged(&[(2, Some("a".into())), (0, Some("b".into())), (2, None)]),
+            staged(&[(2, Some("c".into())), (3, Some("d".into()))]),
+        ];
+        let mut counts = vec![0u32; v];
+        for stage in &stages {
+            for (dst, env) in &stage.outbox.msgs {
+                if matches!(env, Envelope::Data(_)) {
+                    counts[*dst as usize] += 1;
+                }
+            }
+        }
+        let mut cursors = vec![0u32; v];
+        let total = arena.prepare_write(&counts, &mut cursors);
+        assert_eq!(total, 4, "dummies are not delivered");
+        {
+            let (slab, _) = (&mut arena.slab[..total], ());
+            route_serial(&mut stages, &mut cursors, slab);
+        }
+        arena.commit_write(total);
+        assert_eq!(
+            arena_contents(&mut arena, v),
+            vec![vec!["b".to_string()], vec![], vec!["a".into(), "c".into()], vec!["d".into()]],
+        );
+    }
+
+    #[test]
+    fn parallel_scatter_matches_serial() {
+        let v = 8;
+        let build = || {
+            (0..3)
+                .map(|c| {
+                    staged(
+                        &(0..10)
+                            .map(|i| {
+                                let dst = (c * 7 + i * 3) % v;
+                                ((dst as u32), Some(format!("m{c}-{i}")))
+                            })
+                            .collect::<Vec<_>>(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let run = |parallel: bool| -> Vec<Vec<String>> {
+            let mut stages = build();
+            let mut arena: Arena<String> = Arena::new(v);
+            let mut counts = vec![0u32; v];
+            for stage in &stages {
+                for (dst, env) in &stage.outbox.msgs {
+                    if matches!(env, Envelope::Data(_)) {
+                        counts[*dst as usize] += 1;
+                    }
+                }
+            }
+            let mut cursors = vec![0u32; v];
+            let total = arena.prepare_write(&counts, &mut cursors);
+            if parallel {
+                let (slab, offsets) = (&mut arena.slab[..total], &arena.offsets[..]);
+                route_parallel(&stages, offsets, &mut cursors, slab, 3);
+                clear_after_parallel_scatter(&mut stages);
+            } else {
+                route_serial(&mut stages, &mut cursors, &mut arena.slab[..total]);
+            }
+            arena.commit_write(total);
+            assert!(stages.iter().all(|s| s.outbox.msgs.is_empty()));
+            arena_contents(&mut arena, v)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn inbox_pop_and_drain_follow_vec_semantics() {
+        let mut backing: Vec<MaybeUninit<u64>> =
+            (1..=4u64).map(MaybeUninit::new).collect();
+        let mut inbox = Inbox::over_slab(&mut backing);
+        assert_eq!(inbox.len(), 4);
+        assert_eq!(inbox.pop(), Some(4));
+        assert_eq!(inbox.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let first_two: Vec<u64> = inbox.drain(..).take(2).collect();
+        assert_eq!(first_two, vec![1, 2]);
+        // Drain drop removed the rest, like Vec::drain.
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn undelivered_messages_are_dropped_not_leaked() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        {
+            let mut backing: Vec<MaybeUninit<Tracked>> =
+                (0..3).map(|_| MaybeUninit::new(Tracked)).collect();
+            let mut inbox = Inbox::over_slab(&mut backing);
+            drop(inbox.pop());
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+}

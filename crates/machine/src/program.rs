@@ -1,5 +1,6 @@
 //! Static superstep programs: the executable form of an `M(v)` algorithm.
 
+use crate::mailbox::Inbox;
 use nob_core::folding::message_allowed;
 use nob_core::model::log2_exact;
 
@@ -36,21 +37,44 @@ pub(crate) enum Envelope<M> {
     Dummy,
 }
 
-/// Per-VP staging buffer for outgoing messages of one superstep.
+/// Staging buffer for outgoing messages of one superstep.
+///
+/// An `Outbox` is owned by the engine and **recycled across supersteps**: it
+/// stages the messages of a whole chunk of VPs contiguously (`(dst,
+/// envelope)` pairs in send order) so that steady-state supersteps allocate
+/// nothing. Per-VP boundaries are tracked by the engine, not the outbox;
+/// [`Outbox::len`]/[`Outbox::is_empty`] report the messages staged by the
+/// *currently executing VP* only, preserving the semantics algorithms
+/// observed when each VP had a private outbox.
 #[derive(Debug)]
 pub struct Outbox<M> {
-    pub(crate) msgs: Vec<(usize, Envelope<M>)>,
+    pub(crate) msgs: Vec<(u32, Envelope<M>)>,
+    pub(crate) vp_start: usize,
 }
 
 impl<M> Outbox<M> {
     pub(crate) fn new() -> Self {
-        Outbox { msgs: Vec::new() }
+        Outbox { msgs: Vec::new(), vp_start: 0 }
+    }
+
+    /// Marks the start of a new VP's messages (engine-internal).
+    #[inline]
+    pub(crate) fn begin_vp(&mut self) {
+        self.vp_start = self.msgs.len();
+    }
+
+    /// Clears the staging buffer, keeping its capacity (engine-internal).
+    #[inline]
+    pub(crate) fn reset(&mut self) {
+        self.msgs.clear();
+        self.vp_start = 0;
     }
 
     /// Sends a constant-size message to VP `dst` (the paper's `send(m, q)`);
     /// it is delivered at the start of the next superstep.
     #[inline]
     pub fn send(&mut self, dst: usize, msg: M) {
+        let dst = u32::try_from(dst).expect("destination id exceeds u32 range");
         self.msgs.push((dst, Envelope::Data(msg)));
     }
 
@@ -58,24 +82,30 @@ impl<M> Outbox<M> {
     /// metrics (this is the paper's wiseness device) but is not delivered.
     #[inline]
     pub fn send_dummy(&mut self, dst: usize) {
+        let dst = u32::try_from(dst).expect("destination id exceeds u32 range");
         self.msgs.push((dst, Envelope::Dummy));
     }
 
-    /// Number of messages staged so far (data + dummy).
+    /// Number of messages staged so far by the current VP (data + dummy).
     #[inline]
     pub fn len(&self) -> usize {
-        self.msgs.len()
+        self.msgs.len() - self.vp_start
     }
 
-    /// Whether nothing was staged.
+    /// Whether the current VP has staged nothing.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.msgs.is_empty()
+        self.len() == 0
     }
 }
 
 /// The SPMD body of one superstep.
-pub type StepFn<S, M> = Box<dyn Fn(&mut S, &Ctx, &mut Vec<M>, &mut Outbox<M>) + Send + Sync>;
+///
+/// The inbox holds the messages delivered to this VP at the end of the
+/// previous superstep (a view into the engine's flat mailbox arena);
+/// anything not consumed is discarded when the superstep ends.
+pub type StepFn<S, M> =
+    Box<dyn Fn(&mut S, &Ctx, &mut Inbox<'_, M>, &mut Outbox<M>) + Send + Sync>;
 
 /// One labelled superstep: every VP runs `exec`, then a `sync(label)` barrier
 /// is performed. In an `i`-superstep messages may only target VPs in the
@@ -140,7 +170,7 @@ impl<S, M> Program<S, M> {
         &mut self,
         label: u32,
         name: &'static str,
-        exec: impl Fn(&mut S, &Ctx, &mut Vec<M>, &mut Outbox<M>) + Send + Sync + 'static,
+        exec: impl Fn(&mut S, &Ctx, &mut Inbox<'_, M>, &mut Outbox<M>) + Send + Sync + 'static,
     ) -> &mut Self {
         assert!(
             label < self.log_v.max(1),
@@ -158,6 +188,8 @@ impl<S, M> Program<S, M> {
 }
 
 /// Checks an outbox against the cluster constraint of an `i`-superstep.
+/// Used by the reference engine and by unit tests; the arena engine folds
+/// the same checks into its streaming metrics pass.
 pub(crate) fn validate_outbox<M>(
     src: usize,
     label: u32,
@@ -166,6 +198,7 @@ pub(crate) fn validate_outbox<M>(
     out: &Outbox<M>,
 ) -> Result<(), nob_core::ModelError> {
     for &(dst, _) in &out.msgs {
+        let dst = dst as usize;
         if dst >= v {
             return Err(nob_core::ModelError::BadParameter {
                 what: "dst",
@@ -199,11 +232,17 @@ mod tests {
     }
 
     #[test]
-    fn outbox_counts_dummies() {
+    fn outbox_counts_dummies_per_vp() {
         let mut o: Outbox<u32> = Outbox::new();
         o.send(1, 42);
         o.send_dummy(2);
         assert_eq!(o.len(), 2);
+        // A new VP starts with an empty view of the shared staging buffer.
+        o.begin_vp();
+        assert!(o.is_empty());
+        o.send(0, 7);
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.msgs.len(), 3);
     }
 
     #[test]

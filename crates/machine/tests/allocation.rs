@@ -1,0 +1,157 @@
+//! Proves the arena engine's headline property: **steady-state supersteps
+//! perform zero heap allocations** on the serial path.
+//!
+//! A counting global allocator is armed *from inside the program itself*: a
+//! VP closure of an early superstep switches counting on and the final
+//! superstep's closure switches it off. The measurement window therefore
+//! covers, exactly: the tail of the arming superstep (its streaming
+//! metrics pass, routing scatter, and trace push) and the full
+//! execute–measure–route cycle of every steady superstep in between — while
+//! excluding one-time setup (arena/stage/counter construction, trace
+//! reservation) and end-of-run trace materialization.
+
+use nob_machine::{run, Program, RunOptions};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+/// The counter is process-global, so the tests in this file must not run
+/// concurrently with each other.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+struct CountingAlloc;
+
+// SAFETY: delegates to `System`, only adding a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A butterfly exchange: every VP sends one message per superstep — the
+/// densest per-VP pattern — with allocation-free closures.
+fn counting_butterfly(v: usize, rounds: usize) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for r in 0..rounds {
+        let l = (r as u32) % log_v;
+        let d = v >> (l + 1);
+        // Supersteps 0 and 1 are warmup: they grow the staging buffer and
+        // fill each of the two arenas once, establishing the steady-state
+        // capacities.
+        let arm = r == 2;
+        let last = r == rounds - 1;
+        prog.step(l, "bfly", move |st, ctx, inbox, out| {
+            // VP 0 of superstep 2 arms the counter, so measurement starts
+            // with that superstep's own metrics + routing phases. The final
+            // closure disarms it before end-of-run trace materialization.
+            if ctx.vp == 0 {
+                if arm {
+                    ALLOCS.store(0, Ordering::SeqCst);
+                    COUNTING.store(true, Ordering::SeqCst);
+                } else if last {
+                    COUNTING.store(false, Ordering::SeqCst);
+                }
+            }
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            if !last {
+                out.send(ctx.vp ^ d, *st);
+            }
+        });
+    }
+    prog
+}
+
+#[test]
+fn steady_state_supersteps_do_not_allocate() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let v = 1 << 10;
+    let rounds = 24;
+    let prog = counting_butterfly(v, rounds);
+    let states: Vec<u64> = (0..v as u64).collect();
+    // Serial path: the parallel path boxes one pool task per chunk per
+    // superstep, which is the one documented exception.
+    let opts = RunOptions { parallel: false, ..Default::default() };
+    let res = run(&prog, states, &opts).unwrap();
+    assert!(!COUNTING.load(Ordering::SeqCst), "final superstep must disarm the counter");
+    assert_eq!(res.trace.superstep_count(), rounds);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations during {} steady-state supersteps of v = {v}",
+        rounds - 3,
+    );
+}
+
+#[test]
+fn warmup_allocations_do_not_grow_with_superstep_count() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Whole-run allocation totals for S and 2S supersteps differ only by
+    // the trace-record materialization at the end of the run (2 allocations
+    // per extra superstep: the record's degree vector and the builder's
+    // amortized flat growth are pre-reserved, but each `SuperstepRecord`
+    // owns one `h_by_fold` vector, and `Vec<SuperstepRecord>` collection is
+    // a single allocation).
+    let v = 1 << 8;
+    let count_run = |rounds: usize| -> usize {
+        let prog = counting_butterfly_silent(v, rounds);
+        let states: Vec<u64> = (0..v as u64).collect();
+        let opts = RunOptions { parallel: false, ..Default::default() };
+        ALLOCS.store(0, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        let res = run(&prog, states, &opts).unwrap();
+        COUNTING.store(false, Ordering::SeqCst);
+        assert_eq!(res.trace.superstep_count(), rounds);
+        ALLOCS.load(Ordering::SeqCst)
+    };
+    let short = count_run(8);
+    let long = count_run(24);
+    // 16 extra supersteps cost exactly 16 record materializations and
+    // nothing else: no per-superstep engine allocations.
+    assert_eq!(
+        long - short,
+        16,
+        "extra supersteps must cost exactly one end-of-run record allocation each",
+    );
+}
+
+/// Like [`counting_butterfly`] but without the in-closure arming (the whole
+/// run is measured by the caller).
+fn counting_butterfly_silent(v: usize, rounds: usize) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for r in 0..rounds {
+        let l = (r as u32) % log_v;
+        let d = v >> (l + 1);
+        let last = r == rounds - 1;
+        prog.step(l, "bfly", move |st, _ctx, inbox, out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            if !last {
+                out.send(_ctx.vp ^ d, *st);
+            }
+        });
+    }
+    prog
+}

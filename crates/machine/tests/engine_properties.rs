@@ -112,6 +112,58 @@ proptest! {
         }
     }
 
+    /// The arena engine is bit-for-bit equivalent to the preserved legacy
+    /// engine: same states, same trace, same message log — full granularity
+    /// and every folding.
+    #[test]
+    fn arena_engine_matches_reference((v, steps) in arb_steps()) {
+        let prog = build_program(v, &steps);
+        let states: Vec<u64> = (0..v as u64).map(|x| x * 3 + 1).collect();
+        let arena = run(&prog, states.clone(), &RunOptions::with_log()).unwrap();
+        let legacy =
+            nob_machine::reference::run_reference(&prog, states.clone(), &RunOptions::with_log())
+                .unwrap();
+        prop_assert_eq!(&arena.states, &legacy.states);
+        prop_assert_eq!(&arena.trace, &legacy.trace);
+        prop_assert_eq!(&arena.message_log, &legacy.message_log);
+        let mut p = 2usize;
+        while p <= v {
+            let a = run_folded(&prog, states.clone(), p, &RunOptions::default()).unwrap();
+            let l = nob_machine::reference::run_folded_reference(
+                &prog,
+                states.clone(),
+                p,
+                &RunOptions::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(&a.states, &l.states, "folded states diverge at p = {}", p);
+            prop_assert_eq!(&a.trace, &l.trace, "folded trace diverges at p = {}", p);
+            p *= 2;
+        }
+    }
+
+    /// The folded message log (satellite fix: `collect_messages` was silently
+    /// ignored) aligns with the recorded supersteps and explains exactly the
+    /// processor-external message totals.
+    #[test]
+    fn folded_message_log_matches_folded_metrics((v, steps) in arb_steps()) {
+        let prog = build_program(v, &steps);
+        let states: Vec<u64> = (0..v as u64).collect();
+        let mut p = 2usize;
+        while p <= v {
+            let res = run_folded(&prog, states.clone(), p, &RunOptions::with_log()).unwrap();
+            let log = res.message_log.as_ref().expect("log requested");
+            prop_assert_eq!(log.len(), res.trace.steps.len());
+            for (msgs, step) in log.iter().zip(&res.trace.steps) {
+                prop_assert_eq!(msgs.len() as u64, step.total_msgs);
+                for &(ps, pd) in msgs {
+                    prop_assert!((ps as usize) < p && (pd as usize) < p && ps != pd);
+                }
+            }
+            p *= 2;
+        }
+    }
+
     /// The ascend–descend rewrite of any logged execution delivers every
     /// message and uses only labels < log p.
     #[test]

@@ -54,7 +54,7 @@ pub struct Mesh2D {
 impl Mesh2D {
     /// Builds a mesh with `p = side²` processors (`side` a power of two).
     pub fn new(p: usize) -> Mesh2D {
-        assert!(p.is_power_of_two() && p.trailing_zeros() % 2 == 0, "p must be 4^m");
+        assert!(p.is_power_of_two() && p.trailing_zeros().is_multiple_of(2), "p must be 4^m");
         Mesh2D { side: 1 << (p.trailing_zeros() / 2) }
     }
 
@@ -180,7 +180,7 @@ pub struct Torus2D {
 impl Torus2D {
     /// Builds a torus with `p = side²` processors (`side` a power of two).
     pub fn new(p: usize) -> Torus2D {
-        assert!(p.is_power_of_two() && p.trailing_zeros() % 2 == 0, "p must be 4^m");
+        assert!(p.is_power_of_two() && p.trailing_zeros().is_multiple_of(2), "p must be 4^m");
         Torus2D { side: 1 << (p.trailing_zeros() / 2) }
     }
 

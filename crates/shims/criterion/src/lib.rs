@@ -1,0 +1,126 @@
+//! Offline shim for `criterion` (see `crates/shims/README.md`): the group /
+//! `bench_function` / `iter` surface backed by a simple median-of-samples
+//! wall-clock timer. No statistics beyond min/median/max, no HTML reports —
+//! the numbers print to stdout, one line per benchmark.
+
+use std::time::Instant;
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 20 }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (minimum 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Times `f` and prints `group/id: min median max`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // One warm-up call outside the measurement.
+        let mut b = Bencher { samples: Vec::with_capacity(self.sample_size), warmup: true };
+        f(&mut b);
+        b.warmup = false;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        println!(
+            "bench {}/{}: min {:?} median {:?} max {:?} ({} samples)",
+            self.name,
+            id,
+            b.samples.first().copied().unwrap_or_default(),
+            median,
+            b.samples.last().copied().unwrap_or_default(),
+            b.samples.len(),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times one routine per call.
+pub struct Bencher {
+    samples: Vec<std::time::Duration>,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        std::hint::black_box(&out);
+        if !self.warmup {
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher { samples: Vec::new(), warmup: false }
+    }
+}
+
+/// Declares the function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        let mut runs = 0u32;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.finish();
+        // warm-up + 5 samples
+        assert_eq!(runs, 6);
+    }
+}

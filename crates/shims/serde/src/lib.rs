@@ -1,0 +1,12 @@
+//! Offline shim for `serde` (see `crates/shims/README.md`): marker traits
+//! plus the re-exported no-op derives, so `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` positions compile
+//! unchanged. No code in this workspace performs serde serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -29,15 +29,15 @@ fn main() {
 
     // Reference closure by BFS from every node.
     let mut reach = vec![vec![false; v]; v];
-    for s in 0..v {
+    for (s, row) in reach.iter_mut().enumerate() {
         let mut stack = vec![s];
         while let Some(u) = stack.pop() {
-            if reach[s][u] {
+            if row[u] {
                 continue;
             }
-            reach[s][u] = true;
-            for w in 0..v {
-                if adj.get(u, w).0 && !reach[s][w] {
+            row[u] = true;
+            for (w, seen) in row.iter().enumerate() {
+                if adj.get(u, w).0 && !seen {
                     stack.push(w);
                 }
             }
@@ -55,9 +55,9 @@ fn main() {
         total_messages += trace.total_messages();
     }
 
-    for s in 0..v {
-        for t in 0..v {
-            assert_eq!(adj.get(s, t).0, reach[s][t], "closure mismatch at ({s},{t})");
+    for (s, row) in reach.iter().enumerate() {
+        for (t, &want) in row.iter().enumerate() {
+            assert_eq!(adj.get(s, t).0, want, "closure mismatch at ({s},{t})");
         }
     }
     let reachable: usize = (0..v).map(|s| (0..v).filter(|&t| adj.get(s, t).0).count()).sum();

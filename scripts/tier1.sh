@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, lint-clean workspace.
+# Run from the repository root. All builds are offline (dependencies are
+# in-tree shims; see crates/shims/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy -q --offline --all-targets
+
+echo "tier1: OK"

@@ -1,0 +1,115 @@
+//! Workspace-level equivalence property tests for the arena engine on the
+//! *real* Section-4 programs (not just toy broadcasts): full-granularity
+//! execution, folded execution at `p ∈ {2, 4, 8}`, and the preserved legacy
+//! reference engine must all agree on final states and on every analytic
+//! fold of the communication trace.
+
+use network_oblivious::algos::fft::{naive_dft, BinaryExchangeFft, Complex};
+use network_oblivious::algos::sort::ColumnSort;
+use network_oblivious::machine::reference::{run_folded_reference, run_reference};
+use network_oblivious::machine::{run, run_folded, NobAlgorithm, RunOptions};
+use proptest::prelude::*;
+
+/// Checks the full set of equivalences for one algorithm instance:
+/// full run == folded run (states + all fold metrics) == reference engine,
+/// for every `p` in `ps`.
+fn assert_engine_equivalences<A>(alg: &A, n: usize, input: &A::Input, ps: &[usize])
+where
+    A: NobAlgorithm,
+    A::State: PartialEq + std::fmt::Debug,
+{
+    let states = alg.init(n, input);
+    let prog = alg.build(n);
+    let opts = RunOptions::default();
+    let full = run(&prog, states.clone(), &opts).unwrap();
+    let legacy = run_reference(&prog, states.clone(), &opts).unwrap();
+    assert_eq!(full.states, legacy.states, "arena vs reference states, n = {n}");
+    assert_eq!(full.trace, legacy.trace, "arena vs reference trace, n = {n}");
+    for &p in ps {
+        if p > prog.v() {
+            continue;
+        }
+        let folded = run_folded(&prog, states.clone(), p, &opts).unwrap();
+        assert_eq!(folded.states, full.states, "full vs folded states at p = {p}, n = {n}");
+        let folded_legacy = run_folded_reference(&prog, states.clone(), p, &opts).unwrap();
+        assert_eq!(
+            folded.trace, folded_legacy.trace,
+            "arena vs reference folded trace at p = {p}, n = {n}"
+        );
+        // The executed folding must reproduce the analytic fold of the
+        // full-granularity trace at every sub-granularity.
+        let mut q = 2;
+        while q <= p {
+            assert_eq!(
+                folded.trace.fold(q),
+                full.trace.fold(q),
+                "executed vs analytic fold metrics at p = {p}, q = {q}, n = {n}"
+            );
+            q *= 2;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// FFT: random signals, sizes 8..=256, folds p ∈ {2, 4, 8}.
+    #[test]
+    fn fft_full_folded_and_reference_agree(lg in 3u32..9, seed in any::<u64>()) {
+        let n = 1usize << lg;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 2000) as f64 / 1000.0 - 1.0
+        };
+        let xs: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        assert_engine_equivalences(&BinaryExchangeFft, n, &xs[..], &[2, 4, 8]);
+        // And the algorithm still computes the DFT through the arena engine.
+        let (got, _) = network_oblivious::machine::execute(
+            &BinaryExchangeFft,
+            n,
+            &xs[..],
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let want = naive_dft(&xs);
+        let eps = 1e-9 * (n as f64) * 8.0;
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!(g.close_to(*w, eps), "{:?} vs {:?}", g, w);
+        }
+    }
+
+    /// Columnsort: random keys (duplicate-heavy and full-range universes),
+    /// sizes 8..=512, folds p ∈ {2, 4, 8}.
+    #[test]
+    fn sort_full_folded_and_reference_agree(
+        lg in 3u32..10,
+        seed in any::<u64>(),
+        small_universe in any::<bool>(),
+    ) {
+        let n = 1usize << lg;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let keys: Vec<u64> =
+            (0..n).map(|_| if small_universe { next() % 4 } else { next() }).collect();
+        let alg = ColumnSort::<u64>::default();
+        assert_engine_equivalences(&alg, n, &keys[..], &[2, 4, 8]);
+        let (got, _) = network_oblivious::machine::execute(
+            &alg,
+            n,
+            &keys[..],
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let mut want = keys.clone();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}
