@@ -21,7 +21,7 @@ use std::marker::PhantomData;
 
 /// Per-VP state: the resident entries (values travel; coordinates are
 /// positional, as in the systolic original).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CannonState<V> {
     a: V,
     b: V,

@@ -21,7 +21,7 @@ use std::marker::PhantomData;
 
 /// Per-VP state: current operand entries (descending the recursion) and the
 /// accumulated product entries (ascending).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MmState<V> {
     a: Vec<Entry<V>>,
     b: Vec<Entry<V>>,

@@ -206,7 +206,7 @@ impl Geo {
 type ServeMask = u32;
 
 /// Per-VP value store.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StencilState<V> {
     store: HashMap<(i64, i64), (V, ServeMask)>,
 }

@@ -252,7 +252,7 @@ impl Geo2 {
 type ServeMask = u32;
 
 /// Per-VP value store for the (n,2)-stencil.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stencil2State<V> {
     store: HashMap<(i64, i64, i64), (V, ServeMask)>,
 }

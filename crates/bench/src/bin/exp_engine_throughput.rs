@@ -1,10 +1,19 @@
-//! Engine-throughput experiment: messages/second of the arena engine vs the
-//! preserved legacy reference engine, on the real FFT and Columnsort
-//! programs, for `v = 2^10 .. 2^16`. Emits a machine-readable
-//! `BENCH_engine.json` so future PRs can track the perf trajectory.
+//! Engine-throughput experiment: messages/second of the sharded arena
+//! engine vs the preserved legacy reference engine, on the real FFT and
+//! Columnsort programs, for `v = 2^10 .. 2^16`, with a thread-scaling
+//! column (1, 2, 4, … executor workers). Emits a machine-readable
+//! `BENCH_engine.json` so future PRs can track the perf trajectory
+//! (`scripts/bench_compare.sh` diffs two such files).
 //!
 //! Usage: `cargo run --release -p nob-bench --bin exp_engine_throughput
 //! [max_log_v] [out_path]` (defaults: 16, `BENCH_engine.json`).
+//!
+//! The executor width is pinned per row via `RunOptions::workers`, so one
+//! process covers the whole scaling column; the rayon pool width (reported
+//! per row, overridable with `NOB_THREADS`) only affects the reference
+//! engine's internal parallelism and the engine's *default* width. The
+//! `threads = 1` rows take the serial path and are directly comparable to
+//! the PR-1 single-core baseline.
 
 use nob_algos::fft::BinaryExchangeFft;
 use nob_algos::sort::ColumnSort;
@@ -25,6 +34,13 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// Logical CPUs visible to this process (cgroup-quota aware) — an upper
+/// bound on usable hardware parallelism, not a physical-core count.
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[derive(Clone)]
 struct Measurement {
     secs: f64,
     messages: u64,
@@ -66,71 +82,112 @@ fn measure<S: Clone + Send, M: Send>(
 struct Row {
     v: usize,
     program: &'static str,
+    /// Executor workers pinned for this row (`RunOptions::workers`).
+    threads: usize,
     arena: Measurement,
     reference: Measurement,
     peak_rss_kb: u64,
 }
 
-fn bench_program<A>(alg: &A, name: &'static str, n: usize, input: &A::Input, opts: &RunOptions) -> Row
-where
+fn bench_program<A>(
+    alg: &A,
+    name: &'static str,
+    n: usize,
+    input: &A::Input,
+    widths: &[usize],
+    rows: &mut Vec<Row>,
+) where
     A: NobAlgorithm,
     A::State: Clone + PartialEq + std::fmt::Debug,
 {
     let prog = alg.build(n);
     let states = alg.init(n, input);
-    // Cross-check once before timing: both engines must agree exactly.
-    let a = run(&prog, states.clone(), opts).unwrap();
-    let r = run_reference(&prog, states.clone(), opts).unwrap();
-    assert_eq!(a.states, r.states, "{name}: engines disagree on states at v = {n}");
-    assert_eq!(a.trace, r.trace, "{name}: engines disagree on trace at v = {n}");
+    let base = RunOptions::default();
+    // Cross-check once before timing: serial, widest sharded, and the
+    // reference engine must agree exactly.
+    let serial = run(&prog, states.clone(), &serial_opts()).unwrap();
+    let r = run_reference(&prog, states.clone(), &base).unwrap();
+    assert_eq!(serial.states, r.states, "{name}: engines disagree on states at v = {n}");
+    assert_eq!(serial.trace, r.trace, "{name}: engines disagree on trace at v = {n}");
+    let widest = widths.iter().copied().max().unwrap_or(1);
+    let sh = run(&prog, states.clone(), &worker_opts(widest)).unwrap();
+    assert_eq!(sh.states, serial.states, "{name}: sharded states diverge at v = {n}");
+    assert_eq!(sh.trace, serial.trace, "{name}: sharded trace diverges at v = {n}");
 
-    let arena = measure(&prog, &states, |p, s| run(p, s, opts).unwrap());
-    let reference = measure(&prog, &states, |p, s| run_reference(p, s, opts).unwrap());
-    Row { v: n, program: name, arena, reference, peak_rss_kb: peak_rss_kb() }
+    let reference = measure(&prog, &states, |p, s| run_reference(p, s, &base).unwrap());
+    for &w in widths {
+        let opts = worker_opts(w);
+        let arena = measure(&prog, &states, |p, s| run(p, s, &opts).unwrap());
+        let row = Row {
+            v: n,
+            program: name,
+            threads: w,
+            arena,
+            reference: reference.clone(),
+            peak_rss_kb: peak_rss_kb(),
+        };
+        eprintln!(
+            "v={:<6} {:<5} w={} arena {:>10.0} msg/s | reference {:>10.0} msg/s | speedup {:.2}x",
+            row.v,
+            row.program,
+            row.threads,
+            row.arena.msgs_per_sec(),
+            row.reference.msgs_per_sec(),
+            row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
+        );
+        rows.push(row);
+    }
+}
+
+fn serial_opts() -> RunOptions {
+    RunOptions { workers: Some(1), ..Default::default() }
+}
+
+fn worker_opts(w: usize) -> RunOptions {
+    RunOptions { workers: Some(w), ..Default::default() }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let max_log_v: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
     let out_path = args.get(2).cloned().unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let opts = RunOptions::default();
+    let cpus = available_cpus();
+    // Thread-scaling column: 1, 2, 4, … up to at least 4 (so the scaling
+    // shape is recorded even on narrow containers) and up to the next
+    // power of two covering the machine.
+    let mut widths = vec![1usize];
+    while *widths.last().unwrap() < 4.max(cpus) {
+        widths.push(widths.last().unwrap() * 2);
+    }
 
     let mut rows = Vec::new();
     for log_v in 10..=max_log_v {
         let v = 1usize << log_v;
         let signal = test_signal(v);
-        rows.push(bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &opts));
+        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &widths, &mut rows);
         let keys = random_keys(v, 42);
-        rows.push(bench_program(&ColumnSort::<u64>::default(), "sort", v, &keys[..], &opts));
-        let last = &rows[rows.len() - 2..];
-        for row in last {
-            eprintln!(
-                "v=2^{log_v} {:<5} arena {:>10.0} msg/s | reference {:>10.0} msg/s | speedup {:.2}x",
-                row.program,
-                row.arena.msgs_per_sec(),
-                row.reference.msgs_per_sec(),
-                row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
-            );
-        }
+        bench_program(&ColumnSort::<u64>::default(), "sort", v, &keys[..], &widths, &mut rows);
     }
 
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"engine_throughput\",").unwrap();
     writeln!(json, "  \"pool_threads\": {},", rayon::current_num_threads()).unwrap();
-    writeln!(json, "  \"validate\": {},", opts.validate).unwrap();
-    writeln!(json, "  \"note\": \"peak_rss_kb is the process VmHWM high-water mark, cumulative across rows\",").unwrap();
+    writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
+    writeln!(json, "  \"validate\": {},", RunOptions::default().validate).unwrap();
+    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path, comparable to the PR-1 arena baseline); peak_rss_kb is the process VmHWM high-water mark, cumulative across rows\",").unwrap();
     writeln!(json, "  \"rows\": [").unwrap();
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         writeln!(
             json,
-            "    {{\"v\": {}, \"program\": \"{}\", \"supersteps\": {}, \"messages_per_run\": {}, \
+            "    {{\"v\": {}, \"program\": \"{}\", \"threads\": {}, \"supersteps\": {}, \"messages_per_run\": {}, \
              \"arena_secs\": {:.6}, \"arena_msgs_per_sec\": {:.0}, \
              \"reference_secs\": {:.6}, \"reference_msgs_per_sec\": {:.0}, \
              \"speedup\": {:.3}, \"peak_rss_kb\": {}}}{}",
             row.v,
             row.program,
+            row.threads,
             row.arena.supersteps,
             row.arena.messages,
             row.arena.secs,

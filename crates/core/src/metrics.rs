@@ -115,6 +115,34 @@ impl SuperstepRecord {
 /// the externality threshold comes from one `xor`/`leading_zeros`, and a
 /// message internal at every tracked level (e.g. a VP sending to itself, or
 /// a processor-internal message in a folded run) costs `O(1)`.
+///
+/// # Shard-local counters
+///
+/// The sharded executor gives every shard (a contiguous block of
+/// `2^(log_v - log_shards)` VPs) a private instance built with
+/// [`DegreeCounters::shard_full`] / [`DegreeCounters::shard_folded`]. The
+/// tracked levels split at `split = log_shards`:
+///
+/// * **Fine levels** (`split < j ≤ levels`): a fold-level processor is
+///   contained in exactly one shard, so its sent counter is bumped only by
+///   the shard owning the source VP ([`DegreeCounters::record`] for
+///   shard-internal messages, [`DegreeCounters::record_sent`] for outgoing
+///   ones) and its received counter only by the shard owning the
+///   destination ([`DegreeCounters::record_received`], called by the
+///   receiving shard while draining its incoming lanes). Slot ownership is
+///   disjoint across shards, so each shard's running maximum is exact and
+///   the global maximum is the max over shards. Only the `2^(j - split)`
+///   processors owned by the shard are allocated per level, keeping total
+///   slot memory independent of the shard count.
+/// * **Coarse levels** (`1 ≤ j ≤ split`): a fold-level processor spans
+///   whole shards, so per-shard counts are partial sums — but each shard
+///   maps into exactly *one* processor per coarse level, so two scalars per
+///   level suffice. [`EpochMerge`] adds them up per processor and takes the
+///   maximum once per superstep, replacing the per-message level walk with
+///   one `O(shards · log shards)` batch at the barrier.
+///
+/// With `log_shards = 0` (the serial engine) every level is fine and the
+/// layout is identical to the pre-shard counters.
 #[derive(Debug, Clone)]
 pub struct DegreeCounters {
     /// `log2 v` of the id space messages are expressed in (VP granularity).
@@ -122,18 +150,29 @@ pub struct DegreeCounters {
     /// Number of fold levels tracked: `log_v` for full-granularity runs,
     /// `log p` for folded runs.
     levels: u32,
+    /// Number of coarse levels (`= log_shards`; 0 when not sharded).
+    split: u32,
+    /// Index of the owning shard (0 when not sharded).
+    shard: usize,
     /// Whether messages internal at every tracked level count toward
     /// `total()`. Full-granularity traces count them (a self-send is still a
     /// message); folded traces only count processor-external messages,
     /// matching the paper's folding semantics.
     count_internal: bool,
-    /// Flattened per-level counters; level `j` occupies `2^j` slots starting
-    /// at `2^j - 2`.
+    /// Flattened fine-level counters; level `j` occupies the
+    /// `2^(j - split)` slots starting at `2^(j - split) - 2`, covering the
+    /// processors owned by `shard` (all of them when `split = 0`).
     out_cnt: Vec<u64>,
     in_cnt: Vec<u64>,
     out_epoch: Vec<u32>,
     in_epoch: Vec<u32>,
-    /// `max_by_level[j - 1]` = running `max_k max(out_k, in_k)` at level `j`.
+    /// Per-shard scalars for coarse levels `1..=split`: messages external at
+    /// that level sent by (resp. received by) this shard's VPs.
+    out_coarse: Vec<u64>,
+    in_coarse: Vec<u64>,
+    /// `max_by_level[j - 1]` = running `max_k max(out_k, in_k)` at fine
+    /// level `j` over the slots this instance owns (unused for coarse
+    /// levels — [`EpochMerge`] computes those).
     max_by_level: Vec<u64>,
     total: u64,
     epoch: u32,
@@ -144,7 +183,7 @@ impl DegreeCounters {
     /// levels are tracked and internal (self-send) messages count toward the
     /// total, mirroring [`SuperstepRecord::from_counted_edges`].
     pub fn full(log_v: u32) -> Self {
-        Self::with_levels(log_v, log_v, true)
+        Self::with_layout(log_v, log_v, 0, 0, true)
     }
 
     /// Counters for a folded run on `M(2^log_p)` whose messages are given at
@@ -154,17 +193,46 @@ impl DegreeCounters {
         Self::with_levels(log_v, log_p, false)
     }
 
+    /// Shard-local counters for shard `shard` of `2^log_shards` in a
+    /// full-granularity run (see the type docs on the fine/coarse split).
+    pub fn shard_full(log_v: u32, log_shards: u32, shard: usize) -> Self {
+        Self::with_layout(log_v, log_v, log_shards, shard, true)
+    }
+
+    /// Shard-local counters for shard `shard` of `2^log_shards` in a run
+    /// folded onto `M(2^log_p)`; requires `log_shards ≤ log_p` (a shard
+    /// never spans fold-level processors).
+    pub fn shard_folded(log_v: u32, log_p: u32, log_shards: u32, shard: usize) -> Self {
+        Self::with_layout(log_v, log_p, log_shards, shard, false)
+    }
+
     fn with_levels(log_v: u32, levels: u32, count_internal: bool) -> Self {
+        Self::with_layout(log_v, levels, 0, 0, count_internal)
+    }
+
+    fn with_layout(
+        log_v: u32,
+        levels: u32,
+        split: u32,
+        shard: usize,
+        count_internal: bool,
+    ) -> Self {
         assert!(levels <= log_v, "cannot track more fold levels than log v");
-        let slots = (1usize << (levels + 1)) - 2;
+        assert!(split <= levels, "shards must not outnumber fold-level processors");
+        assert!(shard < (1usize << split) || (split == 0 && shard == 0), "shard out of range");
+        let slots = (1usize << (levels - split + 1)) - 2;
         DegreeCounters {
             log_v,
             levels,
+            split,
+            shard,
             count_internal,
             out_cnt: vec![0; slots],
             in_cnt: vec![0; slots],
             out_epoch: vec![0; slots],
             in_epoch: vec![0; slots],
+            out_coarse: vec![0; split as usize],
+            in_coarse: vec![0; split as usize],
             max_by_level: vec![0; levels as usize],
             total: 0,
             epoch: 0,
@@ -183,12 +251,24 @@ impl DegreeCounters {
             self.epoch = 1;
         }
         self.max_by_level.fill(0);
+        self.out_coarse.fill(0);
+        self.in_coarse.fill(0);
         self.total = 0;
     }
 
-    /// Records one message `src → dst` (VP-granularity ids). Dummy messages
-    /// are recorded exactly like payload messages — the paper's wiseness
-    /// device counts them in every degree metric.
+    /// Slot index of fine level `j` (`split < j ≤ levels`) for the global
+    /// fold-level processor `p_global`, which must be owned by this shard.
+    #[inline]
+    fn fine_index(&self, j: u32, p_global: usize) -> usize {
+        let w = j - self.split;
+        ((1usize << w) - 2) + p_global - (self.shard << w)
+    }
+
+    /// Records one message `src → dst` (VP-granularity ids) whose endpoints
+    /// are both owned by this instance — any message for the serial engine,
+    /// shard-internal messages for the sharded one. Dummy messages are
+    /// recorded exactly like payload messages — the paper's wiseness device
+    /// counts them in every degree metric.
     #[inline]
     pub fn record(&mut self, src: usize, dst: usize) {
         let x = src ^ dst;
@@ -208,16 +288,72 @@ impl DegreeCounters {
             }
             return;
         }
+        debug_assert!(
+            j_min > self.split,
+            "record() is for shard-internal messages; use record_sent/record_received"
+        );
         self.total += 1;
         for j in j_min..=self.levels {
             let shift = self.log_v - j;
-            let base = (1usize << j) - 2;
-            let ps = base + (src >> shift);
-            let pd = base + (dst >> shift);
+            let ps = self.fine_index(j, src >> shift);
+            let pd = self.fine_index(j, dst >> shift);
             let sent = Self::bump(&mut self.out_cnt, &mut self.out_epoch, ps, self.epoch);
             let recv = Self::bump(&mut self.in_cnt, &mut self.in_epoch, pd, self.epoch);
             let m = &mut self.max_by_level[(j - 1) as usize];
             *m = (*m).max(sent.max(recv));
+        }
+    }
+
+    /// Records the *send side* of a message leaving this shard (`src` owned
+    /// here, `dst` owned by another shard). Counts toward `total()`; the
+    /// receiving shard accounts the in-side via
+    /// [`DegreeCounters::record_received`].
+    #[inline]
+    pub fn record_sent(&mut self, src: usize, dst: usize) {
+        let x = src ^ dst;
+        debug_assert!(x != 0, "a cross-shard message cannot be a self-send");
+        let bitlen = usize::BITS - x.leading_zeros();
+        let j_min = (self.log_v - bitlen) + 1;
+        debug_assert!(
+            j_min <= self.split,
+            "record_sent() requires a shard-external message"
+        );
+        self.total += 1;
+        for j in j_min..=self.split {
+            self.out_coarse[(j - 1) as usize] += 1;
+        }
+        // A shard-external message is external at every fine level.
+        for j in (self.split + 1)..=self.levels {
+            let shift = self.log_v - j;
+            let ps = self.fine_index(j, src >> shift);
+            let sent = Self::bump(&mut self.out_cnt, &mut self.out_epoch, ps, self.epoch);
+            let m = &mut self.max_by_level[(j - 1) as usize];
+            *m = (*m).max(sent);
+        }
+    }
+
+    /// Records the *receive side* of a message arriving from another shard
+    /// (`dst` owned here). Does **not** count toward `total()` — the sender
+    /// already did.
+    #[inline]
+    pub fn record_received(&mut self, src: usize, dst: usize) {
+        let x = src ^ dst;
+        debug_assert!(x != 0, "a cross-shard message cannot be a self-send");
+        let bitlen = usize::BITS - x.leading_zeros();
+        let j_min = (self.log_v - bitlen) + 1;
+        debug_assert!(
+            j_min <= self.split,
+            "record_received() requires a shard-external message"
+        );
+        for j in j_min..=self.split {
+            self.in_coarse[(j - 1) as usize] += 1;
+        }
+        for j in (self.split + 1)..=self.levels {
+            let shift = self.log_v - j;
+            let pd = self.fine_index(j, dst >> shift);
+            let recv = Self::bump(&mut self.in_cnt, &mut self.in_epoch, pd, self.epoch);
+            let m = &mut self.max_by_level[(j - 1) as usize];
+            *m = (*m).max(recv);
         }
     }
 
@@ -238,8 +374,11 @@ impl DegreeCounters {
     }
 
     /// The superstep degree `h^s` at fold `2^j` so far (`1 ≤ j ≤ levels`).
+    /// For shard-local counters this is only exact at fine levels
+    /// (`j > log_shards`); coarse levels are assembled by [`EpochMerge`].
     #[inline]
     pub fn level_max(&self, j: u32) -> u64 {
+        debug_assert!(j > self.split, "coarse levels are only exact after an EpochMerge");
         self.max_by_level[(j - 1) as usize]
     }
 
@@ -247,6 +386,103 @@ impl DegreeCounters {
     #[inline]
     pub fn total(&self) -> u64 {
         self.total
+    }
+}
+
+/// Combines the shard-local [`DegreeCounters`] of one superstep into the
+/// global per-fold degrees — the barrier-time half of the sharded metric
+/// pipeline.
+///
+/// Fine-level maxima are exact per shard (disjoint slot ownership), so the
+/// merge is a plain `max` per level. Coarse levels are reassembled from the
+/// per-shard scalars: shard `w` maps into processor `w >> (log_shards - j)`
+/// at level `j`, its scalars are added there, and the processor maximum is
+/// taken once in [`EpochMerge::finish`]. One instance is allocated per run
+/// and reused across supersteps (allocation-free in steady state).
+#[derive(Debug)]
+pub struct EpochMerge {
+    levels: u32,
+    split: u32,
+    /// Flattened coarse sums; level `j` occupies `2^j` slots at `2^j - 2`.
+    out_sum: Vec<u64>,
+    in_sum: Vec<u64>,
+    max_by_level: Vec<u64>,
+    total: u64,
+}
+
+impl EpochMerge {
+    /// A merger for `2^log_shards` shards tracking `levels` fold levels.
+    pub fn new(levels: u32, log_shards: u32) -> Self {
+        assert!(log_shards <= levels, "shards must not outnumber fold-level processors");
+        let coarse_slots = (1usize << (log_shards + 1)) - 2;
+        EpochMerge {
+            levels,
+            split: log_shards,
+            out_sum: vec![0; coarse_slots],
+            in_sum: vec![0; coarse_slots],
+            max_by_level: vec![0; levels as usize],
+            total: 0,
+        }
+    }
+
+    /// Resets the merge state; call once per superstep before
+    /// [`EpochMerge::add_shard`].
+    pub fn begin_superstep(&mut self) {
+        self.out_sum.fill(0);
+        self.in_sum.fill(0);
+        self.max_by_level.fill(0);
+        self.total = 0;
+    }
+
+    /// Folds shard `shard`'s counters for the current superstep into the
+    /// merge.
+    pub fn add_shard(&mut self, shard: usize, c: &DegreeCounters) {
+        debug_assert_eq!(c.levels, self.levels, "level count mismatch");
+        debug_assert_eq!(c.split, self.split, "shard-split mismatch");
+        debug_assert_eq!(c.shard, shard, "counters added under the wrong shard id");
+        self.total += c.total;
+        for j in (self.split + 1)..=self.levels {
+            let m = &mut self.max_by_level[(j - 1) as usize];
+            *m = (*m).max(c.max_by_level[(j - 1) as usize]);
+        }
+        for j in 1..=self.split {
+            let proc = shard >> (self.split - j);
+            let base = (1usize << j) - 2;
+            self.out_sum[base + proc] += c.out_coarse[(j - 1) as usize];
+            self.in_sum[base + proc] += c.in_coarse[(j - 1) as usize];
+        }
+    }
+
+    /// Computes the coarse-level maxima from the accumulated sums; call
+    /// after the last [`EpochMerge::add_shard`] of the superstep.
+    pub fn finish(&mut self) {
+        for j in 1..=self.split {
+            let base = (1usize << j) - 2;
+            let procs = 1usize << j;
+            self.max_by_level[(j - 1) as usize] = (0..procs)
+                .map(|k| self.out_sum[base + k].max(self.in_sum[base + k]))
+                .max()
+                .unwrap_or(0);
+        }
+    }
+
+    /// The merged superstep degree `h^s` at fold `2^j` (`1 ≤ j ≤ levels`);
+    /// valid after [`EpochMerge::finish`].
+    #[inline]
+    pub fn level_max(&self, j: u32) -> u64 {
+        self.max_by_level[(j - 1) as usize]
+    }
+
+    /// Merged message total of the superstep.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of tracked fold levels.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
     }
 }
 
@@ -290,6 +526,18 @@ impl TraceBuilder {
         self.totals.push(counters.total());
         for j in 1..=counters.levels() {
             self.flat_h.push(counters.level_max(j));
+        }
+    }
+
+    /// Appends one superstep's metrics from a completed [`EpochMerge`] of
+    /// shard-local counters. Allocation-free while within the reserved
+    /// capacity.
+    pub fn push_merged(&mut self, label: u32, merged: &EpochMerge) {
+        debug_assert_eq!(merged.levels(), self.log_gran, "granularity mismatch");
+        self.labels.push(label);
+        self.totals.push(merged.total());
+        for j in 1..=merged.levels() {
+            self.flat_h.push(merged.level_max(j));
         }
     }
 
@@ -603,6 +851,122 @@ mod tests {
             let got = stream(label, &mut counters, &edges);
             assert_eq!(got, want, "divergence at round {round}: {edges:?}");
         }
+    }
+
+    /// Replays `edges` the way the sharded executor does — send side on the
+    /// source shard, receive side on the destination shard — and merges.
+    fn stream_sharded(
+        label: u32,
+        log_v: u32,
+        levels: u32,
+        log_shards: u32,
+        edges: &[(usize, usize, u64)],
+    ) -> SuperstepRecord {
+        let shards = 1usize << log_shards;
+        let shard_shift = log_v - log_shards;
+        let mut locals: Vec<DegreeCounters> = (0..shards)
+            .map(|w| {
+                if levels == log_v {
+                    DegreeCounters::shard_full(log_v, log_shards, w)
+                } else {
+                    DegreeCounters::shard_folded(log_v, levels, log_shards, w)
+                }
+            })
+            .collect();
+        for c in &mut locals {
+            c.begin_superstep();
+        }
+        for &(s, d, cnt) in edges {
+            let (ws, wd) = (s >> shard_shift, d >> shard_shift);
+            for _ in 0..cnt {
+                if ws == wd {
+                    locals[ws].record(s, d);
+                } else {
+                    locals[ws].record_sent(s, d);
+                    locals[wd].record_received(s, d);
+                }
+            }
+        }
+        let mut merge = EpochMerge::new(levels, log_shards);
+        merge.begin_superstep();
+        for (w, c) in locals.iter().enumerate() {
+            merge.add_shard(w, c);
+        }
+        merge.finish();
+        SuperstepRecord {
+            label,
+            h_by_fold: (1..=levels).map(|j| merge.level_max(j)).collect(),
+            total_msgs: merge.total(),
+        }
+    }
+
+    #[test]
+    fn sharded_counters_match_counted_edges_exactly() {
+        let log_v = 5u32;
+        let v = 1usize << log_v;
+        let mut state = 0xdead_beefu64;
+        for round in 0..48 {
+            let mut edges = Vec::new();
+            for _ in 0..(round % 9) * 2 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let s = (state >> 20) as usize % v;
+                let d = (state >> 40) as usize % v;
+                edges.push((s, d, 1 + state % 2));
+            }
+            // Full granularity, every shard width that fits.
+            for log_shards in 0..=log_v {
+                let got = stream_sharded(0, log_v, log_v, log_shards, &edges);
+                let want = SuperstepRecord::from_counted_edges(0, log_v, &edges);
+                assert_eq!(got, want, "full-gran divergence at 2^{log_shards} shards: {edges:?}");
+            }
+            // Folded granularity p = 8, shard counts up to p.
+            for log_shards in 0..=3u32 {
+                let got = stream_sharded(0, log_v, 3, log_shards, &edges);
+                let shift = log_v - 3;
+                let ext: Vec<(usize, usize, u64)> = edges
+                    .iter()
+                    .map(|&(s, d, c)| (s >> shift, d >> shift, c))
+                    .filter(|(ps, pd, _)| ps != pd)
+                    .collect();
+                let want = SuperstepRecord::from_counted_edges(0, 3, &ext);
+                assert_eq!(got, want, "folded divergence at 2^{log_shards} shards: {edges:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_merge_is_reusable_across_supersteps() {
+        // The same counters + merger across two supersteps must not leak
+        // counts from the first into the second (epoch stamps + scalar
+        // resets).
+        let log_v = 4u32;
+        let mut a = DegreeCounters::shard_full(log_v, 1, 0);
+        let mut b = DegreeCounters::shard_full(log_v, 1, 1);
+        let mut merge = EpochMerge::new(log_v, 1);
+        // Superstep 1: a burst across the bisection.
+        a.begin_superstep();
+        b.begin_superstep();
+        for _ in 0..5 {
+            a.record_sent(0, 12);
+            b.record_received(0, 12);
+        }
+        merge.begin_superstep();
+        merge.add_shard(0, &a);
+        merge.add_shard(1, &b);
+        merge.finish();
+        assert_eq!(merge.level_max(1), 5);
+        assert_eq!(merge.total(), 5);
+        // Superstep 2: a single local message; the bisection count is gone.
+        a.begin_superstep();
+        b.begin_superstep();
+        a.record(1, 2);
+        merge.begin_superstep();
+        merge.add_shard(0, &a);
+        merge.add_shard(1, &b);
+        merge.finish();
+        assert_eq!(merge.level_max(1), 0);
+        assert_eq!(merge.level_max(4), 1);
+        assert_eq!(merge.total(), 1);
     }
 
     #[test]

@@ -1,52 +1,64 @@
 //! The superstep execution engine: full-granularity and folded runs on
-//! zero-allocation mailbox arenas.
+//! zero-allocation mailbox arenas, executed serially or by the persistent
+//! sharded executor.
 //!
-//! # Architecture: double-buffered mailbox arenas
+//! # Architecture: shards over double-buffered mailbox arenas
 //!
 //! The legacy engine (preserved as [`crate::reference`]) materialized, per
 //! superstep, one `Vec` outbox per VP, one `(src, dst, 1)` edge per message
 //! and `O(v)` metric scratch per fold level. This engine replaces all of
 //! that with aggregate, cache-friendly structures that are allocated once
 //! per run and recycled, so **steady-state supersteps perform zero heap
-//! allocations** (serial path; the parallel path boxes one task per chunk):
+//! allocations** on the serial path:
 //!
-//! * **Two mailbox arenas** ([`mailbox::Arena`]): each is a contiguous
-//!   message slab plus a `v+1`-entry offset table giving every VP's inbox
+//! * **Two mailbox arenas per shard** ([`mailbox::Arena`]): each is a
+//!   contiguous message slab plus an offset table giving every VP's inbox
 //!   range. Per superstep the engine *reads* the previous superstep's
-//!   messages from one arena while the routing pass counting-sorts this
-//!   superstep's sends into the other; then the two swap roles. Slabs only
-//!   ever grow to the high-water message volume.
-//! * **Chunked send staging** ([`mailbox::ChunkStage`]): VPs are divided
-//!   into contiguous chunks (one per worker when parallel, one total when
-//!   serial). Each chunk appends its `(dst, envelope)` pairs to a recycled
-//!   flat buffer with per-VP end markers — the "thread-local buckets" that
-//!   the routing pass merges into the arena.
+//!   messages from one arena while this superstep's sends are sorted into
+//!   the other; then the two swap roles. Slabs only ever grow to the
+//!   high-water message volume.
+//! * **Send staging** ([`mailbox::ChunkStage`]): each shard appends its
+//!   VPs' `(dst, envelope)` pairs to a recycled flat buffer with per-VP end
+//!   markers, consumed by the routing pass.
 //! * **Streaming metrics** ([`nob_core::metrics::DegreeCounters`]): a single
 //!   pass over the staged messages validates the cluster constraint,
 //!   accumulates per-fold-level degree counters (epoch-stamped, with running
-//!   maxima, so emitting a [`SuperstepRecord`] is `O(log v)`), counts per
+//!   maxima, so emitting a superstep record is `O(log v)`), counts per
 //!   destination for the scatter, and optionally appends to the message
 //!   log — one loop where the legacy engine made `log v + 3` passes.
+//!
+//! # Execution paths
+//!
+//! * **Serial** (1 shard): the whole machine is one shard; the loop above
+//!   runs inline with a serial counting-sort scatter and allocates nothing
+//!   in steady state (proven by `tests/allocation.rs`).
+//! * **Sharded** ([`crate::shard`]): `n` persistent workers each own a
+//!   contiguous VP shard — its states, arenas, staging and a private
+//!   [`DegreeCounters`] — and exchange cross-shard messages through the
+//!   statically planned lanes of [`crate::program::LanePlan`]. The
+//!   inter-superstep barrier is a per-lane handoff plus an
+//!   `O(shards · log v)` counter merge instead of a global counting sort.
+//!   [`run_folded`] is the degenerate case *shard = fold* (capped by the
+//!   worker budget), which unifies the two execution modes over one code
+//!   path.
+//!
+//! The shard count derives from the rayon pool width (itself overridable
+//! with the `NOB_THREADS` environment variable) or from
+//! [`RunOptions::workers`]; both paths produce **bit-for-bit identical**
+//! states, traces and message logs — enforced by the differential property
+//! suites in `tests/engine_properties.rs` and `tests/engine_equivalence.rs`.
 //!
 //! # Invariants
 //!
 //! * **Delivery order** is ascending source VP, then send order — identical
-//!   to the legacy nested delivery loop (the counting sort is stable), so
+//!   to the legacy nested delivery loop (the counting sort is stable, and
+//!   shard lanes are drained in ascending source-shard order), so
 //!   `CommTrace` contents, message logs and final states are bit-for-bit
-//!   identical to the reference engine. The differential property tests in
-//!   `tests/engine_properties.rs` enforce this.
+//!   identical to the reference engine.
 //! * **Metrics are send-phase metrics**: dummy messages count toward every
 //!   degree (the paper's wiseness device) but are never delivered.
-//! * **Parallelism is adaptive**: the VP-execution phase parallelizes when
-//!   `v` is large enough relative to the worker pool for chunking to pay
-//!   ([`exec_chunks`]), and the scatter parallelizes only above a
-//!   per-superstep message volume threshold ([`route_parts`]) — replacing
-//!   the legacy fixed `PARALLEL_THRESHOLD = 128`. Parallel and serial paths
-//!   agree bit for bit.
 
-use crate::mailbox::{
-    clear_after_parallel_scatter, route_parallel, route_serial, Arena, ChunkStage, Inbox,
-};
+use crate::mailbox::{route_serial, Arena, ChunkStage, Inbox};
 use crate::program::{Ctx, Envelope, Program};
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{CommTrace, DegreeCounters, TraceBuilder};
@@ -56,9 +68,9 @@ use nob_core::ModelError;
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
-    /// Execute VPs of a superstep in parallel (the engine falls back to
-    /// serial execution when the machine is too small for the worker pool;
-    /// see the module docs on adaptive thresholds).
+    /// Execute the machine's shards in parallel (the engine falls back to
+    /// the serial path when the machine or the worker pool is too small for
+    /// sharding to pay; see the module docs).
     pub parallel: bool,
     /// Check the i-superstep cluster constraint on every message.
     pub validate: bool,
@@ -67,11 +79,19 @@ pub struct RunOptions {
     /// [`run_folded`] — needed by the ascend–descend protocol rewriter;
     /// costs memory proportional to the total message volume.
     pub collect_messages: bool,
+    /// Pins the number of executor shards (persistent workers). `None`
+    /// derives the width from the rayon pool (which honors the
+    /// `NOB_THREADS` environment variable); `Some(1)` forces the serial
+    /// path. Values are clamped to a power of two no larger than the
+    /// metric granularity of the run (and a hard ceiling of 256 OS
+    /// threads). Ignored when [`RunOptions::parallel`] is `false`, which
+    /// always takes the serial path.
+    pub workers: Option<usize>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { parallel: true, validate: true, collect_messages: false }
+        RunOptions { parallel: true, validate: true, collect_messages: false, workers: None }
     }
 }
 
@@ -95,49 +115,53 @@ pub struct RunResult<S> {
     pub message_log: Option<Vec<Vec<(u32, u32)>>>,
 }
 
-/// Minimum VPs per worker for the execution phase to parallelize: chunk
-/// dispatch costs a queue round-trip per worker, so tiny machines run
-/// serially no matter the pool width.
+/// Minimum VPs per shard for a pool-derived worker count: persistent-worker
+/// dispatch costs barriers per superstep, so tiny machines run serially no
+/// matter the pool width. An explicit [`RunOptions::workers`] overrides
+/// this floor (differential tests shard tiny machines on purpose).
 const MIN_VPS_PER_WORKER: usize = 64;
 
-/// Minimum staged messages per worker for the scatter to parallelize: each
-/// worker scans the whole staging buffer, so the copy saved per worker must
-/// dominate the extra scan bandwidth.
-const MIN_MSGS_PER_ROUTE_WORKER: usize = 16 * 1024;
+/// Hard ceiling on explicit worker requests: each shard is an OS thread,
+/// and a request large enough to make thread spawning itself fail would
+/// strand the already-spawned gang on its barrier.
+const MAX_WORKERS: usize = 256;
 
-/// Number of execution chunks for a machine of `v` VPs: one per pool worker
-/// when each worker gets at least [`MIN_VPS_PER_WORKER`] VPs, else 1
-/// (serial). Replaces the legacy fixed `PARALLEL_THRESHOLD = 128`.
-fn exec_chunks(v: usize, parallel: bool) -> usize {
-    if !parallel {
-        return 1;
-    }
-    let workers = rayon::current_num_threads();
-    if workers < 2 || v < 2 * MIN_VPS_PER_WORKER {
-        return 1;
-    }
-    workers.min(v / MIN_VPS_PER_WORKER).max(1)
+/// The metric granularity of a run, shared between the serial and sharded
+/// paths.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GranSpec {
+    /// Fold levels tracked: `log v` for full runs, `log p` for folded ones.
+    pub(crate) levels: u32,
+    /// Shift from VP ids to metric-granularity processor ids.
+    pub(crate) gran_shift: u32,
+    /// Whether this is a full-granularity run (affects message-log format
+    /// and whether granularity-internal messages count).
+    pub(crate) full: bool,
 }
 
-/// Number of scatter partitions for a superstep that staged `msgs` messages.
-fn route_parts(msgs: usize, parallel: bool) -> usize {
-    if !parallel {
+/// Number of executor shards for a machine of `v` VPs at metric granularity
+/// `gran`: a power of two between 1 and `gran`.
+fn shard_count(v: usize, gran: usize, opts: &RunOptions) -> usize {
+    if !opts.parallel {
         return 1;
     }
-    let workers = rayon::current_num_threads();
-    if workers < 2 || msgs < 2 * MIN_MSGS_PER_ROUTE_WORKER {
-        return 1;
+    let cap = match opts.workers {
+        Some(w) => w.clamp(1, MAX_WORKERS),
+        None => {
+            let threads = rayon::current_num_threads();
+            if threads < 2 {
+                return 1;
+            }
+            threads.min(v / MIN_VPS_PER_WORKER)
+        }
+    };
+    let cap = cap.min(gran);
+    if cap < 2 {
+        1
+    } else {
+        // Largest power of two ≤ cap (shards must divide the VP space).
+        1usize << cap.ilog2()
     }
-    workers.min(msgs / MIN_MSGS_PER_ROUTE_WORKER).max(1)
-}
-
-/// The metric granularity of a run.
-enum Fold {
-    /// Record at VP granularity: every fold level, internal messages count.
-    Full,
-    /// Record at processor granularity `p < v`: levels `1..=log p`, only
-    /// supersteps with `label < log p`, only processor-external messages.
-    Folded { log_p: u32 },
 }
 
 /// Executes `prog` at full granularity on `M(v)`.
@@ -150,7 +174,8 @@ pub fn run<S: Send, M: Send>(
     states: Vec<S>,
     opts: &RunOptions,
 ) -> Result<RunResult<S>, ModelError> {
-    run_core(prog, states, Fold::Full, opts)
+    let log_v = prog.log_v();
+    run_core(prog, states, prog.v(), GranSpec { levels: log_v, gran_shift: 0, full: true }, opts)
 }
 
 /// Executes the *folding* of `prog` on `M(p)` with `p ≤ v`: processor `r`
@@ -165,6 +190,12 @@ pub fn run<S: Send, M: Send>(
 /// one entry per *recorded* superstep holding the processor-external
 /// `(src proc, dst proc)` pairs at granularity `p`, aligned with
 /// `trace.steps` for the protocol rewriter.
+///
+/// Under the sharded executor this is the degenerate case *shard = fold*:
+/// the folding is executed by up to `p` persistent workers, each simulating
+/// one processor's consecutive VPs (fewer when the worker budget is
+/// smaller — shards then span whole processors and the metrics are merged
+/// identically).
 pub fn run_folded<S: Send, M: Send>(
     prog: &Program<S, M>,
     states: Vec<S>,
@@ -175,76 +206,70 @@ pub fn run_folded<S: Send, M: Send>(
     if !p.is_power_of_two() || p < 2 || p > v {
         return Err(ModelError::BadFold { p, v });
     }
-    run_core(prog, states, Fold::Folded { log_p: log2_exact(p) }, opts)
+    let log_p = log2_exact(p);
+    let spec = GranSpec { levels: log_p, gran_shift: prog.log_v() - log_p, full: false };
+    run_core(prog, states, p, spec, opts)
 }
 
 fn run_core<S: Send, M: Send>(
     prog: &Program<S, M>,
     mut states: Vec<S>,
-    fold: Fold,
+    gran: usize,
+    spec: GranSpec,
     opts: &RunOptions,
 ) -> Result<RunResult<S>, ModelError> {
     let v = prog.v();
-    let log_v = prog.log_v();
     assert_eq!(states.len(), v, "one state per VP required");
-    let (gran, levels, mut counters) = match fold {
-        Fold::Full => (v, log_v, DegreeCounters::full(log_v)),
-        Fold::Folded { log_p } => (1usize << log_p, log_p, DegreeCounters::folded(log_v, log_p)),
-    };
-    // Shift from VP ids to metric-granularity processor ids.
-    let gran_shift = log_v - levels;
+    let n_shards = shard_count(v, gran, opts);
+    let mut trace = TraceBuilder::new(gran, prog.n(), prog.steps().len());
+    let mut message_log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
+    if n_shards <= 1 {
+        run_serial(prog, &mut states, spec, opts, &mut trace, &mut message_log)?;
+    } else {
+        crate::shard::run_sharded(
+            prog,
+            &mut states,
+            spec,
+            n_shards,
+            opts,
+            &mut trace,
+            &mut message_log,
+        )?;
+    }
+    Ok(RunResult { states, trace: trace.finish(), message_log })
+}
 
-    let n_chunks = exec_chunks(v, opts.parallel);
-    let chunk_vps = v.div_ceil(n_chunks);
-    let mut stages: Vec<ChunkStage<M>> = (0..n_chunks).map(|_| ChunkStage::new(chunk_vps)).collect();
+/// The single-shard execution loop: the whole machine is one shard, and
+/// steady-state supersteps allocate nothing (the engine's headline property,
+/// proven by `tests/allocation.rs`).
+fn run_serial<S: Send, M: Send>(
+    prog: &Program<S, M>,
+    states: &mut [S],
+    spec: GranSpec,
+    opts: &RunOptions,
+    trace: &mut TraceBuilder,
+    message_log: &mut Option<Vec<Vec<(u32, u32)>>>,
+) -> Result<(), ModelError> {
+    let v = prog.v();
+    let log_v = prog.log_v();
+    let levels = spec.levels;
+    let mut counters = if spec.full {
+        DegreeCounters::full(log_v)
+    } else {
+        DegreeCounters::folded(log_v, levels)
+    };
+    let mut stage: ChunkStage<M> = ChunkStage::new(v);
     let mut arenas = [Arena::<M>::new(v), Arena::<M>::new(v)];
     let mut read_idx = 0usize;
     let mut dst_counts = vec![0u32; v];
     let mut cursors = vec![0u32; v];
-
-    let mut trace = TraceBuilder::new(gran, prog.n(), prog.steps().len());
-    let mut message_log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
 
     for step in prog.steps() {
         // --- computation + send phase -----------------------------------
         {
             let read = &mut arenas[read_idx];
             let (slab, offsets) = read.take_read();
-            if n_chunks == 1 {
-                exec_chunk(prog, step, 0, v, &mut states, slab, offsets, &mut stages[0]);
-            } else {
-                rayon::scope(|s| {
-                    let mut slab_rest = slab;
-                    let mut states_rest = &mut states[..];
-                    for (ci, stage) in stages.iter_mut().enumerate() {
-                        let vp_lo = ci * chunk_vps;
-                        let vp_hi = (vp_lo + chunk_vps).min(v);
-                        if vp_lo >= vp_hi {
-                            break;
-                        }
-                        let cut = (offsets[vp_hi] - offsets[vp_lo]) as usize;
-                        let taken = std::mem::take(&mut slab_rest);
-                        let (chunk_slab, rest) = taken.split_at_mut(cut);
-                        slab_rest = rest;
-                        let taken = std::mem::take(&mut states_rest);
-                        let (chunk_states, rest) = taken.split_at_mut(vp_hi - vp_lo);
-                        states_rest = rest;
-                        let chunk_offsets = &offsets[vp_lo..=vp_hi];
-                        s.spawn(move |_| {
-                            exec_chunk(
-                                prog,
-                                step,
-                                vp_lo,
-                                vp_hi - vp_lo,
-                                chunk_states,
-                                chunk_slab,
-                                chunk_offsets,
-                                stage,
-                            );
-                        });
-                    }
-                });
-            }
+            exec_chunk(prog, step, 0, v, states, slab, offsets, &mut stage);
         }
 
         // --- streaming validation + metrics + routing counts (one pass) ---
@@ -253,51 +278,42 @@ fn run_core<S: Send, M: Send>(
         dst_counts.fill(0);
         let mut step_log: Option<Vec<(u32, u32)>> =
             (message_log.is_some() && record_step).then(Vec::new);
-        for (ci, stage) in stages.iter().enumerate() {
-            let vp_lo = ci * chunk_vps;
-            let mut msg_idx = 0usize;
-            for (i, &end) in stage.vp_ends.iter().enumerate() {
-                let src = vp_lo + i;
-                for (dst, env) in &stage.outbox.msgs[msg_idx..end as usize] {
-                    let dst = *dst as usize;
-                    if opts.validate {
-                        if dst >= v {
-                            return Err(ModelError::BadParameter {
-                                what: "dst",
-                                reason: "message destination out of machine range",
-                            });
-                        }
-                        if !message_allowed(src, dst, log_v, step.label) {
-                            return Err(ModelError::ClusterViolation {
-                                label: step.label,
-                                src,
-                                dst,
-                            });
-                        }
+        let mut msg_idx = 0usize;
+        for (src, &end) in stage.vp_ends.iter().enumerate() {
+            for (dst, env) in &stage.outbox.msgs[msg_idx..end as usize] {
+                let dst = *dst as usize;
+                if opts.validate {
+                    if dst >= v {
+                        return Err(ModelError::BadParameter {
+                            what: "dst",
+                            reason: "message destination out of machine range",
+                        });
                     }
-                    if record_step {
-                        counters.record(src, dst);
-                    }
-                    if let Some(log) = step_log.as_mut() {
-                        match fold {
-                            Fold::Full => log.push((src as u32, dst as u32)),
-                            Fold::Folded { .. } => {
-                                let (ps, pd) = (src >> gran_shift, dst >> gran_shift);
-                                if ps != pd {
-                                    log.push((ps as u32, pd as u32));
-                                }
-                            }
-                        }
-                    }
-                    if matches!(env, Envelope::Data(_)) {
-                        // Saturating: a wrapped count would mis-size the
-                        // arena; saturation instead trips the scatter's
-                        // capacity assert (2^32 - 1 messages is the limit).
-                        dst_counts[dst] = dst_counts[dst].saturating_add(1);
+                    if !message_allowed(src, dst, log_v, step.label) {
+                        return Err(ModelError::ClusterViolation { label: step.label, src, dst });
                     }
                 }
-                msg_idx = end as usize;
+                if record_step {
+                    counters.record(src, dst);
+                }
+                if let Some(log) = step_log.as_mut() {
+                    if spec.full {
+                        log.push((src as u32, dst as u32));
+                    } else {
+                        let (ps, pd) = (src >> spec.gran_shift, dst >> spec.gran_shift);
+                        if ps != pd {
+                            log.push((ps as u32, pd as u32));
+                        }
+                    }
+                }
+                if matches!(env, Envelope::Data(_)) {
+                    // Saturating: a wrapped count would mis-size the
+                    // arena; saturation instead trips the scatter's
+                    // capacity assert (2^32 - 1 messages is the limit).
+                    dst_counts[dst] = dst_counts[dst].saturating_add(1);
+                }
             }
+            msg_idx = end as usize;
         }
         if record_step {
             trace.push_superstep(step.label, &counters);
@@ -310,26 +326,21 @@ fn run_core<S: Send, M: Send>(
         {
             let write = &mut arenas[1 - read_idx];
             let total = write.prepare_write(&dst_counts, &mut cursors);
-            let parts = route_parts(total, opts.parallel);
-            let (slab, offsets) = write.split_for_scatter(total);
-            if parts <= 1 {
-                route_serial(&mut stages, &mut cursors, slab);
-            } else {
-                route_parallel(&stages, offsets, &mut cursors, slab, parts);
-                clear_after_parallel_scatter(&mut stages);
-            }
+            let (slab, _offsets) = write.split_for_scatter(total);
+            route_serial(&mut stage, &mut cursors, slab);
             write.commit_write(total);
         }
         read_idx = 1 - read_idx;
     }
-
-    Ok(RunResult { states, trace: trace.finish(), message_log })
+    Ok(())
 }
 
-/// Runs the superstep closure for every VP of one chunk, carving per-VP
-/// inboxes out of the chunk's slab segment and staging sends contiguously.
+/// Runs the superstep closure for every VP of one shard, carving per-VP
+/// inboxes out of the shard's slab and staging sends contiguously. Shared
+/// by the serial path (one shard covering the machine) and the sharded
+/// executor's workers.
 #[allow(clippy::too_many_arguments)]
-fn exec_chunk<S, M>(
+pub(crate) fn exec_chunk<S, M>(
     prog: &Program<S, M>,
     step: &crate::program::Superstep<S, M>,
     vp_lo: usize,
@@ -391,6 +402,11 @@ mod tests {
             }
         });
         p
+    }
+
+    /// Options forcing the sharded executor at `w` workers.
+    fn sharded(w: usize) -> RunOptions {
+        RunOptions { workers: Some(w), ..Default::default() }
     }
 
     #[test]
@@ -459,6 +475,26 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_reports_cluster_violations_too() {
+        let mut p: Program<(), u32> = Program::new(8, 8);
+        p.step(1, "bad", |_, ctx, _, out| {
+            if ctx.vp == 2 {
+                out.send(6, 1); // crosses the bisection in a 1-superstep
+            }
+        });
+        for w in [2usize, 4] {
+            let err = match run(&p, vec![(); 8], &sharded(w)) {
+                Err(e) => e,
+                Ok(_) => panic!("expected a cluster violation at {w} workers"),
+            };
+            assert!(
+                matches!(err, ModelError::ClusterViolation { label: 1, src: 2, dst: 6 }),
+                "wrong error at {w} workers: {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn dummies_count_in_metrics_but_are_not_delivered() {
         let mut p: Program<u64, u64> = Program::new(4, 4);
         p.step(0, "dummy-send", |_, ctx, _, out| {
@@ -473,6 +509,13 @@ mod tests {
         assert_eq!(res.states, vec![0, 0, 0, 0], "dummy delivered?");
         assert_eq!(res.trace.steps[0].total_msgs, 1);
         assert_eq!(res.trace.steps[0].h(1), 1);
+        // Same through the sharded executor (the dummy crosses a shard
+        // boundary at 4 workers, so it rides a lane header).
+        for w in [2usize, 4] {
+            let s = run(&p, vec![0; 4], &sharded(w)).unwrap();
+            assert_eq!(s.states, res.states, "dummy delivered at {w} workers?");
+            assert_eq!(s.trace, res.trace, "dummy metrics diverge at {w} workers");
+        }
     }
 
     #[test]
@@ -486,6 +529,11 @@ mod tests {
         let res = run(&p, vec![(); 4], &RunOptions::with_log()).unwrap();
         let log = res.message_log.unwrap();
         assert_eq!(log, vec![vec![(0, 2), (1, 3)]]);
+        // The sharded log concatenates per-shard fragments in shard order =
+        // ascending source order.
+        let opts = RunOptions { workers: Some(4), ..RunOptions::with_log() };
+        let sharded = run(&p, vec![(); 4], &opts).unwrap();
+        assert_eq!(sharded.message_log.unwrap(), vec![vec![(0, 2), (1, 3)]]);
     }
 
     #[test]
@@ -514,6 +562,11 @@ mod tests {
         // VP0 -> VP7 becomes proc 0 -> proc 3; VP4 -> VP5 is internal to
         // proc 2 and is not logged.
         assert_eq!(log[0], vec![(0, 3)]);
+        // Shard = fold: the sharded folded run produces the same log.
+        let opts = RunOptions { workers: Some(4), ..RunOptions::with_log() };
+        let sharded = run_folded(&p, vec![(); 8], 4, &opts).unwrap();
+        assert_eq!(sharded.trace, res.trace);
+        assert_eq!(sharded.message_log.unwrap(), log);
     }
 
     #[test]
@@ -525,6 +578,49 @@ mod tests {
         let res = run(&p, vec![Vec::new(); 4], &RunOptions::default()).unwrap();
         // Each VP received exactly one message, in the second superstep only.
         assert!(res.states.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_bit_for_bit() {
+        let v = 16;
+        let mut states = vec![None; v];
+        states[0] = Some(41);
+        let prog = broadcast_program(v);
+        let serial = run(&prog, states.clone(), &RunOptions::with_log()).unwrap();
+        for w in [2usize, 4, 8, 16] {
+            let opts = RunOptions { workers: Some(w), ..RunOptions::with_log() };
+            let sh = run(&prog, states.clone(), &opts).unwrap();
+            assert_eq!(sh.states, serial.states, "states diverge at {w} workers");
+            assert_eq!(sh.trace, serial.trace, "trace diverges at {w} workers");
+            assert_eq!(sh.message_log, serial.message_log, "log diverges at {w} workers");
+        }
+        // Folded runs: every (p, workers ≤ p) combination agrees with the
+        // serial folding.
+        for p in [2usize, 4, 8] {
+            let serial_folded =
+                run_folded(&prog, states.clone(), p, &RunOptions::default()).unwrap();
+            for w in [2usize, 4, 8] {
+                let sh = run_folded(&prog, states.clone(), p, &sharded(w)).unwrap();
+                assert_eq!(sh.states, serial_folded.states, "folded states, p={p} w={w}");
+                assert_eq!(sh.trace, serial_folded.trace, "folded trace, p={p} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_worker_panics_propagate() {
+        let mut p: Program<(), u8> = Program::new(8, 8);
+        p.step(0, "boom", |_, ctx, _, _| {
+            if ctx.vp == 5 {
+                panic!("vp exploded");
+            }
+        });
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&p, vec![(); 8], &sharded(4))
+        }));
+        let payload = res.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "vp exploded");
     }
 
     #[test]

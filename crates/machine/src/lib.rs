@@ -16,26 +16,71 @@
 //! algorithm" restriction — same label sequence for all processing elements,
 //! terminating with a sync — a structural property of the program object.
 //!
+//! ## Shard/lane architecture
+//!
+//! The execution core is a **persistent sharded executor** built on the
+//! observation that the paper's folding semantics *is* a static sharding of
+//! the VP space: processor `r` of `M(p)` simulates the `v/p` consecutive
+//! VPs starting at `r·v/p`. Concretely:
+//!
+//! * **Shards** ([`shard`]): `n` long-lived workers, spawned once per run,
+//!   each exclusively owning a contiguous VP shard — its states, its pair
+//!   of double-buffered mailbox [`mailbox::Arena`]s, its send-staging
+//!   buffer, and a private set of shard-local degree counters
+//!   ([`nob_core::metrics::DegreeCounters`]). There is no global mailbox
+//!   and no global scatter.
+//! * **Lanes** ([`mailbox`]): cross-shard messages travel through one
+//!   structure-of-arrays lane per (source, destination) shard pair —
+//!   compact `(src, dst, has-payload)` headers separate from the payload
+//!   stream, so metric scans never touch payload bytes and the paper's
+//!   dummy messages occupy no payload slot. Which pairs can ever be active
+//!   is precomputed per program by [`program::LanePlan`] from the superstep
+//!   labels: an `i`-superstep only connects shards sharing the top `i`
+//!   shard-index bits, and supersteps with `label ≥ log n` touch no lane at
+//!   all.
+//! * **Barrier = handoff + merge**: the inter-superstep barrier is a
+//!   per-lane ownership handoff (send phase writes lane rows, gather phase
+//!   drains lane columns) plus an `O(n · log v)` epoch-merge of the shard
+//!   counters ([`nob_core::metrics::EpochMerge`]) — replacing the global
+//!   counting sort in which every worker re-scanned the entire staging
+//!   buffer.
+//!
+//! The serial path (1 shard) keeps its proven **zero-allocation steady
+//! state**; both paths produce bit-for-bit identical states, traces and
+//! message logs (differential property suites in `tests/`).
+//!
+//! ### Unsafe surface
+//!
+//! All `unsafe` is confined to [`mailbox`] behind three documented
+//! invariants: (1) arena slabs track their initialized prefix, (2) inbox
+//! views uniquely own the messages handed to closures, and (3) lane-grid
+//! access is phase-disciplined — row-exclusive while sending,
+//! column-exclusive while gathering, with the executor barrier providing
+//! the happens-before edges. Lane payload moves themselves go through safe
+//! `Vec` drains, so abandoned supersteps (validation errors, panics) drop
+//! staged messages through ordinary destructors.
+//!
 //! ## Execution modes
 //!
-//! * [`engine::run`] — full-granularity execution on `M(v)`, parallelized
-//!   across VPs with rayon. Produces the output states plus a
-//!   [`nob_core::CommTrace`] carrying per-superstep degrees for *every*
-//!   folding `M(2^j)` at once.
+//! * [`engine::run`] — full-granularity execution on `M(v)`, sharded across
+//!   the worker budget ([`engine::RunOptions::workers`], defaulting to the
+//!   rayon pool width, which honors `NOB_THREADS`). Produces the output
+//!   states plus a [`nob_core::CommTrace`] carrying per-superstep degrees
+//!   for *every* folding `M(2^j)` at once.
 //! * [`engine::run_folded`] — actually executes the folding on `p < v`
-//!   processors (processor `r` simulates the `v/p` consecutive VPs starting
-//!   at `r·v/p`, as prescribed in Section 2), recording metrics at
-//!   granularity `p`. Used to cross-check the analytic folding.
+//!   processors, recording metrics at granularity `p`. Under the sharded
+//!   executor this is the degenerate case *shard = fold* (capped by the
+//!   worker budget), so full and folded execution share one code path.
 //! * [`protocol::ascend_descend`] — rewrites a message log into the
 //!   Section-5 ascend–descend protocol execution, the basis of Theorem 5.3.
 //! * [`reference::run_reference`] — the preserved legacy engine (per-VP
 //!   `Vec` mailboxes), kept as the differential-testing and benchmarking
-//!   baseline for the arena engine; see [`mailbox`] for the arena layout.
+//!   baseline for the sharded engine.
 
 // Unsafe is denied everywhere except the `mailbox` module, which confines
-// the arena engine's entire unsafe surface behind documented invariants
-// (and the rayon shim's scoped-spawn lifetime extension, which lives in the
-// shim crate).
+// the engine's entire unsafe surface behind documented invariants (and the
+// rayon shim's scoped-spawn lifetime extension, which lives in the shim
+// crate).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -44,9 +89,10 @@ pub mod mailbox;
 pub mod program;
 pub mod protocol;
 pub mod reference;
+mod shard;
 pub mod traits;
 
 pub use engine::{run, run_folded, RunOptions, RunResult};
 pub use mailbox::Inbox;
-pub use program::{Ctx, Outbox, Program, Superstep};
+pub use program::{Ctx, LanePlan, Outbox, Program, Superstep};
 pub use traits::{execute, execute_folded, execute_with_log, NobAlgorithm};

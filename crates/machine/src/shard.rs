@@ -1,0 +1,499 @@
+//! The persistent sharded executor: long-lived workers over shard-owned
+//! mailboxes, exchanging messages through statically planned lanes.
+//!
+//! # Architecture
+//!
+//! Where the pre-shard engine forked one task per VP chunk every superstep
+//! and funneled *all* staged messages through a single global counting-sort
+//! scatter, this executor spawns `n_shards` workers **once per run**. Worker
+//! `w` exclusively owns the contiguous VP shard `[w·v/n, (w+1)·v/n)` — its
+//! states, its pair of double-buffered [`Arena`]s, its staging buffer and a
+//! private shard-local [`DegreeCounters`] — mirroring the paper's folding
+//! layout (processor `r` of `M(p)` simulates the `v/p` consecutive VPs
+//! starting at `r·v/p`). Cross-shard traffic flows through the
+//! [`LaneGrid`]: one structure-of-arrays lane per (source, destination)
+//! shard pair, where the set of pairs that can ever be active is fixed
+//! before execution by the program's [`LanePlan`] (cluster labels bound
+//! which shards can talk in each superstep).
+//!
+//! # Superstep protocol (three barriers)
+//!
+//! 1. **Exec + flush** — each worker runs its VPs (reading inboxes from its
+//!    own read arena), then drains its staging buffer once: validating,
+//!    recording send-side metrics, appending its message-log fragment, and
+//!    demultiplexing payloads — shard-internal ones into a local spill
+//!    buffer, cross-shard ones into the outgoing lanes of its row.
+//!    *Barrier.*
+//! 2. **Gather** — each worker scans the incoming lanes of its column (only
+//!    the peer span the [`LanePlan`] allows for this superstep's label):
+//!    one pass over the compact lane headers records receive-side metrics
+//!    and per-VP counts, then a second pass drains local spill + lanes in
+//!    ascending source-shard order into its own write arena — a purely
+//!    shard-local counting sort. *Barrier.*
+//! 3. **Merge** — worker 0 combines the shard counters through
+//!    [`EpochMerge`] (`O(n_shards · log v)`), pushes the superstep record,
+//!    and concatenates log fragments in shard order. *Barrier*, then the
+//!    arenas swap roles and the next superstep begins.
+//!
+//! Delivery order is preserved bit for bit: lanes are drained in ascending
+//! source-shard order and each lane is internally in ascending source-VP,
+//! then send, order — exactly the serial engine's stable counting sort.
+//!
+//! # Failure protocol
+//!
+//! Workers park on [`Barrier`]s, so no worker may ever unwind past one
+//! while peers still wait. Every phase body runs under `catch_unwind`;
+//! validation errors and panics park their evidence in the shard cell (or
+//! the shared panic slot), raise the `abort` flag, and *keep walking the
+//! barrier sequence* until all workers observe the flag at the same barrier
+//! and exit together. The run then reports the panic (re-raised) or the
+//! lowest shard's error — which is also the first in source order, matching
+//! the serial engine. Abandoned lane payloads are reclaimed by plain `Vec`
+//! destructors.
+//!
+//! # Why not the rayon pool?
+//!
+//! The workers are std scoped threads, not pool tasks: a barrier-coupled
+//! gang occupying pool workers could deadlock against other concurrent pool
+//! users (e.g. parallel tests), and oversubscription (`workers > pool
+//! width`) must stay legal because folded runs pin *shard = fold*. The pool
+//! width still determines the default shard count (see
+//! [`crate::engine::RunOptions::workers`]).
+
+// The only `unsafe` in this module are the calls into the lane-grid
+// accessors of `mailbox`, whose safety contract (phase-disciplined
+// row/column exclusivity, invariant 3) the barrier protocol here upholds;
+// each call site carries its SAFETY note.
+#![allow(unsafe_code)]
+
+use crate::engine::{exec_chunk, GranSpec, RunOptions};
+use crate::mailbox::{Arena, ChunkStage, LaneGrid};
+use crate::program::{Envelope, LanePlan, Program, Superstep};
+use nob_core::folding::message_allowed;
+use nob_core::metrics::{DegreeCounters, EpochMerge, TraceBuilder};
+use nob_core::model::log2_exact;
+use nob_core::ModelError;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Per-shard state crossing the worker/coordinator boundary. Protected by a
+/// mutex only to satisfy the type system: the barrier protocol already
+/// serializes access (the owning worker holds it during exec/flush/gather,
+/// the coordinator between the gather and merge barriers), so every lock is
+/// uncontended.
+struct ShardCell {
+    counters: DegreeCounters,
+    /// This shard's slice of the superstep's message log, in source order.
+    log_frag: Vec<(u32, u32)>,
+    /// First model violation detected by this shard, if any.
+    error: Option<ModelError>,
+}
+
+/// Executor-wide shared state.
+struct Shared<'p, S, M> {
+    prog: &'p Program<S, M>,
+    plan: LanePlan,
+    grid: LaneGrid<M>,
+    cells: Vec<Mutex<ShardCell>>,
+    barrier: Barrier,
+    /// Raised by any worker that errored or panicked; checked by every
+    /// worker after each barrier so the gang exits in lockstep.
+    abort: AtomicBool,
+    panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    spec: GranSpec,
+    validate: bool,
+    collect_log: bool,
+    v: usize,
+    log_v: u32,
+    n_shards: usize,
+    log_shards: u32,
+}
+
+/// Resources owned exclusively by one worker.
+struct Worker<'a, S, M> {
+    w: usize,
+    vp_lo: usize,
+    vps: usize,
+    states: &'a mut [S],
+    stage: ChunkStage<M>,
+    /// Shard-internal deliveries spilled during flush: `(dst − vp_lo,
+    /// payload)` in source order. Cross-shard payloads go to lanes instead,
+    /// so this buffer alone serves shard-local supersteps (`label ≥ log
+    /// n_shards`) without touching the grid at all.
+    local: Vec<(u32, M)>,
+    arenas: [Arena<M>; 2],
+    dst_counts: Vec<u32>,
+    cursors: Vec<u32>,
+}
+
+/// Coordinator-only resources, held by worker 0 (which runs on the calling
+/// thread).
+struct Coord<'a, 'b> {
+    merge: EpochMerge,
+    trace: &'a mut TraceBuilder,
+    log: Option<&'b mut Vec<Vec<(u32, u32)>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned cell only means a peer panicked mid-phase; the abort
+    // protocol already guarantees we never read torn state.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Executes `prog` on `n_shards` persistent workers. Trace granularity and
+/// folding semantics come from `spec`; results are bit-for-bit identical to
+/// the serial path.
+pub(crate) fn run_sharded<S: Send, M: Send>(
+    prog: &Program<S, M>,
+    states: &mut [S],
+    spec: GranSpec,
+    n_shards: usize,
+    opts: &RunOptions,
+    trace: &mut TraceBuilder,
+    message_log: &mut Option<Vec<Vec<(u32, u32)>>>,
+) -> Result<(), ModelError> {
+    let v = prog.v();
+    let log_v = prog.log_v();
+    let log_shards = log2_exact(n_shards);
+    debug_assert!(n_shards >= 2, "serial runs take the run_serial path");
+    debug_assert!(log_shards <= spec.levels, "shards must not outnumber fold processors");
+    let vps = v / n_shards;
+
+    let shared = Shared {
+        prog,
+        plan: prog.lane_plan(n_shards),
+        grid: LaneGrid::new(n_shards),
+        cells: (0..n_shards)
+            .map(|w| {
+                Mutex::new(ShardCell {
+                    counters: if spec.full {
+                        DegreeCounters::shard_full(log_v, log_shards, w)
+                    } else {
+                        DegreeCounters::shard_folded(log_v, spec.levels, log_shards, w)
+                    },
+                    log_frag: Vec::new(),
+                    error: None,
+                })
+            })
+            .collect(),
+        barrier: Barrier::new(n_shards),
+        abort: AtomicBool::new(false),
+        panic_slot: Mutex::new(None),
+        spec,
+        validate: opts.validate,
+        collect_log: message_log.is_some(),
+        v,
+        log_v,
+        n_shards,
+        log_shards,
+    };
+
+    let mut workers: Vec<Worker<'_, S, M>> = Vec::with_capacity(n_shards);
+    let mut rest = states;
+    for w in 0..n_shards {
+        let taken = std::mem::take(&mut rest);
+        let (mine, r) = taken.split_at_mut(vps);
+        rest = r;
+        workers.push(Worker {
+            w,
+            vp_lo: w * vps,
+            vps,
+            states: mine,
+            stage: ChunkStage::new(vps),
+            local: Vec::new(),
+            arenas: [Arena::new(vps), Arena::new(vps)],
+            dst_counts: vec![0u32; vps],
+            cursors: vec![0u32; vps],
+        });
+    }
+
+    let coordinator = workers.remove(0);
+    std::thread::scope(|scope| {
+        for worker in workers {
+            let shared = &shared;
+            scope.spawn(move || shard_loop(worker, shared, None));
+        }
+        let coord = Coord {
+            merge: EpochMerge::new(spec.levels, log_shards),
+            trace,
+            log: message_log.as_mut(),
+        };
+        shard_loop(coordinator, &shared, Some(coord));
+    });
+
+    if let Some(p) = lock(&shared.panic_slot).take() {
+        resume_unwind(p);
+    }
+    for cell in &shared.cells {
+        if let Some(e) = lock(cell).error.take() {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+/// Registers a phase outcome: model errors go to the shard cell, panics to
+/// the shared slot; either raises the abort flag.
+fn settle<S, M>(
+    shared: &Shared<'_, S, M>,
+    w: usize,
+    outcome: std::thread::Result<Result<(), ModelError>>,
+) {
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            lock(&shared.cells[w]).error.get_or_insert(e);
+            shared.abort.store(true, Ordering::SeqCst);
+        }
+        Err(p) => {
+            lock(&shared.panic_slot).get_or_insert(p);
+            shared.abort.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The per-worker superstep loop (see the module docs for the barrier
+/// protocol). `coord` is `Some` exactly for worker 0.
+fn shard_loop<S: Send, M: Send>(
+    mut me: Worker<'_, S, M>,
+    shared: &Shared<'_, S, M>,
+    mut coord: Option<Coord<'_, '_>>,
+) {
+    let mut read_idx = 0usize;
+    for (t, step) in shared.prog.steps().iter().enumerate() {
+        let record_step = step.label < shared.spec.levels;
+
+        // --- phase 1: exec + flush --------------------------------------
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            {
+                let read = &mut me.arenas[read_idx];
+                let (slab, offsets) = read.take_read();
+                exec_chunk(
+                    shared.prog,
+                    step,
+                    me.vp_lo,
+                    me.vps,
+                    me.states,
+                    slab,
+                    offsets,
+                    &mut me.stage,
+                );
+            }
+            let mut cell = lock(&shared.cells[me.w]);
+            flush(&mut me, shared, &mut cell, step, record_step)
+        }));
+        settle(shared, me.w, outcome);
+        shared.barrier.wait();
+        if shared.abort.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // --- phase 2: gather --------------------------------------------
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut cell = lock(&shared.cells[me.w]);
+            gather(&mut me, shared, &mut cell, t, record_step, 1 - read_idx);
+            Ok(())
+        }));
+        settle(shared, me.w, outcome);
+        shared.barrier.wait();
+
+        // --- phase 3: merge (coordinator only) --------------------------
+        if let Some(c) = coord.as_mut() {
+            if !shared.abort.load(Ordering::SeqCst) {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    merge_superstep(c, shared, step.label, record_step);
+                    Ok(())
+                }));
+                settle(shared, 0, outcome);
+            }
+        }
+        shared.barrier.wait();
+        if shared.abort.load(Ordering::SeqCst) {
+            break;
+        }
+        read_idx = 1 - read_idx;
+    }
+}
+
+/// Drains the shard's staged sends once: validation, send-side metrics, log
+/// fragment, and payload demultiplexing (local spill vs outgoing lanes).
+fn flush<S, M: Send>(
+    me: &mut Worker<'_, S, M>,
+    shared: &Shared<'_, S, M>,
+    cell: &mut ShardCell,
+    step: &Superstep<S, M>,
+    record_step: bool,
+) -> Result<(), ModelError> {
+    let v = shared.v;
+    let log_v = shared.log_v;
+    let shard_shift = log_v - shared.log_shards;
+    let vp_lo32 = me.vp_lo as u32;
+    if record_step {
+        cell.counters.begin_superstep();
+    }
+    cell.log_frag.clear();
+    let want_log = record_step && shared.collect_log;
+
+    let mut msg_idx = 0usize;
+    let mut staged = me.stage.outbox.msgs.drain(..);
+    for (i, &end) in me.stage.vp_ends.iter().enumerate() {
+        let src = me.vp_lo + i;
+        while msg_idx < end as usize {
+            let (dst, env) = staged.next().expect("vp_ends bound the staged messages");
+            msg_idx += 1;
+            let d = dst as usize;
+            if shared.validate {
+                if d >= v {
+                    return Err(ModelError::BadParameter {
+                        what: "dst",
+                        reason: "message destination out of machine range",
+                    });
+                }
+                if !message_allowed(src, d, log_v, step.label) {
+                    return Err(ModelError::ClusterViolation { label: step.label, src, dst: d });
+                }
+            }
+            let dst_shard = d >> shard_shift;
+            let local = dst_shard == me.w;
+            if record_step {
+                if local {
+                    cell.counters.record(src, d);
+                } else {
+                    cell.counters.record_sent(src, d);
+                }
+            }
+            if want_log {
+                if shared.spec.full {
+                    cell.log_frag.push((src as u32, dst));
+                } else {
+                    let (ps, pd) = (src >> shared.spec.gran_shift, d >> shared.spec.gran_shift);
+                    if ps != pd {
+                        cell.log_frag.push((ps as u32, pd as u32));
+                    }
+                }
+            }
+            match env {
+                Envelope::Data(m) => {
+                    if local {
+                        me.local.push((dst - vp_lo32, m));
+                    } else {
+                        // SAFETY: send phase — this worker exclusively owns
+                        // grid row `me.w` until the next barrier
+                        // (invariant 3 in `mailbox`).
+                        unsafe { shared.grid.lane_out(me.w, dst_shard) }.push_data(
+                            src as u32,
+                            dst,
+                            m,
+                        );
+                    }
+                }
+                Envelope::Dummy => {
+                    if !local {
+                        // SAFETY: as above. Cross-shard dummies ride the
+                        // lane headers so the receiver can meter them.
+                        unsafe { shared.grid.lane_out(me.w, dst_shard) }.push_dummy(src as u32, dst);
+                    }
+                }
+            }
+        }
+    }
+    drop(staged);
+    me.stage.vp_ends.clear();
+    Ok(())
+}
+
+/// Builds this shard's inboxes for the next superstep: counts destinations
+/// over local spill + incoming lane headers (recording receive-side
+/// metrics), then drains everything into the write arena in ascending
+/// source order.
+fn gather<S, M: Send>(
+    me: &mut Worker<'_, S, M>,
+    shared: &Shared<'_, S, M>,
+    cell: &mut ShardCell,
+    t: usize,
+    record_step: bool,
+    write_idx: usize,
+) {
+    // The lane plan is derived from the cluster constraint, which only
+    // validation enforces — unchecked runs must scan every potential peer.
+    let span =
+        if shared.validate { shared.plan.peer_span(me.w, t) } else { 0..shared.n_shards };
+    let vp_lo = me.vp_lo;
+    let local = &mut me.local;
+    let dst_counts = &mut me.dst_counts;
+    let cursors = &mut me.cursors;
+
+    dst_counts.fill(0);
+    for s_prev in span.clone() {
+        if s_prev == me.w {
+            for &(dst_rel, _) in local.iter() {
+                let c = &mut dst_counts[dst_rel as usize];
+                *c = c.saturating_add(1);
+            }
+        } else {
+            // SAFETY: gather phase — this worker exclusively owns grid
+            // column `me.w` until the next barrier (invariant 3).
+            let lane = unsafe { shared.grid.lane_in(s_prev, me.w) };
+            for hdr in &lane.hdrs {
+                if record_step {
+                    cell.counters.record_received(hdr.src as usize, hdr.dst as usize);
+                }
+                if hdr.data {
+                    let c = &mut dst_counts[hdr.dst as usize - vp_lo];
+                    *c = c.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    let write = &mut me.arenas[write_idx];
+    let total = write.prepare_write(dst_counts, cursors);
+    let (slab, _offsets) = write.split_for_scatter(total);
+    for s_prev in span {
+        if s_prev == me.w {
+            for (dst_rel, m) in local.drain(..) {
+                let cur = &mut cursors[dst_rel as usize];
+                slab[*cur as usize].write(m);
+                *cur += 1;
+            }
+        } else {
+            // SAFETY: as above.
+            let lane = unsafe { shared.grid.lane_in(s_prev, me.w) };
+            lane.drain_deliveries(|dst, m| {
+                let cur = &mut cursors[dst as usize - vp_lo];
+                slab[*cur as usize].write(m);
+                *cur += 1;
+            });
+        }
+    }
+    write.commit_write(total);
+}
+
+/// Coordinator: merges shard counters into the superstep record and
+/// assembles the message-log entry (fragments in shard order = ascending
+/// source order).
+fn merge_superstep<S, M>(
+    coord: &mut Coord<'_, '_>,
+    shared: &Shared<'_, S, M>,
+    label: u32,
+    record_step: bool,
+) {
+    if !record_step {
+        return;
+    }
+    coord.merge.begin_superstep();
+    let mut entry = shared.collect_log.then(Vec::new);
+    for w in 0..shared.n_shards {
+        let cell = lock(&shared.cells[w]);
+        coord.merge.add_shard(w, &cell.counters);
+        if let Some(e) = entry.as_mut() {
+            e.extend_from_slice(&cell.log_frag);
+        }
+    }
+    coord.merge.finish();
+    coord.trace.push_merged(label, &coord.merge);
+    if let (Some(log), Some(entry)) = (coord.log.as_deref_mut(), entry) {
+        log.push(entry);
+    }
+}

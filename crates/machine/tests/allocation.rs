@@ -135,6 +135,65 @@ fn warmup_allocations_do_not_grow_with_superstep_count() {
     );
 }
 
+#[test]
+fn sharded_steady_state_does_not_allocate_per_superstep() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The sharded executor allocates at run setup (workers, lanes, cells,
+    // shard arenas) and as lanes/arenas grow to their high-water marks
+    // during the first label cycle — but a steady superstep must cost
+    // *nothing*: lane pushes, local spill, gather counting sort, epoch
+    // merge, trace push and barrier waits all reuse capacity. The counter
+    // is armed from inside the program after a full label cycle (so every
+    // lane pattern has hit its high-water mark) and disarmed by the final
+    // superstep, excluding one-time setup, worker spawning and end-of-run
+    // trace materialization — the same windowing as the serial test above.
+    let v = 1 << 8;
+    let rounds = 24; // labels cycle 0..8; armed at round 16, 8 steady rounds
+    let prog = counting_butterfly_armed(v, rounds, 16);
+    let states: Vec<u64> = (0..v as u64).collect();
+    let opts = RunOptions { workers: Some(4), ..Default::default() };
+    let res = run(&prog, states, &opts).unwrap();
+    assert!(!COUNTING.load(Ordering::SeqCst), "final superstep must disarm the counter");
+    assert_eq!(res.trace.superstep_count(), rounds);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations during {} steady-state sharded supersteps of v = {v}",
+        rounds - 17,
+    );
+}
+
+/// Like [`counting_butterfly`] but arming at a configurable round (the
+/// sharded executor's lanes need a full label cycle of warmup, not two
+/// supersteps).
+fn counting_butterfly_armed(v: usize, rounds: usize, arm_at: usize) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for r in 0..rounds {
+        let l = (r as u32) % log_v;
+        let d = v >> (l + 1);
+        let arm = r == arm_at;
+        let last = r == rounds - 1;
+        prog.step(l, "bfly", move |st, ctx, inbox, out| {
+            if ctx.vp == 0 {
+                if arm {
+                    ALLOCS.store(0, Ordering::SeqCst);
+                    COUNTING.store(true, Ordering::SeqCst);
+                } else if last {
+                    COUNTING.store(false, Ordering::SeqCst);
+                }
+            }
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            if !last {
+                out.send(ctx.vp ^ d, *st);
+            }
+        });
+    }
+    prog
+}
+
 /// Like [`counting_butterfly`] but without the in-closure arming (the whole
 /// run is measured by the caller).
 fn counting_butterfly_silent(v: usize, rounds: usize) -> Program<u64, u64> {

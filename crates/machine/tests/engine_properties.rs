@@ -164,6 +164,71 @@ proptest! {
         }
     }
 
+    /// The persistent sharded executor is bit-for-bit equivalent to the
+    /// serial path on arbitrary static programs: same states, same trace,
+    /// same message log — full granularity and every folding, at every
+    /// shard width the machine admits.
+    #[test]
+    fn sharded_executor_matches_serial((v, steps) in arb_steps()) {
+        let prog = build_program(v, &steps);
+        let states: Vec<u64> = (0..v as u64).map(|x| x * 5 + 3).collect();
+        let serial = run(&prog, states.clone(), &RunOptions::with_log()).unwrap();
+        for w in [2usize, 4] {
+            let opts = RunOptions { workers: Some(w), ..RunOptions::with_log() };
+            let sh = run(&prog, states.clone(), &opts).unwrap();
+            prop_assert_eq!(&sh.states, &serial.states, "states diverge at {} workers", w);
+            prop_assert_eq!(&sh.trace, &serial.trace, "trace diverges at {} workers", w);
+            prop_assert_eq!(&sh.message_log, &serial.message_log, "log diverges at {} workers", w);
+            let mut p = 2usize;
+            while p <= v {
+                let sf = run_folded(
+                    &prog,
+                    states.clone(),
+                    p,
+                    &RunOptions { workers: Some(w), ..RunOptions::with_log() },
+                )
+                .unwrap();
+                let lf = run_folded(&prog, states.clone(), p, &RunOptions::with_log()).unwrap();
+                prop_assert_eq!(&sf.states, &lf.states, "folded states, p = {} w = {}", p, w);
+                prop_assert_eq!(&sf.trace, &lf.trace, "folded trace, p = {} w = {}", p, w);
+                prop_assert_eq!(&sf.message_log, &lf.message_log, "folded log, p = {} w = {}", p, w);
+                p *= 2;
+            }
+        }
+    }
+
+    /// Validation-off sharded runs fall back to the all-pairs lane span, so
+    /// even cluster-violating programs deliver exactly like the serial
+    /// engine.
+    #[test]
+    fn sharded_executor_without_validation_matches_serial(seed in any::<u64>()) {
+        let v = 16usize;
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        // A high-label superstep that ignores the cluster constraint: under
+        // the lane plan these destinations would be unreachable.
+        prog.step(3, "rogue", move |st, ctx, inbox, out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            let dst = (mix(seed ^ ctx.vp as u64) as usize) % ctx.v;
+            out.send(dst, *st);
+        });
+        prog.step(3, "consume", |st, _ctx, inbox, _out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_mul(31).wrapping_add(m);
+            }
+        });
+        let states: Vec<u64> = (0..v as u64).collect();
+        let base = RunOptions { validate: false, ..Default::default() };
+        let serial = run(&prog, states.clone(), &base).unwrap();
+        for w in [2usize, 4] {
+            let opts = RunOptions { workers: Some(w), ..base.clone() };
+            let sh = run(&prog, states.clone(), &opts).unwrap();
+            prop_assert_eq!(&sh.states, &serial.states, "states diverge at {} workers", w);
+            prop_assert_eq!(&sh.trace, &serial.trace, "trace diverges at {} workers", w);
+        }
+    }
+
     /// The ascend–descend rewrite of any logged execution delivers every
     /// message and uses only labels < log p.
     #[test]

@@ -9,11 +9,16 @@
 //! * [`join`] — run two closures, potentially in parallel;
 //! * [`current_num_threads`] — the pool width used for chunking decisions.
 //!
-//! The pool is created lazily on first use, sized by
-//! `std::thread::available_parallelism`, and falls back to inline (serial)
-//! execution if worker threads cannot be spawned. Panics inside spawned
-//! tasks are captured and re-raised from `scope` after every task of the
-//! scope has settled, so borrowed data is never observed mid-destruction.
+//! The pool is created lazily on first use, sized by the `NOB_THREADS`
+//! environment variable when set (any integer ≥ 1; `1` disables the pool
+//! entirely) and by `std::thread::available_parallelism` otherwise, and
+//! falls back to inline (serial) execution if worker threads cannot be
+//! spawned. The resolved width is observable through
+//! [`current_num_threads`], so harnesses can both pin and report it —
+//! PR 1 ran in a silently 1-wide container with no way to do either.
+//! Panics inside spawned tasks are captured and re-raised from `scope`
+//! after every task of the scope has settled, so borrowed data is never
+//! observed mid-destruction.
 //!
 //! Limitation (documented, not enforced): do **not** call [`scope`] from
 //! inside a spawned task. Nested scopes block a worker while waiting, which
@@ -30,10 +35,25 @@ struct Pool {
     threads: usize,
 }
 
+/// The pool width to use: `NOB_THREADS` when set to a valid integer ≥ 1,
+/// else the machine's available parallelism.
+fn configured_threads() -> usize {
+    match std::env::var("NOB_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("NOB_THREADS={raw:?} is not a positive integer; ignoring");
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+        },
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
 fn pool() -> Option<&'static Pool> {
     static POOL: OnceLock<Option<Pool>> = OnceLock::new();
     POOL.get_or_init(|| {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = configured_threads();
         if threads < 2 {
             return None;
         }

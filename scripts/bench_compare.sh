@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Compares two `BENCH_engine.json` runs and fails on msgs/sec regressions.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json [threshold_pct]
+#
+# Rows are joined on (v, program, threads) — `threads` defaults to 1 for
+# pre-scaling baselines (PR-1 rows carry no threads field, and their arena
+# numbers are single-core, directly comparable to the new serial path).
+# A row regresses when NEW arena_msgs_per_sec < OLD * (1 - threshold/100);
+# the default threshold is 10%. Rows present in only one file are reported
+# but do not fail the comparison (scaling columns grow over time).
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold_pct]" >&2
+    exit 2
+fi
+old_file=$1
+new_file=$2
+threshold=${3:-10}
+
+for f in "$old_file" "$new_file"; do
+    [ -r "$f" ] || { echo "bench_compare: cannot read $f" >&2; exit 2; }
+done
+command -v jq >/dev/null || { echo "bench_compare: jq is required" >&2; exit 2; }
+
+# (v, program, threads) -> msgs/sec, one row per line.
+extract() {
+    jq -r '.rows[] | "\(.v)/\(.program)/\(.threads // 1) \(.arena_msgs_per_sec)"' "$1"
+}
+
+old_rows=$(extract "$old_file")
+new_rows=$(extract "$new_file")
+
+fail=0
+matched=0
+while read -r key old_rate; do
+    new_rate=$(awk -v k="$key" '$1 == k { print $2; exit }' <<<"$new_rows")
+    if [ -z "$new_rate" ]; then
+        echo "bench_compare: $key only in $old_file (skipped)"
+        continue
+    fi
+    matched=$((matched + 1))
+    verdict=$(awk -v o="$old_rate" -v n="$new_rate" -v t="$threshold" 'BEGIN {
+        floor = o * (1 - t / 100);
+        delta = (n / o - 1) * 100;
+        printf "%s %+.1f%%", (n < floor ? "REGRESSION" : "ok"), delta;
+    }')
+    case "$verdict" in
+        REGRESSION*)
+            echo "bench_compare: $key ${verdict#REGRESSION } (old $old_rate -> new $new_rate) REGRESSION"
+            fail=1
+            ;;
+        *)
+            echo "bench_compare: $key ${verdict#ok } (old $old_rate -> new $new_rate)"
+            ;;
+    esac
+done <<<"$old_rows"
+
+while read -r key _; do
+    if ! awk -v k="$key" '$1 == k { found = 1 } END { exit !found }' <<<"$old_rows"; then
+        echo "bench_compare: $key only in $new_file (skipped)"
+    fi
+done <<<"$new_rows"
+
+if [ "$matched" -eq 0 ]; then
+    echo "bench_compare: no comparable rows between $old_file and $new_file" >&2
+    exit 2
+fi
+if [ "$fail" -ne 0 ]; then
+    echo "bench_compare: FAILED (> ${threshold}% msgs/sec regression at matched thread count)" >&2
+    exit 1
+fi
+echo "bench_compare: OK ($matched rows within ${threshold}%)"

@@ -8,5 +8,6 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy -q --offline --all-targets
+cargo doc --no-deps -q --offline
 
 echo "tier1: OK"

@@ -1,18 +1,25 @@
-//! Workspace-level equivalence property tests for the arena engine on the
-//! *real* Section-4 programs (not just toy broadcasts): full-granularity
-//! execution, folded execution at `p ∈ {2, 4, 8}`, and the preserved legacy
-//! reference engine must all agree on final states and on every analytic
-//! fold of the communication trace.
+//! Workspace-level equivalence property tests for the engine on the *real*
+//! Section-4 programs (not just toy broadcasts): full-granularity
+//! execution, folded execution at `p ∈ {2, 4, 8}`, the persistent sharded
+//! executor at several worker widths, and the preserved legacy reference
+//! engine must all agree on final states and on every analytic fold of the
+//! communication trace.
 
 use network_oblivious::algos::fft::{naive_dft, BinaryExchangeFft, Complex};
+use network_oblivious::algos::mm::cannon::CannonMm;
+use network_oblivious::algos::mm::standard::RecursiveMm;
+use network_oblivious::algos::mm::MmInput;
+use network_oblivious::algos::semiring::{Matrix, WrapU64};
 use network_oblivious::algos::sort::ColumnSort;
+use network_oblivious::algos::stencil::{stencil_reference, DiamondStencil, WrapSumOp};
+use network_oblivious::algos::stencil2::{stencil2_reference, OctaStencil, WrapSum2Op};
 use network_oblivious::machine::reference::{run_folded_reference, run_reference};
 use network_oblivious::machine::{run, run_folded, NobAlgorithm, RunOptions};
 use proptest::prelude::*;
 
 /// Checks the full set of equivalences for one algorithm instance:
-/// full run == folded run (states + all fold metrics) == reference engine,
-/// for every `p` in `ps`.
+/// full run == folded run (states + all fold metrics) == reference engine
+/// == sharded executor (2 and 4 persistent workers), for every `p` in `ps`.
 fn assert_engine_equivalences<A>(alg: &A, n: usize, input: &A::Input, ps: &[usize])
 where
     A: NobAlgorithm,
@@ -25,6 +32,13 @@ where
     let legacy = run_reference(&prog, states.clone(), &opts).unwrap();
     assert_eq!(full.states, legacy.states, "arena vs reference states, n = {n}");
     assert_eq!(full.trace, legacy.trace, "arena vs reference trace, n = {n}");
+    for w in [2usize, 4] {
+        let sharded =
+            run(&prog, states.clone(), &RunOptions { workers: Some(w), ..Default::default() })
+                .unwrap();
+        assert_eq!(sharded.states, full.states, "sharded states at {w} workers, n = {n}");
+        assert_eq!(sharded.trace, full.trace, "sharded trace at {w} workers, n = {n}");
+    }
     for &p in ps {
         if p > prog.v() {
             continue;
@@ -35,6 +49,23 @@ where
         assert_eq!(
             folded.trace, folded_legacy.trace,
             "arena vs reference folded trace at p = {p}, n = {n}"
+        );
+        // The sharded folding (shard = fold, capped by the worker budget)
+        // must agree with the serial folding exactly.
+        let sharded_folded = run_folded(
+            &prog,
+            states.clone(),
+            p,
+            &RunOptions { workers: Some(4), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            sharded_folded.states, folded.states,
+            "sharded folded states at p = {p}, n = {n}"
+        );
+        assert_eq!(
+            sharded_folded.trace, folded.trace,
+            "sharded folded trace at p = {p}, n = {n}"
         );
         // The executed folding must reproduce the analytic fold of the
         // full-granularity trace at every sub-granularity.
@@ -111,5 +142,104 @@ proptest! {
         let mut want = keys.clone();
         want.sort();
         prop_assert_eq!(got, want);
+    }
+
+    /// Recursive MM (Thm. 4.2): random wrap-arithmetic operands at n = 64
+    /// (the smallest supported 64^e size), wise and unwise variants,
+    /// folds p ∈ {2, 4, 8}.
+    #[test]
+    fn recursive_mm_full_folded_and_reference_agree(seed in any::<u64>(), wise in any::<bool>()) {
+        let n = 64usize;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            WrapU64(state)
+        };
+        let side = 8; // √64
+        let a = Matrix::from_fn(side, |_, _| next());
+        let b = Matrix::from_fn(side, |_, _| next());
+        let input = MmInput::new(a, b);
+        let alg = RecursiveMm::<WrapU64>::new(wise);
+        assert_engine_equivalences(&alg, n, &input, &[2, 4, 8]);
+    }
+
+    /// Cannon's algorithm on the Morton layout: n ∈ {16, 64, 256},
+    /// folds p ∈ {2, 4, 8}; the output must be the semiring product.
+    #[test]
+    fn cannon_mm_full_folded_and_reference_agree(e in 2u32..5, seed in any::<u64>()) {
+        let n = 1usize << (2 * e); // 4^e: 16, 64, 256
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            WrapU64(state)
+        };
+        let side = 1usize << e;
+        let a = Matrix::from_fn(side, |_, _| next());
+        let b = Matrix::from_fn(side, |_, _| next());
+        let input = MmInput::new(a.clone(), b.clone());
+        let alg = CannonMm::<WrapU64>::default();
+        assert_engine_equivalences(&alg, n, &input, &[2, 4, 8]);
+        let (got, _) = network_oblivious::machine::execute(
+            &alg,
+            n,
+            &input,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(got, a.mul_reference(&b));
+    }
+
+    /// 1-D diamond stencil: random inputs, sizes 8..=64, folds p ∈ {2, 4, 8};
+    /// the output must match the direct time-stepped reference.
+    #[test]
+    fn stencil1_full_folded_and_reference_agree(lg in 3u32..7, seed in any::<u64>()) {
+        let n = 1usize << lg;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let xs: Vec<u64> = (0..n).map(|_| next()).collect();
+        let alg = DiamondStencil::<WrapSumOp>::default();
+        assert_engine_equivalences(&alg, n, &xs[..], &[2, 4, 8]);
+        let (got, _) = network_oblivious::machine::execute(
+            &alg,
+            n,
+            &xs[..],
+            &RunOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(got, stencil_reference::<WrapSumOp>(&xs));
+    }
+
+    /// 2-D octagonal stencil on v = n² VPs: sides 4 and 8, folds
+    /// p ∈ {2, 4, 8}; the output must match the direct reference.
+    #[test]
+    fn stencil2_full_folded_and_reference_agree(lg in 2u32..4, seed in any::<u64>()) {
+        let n = 1usize << lg; // grid side; v = n^2 ∈ {16, 64}
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let xs: Vec<u64> = (0..n * n).map(|_| next()).collect();
+        let alg = OctaStencil::<WrapSum2Op>::default();
+        assert_engine_equivalences(&alg, n, &xs[..], &[2, 4, 8]);
+        let (got, _) = network_oblivious::machine::execute(
+            &alg,
+            n,
+            &xs[..],
+            &RunOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(got, stencil2_reference::<WrapSum2Op>(&xs, n));
     }
 }
