@@ -12,7 +12,7 @@
 //! `GAP = Ω(log σ₂/(log σ₁ + log log σ₂))` of Thm. 4.16 evaluated at
 //! `σ₁ = O(1)`.
 
-use nob_machine::{NobAlgorithm, Program};
+use nob_machine::{NobAlgorithm, Program, Route};
 
 /// Per-VP state: the entry of `V` held by this VP (`Some` once known).
 pub type BroadcastState = Option<u64>;
@@ -47,23 +47,45 @@ impl NobAlgorithm for ObliviousBroadcast {
         let mut prog = Program::new(n, n);
         let log_v = prog.log_v();
         for i in 0..log_v {
-            prog.step(i, "bcast-halve", move |st, ctx, inbox, out| {
+            // Static route: the i-cluster leaders forward to the sibling
+            // leaders. (Every leader provably holds the value by round i,
+            // so the closure's `if let Some` always fires for them.)
+            prog.step_oblivious(
+                i,
+                "bcast-halve",
+                1,
+                move |ctx, _| {
+                    let cluster = ctx.v >> i;
+                    if ctx.vp % cluster == 0 {
+                        Route::Data(ctx.vp + cluster / 2)
+                    } else {
+                        Route::End
+                    }
+                },
+                move |st, ctx, inbox, out| {
+                    if let Some(m) = inbox.pop() {
+                        *st = Some(m);
+                    }
+                    let cluster = ctx.v >> i;
+                    if ctx.vp % cluster == 0 {
+                        if let Some(val) = *st {
+                            out.send(ctx.vp + cluster / 2, val);
+                        }
+                    }
+                },
+            );
+        }
+        prog.step_oblivious(
+            log_v - 1,
+            "bcast-consume",
+            0,
+            |_, _| Route::Skip,
+            |st, _ctx, inbox, _out| {
                 if let Some(m) = inbox.pop() {
                     *st = Some(m);
                 }
-                let cluster = ctx.v >> i;
-                if ctx.vp % cluster == 0 {
-                    if let Some(val) = *st {
-                        out.send(ctx.vp + cluster / 2, val);
-                    }
-                }
-            });
-        }
-        prog.step(log_v - 1, "bcast-consume", |st, _ctx, inbox, _out| {
-            if let Some(m) = inbox.pop() {
-                *st = Some(m);
-            }
-        });
+            },
+        );
         prog
     }
 
@@ -123,27 +145,46 @@ impl NobAlgorithm for AwareBroadcast {
         while span > 1 {
             let next = (span / kappa).max(1);
             let label = log_v - nob_core::model::log2_exact(span);
-            prog.step(label, "bcast-kary", move |st, ctx, inbox, out| {
+            // Static κ-ary fan-out from each holder to its block's leaders.
+            prog.step_oblivious(
+                label,
+                "bcast-kary",
+                span / next - 1,
+                move |ctx, k| {
+                    if ctx.vp % span == 0 {
+                        Route::Data(ctx.vp + (k + 1) * next)
+                    } else {
+                        Route::End
+                    }
+                },
+                move |st, ctx, inbox, out| {
+                    if let Some(m) = inbox.pop() {
+                        *st = Some(m);
+                    }
+                    if ctx.vp % span == 0 {
+                        if let Some(val) = *st {
+                            let mut dst = ctx.vp + next;
+                            while dst < ctx.vp + span {
+                                out.send(dst, val);
+                                dst += next;
+                            }
+                        }
+                    }
+                },
+            );
+            span = next;
+        }
+        prog.step_oblivious(
+            log_v - 1,
+            "bcast-consume",
+            0,
+            |_, _| Route::Skip,
+            |st, _ctx, inbox, _out| {
                 if let Some(m) = inbox.pop() {
                     *st = Some(m);
                 }
-                if ctx.vp % span == 0 {
-                    if let Some(val) = *st {
-                        let mut dst = ctx.vp + next;
-                        while dst < ctx.vp + span {
-                            out.send(dst, val);
-                            dst += next;
-                        }
-                    }
-                }
-            });
-            span = next;
-        }
-        prog.step(log_v - 1, "bcast-consume", |st, _ctx, inbox, _out| {
-            if let Some(m) = inbox.pop() {
-                *st = Some(m);
-            }
-        });
+            },
+        );
         prog
     }
 

@@ -1,6 +1,6 @@
 //! Layout helpers shared by the algorithm implementations.
 
-use nob_machine::{Ctx, Outbox};
+use nob_machine::{Ctx, Outbox, Route};
 
 /// Emits the paper's wiseness dummy messages for a superstep with the given
 /// label: VP `j` sends `count` dummy messages to VP `j + v/2^{label+1}`, for
@@ -16,6 +16,23 @@ pub fn wiseness_dummies<M>(ctx: &Ctx, label: u32, count: u64, out: &mut Outbox<M
         for _ in 0..count {
             out.send_dummy(ctx.vp + span);
         }
+    }
+}
+
+/// The oblivious-route declaration of [`wiseness_dummies`]: slot `k` (for
+/// `0 ≤ k < count`) of the dummy block a superstep's route reserves after
+/// its payload slots. Mirrors the emission exactly, so pattern supersteps
+/// can declare `route(ctx, j) = … payloads …, wiseness_route(ctx, label,
+/// count, j - payloads)`.
+#[inline]
+pub fn wiseness_route(ctx: &Ctx, label: u32, count: u64, k: usize) -> Route {
+    let span = ctx.v >> (label + 1);
+    if span > 0 && ctx.vp < span && (k as u64) < count {
+        Route::Dummy(ctx.vp + span)
+    } else {
+        // The dummy block is always the tail of a route, so terminate the
+        // VP's declaration outright (cheap exhaustion checks).
+        Route::End
     }
 }
 

@@ -22,8 +22,8 @@
 //! see the natural-order spectrum. Values are double-precision [`Complex`]
 //! numbers; [`naive_dft`] is the `O(n²)` correctness oracle.
 
-use crate::common::{bit_reverse, ilog2, wiseness_dummies};
-use nob_machine::{Ctx, Inbox, NobAlgorithm, Program};
+use crate::common::{bit_reverse, ilog2, wiseness_dummies, wiseness_route};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Program, Route};
 
 /// A double-precision complex number (the FFT value type).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -166,33 +166,56 @@ fn emit_fft(
     let log_v = ilog2(n);
     if m == 2 {
         // Base: exchange with the sibling; the combine happens at the next
-        // superstep's ingest (Pending::Bfly).
+        // superstep's ingest (Pending::Bfly). The pattern is the static
+        // pair-exchange permutation, declared as an oblivious route.
         let p = *pending;
-        prog.step(log_v - 1, "fft-butterfly", move |st, ctx, inbox, out| {
-            do_pending(st, ctx, inbox, p);
-            out.send(ctx.vp ^ 1, st.val);
-        });
+        prog.step_oblivious(
+            log_v - 1,
+            "fft-butterfly",
+            1,
+            |ctx, _| Route::Data(ctx.vp ^ 1),
+            move |st, ctx, inbox, out| {
+                do_pending(st, ctx, inbox, p);
+                out.send(ctx.vp ^ 1, st.val);
+            },
+        );
         *pending = Pending::Bfly;
         return;
     }
     let label = log_v - ilog2(m);
     let m1 = 1usize << ilog2(m).div_ceil(2);
     let m2 = m / m1;
+    let out_degree = if wise { 2 } else { 1 };
 
     // Transpose: u = t1·m2 + t2  →  t2·m1 + t1, so each column of the m1×m2
-    // view becomes one aligned m1-segment.
+    // view becomes one aligned m1-segment. A pure permutation (plus the
+    // wiseness dummy), i.e. a static route.
     {
         let p = *pending;
-        prog.step(label, "fft-transpose", move |st, ctx, inbox, out| {
-            do_pending(st, ctx, inbox, p);
-            let base = ctx.vp - ctx.vp % m;
-            let off = ctx.vp - base;
-            let (t1, t2) = (off / m2, off % m2);
-            out.send(base + t2 * m1 + t1, st.val);
-            if wise {
-                wiseness_dummies(ctx, label, 1, out);
-            }
-        });
+        prog.step_oblivious(
+            label,
+            "fft-transpose",
+            out_degree,
+            move |ctx, k| {
+                if k > 0 {
+                    return wiseness_route(ctx, label, 1, k - 1);
+                }
+                let base = ctx.vp - ctx.vp % m;
+                let off = ctx.vp - base;
+                let (t1, t2) = (off / m2, off % m2);
+                Route::Data(base + t2 * m1 + t1)
+            },
+            move |st, ctx, inbox, out| {
+                do_pending(st, ctx, inbox, p);
+                let base = ctx.vp - ctx.vp % m;
+                let off = ctx.vp - base;
+                let (t1, t2) = (off / m2, off % m2);
+                out.send(base + t2 * m1 + t1, st.val);
+                if wise {
+                    wiseness_dummies(ctx, label, 1, out);
+                }
+            },
+        );
         *pending = Pending::Perm;
     }
 
@@ -204,18 +227,32 @@ fn emit_fft(
     {
         let p = *pending;
         let lg_m1 = ilog2(m1);
-        prog.step(label, "fft-twiddle", move |st, ctx, inbox, out| {
-            do_pending(st, ctx, inbox, p);
-            let base = ctx.vp - ctx.vp % m;
-            let off = ctx.vp - base;
-            let (t2, t1p) = (off / m1, off % m1);
-            let k1 = bit_reverse(t1p, lg_m1);
-            st.val = st.val.mul(Complex::twiddle(t2 * k1 % m, m));
-            out.send(base + t1p * m2 + t2, st.val);
-            if wise {
-                wiseness_dummies(ctx, label, 1, out);
-            }
-        });
+        prog.step_oblivious(
+            label,
+            "fft-twiddle",
+            out_degree,
+            move |ctx, k| {
+                if k > 0 {
+                    return wiseness_route(ctx, label, 1, k - 1);
+                }
+                let base = ctx.vp - ctx.vp % m;
+                let off = ctx.vp - base;
+                let (t2, t1p) = (off / m1, off % m1);
+                Route::Data(base + t1p * m2 + t2)
+            },
+            move |st, ctx, inbox, out| {
+                do_pending(st, ctx, inbox, p);
+                let base = ctx.vp - ctx.vp % m;
+                let off = ctx.vp - base;
+                let (t2, t1p) = (off / m1, off % m1);
+                let k1 = bit_reverse(t1p, lg_m1);
+                st.val = st.val.mul(Complex::twiddle(t2 * k1 % m, m));
+                out.send(base + t1p * m2 + t2, st.val);
+                if wise {
+                    wiseness_dummies(ctx, label, 1, out);
+                }
+            },
+        );
         *pending = Pending::Perm;
     }
 
@@ -250,9 +287,15 @@ impl NobAlgorithm for RecursiveFft {
         let mut pending = Pending::None;
         emit_fft(&mut prog, n, n, &mut pending, self.wise);
         let p = pending;
-        prog.step(log_v - 1, "fft-finalize", move |st, ctx, inbox, _out| {
-            do_pending(st, ctx, inbox, p);
-        });
+        prog.step_oblivious(
+            log_v - 1,
+            "fft-finalize",
+            0,
+            |_, _| Route::Skip,
+            move |st, ctx, inbox, _out| {
+                do_pending(st, ctx, inbox, p);
+            },
+        );
         prog
     }
 
@@ -314,16 +357,28 @@ impl NobAlgorithm for BinaryExchangeFft {
         for l in 0..log_n {
             let prev_d = if l == 0 { None } else { Some(n >> l) };
             let d = n >> (l + 1);
-            prog.step(l, "binex-round", move |st, ctx, inbox, out| {
-                if let Some(pd) = prev_d {
-                    binex_combine(st, ctx, inbox, pd);
-                }
-                out.send(ctx.vp ^ d, st.val);
-            });
+            prog.step_oblivious(
+                l,
+                "binex-round",
+                1,
+                move |ctx, _| Route::Data(ctx.vp ^ d),
+                move |st, ctx, inbox, out| {
+                    if let Some(pd) = prev_d {
+                        binex_combine(st, ctx, inbox, pd);
+                    }
+                    out.send(ctx.vp ^ d, st.val);
+                },
+            );
         }
-        prog.step(log_n - 1, "binex-finalize", move |st, ctx, inbox, _out| {
-            binex_combine(st, ctx, inbox, 1);
-        });
+        prog.step_oblivious(
+            log_n - 1,
+            "binex-finalize",
+            0,
+            |_, _| Route::Skip,
+            move |st, ctx, inbox, _out| {
+                binex_combine(st, ctx, inbox, 1);
+            },
+        );
         prog
     }
 

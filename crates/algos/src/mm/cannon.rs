@@ -16,7 +16,7 @@
 use super::MmInput;
 use crate::common::{morton_decode, morton_encode};
 use crate::semiring::{Matrix, Semiring};
-use nob_machine::{Inbox, NobAlgorithm, Program};
+use nob_machine::{Inbox, NobAlgorithm, Program, Route};
 use std::marker::PhantomData;
 
 /// Per-VP state: the resident entries (values travel; coordinates are
@@ -100,23 +100,52 @@ impl<V: Semiring> NobAlgorithm for CannonMm<V> {
         let mut prog = Program::new(n, n);
 
         // Initial skew: A[i,j] -> (i, j−i), B[i,j] -> (i−j, j) (mod s).
-        prog.step(0, "cannon-skew", move |st: &mut CannonState<V>, ctx, _inbox, out| {
-            let (i, j) = morton_decode(ctx.vp);
-            out.send(morton_encode(i, (j + s - i % s) % s), CannonMsg::A(st.a.clone()));
-            out.send(morton_encode((i + s - j % s) % s, j), CannonMsg::B(st.b.clone()));
-        });
+        // Every superstep of the systolic schedule is a fixed block shift —
+        // the canonical oblivious pattern, declared as a route.
+        prog.step_oblivious(
+            0,
+            "cannon-skew",
+            2,
+            move |ctx, k| {
+                let (i, j) = morton_decode(ctx.vp);
+                if k == 0 {
+                    Route::Data(morton_encode(i, (j + s - i % s) % s))
+                } else {
+                    Route::Data(morton_encode((i + s - j % s) % s, j))
+                }
+            },
+            move |st: &mut CannonState<V>, ctx, _inbox, out| {
+                let (i, j) = morton_decode(ctx.vp);
+                out.send(morton_encode(i, (j + s - i % s) % s), CannonMsg::A(st.a.clone()));
+                out.send(morton_encode((i + s - j % s) % s, j), CannonMsg::B(st.b.clone()));
+            },
+        );
 
         // √n systolic rounds: multiply-accumulate, then shift A left / B up.
         for q in 0..s {
-            prog.step(0, "cannon-round", move |st, ctx, inbox, out| {
-                ingest(st, inbox);
-                st.c = st.c.add(&st.a.mul(&st.b));
-                if q + 1 < s {
+            let shifts = q + 1 < s;
+            prog.step_oblivious(
+                0,
+                "cannon-round",
+                if shifts { 2 } else { 0 },
+                move |ctx, k| {
                     let (i, j) = morton_decode(ctx.vp);
-                    out.send(morton_encode(i, (j + s - 1) % s), CannonMsg::A(st.a.clone()));
-                    out.send(morton_encode((i + s - 1) % s, j), CannonMsg::B(st.b.clone()));
-                }
-            });
+                    if k == 0 {
+                        Route::Data(morton_encode(i, (j + s - 1) % s))
+                    } else {
+                        Route::Data(morton_encode((i + s - 1) % s, j))
+                    }
+                },
+                move |st, ctx, inbox, out| {
+                    ingest(st, inbox);
+                    st.c = st.c.add(&st.a.mul(&st.b));
+                    if q + 1 < s {
+                        let (i, j) = morton_decode(ctx.vp);
+                        out.send(morton_encode(i, (j + s - 1) % s), CannonMsg::A(st.a.clone()));
+                        out.send(morton_encode((i + s - 1) % s, j), CannonMsg::B(st.b.clone()));
+                    }
+                },
+            );
         }
         prog
     }

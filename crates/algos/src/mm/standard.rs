@@ -14,9 +14,9 @@
 //! `Θ(1)`-optimal for `σ = O(n/(p^{2/3}·log p))`.
 
 use super::{accumulate, Entry, MmInput, MmMsg};
-use crate::common::wiseness_dummies;
+use crate::common::{wiseness_dummies, wiseness_route};
 use crate::semiring::{Matrix, Semiring};
-use nob_machine::{NobAlgorithm, Program};
+use nob_machine::{NobAlgorithm, Program, Route};
 use std::marker::PhantomData;
 
 /// Per-VP state: current operand entries (descending the recursion) and the
@@ -151,9 +151,19 @@ impl<V: Semiring> NobAlgorithm for RecursiveMm<V> {
         let wise = self.wise;
 
         // --- Distribution steps D_0 .. D_{τ−1} ------------------------------
+        // D_0 works on the initial one-entry-per-VP layout, so its fan-out
+        // (two copies of the A entry, two of B, plus one wiseness dummy) is
+        // a closed-form function of the VP index — declared as an oblivious
+        // route. Deeper levels (t ≥ 1) send one message per *held* entry,
+        // whose in-state order is the arrival order of the previous
+        // distribution — reproducible only by replaying that delivery — so
+        // they stay on the dynamic path.
         for t in 0..tau {
             let label = (3 * t) as u32;
-            prog.step(label, "mm-distribute", move |st, ctx, inbox, out| {
+            let body = move |st: &mut MmState<V>,
+                             ctx: &nob_machine::Ctx,
+                             inbox: &mut nob_machine::Inbox<'_, MmMsg<V>>,
+                             out: &mut nob_machine::Outbox<MmMsg<V>>| {
                 // Ingest the operand entries routed here by D_{t−1}.
                 if t > 0 {
                     st.a.clear();
@@ -191,7 +201,40 @@ impl<V: Semiring> NobAlgorithm for RecursiveMm<V> {
                 if wise {
                     wiseness_dummies(ctx, label, 1 << t, out);
                 }
-            });
+            };
+            if t == 0 {
+                let out_degree = 4 + usize::from(wise);
+                prog.step_oblivious(
+                    label,
+                    "mm-distribute",
+                    out_degree,
+                    move |ctx, k| {
+                        let half = s / 2;
+                        let child_seg = ctx.v / 8;
+                        let (i, j) = (ctx.vp / s, ctx.vp % s);
+                        if k < 2 {
+                            // The A entry's two replicas (k picks the child's
+                            // k-digit).
+                            let (h, l) = (usize::from(i >= half), usize::from(j >= half));
+                            let e = (i - h * half) * half + (j - l * half);
+                            let seg = (h * 4 + k * 2 + l) * child_seg;
+                            Route::Data(seg + (e >> 1))
+                        } else if k < 4 {
+                            // The B entry's two replicas (k − 2 is the h-digit).
+                            let h = k - 2;
+                            let (l, kd) = (usize::from(i >= half), usize::from(j >= half));
+                            let e = (i - l * half) * half + (j - kd * half);
+                            let seg = (h * 4 + kd * 2 + l) * child_seg;
+                            Route::Data(seg + (e >> 1))
+                        } else {
+                            wiseness_route(ctx, 0, 1, k - 4)
+                        }
+                    },
+                    body,
+                );
+            } else {
+                prog.step(label, "mm-distribute", body);
+            }
         }
 
         // --- Base: sequential n^{1/6}-side multiply, send M upward ----------
@@ -261,14 +304,20 @@ impl<V: Semiring> NobAlgorithm for RecursiveMm<V> {
         }
 
         // --- Final ingest: every VP ends with its single C entry ------------
-        prog.step(log_v - 1, "mm-finalize", move |st, _ctx, inbox, _out| {
-            st.c.clear();
-            for msg in inbox.drain(..) {
-                if let MmMsg::M(i, j, v) = msg {
-                    accumulate(&mut st.c, i, j, v);
+        prog.step_oblivious(
+            log_v - 1,
+            "mm-finalize",
+            0,
+            |_, _| Route::Skip,
+            move |st, _ctx, inbox, _out| {
+                st.c.clear();
+                for msg in inbox.drain(..) {
+                    if let MmMsg::M(i, j, v) = msg {
+                        accumulate(&mut st.c, i, j, v);
+                    }
                 }
-            }
-        });
+            },
+        );
         prog
     }
 

@@ -30,8 +30,8 @@
 //! supersteps, `H = Θ((n/p)·log p·log n + σ·log²n)` — asymptotically worse
 //! than Columnsort for `p = n^{Ω(1)}`.
 
-use crate::common::{ilog2, wiseness_dummies};
-use nob_machine::{Ctx, Inbox, NobAlgorithm, Program};
+use crate::common::{ilog2, wiseness_dummies, wiseness_route};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Program, Route};
 
 /// Trait bound bundle for sortable keys.
 pub trait SortKey: Ord + Clone + Send + Sync + Default + std::fmt::Debug + 'static {}
@@ -167,30 +167,61 @@ fn emit_sort<K: SortKey>(prog: &mut Program<K, K>, n: usize, m: usize, wise: boo
     let log_v = ilog2(n);
     let label = log_v - ilog2(m);
     if m <= BASE {
-        // Gather to the segment leader…
-        prog.step(label, "sort-gather", move |st: &mut K, ctx, inbox, out| {
-            ingest_item(st, inbox);
-            let base = ctx.vp - ctx.vp % m;
-            if ctx.vp != base {
-                out.send(base, st.clone());
-            }
-        });
-        // …sort locally, scatter back.
-        prog.step(label, "sort-scatter", move |st: &mut K, ctx, inbox, out| {
-            let base = ctx.vp - ctx.vp % m;
-            if ctx.vp == base {
-                let mut all: Vec<K> = inbox.drain(..).collect();
-                all.push(st.clone());
-                all.sort();
-                let mut iter = all.into_iter();
-                *st = iter.next().expect("segment non-empty");
-                for (off, item) in iter.enumerate() {
-                    out.send(base + off + 1, item);
+        // Gather to the segment leader… (static fan-in: every non-leader
+        // sends its key to the leader — data-independent destinations).
+        prog.step_oblivious(
+            label,
+            "sort-gather",
+            1,
+            move |ctx, _| {
+                let base = ctx.vp - ctx.vp % m;
+                if ctx.vp != base {
+                    Route::Data(base)
+                } else {
+                    Route::End
                 }
-            } else {
-                inbox.clear();
-            }
-        });
+            },
+            move |st: &mut K, ctx, inbox, out| {
+                ingest_item(st, inbox);
+                let base = ctx.vp - ctx.vp % m;
+                if ctx.vp != base {
+                    out.send(base, st.clone());
+                }
+            },
+        );
+        // …sort locally, scatter back (static fan-out: the leader sends one
+        // key to each segment position — only the *payloads* depend on the
+        // data, never the destinations).
+        prog.step_oblivious(
+            label,
+            "sort-scatter",
+            m - 1,
+            move |ctx, k| {
+                let base = ctx.vp - ctx.vp % m;
+                if ctx.vp == base {
+                    Route::Data(base + k + 1)
+                } else {
+                    // Non-leaders send nothing at all: End (not Skip) keeps
+                    // this wide fan-out O(1) per idle VP.
+                    Route::End
+                }
+            },
+            move |st: &mut K, ctx, inbox, out| {
+                let base = ctx.vp - ctx.vp % m;
+                if ctx.vp == base {
+                    let mut all: Vec<K> = inbox.drain(..).collect();
+                    all.push(st.clone());
+                    all.sort();
+                    let mut iter = all.into_iter();
+                    *st = iter.next().expect("segment non-empty");
+                    for (off, item) in iter.enumerate() {
+                        out.send(base + off + 1, item);
+                    }
+                } else {
+                    inbox.clear();
+                }
+            },
+        );
         return;
     }
 
@@ -201,15 +232,29 @@ fn emit_sort<K: SortKey>(prog: &mut Program<K, K>, n: usize, m: usize, wise: boo
     let permute = |prog: &mut Program<K, K>,
                    name: &'static str,
                    f: fn(usize, usize, usize, usize) -> usize| {
-        prog.step(label, name, move |st: &mut K, ctx: &Ctx, inbox, out| {
-            ingest_item(st, inbox);
-            let base = ctx.vp - ctx.vp % m;
-            let q = ctx.vp - base;
-            out.send(base + f(q, r, s, m), st.clone());
-            if wise {
-                wiseness_dummies(ctx, label, 1, out);
-            }
-        });
+        let out_degree = if wise { 2 } else { 1 };
+        prog.step_oblivious(
+            label,
+            name,
+            out_degree,
+            move |ctx: &Ctx, k| {
+                if k > 0 {
+                    return wiseness_route(ctx, label, 1, k - 1);
+                }
+                let base = ctx.vp - ctx.vp % m;
+                let q = ctx.vp - base;
+                Route::Data(base + f(q, r, s, m))
+            },
+            move |st: &mut K, ctx: &Ctx, inbox, out| {
+                ingest_item(st, inbox);
+                let base = ctx.vp - ctx.vp % m;
+                let q = ctx.vp - base;
+                out.send(base + f(q, r, s, m), st.clone());
+                if wise {
+                    wiseness_dummies(ctx, label, 1, out);
+                }
+            },
+        );
     };
 
     emit_sort(prog, n, r, wise); // 1
@@ -246,9 +291,15 @@ impl<K: SortKey> NobAlgorithm for ColumnSort<K> {
         let mut prog = Program::new(n, n);
         let log_v = prog.log_v();
         emit_sort(&mut prog, n, n, self.wise);
-        prog.step(log_v - 1, "sort-finalize", |st, _ctx, inbox, _out| {
-            ingest_item(st, inbox);
-        });
+        prog.step_oblivious(
+            log_v - 1,
+            "sort-finalize",
+            0,
+            |_, _| Route::Skip,
+            |st, _ctx, inbox, _out| {
+                ingest_item(st, inbox);
+            },
+        );
         prog
     }
 
@@ -308,21 +359,33 @@ impl<K: SortKey> NobAlgorithm for BitonicSort<K> {
             for j in (0..k).rev() {
                 let p = pending;
                 let label = log_n - 1 - j;
-                prog.step(label, "bitonic-exchange", move |st: &mut K, ctx, inbox, out| {
-                    if let Some((pk, pj)) = p {
-                        bitonic_combine(st, ctx, inbox, pk, pj);
-                    }
-                    out.send(ctx.vp ^ (1 << j), st.clone());
-                });
+                prog.step_oblivious(
+                    label,
+                    "bitonic-exchange",
+                    1,
+                    move |ctx, _| Route::Data(ctx.vp ^ (1 << j)),
+                    move |st: &mut K, ctx, inbox, out| {
+                        if let Some((pk, pj)) = p {
+                            bitonic_combine(st, ctx, inbox, pk, pj);
+                        }
+                        out.send(ctx.vp ^ (1 << j), st.clone());
+                    },
+                );
                 pending = Some((k, j));
             }
         }
         let p = pending;
-        prog.step(log_n - 1, "bitonic-finalize", move |st, ctx, inbox, _out| {
-            if let Some((pk, pj)) = p {
-                bitonic_combine(st, ctx, inbox, pk, pj);
-            }
-        });
+        prog.step_oblivious(
+            log_n - 1,
+            "bitonic-finalize",
+            0,
+            |_, _| Route::Skip,
+            move |st, ctx, inbox, _out| {
+                if let Some((pk, pj)) = p {
+                    bitonic_combine(st, ctx, inbox, pk, pj);
+                }
+            },
+        );
         prog
     }
 

@@ -34,8 +34,14 @@
 //! Cell values are generic over a [`StencilOp`]; the per-VP store keeps every
 //! computed cell (a simulator convenience — the paper's algorithm retains
 //! only O(1) halo values per VP; metrics are unaffected).
+//!
+//! Plan coverage: [`NaiveStencil`]'s halo exchange is a fixed shift and
+//! declares an oblivious route (planned execution); the diamond algorithm's
+//! distribution/up-propagation supersteps derive their sends by iterating
+//! the per-VP value store, whose order is delivery-history-dependent, so
+//! they stay on the engine's dynamic path.
 
-use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program, Route};
 use std::collections::HashMap;
 
 /// The local rule: combine the three predecessors (absent at the spatial
@@ -592,28 +598,50 @@ impl<O: StencilOp> NobAlgorithm for NaiveStencil<O> {
     fn build(&self, n: usize) -> Program<NaiveState<O::V>, NaiveMsg<O::V>> {
         let mut prog = Program::new(n, n);
         for step in 0..n {
-            prog.step(0, "naive-step", move |st: &mut NaiveState<O::V>, ctx, inbox, out| {
-                for (from_left, v) in inbox.drain(..) {
-                    if from_left {
-                        st.left = Some(v);
+            // The halo exchange is the canonical fixed-shift pattern: every
+            // VP sends to its two spatial neighbours (boundaries skip), and
+            // the final time step sends nothing.
+            let sends = step + 1 < n;
+            prog.step_oblivious(
+                0,
+                "naive-step",
+                if sends { 2 } else { 0 },
+                move |ctx, k| {
+                    if k == 0 {
+                        if ctx.vp > 0 {
+                            Route::Data(ctx.vp - 1)
+                        } else {
+                            Route::Skip
+                        }
+                    } else if ctx.vp + 1 < ctx.v {
+                        Route::Data(ctx.vp + 1)
                     } else {
-                        st.right = Some(v);
+                        Route::Skip
                     }
-                }
-                if step > 0 {
-                    st.cur = O::apply(st.left.as_ref(), Some(&st.cur), st.right.as_ref());
-                    st.left = None;
-                    st.right = None;
-                }
-                if step + 1 < ctx.n {
-                    if ctx.vp > 0 {
-                        out.send(ctx.vp - 1, (false, st.cur.clone()));
+                },
+                move |st: &mut NaiveState<O::V>, ctx, inbox, out| {
+                    for (from_left, v) in inbox.drain(..) {
+                        if from_left {
+                            st.left = Some(v);
+                        } else {
+                            st.right = Some(v);
+                        }
                     }
-                    if ctx.vp + 1 < ctx.v {
-                        out.send(ctx.vp + 1, (true, st.cur.clone()));
+                    if step > 0 {
+                        st.cur = O::apply(st.left.as_ref(), Some(&st.cur), st.right.as_ref());
+                        st.left = None;
+                        st.right = None;
                     }
-                }
-            });
+                    if step + 1 < ctx.n {
+                        if ctx.vp > 0 {
+                            out.send(ctx.vp - 1, (false, st.cur.clone()));
+                        }
+                        if ctx.vp + 1 < ctx.v {
+                            out.send(ctx.vp + 1, (true, st.cur.clone()));
+                        }
+                    }
+                },
+            );
         }
         prog
     }

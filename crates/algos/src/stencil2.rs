@@ -29,7 +29,7 @@
 //! [`NaiveStencil2`] is the time-stepping baseline (`n` label-0 supersteps,
 //! `H = Θ(n·(√(n²/p) + σ))`).
 
-use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program};
+use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program, Route};
 use std::collections::HashMap;
 
 /// The 9-point local rule. `neigh[dy+1][dx+1]` is `v(x+δx, y+δy, t−1)`
@@ -684,39 +684,59 @@ impl<O: Stencil2Op> NobAlgorithm for NaiveStencil2<O> {
 
     fn build(&self, n: usize) -> Program<Naive2State<O::V>, ((i64, i64), O::V)> {
         let mut prog = Program::new(n * n, n);
+        // The 8 neighbour offsets in the closure's (δx outer, δy inner)
+        // emission order, for the oblivious route declaration.
+        const OFFS: [(i64, i64); 8] =
+            [(-1, -1), (-1, 0), (-1, 1), (0, -1), (0, 1), (1, -1), (1, 0), (1, 1)];
         for step in 0..n {
-            prog.step(0, "naive2-step", move |st: &mut Naive2State<O::V>, ctx, inbox, out| {
-                st.neigh.clear();
-                for m in inbox.drain(..) {
-                    st.neigh.push(m);
-                }
-                if step > 0 {
-                    let mut vals: [[Option<&O::V>; 3]; 3] = Default::default();
-                    vals[1][1] = Some(&st.cur);
-                    for ((dx, dy), v) in &st.neigh {
-                        vals[(dy + 1) as usize][(dx + 1) as usize] = Some(v);
-                    }
-                    st.cur = O::apply(&vals);
-                }
-                if step + 1 < ctx.n {
+            let sends = step + 1 < n;
+            prog.step_oblivious(
+                0,
+                "naive2-step",
+                if sends { 8 } else { 0 },
+                move |ctx, k| {
+                    let (dx, dy) = OFFS[k];
                     let (x, y) = ((ctx.vp / ctx.n) as i64, (ctx.vp % ctx.n) as i64);
-                    for dx in -1..=1i64 {
-                        for dy in -1..=1i64 {
-                            if dx == 0 && dy == 0 {
-                                continue;
-                            }
-                            let (nx, ny) = (x + dx, y + dy);
-                            if in_region(nx, ny, 0, ctx.n as i64) {
-                                // The receiver records us at the inverse offset.
-                                out.send(
-                                    (nx * ctx.n as i64 + ny) as usize,
-                                    ((-dx, -dy), st.cur.clone()),
-                                );
+                    let (nx, ny) = (x + dx, y + dy);
+                    if in_region(nx, ny, 0, ctx.n as i64) {
+                        Route::Data((nx * ctx.n as i64 + ny) as usize)
+                    } else {
+                        Route::Skip
+                    }
+                },
+                move |st: &mut Naive2State<O::V>, ctx, inbox, out| {
+                    st.neigh.clear();
+                    for m in inbox.drain(..) {
+                        st.neigh.push(m);
+                    }
+                    if step > 0 {
+                        let mut vals: [[Option<&O::V>; 3]; 3] = Default::default();
+                        vals[1][1] = Some(&st.cur);
+                        for ((dx, dy), v) in &st.neigh {
+                            vals[(dy + 1) as usize][(dx + 1) as usize] = Some(v);
+                        }
+                        st.cur = O::apply(&vals);
+                    }
+                    if step + 1 < ctx.n {
+                        let (x, y) = ((ctx.vp / ctx.n) as i64, (ctx.vp % ctx.n) as i64);
+                        for dx in -1..=1i64 {
+                            for dy in -1..=1i64 {
+                                if dx == 0 && dy == 0 {
+                                    continue;
+                                }
+                                let (nx, ny) = (x + dx, y + dy);
+                                if in_region(nx, ny, 0, ctx.n as i64) {
+                                    // The receiver records us at the inverse offset.
+                                    out.send(
+                                        (nx * ctx.n as i64 + ny) as usize,
+                                        ((-dx, -dy), st.cur.clone()),
+                                    );
+                                }
                             }
                         }
                     }
-                }
-            });
+                },
+            );
         }
         prog
     }

@@ -1,19 +1,27 @@
 //! Engine-throughput experiment: messages/second of the sharded arena
 //! engine vs the preserved legacy reference engine, on the real FFT and
 //! Columnsort programs, for `v = 2^10 .. 2^16`, with a thread-scaling
-//! column (1, 2, 4, … executor workers). Emits a machine-readable
-//! `BENCH_engine.json` so future PRs can track the perf trajectory
-//! (`scripts/bench_compare.sh` diffs two such files).
+//! column (1, 2, 4, … executor workers) and a **communication-plan
+//! column**: every row measures the engine twice, with the programs'
+//! declared oblivious plans enabled (`plan_msgs_per_sec` — analytic
+//! metrics, compile-proven validation, direct-write scatter) and disabled
+//! (`arena_msgs_per_sec` — the dynamic path, directly comparable to the
+//! pre-plan baselines). Emits a machine-readable `BENCH_engine.json` so
+//! future PRs can track the perf trajectory (`scripts/bench_compare.sh`
+//! diffs two such files, including the plan column when both runs have it).
 //!
 //! Usage: `cargo run --release -p nob-bench --bin exp_engine_throughput
-//! [max_log_v] [out_path]` (defaults: 16, `BENCH_engine.json`).
+//! [max_log_v] [out_path]` (defaults: 16, `BENCH_engine.json`), or
+//! `… -- --smoke` for the tier-1 smoke mode: one small size, plans on vs
+//! off vs the reference engine, bit-for-bit equality of states, trace and
+//! message log asserted on the serial and sharded paths (so plan/metric
+//! divergence fails fast instead of waiting for a full bench run).
 //!
 //! The executor width is pinned per row via `RunOptions::workers`, so one
-//! process covers the whole scaling column; the rayon pool width (reported
-//! per row, overridable with `NOB_THREADS`) only affects the reference
-//! engine's internal parallelism and the engine's *default* width. The
-//! `threads = 1` rows take the serial path and are directly comparable to
-//! the PR-1 single-core baseline.
+//! process covers the whole scaling column. On containers that expose a
+//! single CPU the `threads > 1` rows measure pure coordination overhead —
+//! they are skipped by default (set `NOB_BENCH_ALL_WIDTHS=1` to force
+//! them; `bench_compare.sh` tolerates rows absent from either file).
 
 use nob_algos::fft::BinaryExchangeFft;
 use nob_algos::sort::ColumnSort;
@@ -84,9 +92,77 @@ struct Row {
     program: &'static str,
     /// Executor workers pinned for this row (`RunOptions::workers`).
     threads: usize,
+    /// Supersteps carrying a compiled communication plan.
+    planned_steps: usize,
+    /// Engine with communication plans enabled.
+    plan: Measurement,
+    /// Engine with plans disabled (dynamic path; comparable to pre-plan
+    /// baselines' `arena_msgs_per_sec`).
     arena: Measurement,
     reference: Measurement,
     peak_rss_kb: u64,
+}
+
+fn worker_opts(w: usize, use_plans: bool) -> RunOptions {
+    RunOptions { workers: Some(w), use_plans, ..Default::default() }
+}
+
+/// Asserts bit-for-bit equality of two runs (states, trace, message log).
+fn assert_same<S: PartialEq + std::fmt::Debug>(
+    what: &str,
+    name: &str,
+    v: usize,
+    a: &nob_machine::RunResult<S>,
+    b: &nob_machine::RunResult<S>,
+) {
+    assert_eq!(a.states, b.states, "{name}: {what} states diverge at v = {v}");
+    assert_eq!(a.trace, b.trace, "{name}: {what} trace diverges at v = {v}");
+    assert_eq!(a.message_log, b.message_log, "{name}: {what} message log diverges at v = {v}");
+}
+
+/// Cross-checks one program across every engine configuration the bench
+/// later times: plans on/off, serial/sharded, and the reference engine.
+/// Returns `(prog, states)` ready for timing.
+#[allow(clippy::type_complexity)]
+fn crosscheck<A>(
+    alg: &A,
+    name: &'static str,
+    n: usize,
+    input: &A::Input,
+    widest: usize,
+) -> (Program<A::State, A::Msg>, Vec<A::State>)
+where
+    A: NobAlgorithm,
+    A::State: Clone + PartialEq + std::fmt::Debug,
+{
+    let prog = alg.build(n);
+    assert!(prog.planned_steps() > 0, "{name}: no compiled communication plans at v = {n}");
+    let states = alg.init(n, input);
+    // Message-log equality is only checked at small sizes: a log is O(total
+    // messages) (55M entries for sort at v = 2^16), and holding three logged
+    // results at once would dominate peak RSS — corrupting the bench's
+    // peak_rss_kb column and risking OOM on small containers. Larger sizes
+    // compare states + trace; log equivalence is proven by the differential
+    // suites and the smoke mode at v = 2^10.
+    let logs = n <= (1 << 12);
+    let plan_on = run(&prog, states.clone(), &worker_logged(1, true, logs)).unwrap();
+    let plan_off = run(&prog, states.clone(), &worker_logged(1, false, logs)).unwrap();
+    assert_same("plan-on vs plan-off", name, n, &plan_on, &plan_off);
+    drop(plan_off);
+    let reference_opts =
+        RunOptions { collect_messages: logs, ..Default::default() };
+    let r = run_reference(&prog, states.clone(), &reference_opts).unwrap();
+    assert_same("planned vs reference", name, n, &plan_on, &r);
+    drop(r);
+    if widest > 1 {
+        let sh = run(&prog, states.clone(), &worker_logged(widest, true, logs)).unwrap();
+        assert_same("sharded planned vs serial", name, n, &sh, &plan_on);
+    }
+    (prog, states)
+}
+
+fn worker_logged(w: usize, use_plans: bool, collect_messages: bool) -> RunOptions {
+    RunOptions { workers: Some(w), use_plans, collect_messages, ..Default::default() }
 }
 
 fn bench_program<A>(
@@ -100,64 +176,81 @@ fn bench_program<A>(
     A: NobAlgorithm,
     A::State: Clone + PartialEq + std::fmt::Debug,
 {
-    let prog = alg.build(n);
-    let states = alg.init(n, input);
-    let base = RunOptions::default();
-    // Cross-check once before timing: serial, widest sharded, and the
-    // reference engine must agree exactly.
-    let serial = run(&prog, states.clone(), &serial_opts()).unwrap();
-    let r = run_reference(&prog, states.clone(), &base).unwrap();
-    assert_eq!(serial.states, r.states, "{name}: engines disagree on states at v = {n}");
-    assert_eq!(serial.trace, r.trace, "{name}: engines disagree on trace at v = {n}");
     let widest = widths.iter().copied().max().unwrap_or(1);
-    let sh = run(&prog, states.clone(), &worker_opts(widest)).unwrap();
-    assert_eq!(sh.states, serial.states, "{name}: sharded states diverge at v = {n}");
-    assert_eq!(sh.trace, serial.trace, "{name}: sharded trace diverges at v = {n}");
-
+    let (prog, states) = crosscheck(alg, name, n, input, widest);
+    let base = RunOptions::default();
     let reference = measure(&prog, &states, |p, s| run_reference(p, s, &base).unwrap());
     for &w in widths {
-        let opts = worker_opts(w);
-        let arena = measure(&prog, &states, |p, s| run(p, s, &opts).unwrap());
+        let on = worker_opts(w, true);
+        let off = worker_opts(w, false);
+        let plan = measure(&prog, &states, |p, s| run(p, s, &on).unwrap());
+        let arena = measure(&prog, &states, |p, s| run(p, s, &off).unwrap());
         let row = Row {
             v: n,
             program: name,
             threads: w,
+            planned_steps: prog.planned_steps(),
+            plan,
             arena,
             reference: reference.clone(),
             peak_rss_kb: peak_rss_kb(),
         };
         eprintln!(
-            "v={:<6} {:<5} w={} arena {:>10.0} msg/s | reference {:>10.0} msg/s | speedup {:.2}x",
+            "v={:<6} {:<5} w={} plan {:>10.0} msg/s | dynamic {:>10.0} msg/s | reference {:>10.0} msg/s | plan/dyn {:.2}x",
             row.v,
             row.program,
             row.threads,
+            row.plan.msgs_per_sec(),
             row.arena.msgs_per_sec(),
             row.reference.msgs_per_sec(),
-            row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
+            row.plan.msgs_per_sec() / row.arena.msgs_per_sec(),
         );
         rows.push(row);
     }
 }
 
-fn serial_opts() -> RunOptions {
-    RunOptions { workers: Some(1), ..Default::default() }
-}
-
-fn worker_opts(w: usize) -> RunOptions {
-    RunOptions { workers: Some(w), ..Default::default() }
+/// Tier-1 smoke mode: tiny size, serial + sharded, plans on vs off vs the
+/// reference engine — trace/state/log equality asserted, no timing.
+fn smoke() {
+    let v = 1usize << 10;
+    let signal = test_signal(v);
+    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 2);
+    let keys = random_keys(v, 42);
+    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 2);
+    // Folded executions agree too (plan metrics at granularity p).
+    let prog = ColumnSort::<u64>::default().build(v);
+    let states = ColumnSort::<u64>::default().init(v, &keys[..]);
+    for p in [4usize, 32] {
+        let on = nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, true, true))
+            .unwrap();
+        let off =
+            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, false, true))
+                .unwrap();
+        assert_same("folded plan-on vs plan-off", "sort", p, &on, &off);
+    }
+    println!("bench_smoke: OK (plans on/off bit-for-bit at v = {v}, serial + sharded + folded)");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--smoke") {
+        smoke();
+        return;
+    }
     let max_log_v: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
     let out_path = args.get(2).cloned().unwrap_or_else(|| "BENCH_engine.json".to_string());
     let cpus = available_cpus();
-    // Thread-scaling column: 1, 2, 4, … up to at least 4 (so the scaling
-    // shape is recorded even on narrow containers) and up to the next
-    // power of two covering the machine.
+    // Thread-scaling column: 1, 2, 4, … up to the next power of two
+    // covering the visible CPUs. A single-CPU container gets only the
+    // serial row by default — multi-worker rows there measure pure
+    // coordination overhead, which burns minutes without measuring scaling
+    // (set NOB_BENCH_ALL_WIDTHS=1 to record them anyway).
+    let all_widths = std::env::var_os("NOB_BENCH_ALL_WIDTHS").is_some();
     let mut widths = vec![1usize];
-    while *widths.last().unwrap() < 4.max(cpus) {
-        widths.push(widths.last().unwrap() * 2);
+    if cpus > 1 || all_widths {
+        while *widths.last().unwrap() < 4.max(cpus) {
+            widths.push(widths.last().unwrap() * 2);
+        }
     }
 
     let mut rows = Vec::new();
@@ -175,25 +268,30 @@ fn main() {
     writeln!(json, "  \"pool_threads\": {},", rayon::current_num_threads()).unwrap();
     writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
     writeln!(json, "  \"validate\": {},", RunOptions::default().validate).unwrap();
-    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path, comparable to the PR-1 arena baseline); peak_rss_kb is the process VmHWM high-water mark, cumulative across rows\",").unwrap();
+    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS=1). plan_msgs_per_sec = communication plans enabled (analytic metrics + direct-write scatter); arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. peak_rss_kb is the process VmHWM high-water mark, cumulative across rows\",").unwrap();
     writeln!(json, "  \"rows\": [").unwrap();
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         writeln!(
             json,
-            "    {{\"v\": {}, \"program\": \"{}\", \"threads\": {}, \"supersteps\": {}, \"messages_per_run\": {}, \
+            "    {{\"v\": {}, \"program\": \"{}\", \"threads\": {}, \"supersteps\": {}, \"planned_steps\": {}, \"messages_per_run\": {}, \
+             \"plan_secs\": {:.6}, \"plan_msgs_per_sec\": {:.0}, \
              \"arena_secs\": {:.6}, \"arena_msgs_per_sec\": {:.0}, \
              \"reference_secs\": {:.6}, \"reference_msgs_per_sec\": {:.0}, \
-             \"speedup\": {:.3}, \"peak_rss_kb\": {}}}{}",
+             \"plan_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}}}{}",
             row.v,
             row.program,
             row.threads,
-            row.arena.supersteps,
-            row.arena.messages,
+            row.plan.supersteps,
+            row.planned_steps,
+            row.plan.messages,
+            row.plan.secs,
+            row.plan.msgs_per_sec(),
             row.arena.secs,
             row.arena.msgs_per_sec(),
             row.reference.secs,
             row.reference.msgs_per_sec(),
+            row.plan.msgs_per_sec() / row.arena.msgs_per_sec(),
             row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
             row.peak_rss_kb,
             comma,

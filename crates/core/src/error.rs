@@ -53,6 +53,16 @@ pub enum ModelError {
         /// Destination processing element.
         dst: usize,
     },
+    /// A superstep's declared oblivious communication plan disagreed with the
+    /// messages its SPMD closure actually sent (mis-declared route).
+    PlanMismatch {
+        /// Name of the offending superstep.
+        step: &'static str,
+        /// The processing element where the divergence was detected.
+        vp: usize,
+        /// Human-readable description of the divergence.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -76,6 +86,10 @@ impl fmt::Display for ModelError {
             ModelError::ClusterViolation { label, src, dst } => write!(
                 f,
                 "message {src} -> {dst} leaves its {label}-cluster in a {label}-superstep"
+            ),
+            ModelError::PlanMismatch { step, vp, reason } => write!(
+                f,
+                "superstep `{step}`: VP {vp} diverged from the declared communication plan ({reason})"
             ),
         }
     }

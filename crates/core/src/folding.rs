@@ -131,7 +131,7 @@ mod tests {
     fn vp_ranges_partition_the_machine() {
         let log_v = 5;
         let j = 3;
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for r in 0..(1usize << j) {
             for vp in vps_of_proc(r, log_v, j) {
                 assert!(!seen[vp]);

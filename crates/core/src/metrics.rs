@@ -389,6 +389,109 @@ impl DegreeCounters {
     }
 }
 
+/// Precomputed metrics of one *oblivious* superstep: the analytic record of
+/// a message multiset that is a static function of the VP index.
+///
+/// Communication-plan layers compile these once per program — streaming the
+/// declared route through the same [`DegreeCounters`] the engine would use
+/// at run time, so the stored values are **bit-for-bit identical** to what
+/// the streamed counters would produce for the same multiset (dummy
+/// messages included) — and then emit a superstep record in `O(log v)` per
+/// run via [`TraceBuilder::push_precomputed`], instead of paying the
+/// per-message `O(log v)` counter walk on every execution.
+///
+/// One instance serves **every** granularity at once: a folded run on
+/// `M(2^L)` reads the first `L` degree levels (identical, level by level,
+/// to what folded counters would have accumulated) and the
+/// externality-prefix total `ext(L)` (folded traces count only messages
+/// external at fold `2^L`, exactly the `count_internal = false` policy of
+/// [`DegreeCounters::folded`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepMetrics {
+    /// Fold levels covered (`log v` of the machine the step was declared on).
+    levels: u32,
+    /// `h_by_fold[j-1]` = superstep degree at fold `2^j`, `1 ≤ j ≤ levels`.
+    h_by_fold: Vec<u64>,
+    /// `ext_prefix[j-1]` = number of declared messages external at fold
+    /// `2^j` (monotone non-decreasing in `j`).
+    ext_prefix: Vec<u64>,
+    /// All declared messages, internal ones (self-sends) included.
+    total: u64,
+}
+
+/// Streaming accumulator for [`StepMetrics`]: feed every declared message
+/// once (in any order), then [`StepMetricsBuilder::finish`].
+#[derive(Debug)]
+pub struct StepMetricsBuilder {
+    counters: DegreeCounters,
+    ext_hist: Vec<u64>,
+    total: u64,
+}
+
+impl StepMetricsBuilder {
+    /// An accumulator for a machine of `2^log_v` VPs (`log_v ≥ 1`).
+    pub fn new(log_v: u32) -> Self {
+        let mut counters = DegreeCounters::full(log_v);
+        counters.begin_superstep();
+        StepMetricsBuilder { counters, ext_hist: vec![0; log_v as usize], total: 0 }
+    }
+
+    /// Records one declared message `src → dst` (data or dummy — the degree
+    /// metrics never distinguish them).
+    #[inline]
+    pub fn record(&mut self, src: usize, dst: usize) {
+        self.counters.record(src, dst);
+        self.total += 1;
+        let x = src ^ dst;
+        if x != 0 {
+            // External at every fold 2^j with j ≥ j_min (same threshold
+            // arithmetic as DegreeCounters::record).
+            let bitlen = usize::BITS - x.leading_zeros();
+            let j_min = (self.counters.log_v - bitlen) + 1;
+            self.ext_hist[(j_min - 1) as usize] += 1;
+        }
+    }
+
+    /// Seals the accumulated multiset into immutable [`StepMetrics`].
+    pub fn finish(self) -> StepMetrics {
+        let levels = self.counters.levels();
+        let h_by_fold = (1..=levels).map(|j| self.counters.level_max(j)).collect();
+        let mut ext_prefix = self.ext_hist;
+        for j in 1..ext_prefix.len() {
+            ext_prefix[j] += ext_prefix[j - 1];
+        }
+        StepMetrics { levels, h_by_fold, ext_prefix, total: self.total }
+    }
+}
+
+impl StepMetrics {
+    /// Fold levels covered.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// The degree vector for a trace of granularity `2^levels`
+    /// (`1 ≤ levels ≤ self.levels()`): `h(2^1) … h(2^levels)`.
+    #[inline]
+    pub fn h_prefix(&self, levels: u32) -> &[u64] {
+        &self.h_by_fold[..levels as usize]
+    }
+
+    /// The message total a trace at granularity `2^levels` records for this
+    /// superstep: every message when `count_internal` (full-granularity
+    /// traces), otherwise only messages external at fold `2^levels` (folded
+    /// traces, cf. [`DegreeCounters::folded`]).
+    #[inline]
+    pub fn total_at(&self, levels: u32, count_internal: bool) -> u64 {
+        if count_internal {
+            self.total
+        } else {
+            self.ext_prefix[(levels - 1) as usize]
+        }
+    }
+}
+
 /// Combines the shard-local [`DegreeCounters`] of one superstep into the
 /// global per-fold degrees — the barrier-time half of the sharded metric
 /// pipeline.
@@ -527,6 +630,18 @@ impl TraceBuilder {
         for j in 1..=counters.levels() {
             self.flat_h.push(counters.level_max(j));
         }
+    }
+
+    /// Appends one superstep's metrics from the precomputed [`StepMetrics`]
+    /// of a planned oblivious superstep: `O(log gran)`, no per-message work.
+    /// `count_internal` selects the total policy (`true` for full-granularity
+    /// traces, `false` for folded ones). Allocation-free while within the
+    /// reserved capacity.
+    pub fn push_precomputed(&mut self, label: u32, metrics: &StepMetrics, count_internal: bool) {
+        debug_assert!(metrics.levels() >= self.log_gran, "plan narrower than the trace");
+        self.labels.push(label);
+        self.totals.push(metrics.total_at(self.log_gran, count_internal));
+        self.flat_h.extend_from_slice(metrics.h_prefix(self.log_gran));
     }
 
     /// Appends one superstep's metrics from a completed [`EpochMerge`] of
@@ -932,6 +1047,78 @@ mod tests {
                 assert_eq!(got, want, "folded divergence at 2^{log_shards} shards: {edges:?}");
             }
         }
+    }
+
+    #[test]
+    fn step_metrics_match_streamed_counters_at_every_granularity() {
+        // The precomputed plan metrics must be bit-for-bit what the engine's
+        // streamed counters produce for the same multiset — full granularity
+        // *and* every folded granularity (h levels and total policy alike).
+        let log_v = 5u32;
+        let v = 1usize << log_v;
+        let mut state = 0x5eed_cafeu64;
+        for round in 0..24 {
+            let mut b = StepMetricsBuilder::new(log_v);
+            let mut edges = Vec::new();
+            for _ in 0..round * 2 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let s = (state >> 20) as usize % v;
+                let d = (state >> 40) as usize % v;
+                edges.push((s, d, 1u64));
+                b.record(s, d);
+            }
+            let m = b.finish();
+            // Full granularity: identical record.
+            let mut full = DegreeCounters::full(log_v);
+            full.begin_superstep();
+            for &(s, d, _) in &edges {
+                full.record(s, d);
+            }
+            let want = SuperstepRecord::from_degree_counters(0, &full);
+            assert_eq!(m.h_prefix(log_v), &want.h_by_fold[..], "round {round}");
+            assert_eq!(m.total_at(log_v, true), want.total_msgs, "round {round}");
+            // Every folded granularity: identical level prefix and total.
+            for levels in 1..=log_v {
+                let mut folded = DegreeCounters::folded(log_v, levels);
+                folded.begin_superstep();
+                for &(s, d, _) in &edges {
+                    folded.record(s, d);
+                }
+                let want = SuperstepRecord::from_degree_counters(0, &folded);
+                assert_eq!(m.h_prefix(levels), &want.h_by_fold[..], "round {round} L{levels}");
+                assert_eq!(m.total_at(levels, false), want.total_msgs, "round {round} L{levels}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_builder_precomputed_matches_streamed_push() {
+        let log_v = 4u32;
+        let edges = [(0usize, 9usize), (3, 3), (7, 8), (0, 9), (15, 0)];
+        let mut b = StepMetricsBuilder::new(log_v);
+        let mut c = DegreeCounters::full(log_v);
+        c.begin_superstep();
+        for &(s, d) in &edges {
+            b.record(s, d);
+            c.record(s, d);
+        }
+        let m = b.finish();
+        let mut t1 = TraceBuilder::new(16, 16, 1);
+        t1.push_superstep(0, &c);
+        let mut t2 = TraceBuilder::new(16, 16, 1);
+        t2.push_precomputed(0, &m, true);
+        assert_eq!(t1.finish(), t2.finish());
+        // Folded granularity: internal messages drop out of the total.
+        let mut cf = DegreeCounters::folded(log_v, 2);
+        cf.begin_superstep();
+        for &(s, d) in &edges {
+            cf.record(s, d);
+        }
+        let mut t1 = TraceBuilder::new(4, 16, 1);
+        t1.push_superstep(0, &cf);
+        let mut t2 = TraceBuilder::new(4, 16, 1);
+        t2.push_precomputed(0, &m, false);
+        assert_eq!(t1.finish(), t2.finish());
     }
 
     #[test]

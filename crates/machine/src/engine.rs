@@ -11,13 +11,13 @@
 //! per run and recycled, so **steady-state supersteps perform zero heap
 //! allocations** on the serial path:
 //!
-//! * **Two mailbox arenas per shard** ([`mailbox::Arena`]): each is a
+//! * **Two mailbox arenas per shard** (`mailbox::Arena`): each is a
 //!   contiguous message slab plus an offset table giving every VP's inbox
 //!   range. Per superstep the engine *reads* the previous superstep's
 //!   messages from one arena while this superstep's sends are sorted into
 //!   the other; then the two swap roles. Slabs only ever grow to the
 //!   high-water message volume.
-//! * **Send staging** ([`mailbox::ChunkStage`]): each shard appends its
+//! * **Send staging** (`mailbox::ChunkStage`): each shard appends its
 //!   VPs' `(dst, envelope)` pairs to a recycled flat buffer with per-VP end
 //!   markers, consumed by the routing pass.
 //! * **Streaming metrics** ([`nob_core::metrics::DegreeCounters`]): a single
@@ -29,10 +29,17 @@
 //!
 //! # Execution paths
 //!
+//! * **Planned** (serial, per superstep): supersteps that declared their
+//!   pattern as an oblivious route ([`Program::step_oblivious`]) skip the
+//!   whole staged pipeline — one counting pass over the compiled
+//!   [`crate::plan::StepPlan`] sizes the write arena, VP closures write
+//!   payloads *directly* into their destination slots, and the superstep
+//!   record is the plan's precomputed metrics (`O(log v)`), with the
+//!   cluster constraint proven once at build time.
 //! * **Serial** (1 shard): the whole machine is one shard; the loop above
 //!   runs inline with a serial counting-sort scatter and allocates nothing
 //!   in steady state (proven by `tests/allocation.rs`).
-//! * **Sharded** ([`crate::shard`]): `n` persistent workers each own a
+//! * **Sharded** (`crate::shard`): `n` persistent workers each own a
 //!   contiguous VP shard — its states, arenas, staging and a private
 //!   [`DegreeCounters`] — and exchange cross-shard messages through the
 //!   statically planned lanes of [`crate::program::LanePlan`]. The
@@ -87,11 +94,31 @@ pub struct RunOptions {
     /// threads). Ignored when [`RunOptions::parallel`] is `false`, which
     /// always takes the serial path.
     pub workers: Option<usize>,
+    /// Execute supersteps that declared an oblivious route
+    /// ([`Program::step_oblivious`]) from their compiled [`crate::plan::StepPlan`]:
+    /// analytic metrics, compile-proven cluster constraint, and the
+    /// direct-write scatter on the serial path (default: `true`). Disabling
+    /// runs every step on the dynamic path — results are bit-for-bit
+    /// identical either way (enforced by the differential suites); the flag
+    /// exists for benchmarking and for differential testing itself.
+    ///
+    /// Mis-declared routes are fully rejected only under
+    /// [`RunOptions::validate`]; with validation off the engine trusts the
+    /// declaration like it trusts cluster discipline (the serial path still
+    /// enforces the payload multiset as a memory-safety check, the sharded
+    /// path does not re-verify).
+    pub use_plans: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { parallel: true, validate: true, collect_messages: false, workers: None }
+        RunOptions {
+            parallel: true,
+            validate: true,
+            collect_messages: false,
+            workers: None,
+            use_plans: true,
+        }
     }
 }
 
@@ -261,10 +288,53 @@ fn run_serial<S: Send, M: Send>(
     let mut stage: ChunkStage<M> = ChunkStage::new(v);
     let mut arenas = [Arena::<M>::new(v), Arena::<M>::new(v)];
     let mut read_idx = 0usize;
+    // Invariant: all-zero between supersteps (`prepare_write` re-zeroes the
+    // counts as it consumes them, so no per-superstep `fill(0)` sweep).
     let mut dst_counts = vec![0u32; v];
     let mut cursors = vec![0u32; v];
+    // Recycled per-superstep log entry scratch: log-collecting runs pay one
+    // exact-size allocation per recorded superstep (the entry pushed into
+    // the log), never repeated growth.
+    let mut log_scratch: Vec<(u32, u32)> = Vec::new();
 
     for step in prog.steps() {
+        let record_step = step.label < levels;
+        let want_log = message_log.is_some() && record_step;
+
+        // --- planned supersteps: direct-write scatter + analytic metrics --
+        if let Some(plan) = step.plan().filter(|_| opts.use_plans) {
+            match plan.fault() {
+                // A route that violates the model is reported like the
+                // dynamic engine would; with validation off, fall through
+                // and let the dynamic path execute (and deliver) it.
+                Some(fault) if opts.validate => return Err(fault.clone()),
+                Some(_) => {}
+                None => {
+                    run_planned_step(
+                        step,
+                        plan,
+                        states,
+                        &mut arenas,
+                        read_idx,
+                        &mut dst_counts,
+                        &mut cursors,
+                        &mut stage.outbox,
+                        opts.validate,
+                    )?;
+                    if record_step {
+                        trace.push_precomputed(step.label, plan.metrics(), spec.full);
+                        if want_log {
+                            log_scratch.clear();
+                            plan_log_entry(plan, spec, &mut log_scratch);
+                            message_log.as_mut().expect("want_log").push(log_scratch.clone());
+                        }
+                    }
+                    read_idx = 1 - read_idx;
+                    continue;
+                }
+            }
+        }
+
         // --- computation + send phase -----------------------------------
         {
             let read = &mut arenas[read_idx];
@@ -273,11 +343,10 @@ fn run_serial<S: Send, M: Send>(
         }
 
         // --- streaming validation + metrics + routing counts (one pass) ---
-        let record_step = step.label < levels;
         counters.begin_superstep();
-        dst_counts.fill(0);
-        let mut step_log: Option<Vec<(u32, u32)>> =
-            (message_log.is_some() && record_step).then(Vec::new);
+        if want_log {
+            log_scratch.clear();
+        }
         let mut msg_idx = 0usize;
         for (src, &end) in stage.vp_ends.iter().enumerate() {
             for (dst, env) in &stage.outbox.msgs[msg_idx..end as usize] {
@@ -296,13 +365,13 @@ fn run_serial<S: Send, M: Send>(
                 if record_step {
                     counters.record(src, dst);
                 }
-                if let Some(log) = step_log.as_mut() {
+                if want_log {
                     if spec.full {
-                        log.push((src as u32, dst as u32));
+                        log_scratch.push((src as u32, dst as u32));
                     } else {
                         let (ps, pd) = (src >> spec.gran_shift, dst >> spec.gran_shift);
                         if ps != pd {
-                            log.push((ps as u32, pd as u32));
+                            log_scratch.push((ps as u32, pd as u32));
                         }
                     }
                 }
@@ -317,15 +386,15 @@ fn run_serial<S: Send, M: Send>(
         }
         if record_step {
             trace.push_superstep(step.label, &counters);
-            if let (Some(log), Some(step_log)) = (message_log.as_mut(), step_log) {
-                log.push(step_log);
+            if want_log {
+                message_log.as_mut().expect("want_log").push(log_scratch.clone());
             }
         }
 
         // --- routing (messages become visible next superstep) --------------
         {
             let write = &mut arenas[1 - read_idx];
-            let total = write.prepare_write(&dst_counts, &mut cursors);
+            let total = write.prepare_write(&mut dst_counts, &mut cursors);
             let (slab, _offsets) = write.split_for_scatter(total);
             route_serial(&mut stage, &mut cursors, slab);
             write.commit_write(total);
@@ -333,6 +402,106 @@ fn run_serial<S: Send, M: Send>(
         read_idx = 1 - read_idx;
     }
     Ok(())
+}
+
+/// Executes one planned superstep on the serial path: a counting pass over
+/// the declared route sizes the write arena, every VP closure then writes
+/// its payloads **directly into the destination arena slot** through the
+/// cursor-guarded [`DirectOut`] — no staging copy, no validation scan, no
+/// streaming counters, no counting-sort scatter. The caller pushes the
+/// plan's precomputed metrics afterwards.
+///
+/// Mis-declared plans are rejected, never silently executed: the direct
+/// writer bounds every write by its destination's planned range, and the
+/// payload total is compared against the plan *before* the arena is
+/// committed (an under-filled slab is never published — its partial
+/// payloads are leaked, not dropped, which is safe and bounded by one
+/// superstep). With validation on the writer additionally checks every
+/// send (dummies included) against the declared route in lockstep.
+#[allow(clippy::too_many_arguments)]
+fn run_planned_step<S, M: Send>(
+    step: &crate::program::Superstep<S, M>,
+    plan: &crate::plan::StepPlan,
+    states: &mut [S],
+    arenas: &mut [Arena<M>; 2],
+    read_idx: usize,
+    dst_counts: &mut [u32],
+    cursors: &mut [u32],
+    outbox: &mut crate::program::Outbox<M>,
+    validate: bool,
+) -> Result<(), ModelError> {
+    let [a0, a1] = arenas;
+    let (read, write) = if read_idx == 0 { (a0, a1) } else { (a1, a0) };
+    let v = dst_counts.len();
+
+    // Counting pass: exact per-destination payload counts from the route.
+    plan.count_data(dst_counts);
+    let total = write.prepare_write(dst_counts, cursors);
+    debug_assert_eq!(total as u64, plan.total_data(), "count pass disagrees with compile pass");
+
+    // Arm the direct writer over the write arena's freshly sized slab.
+    {
+        let (wslab, woffsets) = write.split_for_scatter(total);
+        let check = validate.then(|| plan.route_raw());
+        outbox.enter_direct(crate::mailbox::DirectOut::new(wslab, cursors, woffsets, check));
+    }
+
+    // Execute the chunk, carving inboxes out of the read arena as usual.
+    let (rslab, roffsets) = read.take_read();
+    let mut slab_rest = rslab;
+    for (vp, state) in states.iter_mut().enumerate() {
+        let len = (roffsets[vp + 1] - roffsets[vp]) as usize;
+        let taken = std::mem::take(&mut slab_rest);
+        let (mine, rest) = taken.split_at_mut(len);
+        slab_rest = rest;
+        let mut inbox = Inbox::over_slab(mine);
+        let ctx = Ctx { vp, v, log_v: plan.log_v, n: plan.n };
+        outbox.direct_mut().begin_vp(&ctx);
+        (step.exec)(state, &ctx, &mut inbox, outbox);
+        outbox.direct_mut().end_vp();
+    }
+
+    let (written, fault) = outbox.exit_direct().finish();
+    if let Some((vp, reason)) = fault {
+        return Err(ModelError::PlanMismatch { step: step.name, vp, reason });
+    }
+    if written != plan.total_data() {
+        // Attribute the shortfall to the first destination whose inbox
+        // range was left short (without lockstep checking the sender is
+        // unknown, but the starved receiver is not).
+        let (_, woffsets) = write.split_for_scatter(total);
+        let vp = (0..v).find(|&d| cursors[d] < woffsets[d + 1]).unwrap_or(0);
+        return Err(ModelError::PlanMismatch {
+            step: step.name,
+            vp,
+            reason: "destination received fewer payload messages than the route declares",
+        });
+    }
+    write.commit_write(total);
+    Ok(())
+}
+
+/// Materializes the message-log entry of a planned superstep straight from
+/// its route (same order as the dynamic path: ascending source VP, then
+/// send order; dummies included at full granularity, processor-external
+/// pairs only when folded). Shared by the serial path and the sharded
+/// coordinator so the two can never emit differently shaped entries.
+pub(crate) fn plan_log_entry(
+    plan: &crate::plan::StepPlan,
+    spec: GranSpec,
+    out: &mut Vec<(u32, u32)>,
+) {
+    let v = 1usize << plan.log_v;
+    if spec.full {
+        plan.for_each_message(0..v, |s, d, _| out.push((s as u32, d as u32)));
+    } else {
+        plan.for_each_message(0..v, |s, d, _| {
+            let (ps, pd) = (s >> spec.gran_shift, d >> spec.gran_shift);
+            if ps != pd {
+                out.push((ps as u32, pd as u32));
+            }
+        });
+    }
 }
 
 /// Runs the superstep closure for every VP of one shard, carving per-VP
@@ -621,6 +790,203 @@ mod tests {
         let payload = res.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "vp exploded");
+    }
+
+    /// Butterfly exchange declared as an oblivious route (with a wiseness
+    /// dummy from the low half), next to its plain dynamic twin.
+    fn butterfly_pair(v: usize, rounds: usize) -> (Program<u64, u64>, Program<u64, u64>) {
+        use crate::plan::Route;
+        let mut planned: Program<u64, u64> = Program::new(v, v);
+        let mut dynamic: Program<u64, u64> = Program::new(v, v);
+        let log_v = planned.log_v();
+        for r in 0..rounds {
+            let l = (r as u32) % log_v;
+            let d = v >> (l + 1);
+            let body = move |st: &mut u64, ctx: &Ctx, inbox: &mut Inbox<'_, u64>, out: &mut crate::program::Outbox<u64>| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+                out.send(ctx.vp ^ d, *st);
+                if ctx.vp < d {
+                    out.send_dummy(ctx.vp + d);
+                }
+            };
+            planned.step_oblivious(
+                l,
+                "bfly",
+                2,
+                move |ctx, k| {
+                    if k == 0 {
+                        Route::Data(ctx.vp ^ d)
+                    } else if ctx.vp < d {
+                        Route::Dummy(ctx.vp + d)
+                    } else {
+                        Route::Skip
+                    }
+                },
+                body,
+            );
+            dynamic.step(l, "bfly", body);
+        }
+        let consume = |st: &mut u64, _: &Ctx, inbox: &mut Inbox<'_, u64>, _: &mut crate::program::Outbox<u64>| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+        };
+        planned.step_oblivious(log_v - 1, "consume", 0, |_, _| crate::plan::Route::Skip, consume);
+        dynamic.step(log_v - 1, "consume", consume);
+        (planned, dynamic)
+    }
+
+    #[test]
+    fn planned_execution_is_bit_for_bit_dynamic_execution() {
+        let v = 16;
+        let (planned, dynamic) = butterfly_pair(v, 9);
+        assert_eq!(planned.planned_steps(), 10);
+        let states: Vec<u64> = (0..v as u64).map(|x| x * 7 + 1).collect();
+        let base = RunOptions { workers: Some(1), ..RunOptions::with_log() };
+        let want = run(&dynamic, states.clone(), &base).unwrap();
+        // Serial planned, planned-with-plans-off, and sharded planned all
+        // agree with the dynamic program exactly.
+        let on = run(&planned, states.clone(), &base).unwrap();
+        assert_eq!(on.states, want.states);
+        assert_eq!(on.trace, want.trace);
+        assert_eq!(on.message_log, want.message_log);
+        let off_opts = RunOptions { use_plans: false, ..base.clone() };
+        let off = run(&planned, states.clone(), &off_opts).unwrap();
+        assert_eq!(off.states, want.states);
+        assert_eq!(off.trace, want.trace);
+        assert_eq!(off.message_log, want.message_log);
+        for w in [2usize, 4] {
+            let opts = RunOptions { workers: Some(w), ..RunOptions::with_log() };
+            let sh = run(&planned, states.clone(), &opts).unwrap();
+            assert_eq!(sh.states, want.states, "sharded planned states at {w} workers");
+            assert_eq!(sh.trace, want.trace, "sharded planned trace at {w} workers");
+            assert_eq!(sh.message_log, want.message_log, "sharded planned log at {w} workers");
+        }
+        // Folded runs agree too (planned metrics at granularity p).
+        for p in [2usize, 4, 8] {
+            let fw = run_folded(&dynamic, states.clone(), p, &base).unwrap();
+            for w in [1usize, 2] {
+                let opts = RunOptions { workers: Some(w), ..RunOptions::with_log() };
+                let fp = run_folded(&planned, states.clone(), p, &opts).unwrap();
+                assert_eq!(fp.states, fw.states, "folded planned states p={p} w={w}");
+                assert_eq!(fp.trace, fw.trace, "folded planned trace p={p} w={w}");
+                assert_eq!(fp.message_log, fw.message_log, "folded planned log p={p} w={w}");
+            }
+        }
+        // Validation-off planned runs still agree (safety checks only).
+        let noval = RunOptions { validate: false, workers: Some(1), ..Default::default() };
+        let nv = run(&planned, states.clone(), &noval).unwrap();
+        assert_eq!(nv.states, want.states);
+        assert_eq!(nv.trace, want.trace);
+    }
+
+    #[test]
+    fn misdeclared_route_is_rejected_not_silently_executed() {
+        use crate::plan::Route;
+        let v = 8usize;
+        // Route declares vp ^ 1; the closure actually sends vp ^ 2.
+        let mut lying: Program<u64, u64> = Program::new(v, v);
+        lying.step_oblivious(
+            0,
+            "liar",
+            1,
+            |ctx, _| Route::Data(ctx.vp ^ 1),
+            |_, ctx, _, out| out.send(ctx.vp ^ 2, 1),
+        );
+        let states: Vec<u64> = vec![0; v];
+        for w in [1usize, 2] {
+            let err = run(&lying, states.clone(), &RunOptions { workers: Some(w), ..Default::default() })
+                .expect_err("mis-declared route must be rejected");
+            assert!(
+                matches!(err, ModelError::PlanMismatch { step: "liar", .. }),
+                "wrong error at {w} workers: {err:?}"
+            );
+        }
+        // Serial safety net without validation: route lockstep is off, but
+        // the payload *multiset* checks still refuse to publish an arena
+        // whose slot occupancy disagrees with the plan. (A mis-declaration
+        // that happens to preserve every per-destination count — e.g. one
+        // permutation declared as another — needs validation to be caught;
+        // here VP 0 hoards both messages so destination counts diverge.)
+        let mut skew: Program<u64, u64> = Program::new(v, v);
+        skew.step_oblivious(
+            0,
+            "skew",
+            1,
+            |ctx, _| Route::Data(ctx.vp ^ 1),
+            |_, ctx, _, out| out.send(if ctx.vp < 2 { 0 } else { ctx.vp ^ 1 }, 1),
+        );
+        let noval = RunOptions { validate: false, workers: Some(1), ..Default::default() };
+        let err = run(&skew, states.clone(), &noval).expect_err("multiset mismatch");
+        assert!(matches!(err, ModelError::PlanMismatch { .. }), "got {err:?}");
+
+        // Declaring fewer sends than the closure performs is also caught.
+        let mut over: Program<u64, u64> = Program::new(v, v);
+        over.step_oblivious(
+            0,
+            "over",
+            1,
+            |ctx, _| Route::Data(ctx.vp ^ 1),
+            |_, ctx, _, out| {
+                out.send(ctx.vp ^ 1, 1);
+                out.send(ctx.vp ^ 1, 2);
+            },
+        );
+        let err = run(&over, states.clone(), &RunOptions::default()).expect_err("overfull");
+        assert!(matches!(err, ModelError::PlanMismatch { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn cluster_violating_route_faults_at_compile_and_reports_under_validate() {
+        use crate::plan::Route;
+        let v = 8usize;
+        let mut p: Program<u64, u64> = Program::new(v, v);
+        // A label-2 route crossing the bisection: illegal by construction.
+        p.step_oblivious(
+            2,
+            "rogue",
+            1,
+            |ctx, _| Route::Data(ctx.vp ^ 4),
+            |st, ctx, inbox, out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+                out.send(ctx.vp ^ 4, *st + 1);
+            },
+        );
+        p.step(2, "consume", |st, _, inbox, _| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+        });
+        assert_eq!(p.planned_steps(), 0, "faulted plan is not usable");
+        let states: Vec<u64> = (0..v as u64).collect();
+        for w in [1usize, 2] {
+            let err = run(&p, states.clone(), &RunOptions { workers: Some(w), ..Default::default() })
+                .expect_err("validated run must reject the route");
+            assert!(matches!(err, ModelError::ClusterViolation { label: 2, .. }), "got {err:?}");
+        }
+        // Validation off: the step falls back to the dynamic path and runs
+        // exactly like its undeclared twin.
+        let mut q: Program<u64, u64> = Program::new(v, v);
+        q.step(2, "rogue", |st, ctx, inbox, out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            out.send(ctx.vp ^ 4, *st + 1);
+        });
+        q.step(2, "consume", |st, _, inbox, _| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+        });
+        let noval = RunOptions { validate: false, ..Default::default() };
+        let a = run(&p, states.clone(), &noval).unwrap();
+        let b = run(&q, states.clone(), &noval).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.trace, b.trace);
     }
 
     #[test]

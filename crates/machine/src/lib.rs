@@ -16,6 +16,38 @@
 //! algorithm" restriction — same label sequence for all processing elements,
 //! terminating with a sync — a structural property of the program object.
 //!
+//! ## Dynamic vs. Oblivious execution paths
+//!
+//! Every superstep executes on one of two paths, chosen per step:
+//!
+//! * **Dynamic** ([`program::Program::step`]): the closure's sends define
+//!   the pattern. The engine discovers it message by message — staging the
+//!   `(dst, envelope)` pairs, validating the cluster constraint, streaming
+//!   per-fold degree counters, then counting-sort scattering payloads into
+//!   the next superstep's mailbox arena.
+//! * **Oblivious** ([`program::Program::step_oblivious`]): the paper's
+//!   defining property — a network-oblivious pattern is a *static function
+//!   of the VP index and superstep* — is declared as a route
+//!   (`fn(&Ctx, k) → `[`plan::Route`]) and compiled at build time into a
+//!   [`plan::StepPlan`]: **analytic metrics** (the superstep record is
+//!   emitted in `O(log v)` per run, bit-for-bit identical to the streamed
+//!   counters, at every granularity at once), a **one-time
+//!   cluster-constraint proof** (validated runs skip the per-message
+//!   check), and a **direct-write scatter** — on the serial path the VP
+//!   closures write payloads straight into the destination arena slot,
+//!   eliminating the staging copy and the counting sort. Plan invariants:
+//!   a plan never changes semantics, only cost (enforced by differential
+//!   suites); under validation a mis-declared route is rejected on every
+//!   path ([`nob_core::ModelError::PlanMismatch`]) — each send is checked
+//!   against the route in lockstep, dummies included — and a
+//!   cluster-violating route faults at compile time and reports like the
+//!   dynamic engine would. With validation *off*, a mis-declared plan is
+//!   the program's problem (exactly like a cluster violation is): the
+//!   serial direct writer still verifies the payload multiset before
+//!   publishing an arena — memory safety never trusts the declaration —
+//!   while the sharded path delivers what the closures sent and records
+//!   the declared metrics unchecked.
+//!
 //! ## Shard/lane architecture
 //!
 //! The execution core is a **persistent sharded executor** built on the
@@ -23,9 +55,9 @@
 //! the VP space: processor `r` of `M(p)` simulates the `v/p` consecutive
 //! VPs starting at `r·v/p`. Concretely:
 //!
-//! * **Shards** ([`shard`]): `n` long-lived workers, spawned once per run,
+//! * **Shards** (`shard`): `n` long-lived workers, spawned once per run,
 //!   each exclusively owning a contiguous VP shard — its states, its pair
-//!   of double-buffered mailbox [`mailbox::Arena`]s, its send-staging
+//!   of double-buffered mailbox `mailbox::Arena`s, its send-staging
 //!   buffer, and a private set of shard-local degree counters
 //!   ([`nob_core::metrics::DegreeCounters`]). There is no global mailbox
 //!   and no global scatter.
@@ -37,28 +69,38 @@
 //!   is precomputed per program by [`program::LanePlan`] from the superstep
 //!   labels: an `i`-superstep only connects shards sharing the top `i`
 //!   shard-index bits, and supersteps with `label ≥ log n` touch no lane at
-//!   all.
+//!   all. Communication plans pre-size the lanes: each worker enumerates
+//!   its VPs' declared routes once at startup and reserves every (step,
+//!   peer) high-water volume up front.
 //! * **Barrier = handoff + merge**: the inter-superstep barrier is a
 //!   per-lane ownership handoff (send phase writes lane rows, gather phase
 //!   drains lane columns) plus an `O(n · log v)` epoch-merge of the shard
 //!   counters ([`nob_core::metrics::EpochMerge`]) — replacing the global
 //!   counting sort in which every worker re-scanned the entire staging
-//!   buffer.
+//!   buffer. For *planned* supersteps there is nothing to merge: the
+//!   coordinator pushes the plan's precomputed record, and the flush phase
+//!   skips per-message validation and counter recording entirely.
 //!
 //! The serial path (1 shard) keeps its proven **zero-allocation steady
-//! state**; both paths produce bit-for-bit identical states, traces and
-//! message logs (differential property suites in `tests/`).
+//! state** on both the dynamic and the planned path; all paths produce
+//! bit-for-bit identical states, traces and message logs (differential
+//! property suites in `tests/`).
 //!
 //! ### Unsafe surface
 //!
-//! All `unsafe` is confined to [`mailbox`] behind three documented
+//! All `unsafe` is confined to [`mailbox`] behind four documented
 //! invariants: (1) arena slabs track their initialized prefix, (2) inbox
-//! views uniquely own the messages handed to closures, and (3) lane-grid
+//! views uniquely own the messages handed to closures, (3) lane-grid
 //! access is phase-disciplined — row-exclusive while sending,
 //! column-exclusive while gathering, with the executor barrier providing
-//! the happens-before edges. Lane payload moves themselves go through safe
-//! `Vec` drains, so abandoned supersteps (validation errors, panics) drop
-//! staged messages through ordinary destructors.
+//! the happens-before edges — and (4) the planned direct writer
+//! (`mailbox::DirectOut`) bounds every payload write by its
+//! destination's planned slot range and the engine refuses to publish an
+//! arena whose written total disagrees with the plan, so slabs are only
+//! ever committed fully initialized, each slot written exactly once,
+//! whatever the route declared. Lane payload moves themselves go through
+//! safe `Vec` drains, so abandoned supersteps (validation errors, panics)
+//! drop staged messages through ordinary destructors.
 //!
 //! ## Execution modes
 //!
@@ -86,6 +128,7 @@
 
 pub mod engine;
 pub mod mailbox;
+pub mod plan;
 pub mod program;
 pub mod protocol;
 pub mod reference;
@@ -94,5 +137,6 @@ pub mod traits;
 
 pub use engine::{run, run_folded, RunOptions, RunResult};
 pub use mailbox::Inbox;
+pub use plan::{Route, StepPlan};
 pub use program::{Ctx, LanePlan, Outbox, Program, Superstep};
 pub use traits::{execute, execute_folded, execute_with_log, NobAlgorithm};

@@ -3,7 +3,7 @@
 //!
 //! All of the engine's `unsafe` lives here, behind four small abstractions:
 //!
-//! * [`Arena`] — a contiguous message slab (`Vec<MaybeUninit<M>>`) plus
+//! * `Arena` — a contiguous message slab (`Vec<MaybeUninit<M>>`) plus
 //!   per-VP offset ranges. Each shard (the whole machine, for the serial
 //!   engine) owns two arenas swapped each superstep: the shard *reads* the
 //!   messages delivered by the previous superstep from one while the gather
@@ -13,13 +13,17 @@
 //!   messages **by value** straight out of the slab (`pop`, `drain`) and
 //!   drops whatever the closure did not consume, mirroring the semantics of
 //!   the per-VP `Vec` inboxes it replaces.
-//! * [`route_serial`] — the serial counting-sort scatter that moves staged
+//! * `route_serial` — the serial counting-sort scatter that moves staged
 //!   messages from the staging outbox into the write arena, grouped by
 //!   destination VP in ascending-source order (stable, so delivery order is
 //!   identical to the legacy per-VP delivery loop).
-//! * [`Lane`] / [`LaneGrid`] — the sharded executor's cross-shard message
+//! * `DirectOut` — the *planned* alternative to staging + counting sort:
+//!   for supersteps with a compiled communication plan, VP closures write
+//!   payloads straight into their destination arena slots through
+//!   cursor-guarded raw writes (see invariant 4).
+//! * `Lane` / `LaneGrid` — the sharded executor's cross-shard message
 //!   path: one lane per (source shard, destination shard) pair, staged in
-//!   structure-of-arrays form ([`LaneHdr`] headers separate from payloads)
+//!   structure-of-arrays form (`LaneHdr` headers separate from payloads)
 //!   so metric/validation scans touch only the compact header stream and
 //!   dummy messages carry no payload slot at all. The grid replaces the
 //!   legacy global scatter, in which every worker re-scanned the entire
@@ -30,21 +34,28 @@
 //! 1. `Arena.slab[..Arena.filled]` is initialized; everything past `filled`
 //!    is uninitialized. `filled` is only nonzero between a completed scatter
 //!    and the next read phase.
-//! 2. The read phase takes the initialized prefix with [`Arena::take_read`],
+//! 2. The read phase takes the initialized prefix with `Arena::take_read`,
 //!    which resets `filled` to 0 first: from that point the [`Inbox`] views
 //!    own the messages (each slab slot is covered by exactly one inbox, per
 //!    the offsets built during scatter), and [`Inbox`]'s `Drop` consumes the
 //!    leftovers. If a VP closure panics, inboxes not yet constructed leak
 //!    their messages — safe, never observed as initialized again because
 //!    `filled` is already 0.
-//! 3. [`LaneGrid`] access is phase-disciplined: during a superstep's *send*
+//! 3. `LaneGrid` access is phase-disciplined: during a superstep's *send*
 //!    phase, lane `(s, d)` is touched only by shard `s` (via
-//!    [`LaneGrid::lane_out`]); during the *gather* phase, only by shard `d`
-//!    (via [`LaneGrid::lane_in`]). The two phases are separated by the
+//!    `LaneGrid::lane_out`); during the *gather* phase, only by shard `d`
+//!    (via `LaneGrid::lane_in`). The two phases are separated by the
 //!    executor's barrier, which also provides the necessary happens-before
 //!    edges. Lanes themselves are plain `Vec`s — payload moves go through
 //!    safe `drain`, so a superstep abandoned mid-phase (validation error,
 //!    panic) drops any staged payloads through normal `Vec` destructors.
+//! 4. `DirectOut` never trusts the declared route: every write is
+//!    bounds-checked against its destination's planned slot range (disjoint
+//!    ranges ⇒ each slot written at most once) and the engine compares the
+//!    written total against the plan *before* `commit_write`, so a slab is
+//!    only ever published fully initialized. On the mismatch path nothing
+//!    is committed; partially written payloads are leaked (never dropped,
+//!    never re-observed), bounded by one superstep's traffic.
 #![allow(unsafe_code)]
 
 use crate::program::Envelope;
@@ -76,8 +87,12 @@ impl<M> Arena<M> {
 
     /// Rebuilds the offset table from per-destination counts (prefix sum)
     /// and returns the total; the slab is grown to fit. Also leaves
-    /// `cursors[d] = offsets[d]` ready for the scatter.
-    pub(crate) fn prepare_write(&mut self, counts: &[u32], cursors: &mut [u32]) -> usize {
+    /// `cursors[d] = offsets[d]` ready for the scatter, and **zeroes
+    /// `counts` as it consumes them** — fused into the prefix-sum pass so
+    /// the engine never pays a separate `O(v)` clear per superstep (sparse
+    /// supersteps of 853-step folded sorts used to pay a full `fill(0)`
+    /// sweep on top of this loop).
+    pub(crate) fn prepare_write(&mut self, counts: &mut [u32], cursors: &mut [u32]) -> usize {
         debug_assert_eq!(self.filled, 0, "arena overwritten while holding messages");
         let v = counts.len();
         debug_assert_eq!(self.offsets.len(), v + 1);
@@ -90,6 +105,7 @@ impl<M> Arena<M> {
             self.offsets[d] = acc as u32;
             cursors[d] = acc as u32;
             acc += u64::from(counts[d]);
+            counts[d] = 0;
         }
         // Strict: a saturated per-destination count (u32::MAX) must also
         // fail here rather than under-size the slab.
@@ -307,6 +323,229 @@ pub(crate) fn route_serial<M>(
     stage.vp_ends.clear();
 }
 
+/// The direct-write scatter of a *planned* superstep: lets VP closures write
+/// payloads straight into the destination arena slot, replacing the staging
+/// copy and the counting sort of the dynamic serial path.
+///
+/// Installed into the shared [`crate::program::Outbox`] for the duration of
+/// one planned superstep (raw pointers into the engine's write slab, cursor
+/// and offset tables — all sized and fixed before installation). A stable
+/// counting sort assigns slot `cursors[d]++` to each message in send order,
+/// which is exactly what this writer does online, so per-inbox delivery
+/// order is identical to the staged scatter's.
+///
+/// # Safety model
+///
+/// The *declared route* sized the destination ranges, but the *closure*
+/// chooses destinations at run time — the two can disagree (mis-declared
+/// plan). Soundness never depends on the declaration being honest:
+///
+/// * every write is bounds-checked against its destination's planned slot
+///   range (`cursors[d] < offsets[d+1]`), so writes stay inside the slab
+///   and no slot is written twice;
+/// * the engine compares the total written count against the plan before
+///   committing the arena, so an under-filled slab (uninitialized slots) is
+///   reported as a [`nob_core::ModelError::PlanMismatch`] instead of ever
+///   being published to inboxes.
+///
+/// Together these make every committed slab fully initialized with each
+/// slot written exactly once. On the error path nothing is committed; the
+/// partially written payloads are leaked (not dropped) — safe, and bounded
+/// by one superstep's traffic. With validation on, the writer additionally
+/// walks the declared route in lockstep ([`DirectCheck`]) and flags the
+/// first divergence in destination, kind, order or count — dummies
+/// included, since those feed the precomputed metrics.
+pub(crate) struct DirectOut<M> {
+    slab: *mut MaybeUninit<M>,
+    slab_len: usize,
+    cursors: *mut u32,
+    /// Offsets table (`v + 1` entries): destination `d` owns slots
+    /// `[offsets[d], offsets[d+1])`.
+    limits: *const u32,
+    v: usize,
+    /// Payload messages written so far (whole superstep).
+    written: u64,
+    /// Messages (data + dummy) sent by the current VP, for
+    /// [`crate::program::Outbox::len`] semantics.
+    vp_sent: usize,
+    cur_vp: usize,
+    /// First divergence from the plan: `(vp, reason)`.
+    fault: Option<(usize, &'static str)>,
+    /// Lockstep route checking (validation mode only).
+    check: Option<DirectCheck>,
+}
+
+/// Validation-mode state of [`DirectOut`]: the declared route of the
+/// current VP, walked send by send.
+pub(crate) struct DirectCheck {
+    /// The plan's route function. A raw pointer so [`DirectOut`] needs no
+    /// lifetime (it lives inside the recycled `Outbox`); the engine installs
+    /// and removes the writer within one superstep, during which the
+    /// `&Program` (and thus the boxed route) is borrowed and immovable.
+    route: *const crate::plan::RouteDyn,
+    ctx: crate::program::Ctx,
+    k: usize,
+    out_degree: usize,
+}
+
+impl DirectCheck {
+    /// The next declared non-skip slot: `(dst, is_data)`. Delegates to the
+    /// one shared walking implementation ([`crate::plan::walk_next`]) so
+    /// the serial and sharded mis-declaration detectors cannot drift apart.
+    #[inline]
+    fn next_expected(&mut self) -> Option<(usize, bool)> {
+        // SAFETY: `route` outlives the superstep this checker is installed
+        // for (see the field docs).
+        let route = unsafe { &*self.route };
+        crate::plan::walk_next(route, &self.ctx, &mut self.k, self.out_degree)
+    }
+}
+
+// SAFETY: the raw pointers target engine-owned buffers only ever accessed
+// from the thread executing the superstep; `DirectOut` is `None` inside any
+// `Outbox` that crosses threads (it is installed and removed within one
+// serial superstep). `M: Send` because payloads are moved through the slab.
+unsafe impl<M: Send> Send for DirectOut<M> {}
+
+impl<M> DirectOut<M> {
+    /// Arms a writer over the engine's scatter state for one superstep.
+    /// `check` enables lockstep route validation (`(route, out_degree)`).
+    ///
+    /// SAFETY contract (upheld by the engine): the three buffers outlive the
+    /// superstep, are not accessed through any other path while the writer
+    /// is installed, `cursors` was initialized to the offsets prefix, and
+    /// `limits` is the matching `v + 1`-entry offsets table.
+    pub(crate) fn new(
+        slab: &mut [MaybeUninit<M>],
+        cursors: &mut [u32],
+        limits: &[u32],
+        check: Option<(*const crate::plan::RouteDyn, usize)>,
+    ) -> Self {
+        let v = cursors.len();
+        debug_assert_eq!(limits.len(), v + 1);
+        DirectOut {
+            slab: slab.as_mut_ptr(),
+            slab_len: slab.len(),
+            cursors: cursors.as_mut_ptr(),
+            limits: limits.as_ptr(),
+            v,
+            written: 0,
+            vp_sent: 0,
+            cur_vp: 0,
+            fault: None,
+            check: check.map(|(route, out_degree)| DirectCheck {
+                route,
+                ctx: crate::program::Ctx { vp: 0, v, log_v: 0, n: 0 },
+                k: 0,
+                out_degree,
+            }),
+        }
+    }
+
+    /// Starts the given VP's sends (resets the per-VP counter and the
+    /// lockstep checker).
+    #[inline]
+    pub(crate) fn begin_vp(&mut self, ctx: &crate::program::Ctx) {
+        self.cur_vp = ctx.vp;
+        self.vp_sent = 0;
+        if let Some(c) = self.check.as_mut() {
+            c.ctx = *ctx;
+            c.k = 0;
+        }
+    }
+
+    /// Ends the current VP's sends: with lockstep checking on, the VP must
+    /// have exhausted its declared slots.
+    #[inline]
+    pub(crate) fn end_vp(&mut self) {
+        if self.fault.is_none() {
+            if let Some(c) = self.check.as_mut() {
+                if c.next_expected().is_some() {
+                    self.fault = Some((self.cur_vp, "sent fewer messages than the route declares"));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn fail(&mut self, reason: &'static str) {
+        if self.fault.is_none() {
+            self.fault = Some((self.cur_vp, reason));
+        }
+    }
+
+    /// Messages sent by the current VP so far.
+    #[inline]
+    pub(crate) fn vp_sent(&self) -> usize {
+        self.vp_sent
+    }
+
+    /// Delivers a payload message into its planned slot.
+    #[inline]
+    pub(crate) fn send(&mut self, dst: usize, msg: M) {
+        self.vp_sent += 1;
+        if self.fault.is_some() {
+            return; // fault already recorded: drop quietly, engine aborts
+        }
+        if let Some(c) = self.check.as_mut() {
+            match c.next_expected() {
+                Some((d, true)) if d == dst => {}
+                _ => {
+                    self.fail("send disagrees with the declared route");
+                    return;
+                }
+            }
+        }
+        if dst >= self.v {
+            self.fail("message destination out of machine range");
+            return;
+        }
+        // SAFETY: dst < v bounds the cursor/limit reads; the cursor check
+        // bounds the slab write inside the destination's planned range
+        // (ranges are disjoint and within `slab_len` by construction of the
+        // offsets prefix sum).
+        unsafe {
+            let cur = *self.cursors.add(dst);
+            if cur >= *self.limits.add(dst + 1) {
+                self.fail("more payload messages to a destination than planned");
+                return;
+            }
+            debug_assert!((cur as usize) < self.slab_len);
+            (*self.slab.add(cur as usize)).write(msg);
+            *self.cursors.add(dst) = cur + 1;
+        }
+        self.written += 1;
+    }
+
+    /// Meters a dummy message (no slot, no write).
+    #[inline]
+    pub(crate) fn send_dummy(&mut self, dst: usize) {
+        self.vp_sent += 1;
+        if self.fault.is_some() {
+            return;
+        }
+        if let Some(c) = self.check.as_mut() {
+            match c.next_expected() {
+                Some((d, false)) if d == dst => {}
+                _ => {
+                    self.fail("dummy send disagrees with the declared route");
+                    return;
+                }
+            }
+        }
+        if dst >= self.v {
+            self.fail("message destination out of machine range");
+        }
+    }
+
+    /// Disarms the writer: `(payloads written, first fault)`. The engine
+    /// must refuse to commit the arena unless the fault is `None` and the
+    /// written count equals the plan's payload total.
+    pub(crate) fn finish(self) -> (u64, Option<(usize, &'static str)>) {
+        (self.written, self.fault)
+    }
+}
+
 /// Header of one staged cross-shard message: the `(src, dst)` pair plus a
 /// payload flag, kept apart from the payloads (structure-of-arrays) so the
 /// gather's metric/counting scan streams through 12-byte records regardless
@@ -358,6 +597,15 @@ impl<M> Lane<M> {
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.hdrs.len()
+    }
+
+    /// Pre-sizes the lane for a statically known traffic peak (communication
+    /// plans let the sharded executor compute each pair's high-water volume
+    /// before the first superstep, instead of growing lanes lazily).
+    pub(crate) fn reserve(&mut self, hdrs: usize, payloads: usize) {
+        debug_assert!(self.hdrs.is_empty() && self.payloads.is_empty());
+        self.hdrs.reserve(hdrs);
+        self.payloads.reserve(payloads);
     }
 
     /// Drains every staged *payload* message in send order, invoking
@@ -480,8 +728,9 @@ mod tests {
             }
         }
         let mut cursors = vec![0u32; v];
-        let total = arena.prepare_write(&counts, &mut cursors);
+        let total = arena.prepare_write(&mut counts, &mut cursors);
         assert_eq!(total, 4, "dummies are not delivered");
+        assert!(counts.iter().all(|&c| c == 0), "prepare_write recycles the counts");
         {
             let (slab, _) = (&mut arena.slab[..total], ());
             route_serial(&mut stage, &mut cursors, slab);

@@ -1,0 +1,363 @@
+//! Static communication plans: the compiled form of an *oblivious*
+//! superstep.
+//!
+//! The defining property of a network-oblivious algorithm is that its
+//! communication pattern is a **static function of the VP index and the
+//! superstep** — yet a closure-driven engine still pays per-message costs
+//! (cluster validation, streaming degree counters, a staged counting-sort
+//! scatter that touches every payload twice) as if destinations were
+//! dynamic. A [`StepPlan`] exploits the declared structure instead:
+//!
+//! * **Analytic metrics** ([`nob_core::metrics::StepMetrics`]): the declared
+//!   route is streamed through the engine's own degree counters **once, at
+//!   program build time**; every later execution emits the superstep record
+//!   in `O(log v)`, bit-for-bit identical to what streamed counters would
+//!   produce (dummies included), at every granularity at once.
+//! * **A one-time cluster-constraint proof**: every declared `(src, dst)`
+//!   pair is checked against [`message_allowed`] at compile time, so
+//!   validated runs skip the per-message check entirely. A route that
+//!   *violates* the constraint is recorded as a [`StepPlan::fault`]: running
+//!   it with validation on reports the violation (like the dynamic engine
+//!   would), and with validation off the step simply falls back to the
+//!   dynamic path.
+//! * **A direct-write scatter**: per execution, one pass over the route
+//!   yields exact per-destination counts; after the ordinary prefix sum the
+//!   VP closures write payloads **straight into the destination arena
+//!   slot** through cursor-guarded raw writes
+//!   (`crate::mailbox::DirectOut`) — no staging copy, no counting sort.
+//!
+//! The plan deliberately stores **no O(v) or O(messages) tables** — only the
+//! boxed route function and `O(log v)` metric words — so an 850-superstep
+//! folded Columnsort carries kilobytes of plan state, not hundreds of
+//! megabytes of precomputed slots.
+//!
+//! # Mis-declared routes
+//!
+//! The closure of a planned superstep keeps sending through the ordinary
+//! [`crate::program::Outbox`] API (same destinations, same order), so a
+//! declaration can disagree with reality. Safety never depends on honesty:
+//! the direct writer bounds every write by the destination's planned slot
+//! range and the engine checks the written total before publishing the
+//! arena, so any mismatch in the *data multiset* surfaces as
+//! [`ModelError::PlanMismatch`] instead of corrupt memory or metrics.
+//! Validated runs additionally walk the declared route in lockstep with the
+//! actual sends (destination, kind *and* order, dummies included) and
+//! reject the first divergence.
+
+use crate::program::Ctx;
+use nob_core::folding::message_allowed;
+use nob_core::metrics::{StepMetrics, StepMetricsBuilder};
+use nob_core::ModelError;
+
+/// One declared message slot of an oblivious route: what the VP at `ctx`
+/// does with its `k`-th send of the superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// A payload message to the given VP (the closure's matching
+    /// `send(dst, …)`).
+    Data(usize),
+    /// A wiseness dummy to the given VP (the closure's matching
+    /// `send_dummy(dst)`): metered, never delivered.
+    Dummy(usize),
+    /// No message in this slot (lets a single `out_degree` cover VPs with
+    /// different fan-outs — boundary VPs, non-leaders, unwise variants).
+    Skip,
+    /// No message in this slot **or any later slot of this VP**: a
+    /// terminator that lets sparse fan-outs (a leader scattering to its
+    /// whole segment while everyone else idles) cost one route call per
+    /// idle VP instead of `out_degree` — both in the engine's counting
+    /// pass and in validation's exhaustion check. Use [`Route::Skip`] only
+    /// for *holes* followed by more messages.
+    End,
+}
+
+/// The dynamic form of a route: object-safe so plans can be stored
+/// per-superstep without generics.
+pub(crate) type RouteDyn = dyn Fn(&Ctx, usize) -> Route + Send + Sync;
+
+/// Boxed [`RouteDyn`].
+pub(crate) type RouteFn = Box<RouteDyn>;
+
+/// The compiled communication plan of one oblivious superstep (see the
+/// module docs). Built once per program by
+/// [`crate::program::Program::step_oblivious`].
+pub struct StepPlan {
+    pub(crate) route: RouteFn,
+    pub(crate) out_degree: usize,
+    /// Machine geometry the plan was compiled for (route evaluation needs a
+    /// full [`Ctx`]).
+    pub(crate) v: usize,
+    pub(crate) log_v: u32,
+    pub(crate) n: usize,
+    /// Precomputed per-fold-level metrics of the declared multiset.
+    pub(crate) metrics: StepMetrics,
+    /// Declared payload (deliverable) messages.
+    pub(crate) total_data: u64,
+    /// First route violation found at compile time (out-of-range
+    /// destination or cluster escape), if any; a faulted plan is never
+    /// executed directly.
+    pub(crate) fault: Option<ModelError>,
+}
+
+impl std::fmt::Debug for StepPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepPlan")
+            .field("out_degree", &self.out_degree)
+            .field("v", &self.v)
+            .field("total_data", &self.total_data)
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StepPlan {
+    /// Compiles `route` for an `label`-superstep on `M(v)`: one enumeration
+    /// of the declared multiset produces the analytic metrics, the payload
+    /// total, and the cluster-constraint proof.
+    pub(crate) fn compile(
+        v: usize,
+        log_v: u32,
+        n: usize,
+        label: u32,
+        out_degree: usize,
+        route: RouteFn,
+    ) -> StepPlan {
+        let mut metrics = StepMetricsBuilder::new(log_v);
+        let mut total_data = 0u64;
+        let mut fault = None;
+        'scan: for vp in 0..v {
+            let ctx = Ctx { vp, v, log_v, n };
+            for k in 0..out_degree {
+                let (dst, data) = match (route)(&ctx, k) {
+                    Route::Data(d) => (d, true),
+                    Route::Dummy(d) => (d, false),
+                    Route::Skip => continue,
+                    Route::End => break,
+                };
+                if dst >= v {
+                    fault = Some(ModelError::BadParameter {
+                        what: "dst",
+                        reason: "message destination out of machine range",
+                    });
+                    break 'scan;
+                }
+                if !message_allowed(vp, dst, log_v, label) {
+                    fault = Some(ModelError::ClusterViolation { label, src: vp, dst });
+                    break 'scan;
+                }
+                metrics.record(vp, dst);
+                if data {
+                    total_data += 1;
+                }
+            }
+        }
+        StepPlan { route, out_degree, v, log_v, n, metrics: metrics.finish(), total_data, fault }
+    }
+
+    /// The compile-time route violation, if any.
+    #[inline]
+    pub fn fault(&self) -> Option<&ModelError> {
+        self.fault.as_ref()
+    }
+
+    /// Declared payload messages per execution.
+    #[inline]
+    pub fn total_data(&self) -> u64 {
+        self.total_data
+    }
+
+    /// The precomputed analytic metrics of the declared multiset.
+    #[inline]
+    pub fn metrics(&self) -> &StepMetrics {
+        &self.metrics
+    }
+
+    /// The route as a raw trait-object pointer plus `out_degree`, for the
+    /// lifetime-free lockstep checker inside [`crate::mailbox::DirectOut`].
+    /// The pointer is valid while the `&Program` owning this plan is
+    /// borrowed — i.e. for the whole run.
+    #[inline]
+    pub(crate) fn route_raw(&self) -> (*const RouteDyn, usize) {
+        (&*self.route as *const RouteDyn, self.out_degree)
+    }
+
+    /// Tallies the declared payload messages per destination into `counts`
+    /// (the scatter's counting pass — one route call per declared slot, no
+    /// staging, no per-message metric work).
+    pub(crate) fn count_data(&self, counts: &mut [u32]) {
+        debug_assert_eq!(counts.len(), self.v);
+        for vp in 0..self.v {
+            let ctx = Ctx { vp, v: self.v, log_v: self.log_v, n: self.n };
+            for k in 0..self.out_degree {
+                match (self.route)(&ctx, k) {
+                    Route::Data(d) => {
+                        // Compile proved d < v; saturation mirrors the
+                        // dynamic path's overflow policy (prepare_write
+                        // then asserts).
+                        counts[d] = counts[d].saturating_add(1);
+                    }
+                    Route::End => break,
+                    Route::Dummy(_) | Route::Skip => {}
+                }
+            }
+        }
+    }
+
+    /// Calls `f(src, dst, is_data)` for every declared message of the VPs in
+    /// `vps`, in send order (ascending VP, then slot index) — the exact
+    /// order the dynamic engine observes and logs.
+    pub(crate) fn for_each_message(
+        &self,
+        vps: std::ops::Range<usize>,
+        mut f: impl FnMut(usize, usize, bool),
+    ) {
+        for vp in vps {
+            let ctx = Ctx { vp, v: self.v, log_v: self.log_v, n: self.n };
+            for k in 0..self.out_degree {
+                match (self.route)(&ctx, k) {
+                    Route::Data(d) => f(vp, d, true),
+                    Route::Dummy(d) => f(vp, d, false),
+                    Route::Skip => {}
+                    Route::End => break,
+                }
+            }
+        }
+    }
+}
+
+/// Advances a lockstep walk of one VP's declared route to its next
+/// non-[`Route::Skip`] slot: returns `(dst, is_data)`, or `None` once the
+/// declaration is exhausted (`k` reaches `out_degree` or the route returns
+/// [`Route::End`]). The single walking implementation behind both
+/// mis-declaration detectors — [`RouteWalker`] (sharded staging path) and
+/// the direct writer's checker (`crate::mailbox::DirectOut`, serial path) —
+/// so the two paths can never disagree on what a route declares.
+#[inline]
+pub(crate) fn walk_next(
+    route: &RouteDyn,
+    ctx: &Ctx,
+    k: &mut usize,
+    out_degree: usize,
+) -> Option<(usize, bool)> {
+    while *k < out_degree {
+        let r = (route)(ctx, *k);
+        *k += 1;
+        match r {
+            Route::Data(d) => return Some((d, true)),
+            Route::Dummy(d) => return Some((d, false)),
+            Route::Skip => {}
+            Route::End => {
+                *k = out_degree;
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Walks one VP's declared route in lockstep with its actual sends: the
+/// validation-mode mis-declaration detector of the sharded staging path
+/// (the serial direct-write path embeds the same [`walk_next`] walk in its
+/// writer).
+pub(crate) struct RouteWalker<'p> {
+    route: &'p RouteDyn,
+    ctx: Ctx,
+    k: usize,
+    out_degree: usize,
+}
+
+impl<'p> RouteWalker<'p> {
+    pub(crate) fn new(plan: &'p StepPlan, ctx: Ctx) -> Self {
+        RouteWalker { route: &*plan.route, ctx, k: 0, out_degree: plan.out_degree }
+    }
+
+    /// The next declared message slot as `(dst, is_data)`, or `None` when
+    /// the VP's declaration is exhausted.
+    #[inline]
+    pub(crate) fn next_expected(&mut self) -> Option<(usize, bool)> {
+        walk_next(self.route, &self.ctx, &mut self.k, self.out_degree)
+    }
+
+    /// Whether the VP's declaration is exhausted (i.e. the closure sent
+    /// exactly as many messages as declared).
+    #[inline]
+    pub(crate) fn finished(&mut self) -> bool {
+        self.next_expected().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route_exchange(d: usize) -> RouteFn {
+        Box::new(move |ctx: &Ctx, _k| Route::Data(ctx.vp ^ d))
+    }
+
+    #[test]
+    fn compile_proves_cluster_constraint() {
+        // vp ^ 4 crosses the bisection of v = 8: legal in a 0-superstep,
+        // a compile-time fault in a 1-superstep.
+        let ok = StepPlan::compile(8, 3, 8, 0, 1, route_exchange(4));
+        assert!(ok.fault().is_none());
+        assert_eq!(ok.total_data(), 8);
+        let bad = StepPlan::compile(8, 3, 8, 1, 1, route_exchange(4));
+        assert!(matches!(
+            bad.fault(),
+            Some(ModelError::ClusterViolation { label: 1, src: 0, dst: 4 })
+        ));
+        let oob = StepPlan::compile(8, 3, 8, 0, 1, Box::new(|_, _| Route::Data(8)));
+        assert!(matches!(oob.fault(), Some(ModelError::BadParameter { .. })));
+    }
+
+    #[test]
+    fn compile_metrics_count_dummies_and_skips() {
+        // VP 0 sends one payload to 1 and one dummy to 2; everyone else idles.
+        let plan = StepPlan::compile(
+            4,
+            2,
+            4,
+            0,
+            2,
+            Box::new(|ctx: &Ctx, k| match (ctx.vp, k) {
+                (0, 0) => Route::Data(1),
+                (0, 1) => Route::Dummy(2),
+                _ => Route::Skip,
+            }),
+        );
+        assert!(plan.fault().is_none());
+        assert_eq!(plan.total_data(), 1);
+        assert_eq!(plan.metrics().total_at(2, true), 2, "dummy counts in metrics");
+        let mut counts = vec![0u32; 4];
+        plan.count_data(&mut counts);
+        assert_eq!(counts, vec![0, 1, 0, 0], "dummy takes no payload slot");
+        let mut seen = Vec::new();
+        plan.for_each_message(0..4, |s, d, data| seen.push((s, d, data)));
+        assert_eq!(seen, vec![(0, 1, true), (0, 2, false)]);
+    }
+
+    #[test]
+    fn route_walker_skips_and_finishes() {
+        let plan = StepPlan::compile(
+            4,
+            2,
+            4,
+            0,
+            3,
+            Box::new(|ctx: &Ctx, k| match (ctx.vp, k) {
+                (1, 0) => Route::Skip,
+                (1, 1) => Route::Data(0),
+                (1, 2) => Route::Dummy(3),
+                _ => Route::Skip,
+            }),
+        );
+        let ctx = Ctx { vp: 1, v: 4, log_v: 2, n: 4 };
+        let mut w = RouteWalker::new(&plan, ctx);
+        assert_eq!(w.next_expected(), Some((0, true)));
+        assert_eq!(w.next_expected(), Some((3, false)));
+        assert!(w.finished());
+        let idle = Ctx { vp: 2, v: 4, log_v: 2, n: 4 };
+        let mut w = RouteWalker::new(&plan, idle);
+        assert!(w.finished());
+    }
+}

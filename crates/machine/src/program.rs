@@ -1,6 +1,7 @@
 //! Static superstep programs: the executable form of an `M(v)` algorithm.
 
 use crate::mailbox::Inbox;
+use crate::plan::{Route, StepPlan};
 use nob_core::folding::message_allowed;
 use nob_core::model::log2_exact;
 
@@ -56,15 +57,31 @@ pub(crate) enum Envelope<M> {
 /// [`Outbox::len`]/[`Outbox::is_empty`] report the messages staged by the
 /// *currently executing VP* only, preserving the semantics algorithms
 /// observed when each VP had a private outbox.
-#[derive(Debug)]
+///
+/// During a *planned* superstep on the serial path the engine arms the
+/// outbox's **direct-write mode** (`crate::mailbox::DirectOut`): `send`
+/// then moves the payload straight into its destination arena slot (the
+/// plan precomputed the layout) and `send_dummy` only advances the route
+/// checker — algorithm closures use the same API either way and cannot
+/// observe the difference.
 pub struct Outbox<M> {
     pub(crate) msgs: Vec<(u32, Envelope<M>)>,
     pub(crate) vp_start: usize,
+    pub(crate) direct: Option<crate::mailbox::DirectOut<M>>,
+}
+
+impl<M> std::fmt::Debug for Outbox<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Outbox")
+            .field("staged", &self.msgs.len())
+            .field("direct", &self.direct.is_some())
+            .finish()
+    }
 }
 
 impl<M> Outbox<M> {
     pub(crate) fn new() -> Self {
-        Outbox { msgs: Vec::new(), vp_start: 0 }
+        Outbox { msgs: Vec::new(), vp_start: 0, direct: None }
     }
 
     /// Marks the start of a new VP's messages (engine-internal).
@@ -80,10 +97,34 @@ impl<M> Outbox<M> {
         self.vp_start = 0;
     }
 
+    /// Arms direct-write mode for one planned superstep (engine-internal).
+    #[inline]
+    pub(crate) fn enter_direct(&mut self, d: crate::mailbox::DirectOut<M>) {
+        debug_assert!(self.direct.is_none() && self.msgs.is_empty());
+        self.direct = Some(d);
+    }
+
+    /// The armed direct writer (engine-internal; panics when not armed).
+    #[inline]
+    pub(crate) fn direct_mut(&mut self) -> &mut crate::mailbox::DirectOut<M> {
+        self.direct.as_mut().expect("direct mode not armed")
+    }
+
+    /// Disarms direct-write mode, returning the writer for its final checks
+    /// (engine-internal).
+    #[inline]
+    pub(crate) fn exit_direct(&mut self) -> crate::mailbox::DirectOut<M> {
+        self.direct.take().expect("direct mode not armed")
+    }
+
     /// Sends a constant-size message to VP `dst` (the paper's `send(m, q)`);
     /// it is delivered at the start of the next superstep.
     #[inline]
     pub fn send(&mut self, dst: usize, msg: M) {
+        if let Some(d) = self.direct.as_mut() {
+            d.send(dst, msg);
+            return;
+        }
         let dst = u32::try_from(dst).expect("destination id exceeds u32 range");
         self.msgs.push((dst, Envelope::Data(msg)));
     }
@@ -92,6 +133,10 @@ impl<M> Outbox<M> {
     /// metrics (this is the paper's wiseness device) but is not delivered.
     #[inline]
     pub fn send_dummy(&mut self, dst: usize) {
+        if let Some(d) = self.direct.as_mut() {
+            d.send_dummy(dst);
+            return;
+        }
         let dst = u32::try_from(dst).expect("destination id exceeds u32 range");
         self.msgs.push((dst, Envelope::Dummy));
     }
@@ -99,6 +144,9 @@ impl<M> Outbox<M> {
     /// Number of messages staged so far by the current VP (data + dummy).
     #[inline]
     pub fn len(&self) -> usize {
+        if let Some(d) = self.direct.as_ref() {
+            return d.vp_sent();
+        }
         self.msgs.len() - self.vp_start
     }
 
@@ -120,6 +168,13 @@ pub type StepFn<S, M> =
 /// One labelled superstep: every VP runs `exec`, then a `sync(label)` barrier
 /// is performed. In an `i`-superstep messages may only target VPs in the
 /// sender's `i`-cluster (checked by the engine when validation is enabled).
+///
+/// A superstep is either **dynamic** (the closure's sends define the
+/// pattern, discovered by the engine message by message) or **oblivious**
+/// (declared via [`Program::step_oblivious`] with a static route and
+/// compiled into a [`StepPlan`] that the engine executes with analytic
+/// metrics and a direct-write scatter). The `exec` closure is the same in
+/// both cases — a plan never changes semantics, only cost.
 pub struct Superstep<S, M> {
     /// The sync label `i` of this `i`-superstep, `0 ≤ i < log v`.
     pub label: u32,
@@ -127,6 +182,16 @@ pub struct Superstep<S, M> {
     pub name: &'static str,
     /// The SPMD closure.
     pub exec: StepFn<S, M>,
+    /// The compiled communication plan, for oblivious supersteps.
+    pub(crate) plan: Option<StepPlan>,
+}
+
+impl<S, M> Superstep<S, M> {
+    /// The compiled communication plan, if this superstep declared one.
+    #[inline]
+    pub fn plan(&self) -> Option<&StepPlan> {
+        self.plan.as_ref()
+    }
 }
 
 /// A static program for `M(v)`: a fixed, input-independent sequence of
@@ -187,8 +252,52 @@ impl<S, M> Program<S, M> {
             "label {label} out of range for v = {} (program step `{name}`)",
             self.v
         );
-        self.steps.push(Superstep { label, name, exec: Box::new(exec) });
+        self.steps.push(Superstep { label, name, exec: Box::new(exec), plan: None });
         self
+    }
+
+    /// Appends an *oblivious* `i`-superstep: `exec` is the ordinary SPMD
+    /// body, and `route` declares its communication pattern as a static
+    /// function of the VP index — slot `k` of VP `ctx.vp` (for
+    /// `0 ≤ k < out_degree`, in send order) is a payload, a wiseness dummy,
+    /// or [`Route::Skip`]. The declaration is compiled into a [`StepPlan`]
+    /// here, at build time: analytic per-fold degree metrics, a one-time
+    /// cluster-constraint proof, and the layout the engine's direct-write
+    /// scatter runs from (see [`crate::plan`]).
+    ///
+    /// The closure must send **exactly** the declared messages, in slot
+    /// order. The engine verifies the payload multiset on every planned
+    /// execution (and, under validation, the full sequence including
+    /// dummies); divergence aborts the run with
+    /// [`nob_core::ModelError::PlanMismatch`]. Plans can be ignored per run
+    /// with [`crate::engine::RunOptions::use_plans`]` = false`, which
+    /// executes the step on the ordinary dynamic path.
+    ///
+    /// # Panics
+    /// Panics if `label ≥ log v`.
+    pub fn step_oblivious(
+        &mut self,
+        label: u32,
+        name: &'static str,
+        out_degree: usize,
+        route: impl Fn(&Ctx, usize) -> Route + Send + Sync + 'static,
+        exec: impl Fn(&mut S, &Ctx, &mut Inbox<'_, M>, &mut Outbox<M>) + Send + Sync + 'static,
+    ) -> &mut Self {
+        assert!(
+            label < self.log_v.max(1),
+            "label {label} out of range for v = {} (program step `{name}`)",
+            self.v
+        );
+        let plan =
+            StepPlan::compile(self.v, self.log_v, self.n, label, out_degree, Box::new(route));
+        self.steps.push(Superstep { label, name, exec: Box::new(exec), plan: Some(plan) });
+        self
+    }
+
+    /// Number of supersteps carrying a usable (fault-free) communication
+    /// plan — the program's plan coverage, reported by the benchmarks.
+    pub fn planned_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.plan.as_ref().is_some_and(|p| p.fault().is_none())).count()
     }
 
     /// The sequence of sync labels (the paper's per-algorithm label trace).

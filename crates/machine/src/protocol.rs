@@ -245,7 +245,7 @@ mod tests {
             msgs.iter().map(|&(s, d)| (s as usize, d as usize, 1)).collect();
         t.steps.push(SuperstepRecord::from_counted_edges(0, log_v, &edges));
         let p = 8;
-        let rewritten = ascend_descend(&t, &[msgs].to_vec(), p);
+        let rewritten = ascend_descend(&t, &[msgs], p);
         let m = machines::evaluation(p, 4.0);
         // Overhead is bounded by the O(log² p) factor of Thm 5.3 (generous
         // constant to keep the test robust).
@@ -304,7 +304,7 @@ mod tests {
         // A label-3 superstep: local at p = 4.
         let msgs = vec![(0u32, 1u32)];
         t.steps.push(SuperstepRecord::from_counted_edges(3, log_v, &[(0, 1, 1)]));
-        let rewritten = ascend_descend(&t, &[msgs].to_vec(), 4);
+        let rewritten = ascend_descend(&t, &[msgs], 4);
         assert_eq!(rewritten.superstep_count(), 0);
     }
 }

@@ -108,6 +108,7 @@ pub fn run_reference<S: Send, M: Send>(
                 let shim = Outbox {
                     msgs: out.iter().map(|&(d, _)| (d, Envelope::Dummy)).collect(),
                     vp_start: 0,
+                    direct: None,
                 };
                 validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
             }
@@ -165,6 +166,7 @@ pub fn run_folded_reference<S: Send, M: Send>(
                 let shim = Outbox {
                     msgs: out.iter().map(|&(d, _)| (d, Envelope::Dummy)).collect(),
                     vp_start: 0,
+                    direct: None,
                 };
                 validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
             }

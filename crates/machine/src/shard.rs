@@ -68,6 +68,7 @@
 
 use crate::engine::{exec_chunk, GranSpec, RunOptions};
 use crate::mailbox::{Arena, ChunkStage, LaneGrid};
+use crate::plan::{RouteWalker, StepPlan};
 use crate::program::{Envelope, LanePlan, Program, Superstep};
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{DegreeCounters, EpochMerge, TraceBuilder};
@@ -104,6 +105,7 @@ struct Shared<'p, S, M> {
     spec: GranSpec,
     validate: bool,
     collect_log: bool,
+    use_plans: bool,
     v: usize,
     log_v: u32,
     n_shards: usize,
@@ -183,6 +185,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
         spec,
         validate: opts.validate,
         collect_log: message_log.is_some(),
+        use_plans: opts.use_plans,
         v,
         log_v,
         n_shards,
@@ -260,12 +263,27 @@ fn shard_loop<S: Send, M: Send>(
     shared: &Shared<'_, S, M>,
     mut coord: Option<Coord<'_, '_>>,
 ) {
+    if shared.use_plans {
+        presize_lanes(&mut me, shared);
+    }
     let mut read_idx = 0usize;
     for (t, step) in shared.prog.steps().iter().enumerate() {
         let record_step = step.label < shared.spec.levels;
+        // A fault-free plan replaces per-message validation and metric
+        // recording for this superstep; a *faulted* plan is an error under
+        // validation and plain dynamic execution otherwise (the serial
+        // path's policy, checked inside `flush` so the gang aborts in
+        // lockstep through the normal protocol).
+        let plan = step.plan().filter(|_| shared.use_plans);
+        let active_plan = plan.filter(|p| p.fault().is_none());
 
         // --- phase 1: exec + flush --------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if shared.validate {
+                if let Some(fault) = plan.and_then(|p| p.fault()) {
+                    return Err(fault.clone());
+                }
+            }
             {
                 let read = &mut me.arenas[read_idx];
                 let (slab, offsets) = read.take_read();
@@ -281,7 +299,7 @@ fn shard_loop<S: Send, M: Send>(
                 );
             }
             let mut cell = lock(&shared.cells[me.w]);
-            flush(&mut me, shared, &mut cell, step, record_step)
+            flush(&mut me, shared, &mut cell, step, record_step, active_plan)
         }));
         settle(shared, me.w, outcome);
         shared.barrier.wait();
@@ -292,7 +310,7 @@ fn shard_loop<S: Send, M: Send>(
         // --- phase 2: gather --------------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut cell = lock(&shared.cells[me.w]);
-            gather(&mut me, shared, &mut cell, t, record_step, 1 - read_idx);
+            gather(&mut me, shared, &mut cell, t, record_step && active_plan.is_none(), 1 - read_idx);
             Ok(())
         }));
         settle(shared, me.w, outcome);
@@ -302,7 +320,7 @@ fn shard_loop<S: Send, M: Send>(
         if let Some(c) = coord.as_mut() {
             if !shared.abort.load(Ordering::SeqCst) {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    merge_superstep(c, shared, step.label, record_step);
+                    merge_superstep(c, shared, step.label, record_step, active_plan);
                     Ok(())
                 }));
                 settle(shared, 0, outcome);
@@ -316,34 +334,113 @@ fn shard_loop<S: Send, M: Send>(
     }
 }
 
+/// Pre-sizes this worker's outgoing lanes, local spill and destination
+/// counters from the program's communication plans: one enumeration of the
+/// declared routes of this shard's VPs yields each (step, destination
+/// shard) traffic volume; the lane gets the maximum over steps, so planned
+/// steady state starts at its high-water capacity instead of growing into
+/// it during the first label cycle.
+fn presize_lanes<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>) {
+    let shard_shift = shared.log_v - shared.log_shards;
+    let n = shared.n_shards;
+    let mut hdr_need = vec![0usize; n];
+    let mut pay_need = vec![0usize; n];
+    let mut hdr_step = vec![0usize; n];
+    let mut pay_step = vec![0usize; n];
+    let mut local_need = 0usize;
+    for step in shared.prog.steps() {
+        let Some(plan) = step.plan().filter(|p| p.fault().is_none()) else {
+            continue;
+        };
+        hdr_step.iter_mut().for_each(|c| *c = 0);
+        pay_step.iter_mut().for_each(|c| *c = 0);
+        let mut local_step = 0usize;
+        plan.for_each_message(me.vp_lo..me.vp_lo + me.vps, |_, d, data| {
+            let ds = d >> shard_shift;
+            if ds == me.w {
+                if data {
+                    local_step += 1;
+                }
+            } else {
+                hdr_step[ds] += 1;
+                if data {
+                    pay_step[ds] += 1;
+                }
+            }
+        });
+        for d in 0..n {
+            hdr_need[d] = hdr_need[d].max(hdr_step[d]);
+            pay_need[d] = pay_need[d].max(pay_step[d]);
+        }
+        local_need = local_need.max(local_step);
+    }
+    me.local.reserve(local_need);
+    for d in 0..n {
+        if d != me.w && hdr_need[d] > 0 {
+            // SAFETY: pre-superstep setup — every worker touches only its
+            // own grid row, the send-phase discipline of invariant 3.
+            unsafe { shared.grid.lane_out(me.w, d) }.reserve(hdr_need[d], pay_need[d]);
+        }
+    }
+}
+
 /// Drains the shard's staged sends once: validation, send-side metrics, log
 /// fragment, and payload demultiplexing (local spill vs outgoing lanes).
+///
+/// With an active communication plan the per-message work collapses to the
+/// demultiplexing alone: the cluster constraint was proven at compile time,
+/// metrics and the log come from the plan (pushed by the coordinator at
+/// merge), and under validation each staged send is instead checked in
+/// lockstep against the declared route — destination, kind and order,
+/// dummies included — so a mis-declared route aborts the gang with
+/// [`ModelError::PlanMismatch`] rather than corrupting the analytic record.
 fn flush<S, M: Send>(
     me: &mut Worker<'_, S, M>,
     shared: &Shared<'_, S, M>,
     cell: &mut ShardCell,
     step: &Superstep<S, M>,
     record_step: bool,
+    plan: Option<&StepPlan>,
 ) -> Result<(), ModelError> {
     let v = shared.v;
     let log_v = shared.log_v;
     let shard_shift = log_v - shared.log_shards;
     let vp_lo32 = me.vp_lo as u32;
-    if record_step {
+    let record_counters = record_step && plan.is_none();
+    if record_counters {
         cell.counters.begin_superstep();
     }
     cell.log_frag.clear();
-    let want_log = record_step && shared.collect_log;
+    let want_log = record_step && shared.collect_log && plan.is_none();
+    let check_plan = shared.validate && plan.is_some();
 
     let mut msg_idx = 0usize;
     let mut staged = me.stage.outbox.msgs.drain(..);
     for (i, &end) in me.stage.vp_ends.iter().enumerate() {
         let src = me.vp_lo + i;
+        let mut walker = check_plan.then(|| {
+            let ctx = crate::program::Ctx { vp: src, v, log_v, n: shared.prog.n() };
+            RouteWalker::new(plan.expect("check_plan"), ctx)
+        });
         while msg_idx < end as usize {
             let (dst, env) = staged.next().expect("vp_ends bound the staged messages");
             msg_idx += 1;
             let d = dst as usize;
-            if shared.validate {
+            if let Some(w) = walker.as_mut() {
+                // Plan lockstep replaces the per-message model checks: the
+                // compile pass already proved every declared pair legal.
+                let is_data = matches!(env, Envelope::Data(_));
+                match w.next_expected() {
+                    Some((pd, pdata)) if pdata == is_data && pd == d => {}
+                    _ => {
+                        return Err(ModelError::PlanMismatch {
+                            step: step.name,
+                            vp: src,
+                            reason: "send disagrees with the declared route",
+                        })
+                    }
+                }
+            } else if shared.validate {
                 if d >= v {
                     return Err(ModelError::BadParameter {
                         what: "dst",
@@ -356,7 +453,7 @@ fn flush<S, M: Send>(
             }
             let dst_shard = d >> shard_shift;
             let local = dst_shard == me.w;
-            if record_step {
+            if record_counters {
                 if local {
                     cell.counters.record(src, d);
                 } else {
@@ -397,6 +494,15 @@ fn flush<S, M: Send>(
                 }
             }
         }
+        if let Some(mut w) = walker {
+            if !w.finished() {
+                return Err(ModelError::PlanMismatch {
+                    step: step.name,
+                    vp: src,
+                    reason: "sent fewer messages than the route declares",
+                });
+            }
+        }
     }
     drop(staged);
     me.stage.vp_ends.clear();
@@ -405,14 +511,15 @@ fn flush<S, M: Send>(
 
 /// Builds this shard's inboxes for the next superstep: counts destinations
 /// over local spill + incoming lane headers (recording receive-side
-/// metrics), then drains everything into the write arena in ascending
-/// source order.
+/// metrics when `record_counters` — supersteps covered by a communication
+/// plan pass `false`, their metrics are analytic), then drains everything
+/// into the write arena in ascending source order.
 fn gather<S, M: Send>(
     me: &mut Worker<'_, S, M>,
     shared: &Shared<'_, S, M>,
     cell: &mut ShardCell,
     t: usize,
-    record_step: bool,
+    record_counters: bool,
     write_idx: usize,
 ) {
     // The lane plan is derived from the cluster constraint, which only
@@ -424,7 +531,8 @@ fn gather<S, M: Send>(
     let dst_counts = &mut me.dst_counts;
     let cursors = &mut me.cursors;
 
-    dst_counts.fill(0);
+    // `dst_counts` is all-zero here: `prepare_write` zeroes the counts as
+    // it consumes them (no per-superstep `fill(0)` sweep).
     for s_prev in span.clone() {
         if s_prev == me.w {
             for &(dst_rel, _) in local.iter() {
@@ -436,7 +544,7 @@ fn gather<S, M: Send>(
             // column `me.w` until the next barrier (invariant 3).
             let lane = unsafe { shared.grid.lane_in(s_prev, me.w) };
             for hdr in &lane.hdrs {
-                if record_step {
+                if record_counters {
                     cell.counters.record_received(hdr.src as usize, hdr.dst as usize);
                 }
                 if hdr.data {
@@ -472,14 +580,27 @@ fn gather<S, M: Send>(
 
 /// Coordinator: merges shard counters into the superstep record and
 /// assembles the message-log entry (fragments in shard order = ascending
-/// source order).
+/// source order). For supersteps covered by a communication plan there is
+/// nothing to merge — the record is the plan's precomputed `O(log v)`
+/// metrics and the log entry is materialized straight from the declared
+/// route (same global order: ascending source VP, then send order).
 fn merge_superstep<S, M>(
     coord: &mut Coord<'_, '_>,
     shared: &Shared<'_, S, M>,
     label: u32,
     record_step: bool,
+    plan: Option<&StepPlan>,
 ) {
     if !record_step {
+        return;
+    }
+    if let Some(plan) = plan {
+        coord.trace.push_precomputed(label, plan.metrics(), shared.spec.full);
+        if let Some(log) = coord.log.as_deref_mut() {
+            let mut entry = Vec::new();
+            crate::engine::plan_log_entry(plan, shared.spec, &mut entry);
+            log.push(entry);
+        }
         return;
     }
     coord.merge.begin_superstep();

@@ -39,7 +39,7 @@ fn build_program(v: usize, steps: &[(u32, u64, u8)]) -> Program<u64, u64> {
                 let dst = base + (mix(seed ^ (ctx.vp as u64) ^ (k as u64) << 32) as usize) % cluster;
                 out.send(dst, *st ^ mix(seed.wrapping_add(k as u64)));
             }
-            if mix(seed ^ ctx.vp as u64) % 3 == 0 {
+            if mix(seed ^ ctx.vp as u64).is_multiple_of(3) {
                 out.send_dummy(base + (mix(seed) as usize) % cluster);
             }
         });

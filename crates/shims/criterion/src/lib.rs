@@ -63,6 +63,7 @@ impl BenchmarkGroup {
 }
 
 /// Passed to the benchmark closure; times one routine per call.
+#[derive(Default)]
 pub struct Bencher {
     samples: Vec<std::time::Duration>,
     warmup: bool,
@@ -78,12 +79,6 @@ impl Bencher {
         if !self.warmup {
             self.samples.push(elapsed);
         }
-    }
-}
-
-impl Default for Bencher {
-    fn default() -> Self {
-        Bencher { samples: Vec::new(), warmup: false }
     }
 }
 

@@ -201,7 +201,7 @@ impl Arbitrary for bool {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification accepted by [`vec`]: an exact length or a range.
+    /// Length specification accepted by [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -226,7 +226,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -8,7 +8,14 @@
 # numbers are single-core, directly comparable to the new serial path).
 # A row regresses when NEW arena_msgs_per_sec < OLD * (1 - threshold/100);
 # the default threshold is 10%. Rows present in only one file are reported
-# but do not fail the comparison (scaling columns grow over time).
+# but do not fail the comparison — scaling columns grow over time, and
+# single-CPU containers omit the threads > 1 rows entirely (the bench
+# skips pure coordination-overhead measurements by default).
+#
+# When both files carry the communication-plan column (plan_msgs_per_sec,
+# PR-3+), plans-enabled rows are compared too, keyed (v/program/threads/plan).
+# arena_msgs_per_sec always means the plans-disabled dynamic path, so old
+# baselines stay directly comparable.
 set -euo pipefail
 
 if [ $# -lt 2 ] || [ $# -gt 3 ]; then
@@ -24,9 +31,12 @@ for f in "$old_file" "$new_file"; do
 done
 command -v jq >/dev/null || { echo "bench_compare: jq is required" >&2; exit 2; }
 
-# (v, program, threads) -> msgs/sec, one row per line.
+# (v, program, threads[, plan]) -> msgs/sec, one row per line.
 extract() {
-    jq -r '.rows[] | "\(.v)/\(.program)/\(.threads // 1) \(.arena_msgs_per_sec)"' "$1"
+    jq -r '.rows[]
+        | "\(.v)/\(.program)/\(.threads // 1) \(.arena_msgs_per_sec)",
+          (select(.plan_msgs_per_sec != null)
+           | "\(.v)/\(.program)/\(.threads // 1)/plan \(.plan_msgs_per_sec)")' "$1"
 }
 
 old_rows=$(extract "$old_file")

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Communication-plan smoke check: runs the engine-throughput experiment's
+# `--smoke` mode — one small size (v = 2^10), FFT + Columnsort, plans
+# enabled vs disabled vs the reference engine, asserting bit-for-bit
+# equality of states, communication trace and message log on the serial,
+# sharded and folded paths. Wired into scripts/tier1.sh so a plan/metric
+# divergence fails tier-1 immediately instead of waiting for a full bench
+# run. Takes a few seconds (release build assumed warm from tier-1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --offline -q -p nob-bench --bin exp_engine_throughput -- --smoke

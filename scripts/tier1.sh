@@ -9,5 +9,6 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy -q --offline --all-targets
 cargo doc --no-deps -q --offline
+scripts/bench_smoke.sh
 
 echo "tier1: OK"

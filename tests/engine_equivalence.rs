@@ -32,6 +32,17 @@ where
     let legacy = run_reference(&prog, states.clone(), &opts).unwrap();
     assert_eq!(full.states, legacy.states, "arena vs reference states, n = {n}");
     assert_eq!(full.trace, legacy.trace, "arena vs reference trace, n = {n}");
+    // Communication plans change cost, never results: the same program with
+    // plans disabled (dynamic path for every superstep) must agree bit for
+    // bit — states, trace, and raw message log.
+    let logged = RunOptions::with_log();
+    let plan_on = run(&prog, states.clone(), &logged).unwrap();
+    let plan_off =
+        run(&prog, states.clone(), &RunOptions { use_plans: false, ..RunOptions::with_log() })
+            .unwrap();
+    assert_eq!(plan_on.states, plan_off.states, "plan-on vs plan-off states, n = {n}");
+    assert_eq!(plan_on.trace, plan_off.trace, "plan-on vs plan-off trace, n = {n}");
+    assert_eq!(plan_on.message_log, plan_off.message_log, "plan-on vs plan-off log, n = {n}");
     for w in [2usize, 4] {
         let sharded =
             run(&prog, states.clone(), &RunOptions { workers: Some(w), ..Default::default() })
@@ -45,6 +56,21 @@ where
         }
         let folded = run_folded(&prog, states.clone(), p, &opts).unwrap();
         assert_eq!(folded.states, full.states, "full vs folded states at p = {p}, n = {n}");
+        let folded_off = run_folded(
+            &prog,
+            states.clone(),
+            p,
+            &RunOptions { use_plans: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            folded_off.states, folded.states,
+            "plan-on vs plan-off folded states at p = {p}, n = {n}"
+        );
+        assert_eq!(
+            folded_off.trace, folded.trace,
+            "plan-on vs plan-off folded trace at p = {p}, n = {n}"
+        );
         let folded_legacy = run_folded_reference(&prog, states.clone(), p, &opts).unwrap();
         assert_eq!(
             folded.trace, folded_legacy.trace,
