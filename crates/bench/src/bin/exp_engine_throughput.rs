@@ -32,7 +32,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Peak resident set size so far, in kB (`VmHWM`: a process-lifetime
-/// high-water mark, so per-size readings are cumulative maxima).
+/// high-water mark). Readings are cumulative maxima, so each row reports
+/// the *delta* across its own work (`rss_delta_kb`) next to the raw
+/// watermark — a row that fits inside an earlier row's footprint reads 0,
+/// and a row that pushes a new peak owns exactly its increment, making
+/// memory regressions at small `v` visible instead of being masked by the
+/// largest prior run.
 fn peak_rss_kb() -> u64 {
     let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
     status
@@ -40,6 +45,13 @@ fn peak_rss_kb() -> u64 {
         .find_map(|l| l.strip_prefix("VmHWM:"))
         .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
         .unwrap_or(0)
+}
+
+/// Truthy environment flag: set to anything except empty or `"0"`.
+/// (`NOB_BENCH_ALL_WIDTHS` used to be presence-tested, so exporting
+/// `NOB_BENCH_ALL_WIDTHS=0` *forced* the rows it reads as disabling.)
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// Logical CPUs visible to this process (cgroup-quota aware) — an upper
@@ -101,6 +113,9 @@ struct Row {
     arena: Measurement,
     reference: Measurement,
     peak_rss_kb: u64,
+    /// VmHWM growth across this row's measurements alone (0 when the row
+    /// fit inside an earlier row's footprint).
+    rss_delta_kb: u64,
 }
 
 fn worker_opts(w: usize, use_plans: bool) -> RunOptions {
@@ -157,6 +172,9 @@ where
     if widest > 1 {
         let sh = run(&prog, states.clone(), &worker_logged(widest, true, logs)).unwrap();
         assert_same("sharded planned vs serial", name, n, &sh, &plan_on);
+        drop(sh);
+        let sh_off = run(&prog, states.clone(), &worker_logged(widest, false, logs)).unwrap();
+        assert_same("sharded plans-off vs serial", name, n, &sh_off, &plan_on);
     }
     (prog, states)
 }
@@ -177,6 +195,12 @@ fn bench_program<A>(
     A::State: Clone + PartialEq + std::fmt::Debug,
 {
     let widest = widths.iter().copied().max().unwrap_or(1);
+    // The watermark opens *before* the crosscheck: those differential runs
+    // build the same programs/arenas the timed runs use (plus the logged
+    // comparisons at small v), so they are where this row's footprint — and
+    // any memory regression — first materializes. Sampling after them would
+    // report a delta of 0 for every row.
+    let mut rss_mark = peak_rss_kb();
     let (prog, states) = crosscheck(alg, name, n, input, widest);
     let base = RunOptions::default();
     let reference = measure(&prog, &states, |p, s| run_reference(p, s, &base).unwrap());
@@ -185,6 +209,7 @@ fn bench_program<A>(
         let off = worker_opts(w, false);
         let plan = measure(&prog, &states, |p, s| run(p, s, &on).unwrap());
         let arena = measure(&prog, &states, |p, s| run(p, s, &off).unwrap());
+        let rss_after = peak_rss_kb();
         let row = Row {
             v: n,
             program: name,
@@ -193,8 +218,10 @@ fn bench_program<A>(
             plan,
             arena,
             reference: reference.clone(),
-            peak_rss_kb: peak_rss_kb(),
+            peak_rss_kb: rss_after,
+            rss_delta_kb: rss_after.saturating_sub(rss_mark),
         };
+        rss_mark = rss_after;
         eprintln!(
             "v={:<6} {:<5} w={} plan {:>10.0} msg/s | dynamic {:>10.0} msg/s | reference {:>10.0} msg/s | plan/dyn {:.2}x",
             row.v,
@@ -209,15 +236,18 @@ fn bench_program<A>(
     }
 }
 
-/// Tier-1 smoke mode: tiny size, serial + sharded, plans on vs off vs the
-/// reference engine — trace/state/log equality asserted, no timing.
+/// Tier-1 smoke mode: tiny size, serial + sharded at 4 workers (the gang
+/// runs even on 1-CPU containers — correctness is scheduling-independent),
+/// plans on vs off vs the reference engine — trace/state/log equality
+/// asserted, no timing.
 fn smoke() {
     let v = 1usize << 10;
     let signal = test_signal(v);
-    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 2);
+    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 4);
     let keys = random_keys(v, 42);
-    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 2);
-    // Folded executions agree too (plan metrics at granularity p).
+    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 4);
+    // Folded executions agree too (plan metrics at granularity p), serial
+    // and through the sharded executor.
     let prog = ColumnSort::<u64>::default().build(v);
     let states = ColumnSort::<u64>::default().init(v, &keys[..]);
     for p in [4usize, 32] {
@@ -227,8 +257,19 @@ fn smoke() {
             nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, false, true))
                 .unwrap();
         assert_same("folded plan-on vs plan-off", "sort", p, &on, &off);
+        let sh_on =
+            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, true, true))
+                .unwrap();
+        assert_same("sharded folded plan-on vs serial", "sort", p, &sh_on, &on);
+        drop(sh_on);
+        let sh_off =
+            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, false, true))
+                .unwrap();
+        assert_same("sharded folded plan-off vs serial", "sort", p, &sh_off, &on);
     }
-    println!("bench_smoke: OK (plans on/off bit-for-bit at v = {v}, serial + sharded + folded)");
+    println!(
+        "bench_smoke: OK (plans on/off bit-for-bit at v = {v}, serial + sharded at 4 workers + folded)"
+    );
 }
 
 fn main() {
@@ -244,8 +285,10 @@ fn main() {
     // covering the visible CPUs. A single-CPU container gets only the
     // serial row by default — multi-worker rows there measure pure
     // coordination overhead, which burns minutes without measuring scaling
-    // (set NOB_BENCH_ALL_WIDTHS=1 to record them anyway).
-    let all_widths = std::env::var_os("NOB_BENCH_ALL_WIDTHS").is_some();
+    // (set NOB_BENCH_ALL_WIDTHS=1 to record them anyway; =0 or empty
+    // disables like unset, the flag's *value* is parsed, not its
+    // presence).
+    let all_widths = env_flag("NOB_BENCH_ALL_WIDTHS");
     let mut widths = vec![1usize];
     if cpus > 1 || all_widths {
         while *widths.last().unwrap() < 4.max(cpus) {
@@ -268,7 +311,7 @@ fn main() {
     writeln!(json, "  \"pool_threads\": {},", rayon::current_num_threads()).unwrap();
     writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
     writeln!(json, "  \"validate\": {},", RunOptions::default().validate).unwrap();
-    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS=1). plan_msgs_per_sec = communication plans enabled (analytic metrics + direct-write scatter); arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. peak_rss_kb is the process VmHWM high-water mark, cumulative across rows\",").unwrap();
+    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = communication plans enabled (analytic metrics + direct-write scatter, cross-shard when threads > 1); arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal\",").unwrap();
     writeln!(json, "  \"rows\": [").unwrap();
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -278,7 +321,7 @@ fn main() {
              \"plan_secs\": {:.6}, \"plan_msgs_per_sec\": {:.0}, \
              \"arena_secs\": {:.6}, \"arena_msgs_per_sec\": {:.0}, \
              \"reference_secs\": {:.6}, \"reference_msgs_per_sec\": {:.0}, \
-             \"plan_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}}}{}",
+             \"plan_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
             row.v,
             row.program,
             row.threads,
@@ -294,6 +337,7 @@ fn main() {
             row.plan.msgs_per_sec() / row.arena.msgs_per_sec(),
             row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
             row.peak_rss_kb,
+            row.rss_delta_kb,
             comma,
         )
         .unwrap();

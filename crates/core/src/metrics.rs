@@ -494,7 +494,11 @@ impl StepMetrics {
 
 /// Combines the shard-local [`DegreeCounters`] of one superstep into the
 /// global per-fold degrees — the barrier-time half of the sharded metric
-/// pipeline.
+/// pipeline for *dynamic* supersteps. Planned (oblivious) supersteps never
+/// merge at all: their record is the plan's precomputed [`StepMetrics`],
+/// pushed by the coordinator via [`TraceBuilder::push_precomputed`] during
+/// its own exec phase — overlapped with the other workers' execution, with
+/// no merge barrier behind it.
 ///
 /// Fine-level maxima are exact per shard (disjoint slot ownership), so the
 /// merge is a plain `max` per level. Coarse levels are reassembled from the
@@ -633,10 +637,13 @@ impl TraceBuilder {
     }
 
     /// Appends one superstep's metrics from the precomputed [`StepMetrics`]
-    /// of a planned oblivious superstep: `O(log gran)`, no per-message work.
-    /// `count_internal` selects the total policy (`true` for full-granularity
-    /// traces, `false` for folded ones). Allocation-free while within the
-    /// reserved capacity.
+    /// of a planned oblivious superstep: `O(log gran)`, no per-message work
+    /// — and, on the sharded path, no [`EpochMerge`] and no merge barrier
+    /// (the coordinator pushes the record inside its own exec phase,
+    /// overlapped with the other workers' execution). `count_internal`
+    /// selects the total policy (`true` for full-granularity traces,
+    /// `false` for folded ones). Allocation-free while within the reserved
+    /// capacity.
     pub fn push_precomputed(&mut self, label: u32, metrics: &StepMetrics, count_internal: bool) {
         debug_assert!(metrics.levels() >= self.log_gran, "plan narrower than the trace");
         self.labels.push(label);

@@ -29,25 +29,30 @@
 //!
 //! # Execution paths
 //!
-//! * **Planned** (serial, per superstep): supersteps that declared their
-//!   pattern as an oblivious route ([`Program::step_oblivious`]) skip the
-//!   whole staged pipeline — one counting pass over the compiled
+//! * **Planned** (per superstep): supersteps that declared their pattern
+//!   as an oblivious route ([`Program::step_oblivious`]) skip the whole
+//!   staged pipeline — one counting pass over the compiled
 //!   [`crate::plan::StepPlan`] sizes the write arena, VP closures write
 //!   payloads *directly* into their destination slots, and the superstep
 //!   record is the plan's precomputed metrics (`O(log v)`), with the
-//!   cluster constraint proven once at build time.
+//!   cluster constraint proven once at build time. On the sharded path
+//!   the destination slot may live in a *peer shard's* arena: each worker
+//!   pre-partitions its write arena by (source shard, destination VP) and
+//!   publishes a window peers write through, collapsing the superstep to
+//!   a single barrier with no lane staging and no merge.
 //! * **Serial** (1 shard): the whole machine is one shard; the loop above
 //!   runs inline with a serial counting-sort scatter and allocates nothing
 //!   in steady state (proven by `tests/allocation.rs`).
 //! * **Sharded** (`crate::shard`): `n` persistent workers each own a
 //!   contiguous VP shard — its states, arenas, staging and a private
-//!   [`DegreeCounters`] — and exchange cross-shard messages through the
-//!   statically planned lanes of [`crate::program::LanePlan`]. The
-//!   inter-superstep barrier is a per-lane handoff plus an
-//!   `O(shards · log v)` counter merge instead of a global counting sort.
-//!   [`run_folded`] is the degenerate case *shard = fold* (capped by the
-//!   worker budget), which unifies the two execution modes over one code
-//!   path.
+//!   [`DegreeCounters`] — and exchange cross-shard messages of dynamic
+//!   supersteps through the statically planned lanes of
+//!   [`crate::program::LanePlan`]. The inter-superstep barrier is a
+//!   per-lane handoff plus an `O(shards · log v)` counter merge instead
+//!   of a global counting sort (planned supersteps keep one barrier and
+//!   merge nothing). [`run_folded`] is the degenerate case *shard = fold*
+//!   (capped by the worker budget), which unifies the two execution modes
+//!   over one code path.
 //!
 //! The shard count derives from the rayon pool width (itself overridable
 //! with the `NOB_THREADS` environment variable) or from
@@ -104,9 +109,10 @@ pub struct RunOptions {
     ///
     /// Mis-declared routes are fully rejected only under
     /// [`RunOptions::validate`]; with validation off the engine trusts the
-    /// declaration like it trusts cluster discipline (the serial path still
-    /// enforces the payload multiset as a memory-safety check, the sharded
-    /// path does not re-verify).
+    /// declaration like it trusts cluster discipline, except as a
+    /// memory-safety check: both the serial and the sharded direct writers
+    /// still bound every write by its planned slot region and enforce the
+    /// payload multiset before publishing an arena.
     pub use_plans: bool,
 }
 
@@ -376,10 +382,10 @@ fn run_serial<S: Send, M: Send>(
                     }
                 }
                 if matches!(env, Envelope::Data(_)) {
-                    // Saturating: a wrapped count would mis-size the
-                    // arena; saturation instead trips the scatter's
-                    // capacity assert (2^32 - 1 messages is the limit).
-                    dst_counts[dst] = dst_counts[dst].saturating_add(1);
+                    // Checked: a wrapped count would mis-size the arena
+                    // and a capped one would corrupt the counting-sort
+                    // offsets; hitting the limit is a model error.
+                    crate::mailbox::bump_count(&mut dst_counts[dst])?;
                 }
             }
             msg_idx = end as usize;
@@ -435,7 +441,7 @@ fn run_planned_step<S, M: Send>(
     let v = dst_counts.len();
 
     // Counting pass: exact per-destination payload counts from the route.
-    plan.count_data(dst_counts);
+    plan.count_data(dst_counts)?;
     let total = write.prepare_write(dst_counts, cursors);
     debug_assert_eq!(total as u64, plan.total_data(), "count pass disagrees with compile pass");
 
@@ -443,25 +449,19 @@ fn run_planned_step<S, M: Send>(
     {
         let (wslab, woffsets) = write.split_for_scatter(total);
         let check = validate.then(|| plan.route_raw());
-        outbox.enter_direct(crate::mailbox::DirectOut::new(wslab, cursors, woffsets, check));
+        outbox.enter_direct(crate::mailbox::DirectSink::Serial(crate::mailbox::DirectOut::new(
+            wslab, cursors, woffsets, check,
+        )));
     }
 
     // Execute the chunk, carving inboxes out of the read arena as usual.
     let (rslab, roffsets) = read.take_read();
-    let mut slab_rest = rslab;
-    for (vp, state) in states.iter_mut().enumerate() {
-        let len = (roffsets[vp + 1] - roffsets[vp]) as usize;
-        let taken = std::mem::take(&mut slab_rest);
-        let (mine, rest) = taken.split_at_mut(len);
-        slab_rest = rest;
-        let mut inbox = Inbox::over_slab(mine);
-        let ctx = Ctx { vp, v, log_v: plan.log_v, n: plan.n };
-        outbox.direct_mut().begin_vp(&ctx);
-        (step.exec)(state, &ctx, &mut inbox, outbox);
-        outbox.direct_mut().end_vp();
-    }
+    exec_direct_chunk(step, 0, states, rslab, roffsets, outbox, v, plan.log_v, plan.n);
 
-    let (written, fault) = outbox.exit_direct().finish();
+    let (written, fault) = match outbox.exit_direct() {
+        crate::mailbox::DirectSink::Serial(d) => d.finish(),
+        crate::mailbox::DirectSink::Sharded(_) => unreachable!("serial path arms a serial sink"),
+    };
     if let Some((vp, reason)) = fault {
         return Err(ModelError::PlanMismatch { step: step.name, vp, reason });
     }
@@ -501,6 +501,39 @@ pub(crate) fn plan_log_entry(
                 out.push((ps as u32, pd as u32));
             }
         });
+    }
+}
+
+/// Runs one *planned* superstep's closures for a chunk of consecutive VPs
+/// with a direct writer armed in `outbox`: carves per-VP inboxes out of
+/// the read slab and brackets each closure with the writer's begin/end
+/// hooks (per-VP counter reset + lockstep exhaustion check). Shared by the
+/// serial path (one chunk covering the machine) and the sharded executor's
+/// workers, so planned inbox carving can never drift between the two.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_direct_chunk<S, M>(
+    step: &crate::program::Superstep<S, M>,
+    vp_lo: usize,
+    states: &mut [S],
+    slab: &mut [std::mem::MaybeUninit<M>],
+    offsets: &[u32],
+    outbox: &mut crate::program::Outbox<M>,
+    v: usize,
+    log_v: u32,
+    n: usize,
+) {
+    debug_assert_eq!((offsets[states.len()] - offsets[0]) as usize, slab.len());
+    let mut slab_rest = slab;
+    for (i, state) in states.iter_mut().enumerate() {
+        let len = (offsets[i + 1] - offsets[i]) as usize;
+        let taken = std::mem::take(&mut slab_rest);
+        let (mine, rest) = taken.split_at_mut(len);
+        slab_rest = rest;
+        let mut inbox = Inbox::over_slab(mine);
+        let ctx = Ctx { vp: vp_lo + i, v, log_v, n };
+        outbox.direct_mut().begin_vp(&ctx);
+        (step.exec)(state, &ctx, &mut inbox, outbox);
+        outbox.direct_mut().end_vp();
     }
 }
 
@@ -904,10 +937,13 @@ mod tests {
                 "wrong error at {w} workers: {err:?}"
             );
         }
-        // Serial safety net without validation: route lockstep is off, but
-        // the payload *multiset* checks still refuse to publish an arena
-        // whose slot occupancy disagrees with the plan. (A mis-declaration
-        // that happens to preserve every per-destination count — e.g. one
+        // Safety net without validation: route lockstep is off, but the
+        // payload *multiset* checks still refuse to publish an arena whose
+        // slot occupancy disagrees with the plan — on the serial path
+        // (cursor bounds + written total) and identically on the sharded
+        // direct cross-shard path (per-(source shard, destination) region
+        // bounds + per-worker written totals). (A mis-declaration that
+        // happens to preserve every per-destination count — e.g. one
         // permutation declared as another — needs validation to be caught;
         // here VP 0 hoards both messages so destination counts diverge.)
         let mut skew: Program<u64, u64> = Program::new(v, v);
@@ -918,9 +954,12 @@ mod tests {
             |ctx, _| Route::Data(ctx.vp ^ 1),
             |_, ctx, _, out| out.send(if ctx.vp < 2 { 0 } else { ctx.vp ^ 1 }, 1),
         );
-        let noval = RunOptions { validate: false, workers: Some(1), ..Default::default() };
-        let err = run(&skew, states.clone(), &noval).expect_err("multiset mismatch");
-        assert!(matches!(err, ModelError::PlanMismatch { .. }), "got {err:?}");
+        for w in [1usize, 2, 4] {
+            let noval = RunOptions { validate: false, workers: Some(w), ..Default::default() };
+            let err = run(&skew, states.clone(), &noval)
+                .expect_err("multiset mismatch must be caught without validation");
+            assert!(matches!(err, ModelError::PlanMismatch { .. }), "w = {w}: got {err:?}");
+        }
 
         // Declaring fewer sends than the closure performs is also caught.
         let mut over: Program<u64, u64> = Program::new(v, v);

@@ -33,20 +33,28 @@
 //!   emitted in `O(log v)` per run, bit-for-bit identical to the streamed
 //!   counters, at every granularity at once), a **one-time
 //!   cluster-constraint proof** (validated runs skip the per-message
-//!   check), and a **direct-write scatter** — on the serial path the VP
-//!   closures write payloads straight into the destination arena slot,
-//!   eliminating the staging copy and the counting sort. Plan invariants:
-//!   a plan never changes semantics, only cost (enforced by differential
-//!   suites); under validation a mis-declared route is rejected on every
-//!   path ([`nob_core::ModelError::PlanMismatch`]) — each send is checked
+//!   check), and a **direct-write scatter** — VP closures write payloads
+//!   straight into the destination arena slot, eliminating the staging
+//!   copy and the counting sort: into the whole-machine arena on the
+//!   serial path, and straight into the destination *shard's* arena on
+//!   the sharded path (each worker pre-partitions its write arena by
+//!   (source shard, destination VP) and publishes a window peers write
+//!   through — no lane staging, no gather pass, one barrier per planned
+//!   superstep). Plan invariants: a plan never changes semantics, only
+//!   cost (enforced by differential suites); under validation a
+//!   mis-declared route is rejected on every path
+//!   ([`nob_core::ModelError::PlanMismatch`]) — each send is checked
 //!   against the route in lockstep, dummies included — and a
 //!   cluster-violating route faults at compile time and reports like the
 //!   dynamic engine would. With validation *off*, a mis-declared plan is
-//!   the program's problem (exactly like a cluster violation is): the
-//!   serial direct writer still verifies the payload multiset before
-//!   publishing an arena — memory safety never trusts the declaration —
-//!   while the sharded path delivers what the closures sent and records
-//!   the declared metrics unchecked.
+//!   the program's problem (exactly like a cluster violation is), but
+//!   memory safety never trusts the declaration: on both paths the direct
+//!   writers bound every write by its planned slot region and verify the
+//!   payload multiset before any arena is published, so a divergent
+//!   multiset still surfaces as `PlanMismatch` rather than executing (a
+//!   divergence that *preserves* all per-region counts — one permutation
+//!   declared as another — executes with the declared metrics recorded
+//!   unchecked; only validation pins the exact sequence).
 //!
 //! ## Shard/lane architecture
 //!
@@ -61,25 +69,31 @@
 //!   buffer, and a private set of shard-local degree counters
 //!   ([`nob_core::metrics::DegreeCounters`]). There is no global mailbox
 //!   and no global scatter.
-//! * **Lanes** ([`mailbox`]): cross-shard messages travel through one
-//!   structure-of-arrays lane per (source, destination) shard pair —
-//!   compact `(src, dst, has-payload)` headers separate from the payload
-//!   stream, so metric scans never touch payload bytes and the paper's
-//!   dummy messages occupy no payload slot. Which pairs can ever be active
-//!   is precomputed per program by [`program::LanePlan`] from the superstep
-//!   labels: an `i`-superstep only connects shards sharing the top `i`
-//!   shard-index bits, and supersteps with `label ≥ log n` touch no lane at
-//!   all. Communication plans pre-size the lanes: each worker enumerates
-//!   its VPs' declared routes once at startup and reserves every (step,
-//!   peer) high-water volume up front.
-//! * **Barrier = handoff + merge**: the inter-superstep barrier is a
-//!   per-lane ownership handoff (send phase writes lane rows, gather phase
-//!   drains lane columns) plus an `O(n · log v)` epoch-merge of the shard
-//!   counters ([`nob_core::metrics::EpochMerge`]) — replacing the global
-//!   counting sort in which every worker re-scanned the entire staging
-//!   buffer. For *planned* supersteps there is nothing to merge: the
-//!   coordinator pushes the plan's precomputed record, and the flush phase
-//!   skips per-message validation and counter recording entirely.
+//! * **Lanes** ([`mailbox`]): cross-shard messages of *dynamic* supersteps
+//!   travel through one structure-of-arrays lane per (source, destination)
+//!   shard pair — compact `(src, dst, has-payload)` headers separate from
+//!   the payload stream, so metric scans never touch payload bytes and the
+//!   paper's dummy messages occupy no payload slot. Which pairs can ever
+//!   be active is precomputed per program by [`program::LanePlan`] from
+//!   the superstep labels: an `i`-superstep only connects shards sharing
+//!   the top `i` shard-index bits, and supersteps with `label ≥ log n`
+//!   touch no lane at all.
+//! * **Barrier = handoff + merge** (dynamic supersteps): the
+//!   inter-superstep barrier is a per-lane ownership handoff (send phase
+//!   writes lane rows, gather phase drains lane columns) plus an
+//!   `O(n · log v)` epoch-merge of the shard counters
+//!   ([`nob_core::metrics::EpochMerge`]) — replacing the global counting
+//!   sort in which every worker re-scanned the entire staging buffer.
+//!   Three barriers per superstep: flush, gather, merge.
+//! * **One barrier** (planned supersteps): a superstep with a compiled
+//!   plan skips lanes, gather and merge entirely. Each worker
+//!   pre-partitions its write arena by (source shard, destination VP)
+//!   from the declared routes — pipelined into the previous superstep's
+//!   exec phase — and publishes a window; peer closures then write
+//!   payloads straight into the remote arena slots their route owns,
+//!   while the coordinator pushes the plan's precomputed record with
+//!   nothing to merge. One barrier per planned superstep, after which
+//!   every worker commits its own (fully written, total-checked) arena.
 //!
 //! The serial path (1 shard) keeps its proven **zero-allocation steady
 //! state** on both the dynamic and the planned path; all paths produce
@@ -88,19 +102,27 @@
 //!
 //! ### Unsafe surface
 //!
-//! All `unsafe` is confined to [`mailbox`] behind four documented
+//! All `unsafe` is confined to [`mailbox`] behind five documented
 //! invariants: (1) arena slabs track their initialized prefix, (2) inbox
 //! views uniquely own the messages handed to closures, (3) lane-grid
 //! access is phase-disciplined — row-exclusive while sending,
 //! column-exclusive while gathering, with the executor barrier providing
-//! the happens-before edges — and (4) the planned direct writer
-//! (`mailbox::DirectOut`) bounds every payload write by its
-//! destination's planned slot range and the engine refuses to publish an
-//! arena whose written total disagrees with the plan, so slabs are only
-//! ever committed fully initialized, each slot written exactly once,
-//! whatever the route declared. Lane payload moves themselves go through
-//! safe `Vec` drains, so abandoned supersteps (validation errors, panics)
-//! drop staged messages through ordinary destructors.
+//! the happens-before edges — (4) the serial planned writer
+//! (`mailbox::DirectOut`) bounds every payload write by its destination's
+//! planned slot range and the engine refuses to publish an arena whose
+//! written total disagrees with the plan, and (5) cross-shard planned
+//! writes (`mailbox::DirectShard` through `mailbox::DirectGrid`) follow
+//! the same discipline at slot-region granularity: windows are published
+//! only in prepare phases and read only in the exec phases after the next
+//! barrier (double-buffered by arena parity so republication never races
+//! a reader), each worker owns exactly its own cursor row of every
+//! window, every write is bounds-checked against its (source shard,
+//! destination) region, and per-worker written totals gate every commit —
+//! so slabs are only ever committed fully initialized, each slot written
+//! exactly once, whatever the routes declared. Lane payload moves
+//! themselves go through safe `Vec` drains, so abandoned supersteps
+//! (validation errors, panics) drop staged messages through ordinary
+//! destructors.
 //!
 //! ## Execution modes
 //!

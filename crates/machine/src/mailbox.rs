@@ -21,13 +21,20 @@
 //!   for supersteps with a compiled communication plan, VP closures write
 //!   payloads straight into their destination arena slots through
 //!   cursor-guarded raw writes (see invariant 4).
+//! * `DirectShard` / `DirectGrid` — the sharded form of the same idea:
+//!   each worker *publishes* a window onto its write arena (slab pointer
+//!   plus a per-(source shard, destination VP) slot-region table) before a
+//!   planned superstep, and every peer's VP closures then write payloads
+//!   straight into the remote arena slots their route owns — no lane
+//!   staging, no per-shard counting sort, one barrier per planned
+//!   superstep (see invariant 5).
 //! * `Lane` / `LaneGrid` — the sharded executor's cross-shard message
-//!   path: one lane per (source shard, destination shard) pair, staged in
-//!   structure-of-arrays form (`LaneHdr` headers separate from payloads)
-//!   so metric/validation scans touch only the compact header stream and
-//!   dummy messages carry no payload slot at all. The grid replaces the
-//!   legacy global scatter, in which every worker re-scanned the entire
-//!   staging buffer.
+//!   path for *dynamic* supersteps: one lane per (source shard,
+//!   destination shard) pair, staged in structure-of-arrays form
+//!   (`LaneHdr` headers separate from payloads) so metric/validation scans
+//!   touch only the compact header stream and dummy messages carry no
+//!   payload slot at all. The grid replaces the legacy global scatter, in
+//!   which every worker re-scanned the entire staging buffer.
 //!
 //! # Safety invariants
 //!
@@ -56,12 +63,43 @@
 //!    only ever published fully initialized. On the mismatch path nothing
 //!    is committed; partially written payloads are leaked (never dropped,
 //!    never re-observed), bounded by one superstep's traffic.
+//! 5. `DirectGrid` slot ownership is phase-disciplined like the lane grid,
+//!    but at *slot-region* granularity. A window for write-arena parity `x`
+//!    is published only by the arena's owner during a *prepare* phase and
+//!    read by peers only in the *exec* phases that follow the next barrier;
+//!    consecutive planned supersteps alternate parities, so a window is
+//!    never republished while a peer may still read it. Within an exec
+//!    phase, the cursor table row of source shard `s` (and the disjoint
+//!    slot regions those cursors index) is touched only by worker `s`; the
+//!    immutable `starts` table is shared read-only. Region bounds are
+//!    enforced on every write exactly as in invariant 4 — `cursors[s][d] <
+//!    starts[s + 1][d]`, regions disjoint by the prefix-sum construction —
+//!    and each worker's written total is compared against its declared
+//!    payload total before any arena is committed, so a committed slab is
+//!    fully initialized with each slot written exactly once no matter what
+//!    the routes declared. The executor's barrier provides every
+//!    happens-before edge (publish → read, peer writes → owner commit).
 #![allow(unsafe_code)]
 
 use crate::program::Envelope;
+use nob_core::ModelError;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ops::RangeFull;
+
+/// Checked increment of a per-destination payload count. A wrapped `u32`
+/// count would mis-size the write arena and send the unsafe scatter out of
+/// bounds, and a silently *capped* count would corrupt the counting-sort
+/// offsets downstream — so hitting the design limit is a [`ModelError`],
+/// surfaced like any other model violation, never a saturation.
+#[inline]
+pub(crate) fn bump_count(count: &mut u32) -> Result<(), ModelError> {
+    *count = count.checked_add(1).ok_or(ModelError::BadParameter {
+        what: "dst_counts",
+        reason: "superstep exceeds the 2^32 - 1 messages-per-destination design limit",
+    })?;
+    Ok(())
+}
 
 /// One half of the double buffer: a message slab grouped by destination VP.
 pub(crate) struct Arena<M> {
@@ -362,20 +400,10 @@ pub(crate) struct DirectOut<M> {
     /// Offsets table (`v + 1` entries): destination `d` owns slots
     /// `[offsets[d], offsets[d+1])`.
     limits: *const u32,
-    v: usize,
-    /// Payload messages written so far (whole superstep).
-    written: u64,
-    /// Messages (data + dummy) sent by the current VP, for
-    /// [`crate::program::Outbox::len`] semantics.
-    vp_sent: usize,
-    cur_vp: usize,
-    /// First divergence from the plan: `(vp, reason)`.
-    fault: Option<(usize, &'static str)>,
-    /// Lockstep route checking (validation mode only).
-    check: Option<DirectCheck>,
+    core: DirectCore,
 }
 
-/// Validation-mode state of [`DirectOut`]: the declared route of the
+/// Validation-mode state of the direct writers: the declared route of the
 /// current VP, walked send by send.
 pub(crate) struct DirectCheck {
     /// The plan's route function. A raw pointer so [`DirectOut`] needs no
@@ -398,6 +426,125 @@ impl DirectCheck {
         // for (see the field docs).
         let route = unsafe { &*self.route };
         crate::plan::walk_next(route, &self.ctx, &mut self.k, self.out_degree)
+    }
+}
+
+/// State shared by both planned direct writers — [`DirectOut`] (serial)
+/// and [`DirectShard`] (sharded): per-VP send accounting, the first
+/// recorded fault, and the optional validation-mode lockstep checker. One
+/// implementation of the send preamble (fault short-circuit, lockstep
+/// route check, machine-range check) and of dummy metering, so the two
+/// paths' mis-declaration detectors cannot drift apart.
+pub(crate) struct DirectCore {
+    v: usize,
+    /// Payload messages written so far (whole superstep).
+    written: u64,
+    /// Messages (data + dummy) sent by the current VP, for
+    /// [`crate::program::Outbox::len`] semantics.
+    vp_sent: usize,
+    cur_vp: usize,
+    /// First divergence from the plan: `(vp, reason)`.
+    fault: Option<(usize, &'static str)>,
+    /// Lockstep route checking (validation mode only).
+    check: Option<DirectCheck>,
+}
+
+impl DirectCore {
+    fn new(v: usize, check: Option<(*const crate::plan::RouteDyn, usize)>) -> Self {
+        DirectCore {
+            v,
+            written: 0,
+            vp_sent: 0,
+            cur_vp: 0,
+            fault: None,
+            check: check.map(|(route, out_degree)| DirectCheck {
+                route,
+                ctx: crate::program::Ctx { vp: 0, v, log_v: 0, n: 0 },
+                k: 0,
+                out_degree,
+            }),
+        }
+    }
+
+    /// Starts the given VP's sends (resets the per-VP counter and the
+    /// lockstep checker).
+    #[inline]
+    fn begin_vp(&mut self, ctx: &crate::program::Ctx) {
+        self.cur_vp = ctx.vp;
+        self.vp_sent = 0;
+        if let Some(c) = self.check.as_mut() {
+            c.ctx = *ctx;
+            c.k = 0;
+        }
+    }
+
+    /// Ends the current VP's sends: with lockstep checking on, the VP must
+    /// have exhausted its declared slots.
+    #[inline]
+    fn end_vp(&mut self) {
+        if self.fault.is_none() {
+            if let Some(c) = self.check.as_mut() {
+                if c.next_expected().is_some() {
+                    self.fault =
+                        Some((self.cur_vp, "sent fewer messages than the route declares"));
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn fail(&mut self, reason: &'static str) {
+        if self.fault.is_none() {
+            self.fault = Some((self.cur_vp, reason));
+        }
+    }
+
+    /// The shared preamble of a payload send: counts it, short-circuits on
+    /// a recorded fault (drop quietly, the run aborts), walks the lockstep
+    /// checker and checks the machine range. Returns whether the write may
+    /// proceed.
+    #[inline]
+    fn admit_data(&mut self, dst: usize) -> bool {
+        self.vp_sent += 1;
+        if self.fault.is_some() {
+            return false;
+        }
+        if let Some(c) = self.check.as_mut() {
+            match c.next_expected() {
+                Some((d, true)) if d == dst => {}
+                _ => {
+                    self.fail("send disagrees with the declared route");
+                    return false;
+                }
+            }
+        }
+        if dst >= self.v {
+            self.fail("message destination out of machine range");
+            return false;
+        }
+        true
+    }
+
+    /// Meters a dummy message in full — no slot, no write, on either path;
+    /// the precomputed metrics already account for it.
+    #[inline]
+    fn send_dummy(&mut self, dst: usize) {
+        self.vp_sent += 1;
+        if self.fault.is_some() {
+            return;
+        }
+        if let Some(c) = self.check.as_mut() {
+            match c.next_expected() {
+                Some((d, false)) if d == dst => {}
+                _ => {
+                    self.fail("dummy send disagrees with the declared route");
+                    return;
+                }
+            }
+        }
+        if dst >= self.v {
+            self.fail("message destination out of machine range");
+        }
     }
 }
 
@@ -428,76 +575,14 @@ impl<M> DirectOut<M> {
             slab_len: slab.len(),
             cursors: cursors.as_mut_ptr(),
             limits: limits.as_ptr(),
-            v,
-            written: 0,
-            vp_sent: 0,
-            cur_vp: 0,
-            fault: None,
-            check: check.map(|(route, out_degree)| DirectCheck {
-                route,
-                ctx: crate::program::Ctx { vp: 0, v, log_v: 0, n: 0 },
-                k: 0,
-                out_degree,
-            }),
+            core: DirectCore::new(v, check),
         }
-    }
-
-    /// Starts the given VP's sends (resets the per-VP counter and the
-    /// lockstep checker).
-    #[inline]
-    pub(crate) fn begin_vp(&mut self, ctx: &crate::program::Ctx) {
-        self.cur_vp = ctx.vp;
-        self.vp_sent = 0;
-        if let Some(c) = self.check.as_mut() {
-            c.ctx = *ctx;
-            c.k = 0;
-        }
-    }
-
-    /// Ends the current VP's sends: with lockstep checking on, the VP must
-    /// have exhausted its declared slots.
-    #[inline]
-    pub(crate) fn end_vp(&mut self) {
-        if self.fault.is_none() {
-            if let Some(c) = self.check.as_mut() {
-                if c.next_expected().is_some() {
-                    self.fault = Some((self.cur_vp, "sent fewer messages than the route declares"));
-                }
-            }
-        }
-    }
-
-    #[inline]
-    fn fail(&mut self, reason: &'static str) {
-        if self.fault.is_none() {
-            self.fault = Some((self.cur_vp, reason));
-        }
-    }
-
-    /// Messages sent by the current VP so far.
-    #[inline]
-    pub(crate) fn vp_sent(&self) -> usize {
-        self.vp_sent
     }
 
     /// Delivers a payload message into its planned slot.
     #[inline]
     pub(crate) fn send(&mut self, dst: usize, msg: M) {
-        self.vp_sent += 1;
-        if self.fault.is_some() {
-            return; // fault already recorded: drop quietly, engine aborts
-        }
-        if let Some(c) = self.check.as_mut() {
-            match c.next_expected() {
-                Some((d, true)) if d == dst => {}
-                _ => {
-                    self.fail("send disagrees with the declared route");
-                    return;
-                }
-            }
-        }
-        if dst >= self.v {
-            self.fail("message destination out of machine range");
+        if !self.core.admit_data(dst) {
             return;
         }
         // SAFETY: dst < v bounds the cursor/limit reads; the cursor check
@@ -507,42 +592,342 @@ impl<M> DirectOut<M> {
         unsafe {
             let cur = *self.cursors.add(dst);
             if cur >= *self.limits.add(dst + 1) {
-                self.fail("more payload messages to a destination than planned");
+                self.core.fail("more payload messages to a destination than planned");
                 return;
             }
             debug_assert!((cur as usize) < self.slab_len);
             (*self.slab.add(cur as usize)).write(msg);
             *self.cursors.add(dst) = cur + 1;
         }
-        self.written += 1;
-    }
-
-    /// Meters a dummy message (no slot, no write).
-    #[inline]
-    pub(crate) fn send_dummy(&mut self, dst: usize) {
-        self.vp_sent += 1;
-        if self.fault.is_some() {
-            return;
-        }
-        if let Some(c) = self.check.as_mut() {
-            match c.next_expected() {
-                Some((d, false)) if d == dst => {}
-                _ => {
-                    self.fail("dummy send disagrees with the declared route");
-                    return;
-                }
-            }
-        }
-        if dst >= self.v {
-            self.fail("message destination out of machine range");
-        }
+        self.core.written += 1;
     }
 
     /// Disarms the writer: `(payloads written, first fault)`. The engine
     /// must refuse to commit the arena unless the fault is `None` and the
     /// written count equals the plan's payload total.
     pub(crate) fn finish(self) -> (u64, Option<(usize, &'static str)>) {
-        (self.written, self.fault)
+        (self.core.written, self.core.fault)
+    }
+}
+
+/// The direct writer installed in an [`crate::program::Outbox`] for one
+/// planned superstep: the serial whole-machine form or the sharded
+/// cross-shard form. Algorithm closures use the same `send`/`send_dummy`
+/// API either way and cannot observe the difference.
+pub(crate) enum DirectSink<M> {
+    /// Serial path: one arena covering the whole machine ([`DirectOut`]).
+    Serial(DirectOut<M>),
+    /// Sharded path: cross-shard writes through published arena windows
+    /// ([`DirectShard`]).
+    Sharded(DirectShard<M>),
+}
+
+impl<M> DirectSink<M> {
+    /// The shared accounting/checker state of whichever writer is armed.
+    #[inline]
+    fn core(&self) -> &DirectCore {
+        match self {
+            DirectSink::Serial(d) => &d.core,
+            DirectSink::Sharded(d) => &d.core,
+        }
+    }
+
+    #[inline]
+    fn core_mut(&mut self) -> &mut DirectCore {
+        match self {
+            DirectSink::Serial(d) => &mut d.core,
+            DirectSink::Sharded(d) => &mut d.core,
+        }
+    }
+
+    /// Starts the given VP's sends.
+    #[inline]
+    pub(crate) fn begin_vp(&mut self, ctx: &crate::program::Ctx) {
+        self.core_mut().begin_vp(ctx);
+    }
+
+    /// Ends the current VP's sends (lockstep exhaustion check).
+    #[inline]
+    pub(crate) fn end_vp(&mut self) {
+        self.core_mut().end_vp();
+    }
+
+    /// Messages sent by the current VP so far.
+    #[inline]
+    pub(crate) fn vp_sent(&self) -> usize {
+        self.core().vp_sent
+    }
+
+    /// Delivers a payload message into its planned slot (the slot lives in
+    /// the whole-machine arena or a destination shard's arena, depending on
+    /// the armed writer).
+    #[inline]
+    pub(crate) fn send(&mut self, dst: usize, msg: M) {
+        match self {
+            DirectSink::Serial(d) => d.send(dst, msg),
+            DirectSink::Sharded(d) => d.send(dst, msg),
+        }
+    }
+
+    /// Meters a dummy message (identical on both paths).
+    #[inline]
+    pub(crate) fn send_dummy(&mut self, dst: usize) {
+        self.core_mut().send_dummy(dst);
+    }
+}
+
+/// A shard's published view of its write arena for one planned superstep:
+/// the raw scatter state peers write through (invariant 5).
+///
+/// `starts` points at an `(n_shards + 1) × vps` region table (row-major,
+/// row = source shard): destination VP `d` (shard-relative) owns the slab
+/// slots `[starts[s][d], starts[s + 1][d])` for payloads arriving from
+/// shard `s` — the counting-sort layout pre-partitioned by source shard, so
+/// delivery order (ascending source VP, then send order) is preserved
+/// without any receive-side pass. `cursors` is the matching `n_shards ×
+/// vps` live-cursor table; row `s` is advanced only by worker `s`.
+pub(crate) struct DirectWindow<M> {
+    slab: *mut MaybeUninit<M>,
+    slab_len: usize,
+    starts: *const u32,
+    cursors: *mut u32,
+    /// First VP owned by the window's shard (global id).
+    vp_lo: u32,
+}
+
+impl<M> Clone for DirectWindow<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for DirectWindow<M> {}
+
+impl<M> DirectWindow<M> {
+    /// A window no one may write through (pre-publication placeholder).
+    fn empty() -> Self {
+        DirectWindow {
+            slab: std::ptr::null_mut(),
+            slab_len: 0,
+            starts: std::ptr::null(),
+            cursors: std::ptr::null_mut(),
+            vp_lo: 0,
+        }
+    }
+
+    /// Builds a window over an arena's scatter state.
+    ///
+    /// SAFETY contract (upheld by the publishing worker): the three buffers
+    /// outlive every exec phase the window is read in, `starts` has
+    /// `(n_shards + 1) · vps` entries forming disjoint in-bounds regions
+    /// over `slab`, and `cursors` (`n_shards · vps` entries) was initialized
+    /// to the region starts.
+    pub(crate) fn new(
+        slab: &mut [MaybeUninit<M>],
+        starts: &[u32],
+        cursors: &mut [u32],
+        vp_lo: u32,
+    ) -> Self {
+        DirectWindow {
+            slab: slab.as_mut_ptr(),
+            slab_len: slab.len(),
+            starts: starts.as_ptr(),
+            cursors: cursors.as_mut_ptr(),
+            vp_lo,
+        }
+    }
+}
+
+/// The published arena windows of all shards, double-buffered by
+/// write-arena parity so a prepare for superstep `t + 1` never races the
+/// exec-phase reads of superstep `t` (invariant 5).
+pub(crate) struct DirectGrid<M> {
+    /// `2 × shards` windows: parity-major, then shard.
+    windows: Vec<UnsafeCell<DirectWindow<M>>>,
+    shards: usize,
+}
+
+// SAFETY: invariant 5 — window publication and every access through the
+// published pointers are phase-disciplined by the executor's barrier, and
+// `M` only ever moves between threads.
+unsafe impl<M: Send> Send for DirectGrid<M> {}
+unsafe impl<M: Send> Sync for DirectGrid<M> {}
+
+impl<M> DirectGrid<M> {
+    pub(crate) fn new(shards: usize) -> Self {
+        DirectGrid {
+            windows: (0..2 * shards).map(|_| UnsafeCell::new(DirectWindow::empty())).collect(),
+            shards,
+        }
+    }
+
+    /// Publishes shard `shard`'s window for write-arena parity `parity`.
+    ///
+    /// # Safety
+    /// The caller must be the worker owning `shard`, during a prepare phase
+    /// for that parity (invariant 5): no other thread may touch this slot
+    /// until the next barrier, and the previous window of this parity must
+    /// have no remaining readers (guaranteed by parity alternation).
+    pub(crate) unsafe fn publish(&self, parity: usize, shard: usize, window: DirectWindow<M>) {
+        debug_assert!(parity < 2 && shard < self.shards);
+        unsafe { *self.windows[parity * self.shards + shard].get() = window };
+    }
+}
+
+/// The cross-shard direct writer of one worker for one planned superstep:
+/// the sharded counterpart of [`DirectOut`], writing payloads straight into
+/// the *peer* shard arenas through the windows published in the preceding
+/// prepare phase — no lane staging, no receive-side counting sort.
+///
+/// # Safety model
+///
+/// Identical in spirit to [`DirectOut`] (soundness never trusts the
+/// declared route), with the region table replacing the flat offsets:
+///
+/// * a send outside the superstep's shard cluster — impossible for an
+///   honest closure, since the declaration was cluster-proven at compile
+///   time — faults immediately (windows outside the cluster span carry
+///   stale tables and must never be consulted);
+/// * every write is bounds-checked against its `(source shard,
+///   destination)` region (`cursors[s][d] < starts[s + 1][d]`), so writes
+///   stay inside the destination slab and no slot is written twice;
+/// * the executor compares each worker's written total against its declared
+///   payload total before any arena is committed. Region capacities sum to
+///   exactly the declared totals, so all checks passing implies every
+///   region exactly full — every committed slab fully initialized, each
+///   slot written exactly once.
+///
+/// On the fault path nothing is committed and partially written payloads
+/// are leaked (never dropped, never re-observed), bounded by one
+/// superstep's traffic — the same policy as the serial writer. With
+/// validation on, the writer walks the declared route in lockstep
+/// ([`DirectCheck`]) exactly like the serial path.
+pub(crate) struct DirectShard<M> {
+    /// Window slots of this superstep's parity (`shards` entries).
+    windows: *const UnsafeCell<DirectWindow<M>>,
+    /// This worker's shard id — its row in every cursor table.
+    shard: usize,
+    /// Shard cluster of the superstep: only `[span_lo, span_hi)` windows
+    /// carry tables prepared for this superstep.
+    span_lo: usize,
+    span_hi: usize,
+    shard_shift: u32,
+    /// VPs per shard (row stride of the region tables).
+    vps: usize,
+    core: DirectCore,
+}
+
+// SAFETY: the raw pointers target executor-owned buffers whose access is
+// phase-disciplined per invariant 5; a `DirectShard` is installed and
+// removed within one worker's exec phase and `M: Send` because payloads
+// move through peer slabs.
+unsafe impl<M: Send> Send for DirectShard<M> {}
+
+impl<M> DirectShard<M> {
+    /// Arms a writer for worker `shard` over the windows of write-arena
+    /// parity `parity`, for a superstep whose shard cluster is `span`.
+    ///
+    /// # Safety
+    /// Exec phase only: every window in `span` must have been published for
+    /// `parity` before the barrier this phase follows, and cursor row
+    /// `shard` of those windows must not be touched by any other thread
+    /// until the next barrier (invariant 5).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn new(
+        grid: &DirectGrid<M>,
+        parity: usize,
+        shard: usize,
+        span: std::ops::Range<usize>,
+        shard_shift: u32,
+        vps: usize,
+        v: usize,
+        check: Option<(*const crate::plan::RouteDyn, usize)>,
+    ) -> Self {
+        debug_assert!(parity < 2 && span.end <= grid.shards && span.contains(&shard));
+        DirectShard {
+            windows: unsafe { grid.windows.as_ptr().add(parity * grid.shards) },
+            shard,
+            span_lo: span.start,
+            span_hi: span.end,
+            shard_shift,
+            vps,
+            core: DirectCore::new(v, check),
+        }
+    }
+
+    /// Delivers a payload message into its planned slot of the destination
+    /// shard's arena.
+    #[inline]
+    pub(crate) fn send(&mut self, dst: usize, msg: M) {
+        if !self.core.admit_data(dst) {
+            return;
+        }
+        let ds = dst >> self.shard_shift;
+        if ds < self.span_lo || ds >= self.span_hi {
+            // The declaration is cluster-proven, so an out-of-span send is
+            // necessarily a divergence from it; windows outside the span
+            // hold stale tables and must never be consulted.
+            self.core.fail("send leaves the declared route's shard cluster");
+            return;
+        }
+        // SAFETY: ds is in this superstep's span, so the window was
+        // published for this parity before the barrier; cursor row
+        // `self.shard` is this worker's exclusively; the region check
+        // bounds the slab write inside the destination's planned range
+        // (regions disjoint and within `slab_len` by the prefix-sum
+        // construction). See invariant 5.
+        unsafe {
+            let w = (*self.windows.add(ds)).get().read();
+            let d_rel = dst - w.vp_lo as usize;
+            debug_assert!(d_rel < self.vps);
+            let cur_ptr = w.cursors.add(self.shard * self.vps + d_rel);
+            let cur = *cur_ptr;
+            let limit = *w.starts.add((self.shard + 1) * self.vps + d_rel);
+            if cur >= limit {
+                self.core.fail("more payload messages to a destination than planned");
+                return;
+            }
+            debug_assert!((cur as usize) < w.slab_len);
+            (*w.slab.add(cur as usize)).write(msg);
+            *cur_ptr = cur + 1;
+        }
+        self.core.written += 1;
+    }
+
+    /// Payload messages written by this worker so far (whole superstep).
+    #[inline]
+    pub(crate) fn written(&self) -> u64 {
+        self.core.written
+    }
+
+    /// The first divergence from the plan, if any: `(vp, reason)`.
+    #[inline]
+    pub(crate) fn fault_info(&self) -> Option<(usize, &'static str)> {
+        self.core.fault
+    }
+
+    /// The first destination VP whose slot region from this shard was left
+    /// short — the starved receiver to blame when the written total falls
+    /// below the declared total without lockstep checking.
+    ///
+    /// # Safety
+    /// Exec phase only (same discipline as [`DirectShard::send`]): reads
+    /// this worker's own cursor rows and the immutable region tables.
+    pub(crate) unsafe fn first_starved(&self) -> Option<usize> {
+        for ds in self.span_lo..self.span_hi {
+            // SAFETY: in-span window published before this phase; cursor
+            // row `self.shard` is this worker's own.
+            unsafe {
+                let w = (*self.windows.add(ds)).get().read();
+                for d in 0..self.vps {
+                    let cur = *w.cursors.add(self.shard * self.vps + d);
+                    let limit = *w.starts.add((self.shard + 1) * self.vps + d);
+                    if cur < limit {
+                        return Some(w.vp_lo as usize + d);
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -796,6 +1181,24 @@ mod tests {
         assert_eq!(first_two, vec![1, 2]);
         // Drain drop removed the rest, like Vec::drain.
         assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn bump_count_fails_loudly_at_the_overflow_boundary() {
+        // Regression: the sharded gather used to saturate these counts,
+        // silently capping at u32::MAX instead of surfacing the capacity
+        // violation as a ModelError.
+        let mut c = u32::MAX - 2;
+        assert!(bump_count(&mut c).is_ok());
+        assert_eq!(c, u32::MAX - 1);
+        assert!(bump_count(&mut c).is_ok());
+        assert_eq!(c, u32::MAX);
+        let err = bump_count(&mut c).expect_err("count past u32::MAX must error, not cap");
+        assert!(
+            matches!(err, ModelError::BadParameter { what: "dst_counts", .. }),
+            "got {err:?}"
+        );
+        assert_eq!(c, u32::MAX, "failed bump must leave the count unchanged");
     }
 
     #[test]

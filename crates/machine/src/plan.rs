@@ -183,24 +183,24 @@ impl StepPlan {
 
     /// Tallies the declared payload messages per destination into `counts`
     /// (the scatter's counting pass — one route call per declared slot, no
-    /// staging, no per-message metric work).
-    pub(crate) fn count_data(&self, counts: &mut [u32]) {
+    /// staging, no per-message metric work). A route dense enough to
+    /// overflow a per-destination `u32` count is a [`ModelError`], never a
+    /// silent cap (a capped count would corrupt the prefix-sum offsets the
+    /// unsafe scatter trusts).
+    pub(crate) fn count_data(&self, counts: &mut [u32]) -> Result<(), ModelError> {
         debug_assert_eq!(counts.len(), self.v);
         for vp in 0..self.v {
             let ctx = Ctx { vp, v: self.v, log_v: self.log_v, n: self.n };
             for k in 0..self.out_degree {
                 match (self.route)(&ctx, k) {
-                    Route::Data(d) => {
-                        // Compile proved d < v; saturation mirrors the
-                        // dynamic path's overflow policy (prepare_write
-                        // then asserts).
-                        counts[d] = counts[d].saturating_add(1);
-                    }
+                    // Compile proved d < v.
+                    Route::Data(d) => crate::mailbox::bump_count(&mut counts[d])?,
                     Route::End => break,
                     Route::Dummy(_) | Route::Skip => {}
                 }
             }
         }
+        Ok(())
     }
 
     /// Calls `f(src, dst, is_data)` for every declared message of the VPs in
@@ -228,10 +228,12 @@ impl StepPlan {
 /// Advances a lockstep walk of one VP's declared route to its next
 /// non-[`Route::Skip`] slot: returns `(dst, is_data)`, or `None` once the
 /// declaration is exhausted (`k` reaches `out_degree` or the route returns
-/// [`Route::End`]). The single walking implementation behind both
-/// mis-declaration detectors — [`RouteWalker`] (sharded staging path) and
-/// the direct writer's checker (`crate::mailbox::DirectOut`, serial path) —
-/// so the two paths can never disagree on what a route declares.
+/// [`Route::End`]). The single walking implementation behind the
+/// mis-declaration detectors of both direct writers
+/// (`crate::mailbox::DirectOut` on the serial path,
+/// `crate::mailbox::DirectShard` on the sharded one, both via
+/// `DirectCheck`), so the two paths can never disagree on what a route
+/// declares.
 #[inline]
 pub(crate) fn walk_next(
     route: &RouteDyn,
@@ -253,37 +255,6 @@ pub(crate) fn walk_next(
         }
     }
     None
-}
-
-/// Walks one VP's declared route in lockstep with its actual sends: the
-/// validation-mode mis-declaration detector of the sharded staging path
-/// (the serial direct-write path embeds the same [`walk_next`] walk in its
-/// writer).
-pub(crate) struct RouteWalker<'p> {
-    route: &'p RouteDyn,
-    ctx: Ctx,
-    k: usize,
-    out_degree: usize,
-}
-
-impl<'p> RouteWalker<'p> {
-    pub(crate) fn new(plan: &'p StepPlan, ctx: Ctx) -> Self {
-        RouteWalker { route: &*plan.route, ctx, k: 0, out_degree: plan.out_degree }
-    }
-
-    /// The next declared message slot as `(dst, is_data)`, or `None` when
-    /// the VP's declaration is exhausted.
-    #[inline]
-    pub(crate) fn next_expected(&mut self) -> Option<(usize, bool)> {
-        walk_next(self.route, &self.ctx, &mut self.k, self.out_degree)
-    }
-
-    /// Whether the VP's declaration is exhausted (i.e. the closure sent
-    /// exactly as many messages as declared).
-    #[inline]
-    pub(crate) fn finished(&mut self) -> bool {
-        self.next_expected().is_none()
-    }
 }
 
 #[cfg(test)]
@@ -329,7 +300,7 @@ mod tests {
         assert_eq!(plan.total_data(), 1);
         assert_eq!(plan.metrics().total_at(2, true), 2, "dummy counts in metrics");
         let mut counts = vec![0u32; 4];
-        plan.count_data(&mut counts);
+        plan.count_data(&mut counts).unwrap();
         assert_eq!(counts, vec![0, 1, 0, 0], "dummy takes no payload slot");
         let mut seen = Vec::new();
         plan.for_each_message(0..4, |s, d, data| seen.push((s, d, data)));
@@ -337,7 +308,7 @@ mod tests {
     }
 
     #[test]
-    fn route_walker_skips_and_finishes() {
+    fn walk_next_skips_and_finishes() {
         let plan = StepPlan::compile(
             4,
             2,
@@ -352,12 +323,12 @@ mod tests {
             }),
         );
         let ctx = Ctx { vp: 1, v: 4, log_v: 2, n: 4 };
-        let mut w = RouteWalker::new(&plan, ctx);
-        assert_eq!(w.next_expected(), Some((0, true)));
-        assert_eq!(w.next_expected(), Some((3, false)));
-        assert!(w.finished());
+        let mut k = 0;
+        assert_eq!(walk_next(&*plan.route, &ctx, &mut k, plan.out_degree), Some((0, true)));
+        assert_eq!(walk_next(&*plan.route, &ctx, &mut k, plan.out_degree), Some((3, false)));
+        assert_eq!(walk_next(&*plan.route, &ctx, &mut k, plan.out_degree), None);
         let idle = Ctx { vp: 2, v: 4, log_v: 2, n: 4 };
-        let mut w = RouteWalker::new(&plan, idle);
-        assert!(w.finished());
+        let mut k = 0;
+        assert_eq!(walk_next(&*plan.route, &idle, &mut k, plan.out_degree), None);
     }
 }

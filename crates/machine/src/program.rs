@@ -58,16 +58,18 @@ pub(crate) enum Envelope<M> {
 /// *currently executing VP* only, preserving the semantics algorithms
 /// observed when each VP had a private outbox.
 ///
-/// During a *planned* superstep on the serial path the engine arms the
-/// outbox's **direct-write mode** (`crate::mailbox::DirectOut`): `send`
-/// then moves the payload straight into its destination arena slot (the
-/// plan precomputed the layout) and `send_dummy` only advances the route
-/// checker — algorithm closures use the same API either way and cannot
+/// During a *planned* superstep the engine arms the outbox's
+/// **direct-write mode** (`crate::mailbox::DirectSink`): `send` then moves
+/// the payload straight into its destination arena slot — the whole-machine
+/// arena on the serial path (`DirectOut`), or the destination *shard's*
+/// arena on the sharded path (`DirectShard`, which writes across shards
+/// through published arena windows) — and `send_dummy` only advances the
+/// route checker. Algorithm closures use the same API either way and cannot
 /// observe the difference.
 pub struct Outbox<M> {
     pub(crate) msgs: Vec<(u32, Envelope<M>)>,
     pub(crate) vp_start: usize,
-    pub(crate) direct: Option<crate::mailbox::DirectOut<M>>,
+    pub(crate) direct: Option<crate::mailbox::DirectSink<M>>,
 }
 
 impl<M> std::fmt::Debug for Outbox<M> {
@@ -99,21 +101,21 @@ impl<M> Outbox<M> {
 
     /// Arms direct-write mode for one planned superstep (engine-internal).
     #[inline]
-    pub(crate) fn enter_direct(&mut self, d: crate::mailbox::DirectOut<M>) {
+    pub(crate) fn enter_direct(&mut self, d: crate::mailbox::DirectSink<M>) {
         debug_assert!(self.direct.is_none() && self.msgs.is_empty());
         self.direct = Some(d);
     }
 
     /// The armed direct writer (engine-internal; panics when not armed).
     #[inline]
-    pub(crate) fn direct_mut(&mut self) -> &mut crate::mailbox::DirectOut<M> {
+    pub(crate) fn direct_mut(&mut self) -> &mut crate::mailbox::DirectSink<M> {
         self.direct.as_mut().expect("direct mode not armed")
     }
 
     /// Disarms direct-write mode, returning the writer for its final checks
     /// (engine-internal).
     #[inline]
-    pub(crate) fn exit_direct(&mut self) -> crate::mailbox::DirectOut<M> {
+    pub(crate) fn exit_direct(&mut self) -> crate::mailbox::DirectSink<M> {
         self.direct.take().expect("direct mode not armed")
     }
 

@@ -1,5 +1,7 @@
 //! The persistent sharded executor: long-lived workers over shard-owned
-//! mailboxes, exchanging messages through statically planned lanes.
+//! mailboxes, exchanging messages through statically planned lanes
+//! (dynamic supersteps) or direct cross-shard arena writes (planned
+//! supersteps).
 //!
 //! # Architecture
 //!
@@ -10,13 +12,16 @@
 //! states, its pair of double-buffered [`Arena`]s, its staging buffer and a
 //! private shard-local [`DegreeCounters`] — mirroring the paper's folding
 //! layout (processor `r` of `M(p)` simulates the `v/p` consecutive VPs
-//! starting at `r·v/p`). Cross-shard traffic flows through the
+//! starting at `r·v/p`). Each superstep then runs one of two protocols,
+//! chosen by whether it carries a usable communication plan.
+//!
+//! # Dynamic superstep protocol (three barriers)
+//!
+//! Cross-shard traffic of a dynamic superstep flows through the
 //! [`LaneGrid`]: one structure-of-arrays lane per (source, destination)
 //! shard pair, where the set of pairs that can ever be active is fixed
 //! before execution by the program's [`LanePlan`] (cluster labels bound
 //! which shards can talk in each superstep).
-//!
-//! # Superstep protocol (three barriers)
 //!
 //! 1. **Exec + flush** — each worker runs its VPs (reading inboxes from its
 //!    own read arena), then drains its staging buffer once: validating,
@@ -35,21 +40,64 @@
 //!    and concatenates log fragments in shard order. *Barrier*, then the
 //!    arenas swap roles and the next superstep begins.
 //!
-//! Delivery order is preserved bit for bit: lanes are drained in ascending
-//! source-shard order and each lane is internally in ascending source-VP,
-//! then send, order — exactly the serial engine's stable counting sort.
+//! # Planned superstep protocol (one barrier)
+//!
+//! A superstep with a fault-free [`StepPlan`] needs none of that: its
+//! communication pattern is a static function of the VP index, proven
+//! cluster-legal at compile time, with analytic metrics. The executor
+//! therefore extends the serial direct-write scatter **across shards**:
+//!
+//! * **Prepare** (pipelined into the *previous* superstep's exec phase, or
+//!   run standalone with one extra barrier when the previous superstep was
+//!   dynamic): each worker enumerates the declared routes of its shard
+//!   cluster once, pre-partitioning its own write arena by *(source shard,
+//!   destination VP)* — a region table giving every peer the exact disjoint
+//!   slab slots its payloads will fill, in counting-sort order (ascending
+//!   source VP, then send order). The worker publishes a window onto the
+//!   arena (slab + tables) through the [`DirectGrid`].
+//! * **Exec** — every worker runs its VPs with a [`DirectShard`] writer
+//!   armed in the outbox: `send` moves each payload straight into the
+//!   destination *shard's* arena slot through the published window — no
+//!   staging, no lanes, no receive-side pass at all. The worker then checks
+//!   its written total against its declared total (the cursor-bounds /
+//!   written-total safety net of the serial path, per shard), pipelines the
+//!   prepare for the next superstep if that one is planned too, and hits
+//!   the **single barrier**. After it, each worker commits its own arena
+//!   (peers are done writing) and the arenas swap.
+//!
+//! There is nothing to merge: the coordinator pushes the plan's precomputed
+//! `O(log v)` record (and materializes the log entry from the route) during
+//! its own exec phase, overlapped with the other workers' execution —
+//! the `EpochMerge` runs only for dynamic supersteps. Steady-state planned
+//! supersteps therefore cost exactly **one barrier**; a planned superstep
+//! directly after a dynamic one (or at the start of a run) pays one extra
+//! prepare barrier.
+//!
+//! Delivery order is preserved bit for bit on both protocols: lanes are
+//! drained (and direct-write regions laid out) in ascending source-shard
+//! order, each internally in ascending source-VP, then send, order —
+//! exactly the serial engine's stable counting sort.
 //!
 //! # Failure protocol
 //!
 //! Workers park on [`Barrier`]s, so no worker may ever unwind past one
 //! while peers still wait. Every phase body runs under `catch_unwind`;
-//! validation errors and panics park their evidence in the shard cell (or
-//! the shared panic slot), raise the `abort` flag, and *keep walking the
-//! barrier sequence* until all workers observe the flag at the same barrier
-//! and exit together. The run then reports the panic (re-raised) or the
-//! lowest shard's error — which is also the first in source order, matching
-//! the serial engine. Abandoned lane payloads are reclaimed by plain `Vec`
-//! destructors.
+//! validation errors, plan mismatches and panics park their evidence in the
+//! shard cell (or the shared panic slot) and stamp the *barrier round* the
+//! failing worker is about to wait at into the shared abort round. After
+//! every round, each worker exits iff the abort round is at or before the
+//! round it just passed — a decision every worker provably agrees on,
+//! because a stamp for round `r` happens-before every release from round
+//! `r`, while a faster peer's failure in a *later* phase stamps a later
+//! round that a round-`r` check deliberately ignores. (The barrier
+//! sequence itself is a deterministic function of the program: the
+//! per-step protocol choice and the pipelined prepares depend only on the
+//! static plan coverage.) The run then reports the panic (re-raised) or
+//! the lowest shard's error — which is also the first in source order,
+//! matching the serial engine. Abandoned lane payloads are reclaimed by
+//! plain `Vec` destructors; partially written direct-scatter slabs are
+//! never committed, so their payloads leak (never dropped, never
+//! re-observed), bounded by one superstep's traffic.
 //!
 //! # Why not the rayon pool?
 //!
@@ -60,22 +108,26 @@
 //! width still determines the default shard count (see
 //! [`crate::engine::RunOptions::workers`]).
 
-// The only `unsafe` in this module are the calls into the lane-grid
-// accessors of `mailbox`, whose safety contract (phase-disciplined
-// row/column exclusivity, invariant 3) the barrier protocol here upholds;
-// each call site carries its SAFETY note.
+// The only `unsafe` in this module are the calls into the lane-grid and
+// direct-grid accessors of `mailbox`, whose safety contracts
+// (phase-disciplined row/column exclusivity for lanes — invariant 3 — and
+// phase-disciplined window publication plus per-source-shard cursor-row
+// exclusivity for direct cross-shard writes — invariant 5) the barrier
+// protocol here upholds; each call site carries its SAFETY note.
 #![allow(unsafe_code)]
 
 use crate::engine::{exec_chunk, GranSpec, RunOptions};
-use crate::mailbox::{Arena, ChunkStage, LaneGrid};
-use crate::plan::{RouteWalker, StepPlan};
+use crate::mailbox::{
+    bump_count, Arena, ChunkStage, DirectGrid, DirectShard, DirectSink, DirectWindow, LaneGrid,
+};
+use crate::plan::StepPlan;
 use crate::program::{Envelope, LanePlan, Program, Superstep};
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{DegreeCounters, EpochMerge, TraceBuilder};
 use nob_core::model::log2_exact;
 use nob_core::ModelError;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 
 /// Per-shard state crossing the worker/coordinator boundary. Protected by a
@@ -96,11 +148,21 @@ struct Shared<'p, S, M> {
     prog: &'p Program<S, M>,
     plan: LanePlan,
     grid: LaneGrid<M>,
+    /// Published write-arena windows for planned supersteps, double-buffered
+    /// by arena parity (invariant 5 in `mailbox`).
+    direct: DirectGrid<M>,
     cells: Vec<Mutex<ShardCell>>,
     barrier: Barrier,
-    /// Raised by any worker that errored or panicked; checked by every
-    /// worker after each barrier so the gang exits in lockstep.
-    abort: AtomicBool,
+    /// Earliest barrier round preceded by an error or panic (`u64::MAX`
+    /// while the run is healthy). A failing worker stamps the round it is
+    /// *about* to wait at — before waiting — so after every round `r` the
+    /// whole gang agrees on `abort_round <= r`: the stamp happens-before
+    /// every peer's release from round `r`, and a *faster* peer failing in
+    /// a later phase stamps a later round, which a round-`r` check
+    /// deliberately ignores. (A live boolean would race: a fast worker's
+    /// next-phase failure could be observed by a slow worker's earlier
+    /// check, splitting the gang across different exit barriers.)
+    abort_round: AtomicU64,
     panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     spec: GranSpec,
     validate: bool,
@@ -112,6 +174,17 @@ struct Shared<'p, S, M> {
     log_shards: u32,
 }
 
+/// One parity's direct-write tables of a worker: the region-start table
+/// (`(n_shards + 1) × vps`, row-major by source shard) and the live cursor
+/// table (`n_shards × vps`) its published [`DirectWindow`] points into.
+/// Double-buffered alongside the arenas so preparing superstep `t + 1`
+/// never touches the tables peers still write through during superstep `t`.
+#[derive(Default)]
+struct DirectTables {
+    starts: Vec<u32>,
+    cursors: Vec<u32>,
+}
+
 /// Resources owned exclusively by one worker.
 struct Worker<'a, S, M> {
     w: usize,
@@ -119,14 +192,23 @@ struct Worker<'a, S, M> {
     vps: usize,
     states: &'a mut [S],
     stage: ChunkStage<M>,
-    /// Shard-internal deliveries spilled during flush: `(dst − vp_lo,
-    /// payload)` in source order. Cross-shard payloads go to lanes instead,
-    /// so this buffer alone serves shard-local supersteps (`label ≥ log
-    /// n_shards`) without touching the grid at all.
+    /// Shard-internal deliveries spilled during a dynamic flush: `(dst −
+    /// vp_lo, payload)` in source order. Cross-shard payloads go to lanes
+    /// instead, so this buffer alone serves shard-local dynamic supersteps
+    /// (`label ≥ log n_shards`) without touching the grid at all.
     local: Vec<(u32, M)>,
     arenas: [Arena<M>; 2],
     dst_counts: Vec<u32>,
     cursors: Vec<u32>,
+    /// Direct-write region tables per arena parity (planned supersteps).
+    direct_tabs: [DirectTables; 2],
+    /// Declared payload total of this shard's VPs per superstep (computed
+    /// once at startup from the routes); the written-total safety check of
+    /// the planned path compares against it.
+    send_total: Vec<u64>,
+    /// Payload total of the prepared write arena per parity, committed
+    /// after the planned superstep's barrier.
+    pending_total: [usize; 2],
 }
 
 /// Coordinator-only resources, held by worker 0 (which runs on the calling
@@ -145,7 +227,9 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Executes `prog` on `n_shards` persistent workers. Trace granularity and
 /// folding semantics come from `spec`; results are bit-for-bit identical to
-/// the serial path.
+/// the serial path. Returns the number of barrier rounds the gang walked
+/// (a protocol diagnostic: dynamic supersteps cost three, steady-state
+/// planned supersteps one).
 pub(crate) fn run_sharded<S: Send, M: Send>(
     prog: &Program<S, M>,
     states: &mut [S],
@@ -154,7 +238,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
     opts: &RunOptions,
     trace: &mut TraceBuilder,
     message_log: &mut Option<Vec<Vec<(u32, u32)>>>,
-) -> Result<(), ModelError> {
+) -> Result<u64, ModelError> {
     let v = prog.v();
     let log_v = prog.log_v();
     let log_shards = log2_exact(n_shards);
@@ -166,6 +250,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
         prog,
         plan: prog.lane_plan(n_shards),
         grid: LaneGrid::new(n_shards),
+        direct: DirectGrid::new(n_shards),
         cells: (0..n_shards)
             .map(|w| {
                 Mutex::new(ShardCell {
@@ -180,7 +265,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
             })
             .collect(),
         barrier: Barrier::new(n_shards),
-        abort: AtomicBool::new(false),
+        abort_round: AtomicU64::new(u64::MAX),
         panic_slot: Mutex::new(None),
         spec,
         validate: opts.validate,
@@ -208,10 +293,14 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
             arenas: [Arena::new(vps), Arena::new(vps)],
             dst_counts: vec![0u32; vps],
             cursors: vec![0u32; vps],
+            direct_tabs: [DirectTables::default(), DirectTables::default()],
+            send_total: Vec::new(),
+            pending_total: [0; 2],
         });
     }
 
     let coordinator = workers.remove(0);
+    let mut rounds = 0u64;
     std::thread::scope(|scope| {
         for worker in workers {
             let shared = &shared;
@@ -222,7 +311,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
             trace,
             log: message_log.as_mut(),
         };
-        shard_loop(coordinator, &shared, Some(coord));
+        rounds = shard_loop(coordinator, &shared, Some(coord));
     });
 
     if let Some(p) = lock(&shared.panic_slot).take() {
@@ -233,53 +322,126 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
             return Err(e);
         }
     }
-    Ok(())
+    Ok(rounds)
 }
 
 /// Registers a phase outcome: model errors go to the shard cell, panics to
-/// the shared slot; either raises the abort flag.
+/// the shared slot; either stamps `next_round` — the barrier round this
+/// worker is about to wait at — into the abort round, the gang's common
+/// exit point (see [`Shared::abort_round`]).
 fn settle<S, M>(
     shared: &Shared<'_, S, M>,
     w: usize,
     outcome: std::thread::Result<Result<(), ModelError>>,
+    next_round: u64,
 ) {
     match outcome {
         Ok(Ok(())) => {}
         Ok(Err(e)) => {
             lock(&shared.cells[w]).error.get_or_insert(e);
-            shared.abort.store(true, Ordering::SeqCst);
+            shared.abort_round.fetch_min(next_round, Ordering::SeqCst);
         }
         Err(p) => {
             lock(&shared.panic_slot).get_or_insert(p);
-            shared.abort.store(true, Ordering::SeqCst);
+            shared.abort_round.fetch_min(next_round, Ordering::SeqCst);
         }
     }
 }
 
-/// The per-worker superstep loop (see the module docs for the barrier
-/// protocol). `coord` is `Some` exactly for worker 0.
+/// The usable communication plan of a step, under the run's plan policy.
+fn active_plan<'p, S, M>(
+    shared: &Shared<'p, S, M>,
+    step: &'p Superstep<S, M>,
+) -> Option<&'p StepPlan> {
+    step.plan().filter(|p| shared.use_plans && p.fault().is_none())
+}
+
+/// The per-worker superstep loop (see the module docs for the two barrier
+/// protocols). `coord` is `Some` exactly for worker 0. Returns the number
+/// of barrier rounds walked.
 fn shard_loop<S: Send, M: Send>(
     mut me: Worker<'_, S, M>,
     shared: &Shared<'_, S, M>,
     mut coord: Option<Coord<'_, '_>>,
-) {
+) -> u64 {
     if shared.use_plans {
-        presize_lanes(&mut me, shared);
+        prepare_run(&mut me, shared);
     }
+    let mut rounds = 0u64;
     let mut read_idx = 0usize;
-    for (t, step) in shared.prog.steps().iter().enumerate() {
+    // Whether the upcoming planned superstep's window is already published
+    // (pipelined prepare). Deterministic across workers on the non-abort
+    // path, so the gang's barrier sequences always agree.
+    let mut prepared = false;
+    let steps = shared.prog.steps();
+    for (t, step) in steps.iter().enumerate() {
         let record_step = step.label < shared.spec.levels;
-        // A fault-free plan replaces per-message validation and metric
-        // recording for this superstep; a *faulted* plan is an error under
-        // validation and plain dynamic execution otherwise (the serial
-        // path's policy, checked inside `flush` so the gang aborts in
-        // lockstep through the normal protocol).
         let plan = step.plan().filter(|_| shared.use_plans);
-        let active_plan = plan.filter(|p| p.fault().is_none());
 
-        // --- phase 1: exec + flush --------------------------------------
+        // --- planned path: direct cross-shard scatter, one barrier --------
+        if let Some(plan) = active_plan(shared, step) {
+            let widx = 1 - read_idx;
+            if !prepared {
+                // First planned superstep of a run (or after a dynamic
+                // one): publish the windows, then let everyone see them.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    prepare_direct(&mut me, shared, t, plan, widx)
+                }));
+                settle(shared, me.w, outcome, rounds + 1);
+                shared.barrier.wait();
+                rounds += 1;
+                if shared.abort_round.load(Ordering::SeqCst) <= rounds {
+                    break;
+                }
+            }
+            let next_plan = steps.get(t + 1).and_then(|s| active_plan(shared, s));
+            let mut prepped_next = false;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                exec_planned(&mut me, shared, step, plan, t, read_idx)?;
+                if let Some(c) = coord.as_mut() {
+                    // Nothing to merge for a planned superstep: push the
+                    // precomputed record here, overlapped with the other
+                    // workers' exec phases — no merge barrier.
+                    if record_step {
+                        push_planned_record(c, shared, step.label, plan);
+                    }
+                }
+                if let Some(np) = next_plan {
+                    // Pipeline the next planned superstep's prepare into
+                    // this exec phase: its write arena is this superstep's
+                    // (already consumed) read arena, and its windows land
+                    // in the other parity, so peers mid-exec never observe
+                    // the publication until the barrier below.
+                    prepare_direct(&mut me, shared, t + 1, np, read_idx)?;
+                    prepped_next = true;
+                }
+                Ok(())
+            }));
+            settle(shared, me.w, outcome, rounds + 1);
+            shared.barrier.wait();
+            rounds += 1;
+            if shared.abort_round.load(Ordering::SeqCst) <= rounds {
+                break;
+            }
+            // Peers are past the barrier: every region of this worker's
+            // write arena is full and checked, so publish it to the next
+            // superstep's read phase.
+            me.arenas[widx].commit_write(me.pending_total[widx]);
+            prepared = prepped_next;
+            read_idx = 1 - read_idx;
+            continue;
+        }
+
+        // --- dynamic path: three-barrier lane protocol --------------------
+        prepared = false;
+
+        // --- phase 1: exec + flush ----------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if shared.validate {
+                // A *faulted* plan is an error under validation; without it
+                // the step simply runs on this dynamic path (the serial
+                // path's policy, checked here so the gang aborts in
+                // lockstep through the normal protocol).
                 if let Some(fault) = plan.and_then(|p| p.fault()) {
                     return Err(fault.clone());
                 }
@@ -299,48 +461,51 @@ fn shard_loop<S: Send, M: Send>(
                 );
             }
             let mut cell = lock(&shared.cells[me.w]);
-            flush(&mut me, shared, &mut cell, step, record_step, active_plan)
+            flush(&mut me, shared, &mut cell, step, record_step)
         }));
-        settle(shared, me.w, outcome);
+        settle(shared, me.w, outcome, rounds + 1);
         shared.barrier.wait();
-        if shared.abort.load(Ordering::SeqCst) {
+        rounds += 1;
+        if shared.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
         }
 
-        // --- phase 2: gather --------------------------------------------
+        // --- phase 2: gather ----------------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut cell = lock(&shared.cells[me.w]);
-            gather(&mut me, shared, &mut cell, t, record_step && active_plan.is_none(), 1 - read_idx);
-            Ok(())
+            gather(&mut me, shared, &mut cell, t, record_step, 1 - read_idx)
         }));
-        settle(shared, me.w, outcome);
+        settle(shared, me.w, outcome, rounds + 1);
         shared.barrier.wait();
+        rounds += 1;
 
-        // --- phase 3: merge (coordinator only) --------------------------
+        // --- phase 3: merge (coordinator only) ----------------------------
         if let Some(c) = coord.as_mut() {
-            if !shared.abort.load(Ordering::SeqCst) {
+            if shared.abort_round.load(Ordering::SeqCst) > rounds {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    merge_superstep(c, shared, step.label, record_step, active_plan);
+                    merge_superstep(c, shared, step.label, record_step);
                     Ok(())
                 }));
-                settle(shared, 0, outcome);
+                settle(shared, 0, outcome, rounds + 1);
             }
         }
         shared.barrier.wait();
-        if shared.abort.load(Ordering::SeqCst) {
+        rounds += 1;
+        if shared.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
         }
         read_idx = 1 - read_idx;
     }
+    rounds
 }
 
-/// Pre-sizes this worker's outgoing lanes, local spill and destination
-/// counters from the program's communication plans: one enumeration of the
-/// declared routes of this shard's VPs yields each (step, destination
-/// shard) traffic volume; the lane gets the maximum over steps, so planned
-/// steady state starts at its high-water capacity instead of growing into
-/// it during the first label cycle.
-fn presize_lanes<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>) {
+/// One-time run setup from the program's communication plans: per-step
+/// declared payload totals of this shard (the planned path's written-total
+/// safety net), direct-write table allocation, and lane/spill pre-sizing
+/// for the steps that will still run dynamically (faulted plans). Planned
+/// steady state therefore starts at its high-water capacity instead of
+/// growing into it during the first label cycle.
+fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>) {
     let shard_shift = shared.log_v - shared.log_shards;
     let n = shared.n_shards;
     let mut hdr_need = vec![0usize; n];
@@ -348,10 +513,27 @@ fn presize_lanes<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M
     let mut hdr_step = vec![0usize; n];
     let mut pay_step = vec![0usize; n];
     let mut local_need = 0usize;
-    for step in shared.prog.steps() {
-        let Some(plan) = step.plan().filter(|p| p.fault().is_none()) else {
+    let mut any_active = false;
+    me.send_total = vec![0u64; shared.prog.steps().len()];
+    for (t, step) in shared.prog.steps().iter().enumerate() {
+        let Some(plan) = step.plan() else {
             continue;
         };
+        if plan.fault().is_none() {
+            // Direct path: only the send-side declared total is needed.
+            any_active = true;
+            let mut total = 0u64;
+            plan.for_each_message(me.vp_lo..me.vp_lo + me.vps, |_, _, data| {
+                if data {
+                    total += 1;
+                }
+            });
+            me.send_total[t] = total;
+            continue;
+        }
+        // Faulted plan: the step runs dynamically (or errors under
+        // validation) — pre-size its lane/spill traffic like any other
+        // dynamic superstep whose pattern we happen to know.
         hdr_step.iter_mut().for_each(|c| *c = 0);
         pay_step.iter_mut().for_each(|c| *c = 0);
         let mut local_step = 0usize;
@@ -361,7 +543,7 @@ fn presize_lanes<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M
                 if data {
                     local_step += 1;
                 }
-            } else {
+            } else if ds < n {
                 hdr_step[ds] += 1;
                 if data {
                     pay_step[ds] += 1;
@@ -382,65 +564,217 @@ fn presize_lanes<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M
             unsafe { shared.grid.lane_out(me.w, d) }.reserve(hdr_need[d], pay_need[d]);
         }
     }
+    if any_active {
+        for tabs in &mut me.direct_tabs {
+            tabs.starts = vec![0u32; (n + 1) * me.vps];
+            tabs.cursors = vec![0u32; n * me.vps];
+        }
+    }
 }
 
-/// Drains the shard's staged sends once: validation, send-side metrics, log
-/// fragment, and payload demultiplexing (local spill vs outgoing lanes).
-///
-/// With an active communication plan the per-message work collapses to the
-/// demultiplexing alone: the cluster constraint was proven at compile time,
-/// metrics and the log come from the plan (pushed by the coordinator at
-/// merge), and under validation each staged send is instead checked in
-/// lockstep against the declared route — destination, kind and order,
-/// dummies included — so a mis-declared route aborts the gang with
-/// [`ModelError::PlanMismatch`] rather than corrupting the analytic record.
+/// Lays out this worker's write arena of parity `widx` for planned
+/// superstep `t` and publishes the window peers will write through:
+/// one enumeration of the shard cluster's declared routes yields the
+/// per-(source shard, destination VP) payload counts, the arena's offset
+/// table (via the ordinary [`Arena::prepare_write`]) and the region
+/// start/cursor tables — the counting sort pre-partitioned by source shard,
+/// so cross-shard delivery order matches the lane path bit for bit.
+fn prepare_direct<S, M: Send>(
+    me: &mut Worker<'_, S, M>,
+    shared: &Shared<'_, S, M>,
+    t: usize,
+    plan: &StepPlan,
+    widx: usize,
+) -> Result<(), ModelError> {
+    // The cluster span is sound without runtime validation: the plan is
+    // fault-free, so every declared (src, dst) pair was proven
+    // cluster-legal at compile time. (Sends *diverging* from the
+    // declaration are caught by the writer's span/region checks.)
+    let span = shared.plan.peer_span(me.w, t);
+    let (lo, hi) = (span.start, span.end);
+    let vps = me.vps;
+    let shard_shift = shared.log_v - shared.log_shards;
+    let w = me.w;
+    let vp_lo = me.vp_lo;
+
+    // Counting pass: rows `lo..hi` of the start table accumulate
+    // per-(source shard, destination) payload counts while `dst_counts`
+    // (all-zero here, as always between supersteps) accumulates the
+    // per-destination totals — checked, a capped count would corrupt the
+    // prefix sums the unsafe scatter trusts.
+    let tabs = &mut me.direct_tabs[widx];
+    tabs.starts[lo * vps..hi * vps].fill(0);
+    let mut err = None;
+    {
+        let dst_counts = &mut me.dst_counts;
+        let starts = &mut tabs.starts;
+        plan.for_each_message(lo * vps..hi * vps, |src, dst, data| {
+            if !data || err.is_some() {
+                return;
+            }
+            if dst >> shard_shift != w {
+                return; // a peer's arena lays this one out
+            }
+            let d_rel = dst - vp_lo;
+            if let Err(e) = bump_count(&mut dst_counts[d_rel]) {
+                err = Some(e);
+                return;
+            }
+            starts[(src >> shard_shift) * vps + d_rel] += 1;
+        });
+    }
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    // Offsets + slab sizing; `me.cursors[d]` becomes each destination's
+    // inbox base and `dst_counts` is re-zeroed (the engine invariant).
+    let total = me.arenas[widx].prepare_write(&mut me.dst_counts, &mut me.cursors);
+
+    // Prefix transform: region (s, d) starts where region (s - 1, d)
+    // ends; `me.cursors` carries the running per-destination position and
+    // finishes at each inbox's end, which becomes the terminal bounds row.
+    let tabs = &mut me.direct_tabs[widx];
+    for s in lo..hi {
+        let row = s * vps;
+        for (d, acc) in me.cursors[..vps].iter_mut().enumerate() {
+            let cnt = tabs.starts[row + d];
+            tabs.starts[row + d] = *acc;
+            tabs.cursors[row + d] = *acc;
+            *acc += cnt;
+        }
+    }
+    tabs.starts[hi * vps..(hi + 1) * vps].copy_from_slice(&me.cursors[..vps]);
+
+    let (slab, _offsets) = me.arenas[widx].split_for_scatter(total);
+    let tabs = &mut me.direct_tabs[widx];
+    // The full cursor table is published; peers only touch their own rows,
+    // and only rows in the (symmetric) cluster span carry fresh regions —
+    // the writer's span check keeps stale rows unreachable.
+    let window = DirectWindow::new(slab, &tabs.starts, &mut tabs.cursors, vp_lo as u32);
+    me.pending_total[widx] = total;
+    // SAFETY: prepare phase for parity `widx` — this worker owns its window
+    // slot, peers read it only after the next barrier, and the previous
+    // window of this parity has no remaining readers (parity alternation);
+    // invariant 5.
+    unsafe { shared.direct.publish(widx, w, window) };
+    Ok(())
+}
+
+/// Executes one planned superstep on this worker's VPs with the cross-shard
+/// direct writer armed: payloads land straight in the destination shards'
+/// arenas, dummies only advance the lockstep checker, and the written total
+/// is verified against the declared total before anyone commits.
+fn exec_planned<S, M: Send>(
+    me: &mut Worker<'_, S, M>,
+    shared: &Shared<'_, S, M>,
+    step: &Superstep<S, M>,
+    plan: &StepPlan,
+    t: usize,
+    read_idx: usize,
+) -> Result<(), ModelError> {
+    let widx = 1 - read_idx;
+    let span = shared.plan.peer_span(me.w, t);
+    let shard_shift = shared.log_v - shared.log_shards;
+    let check = shared.validate.then(|| plan.route_raw());
+    // SAFETY: exec phase — every window of parity `widx` in the span was
+    // published before the barrier this phase follows, and cursor row
+    // `me.w` of those windows is this worker's exclusively until the next
+    // barrier (invariant 5).
+    let sink = unsafe {
+        DirectShard::new(&shared.direct, widx, me.w, span, shard_shift, me.vps, shared.v, check)
+    };
+    me.stage.outbox.enter_direct(DirectSink::Sharded(sink));
+
+    {
+        let read = &mut me.arenas[read_idx];
+        let (slab, offsets) = read.take_read();
+        crate::engine::exec_direct_chunk(
+            step,
+            me.vp_lo,
+            me.states,
+            slab,
+            offsets,
+            &mut me.stage.outbox,
+            shared.v,
+            shared.log_v,
+            shared.prog.n(),
+        );
+    }
+
+    match me.stage.outbox.exit_direct() {
+        DirectSink::Sharded(out) => {
+            if let Some((vp, reason)) = out.fault_info() {
+                return Err(ModelError::PlanMismatch { step: step.name, vp, reason });
+            }
+            if out.written() != me.send_total[t] {
+                // Region capacities sum to the declared total, so a
+                // shortfall means some region of ours was left short:
+                // blame the first starved receiver (the sender is unknown
+                // without lockstep checking, the starved inbox is not).
+                // SAFETY: still this worker's exec phase — reads only its
+                // own cursor rows and the immutable region tables.
+                let vp = unsafe { out.first_starved() }.unwrap_or(me.vp_lo);
+                return Err(ModelError::PlanMismatch {
+                    step: step.name,
+                    vp,
+                    reason: "destination received fewer payload messages than the route declares",
+                });
+            }
+        }
+        DirectSink::Serial(_) => unreachable!("sharded exec arms a sharded sink"),
+    }
+    Ok(())
+}
+
+/// Coordinator-side record of a planned superstep: the precomputed
+/// `O(log v)` metrics and (when requested) the log entry materialized from
+/// the route — same global order as the dynamic path (ascending source VP,
+/// then send order). Runs inside the coordinator's exec phase, overlapped
+/// with the other workers' execution; no merge, no extra barrier.
+fn push_planned_record<S, M>(
+    coord: &mut Coord<'_, '_>,
+    shared: &Shared<'_, S, M>,
+    label: u32,
+    plan: &StepPlan,
+) {
+    coord.trace.push_precomputed(label, plan.metrics(), shared.spec.full);
+    if let Some(log) = coord.log.as_deref_mut() {
+        let mut entry = Vec::new();
+        crate::engine::plan_log_entry(plan, shared.spec, &mut entry);
+        log.push(entry);
+    }
+}
+
+/// Drains the shard's staged sends of a dynamic superstep once: validation,
+/// send-side metrics, log fragment, and payload demultiplexing (local spill
+/// vs outgoing lanes).
 fn flush<S, M: Send>(
     me: &mut Worker<'_, S, M>,
     shared: &Shared<'_, S, M>,
     cell: &mut ShardCell,
     step: &Superstep<S, M>,
     record_step: bool,
-    plan: Option<&StepPlan>,
 ) -> Result<(), ModelError> {
     let v = shared.v;
     let log_v = shared.log_v;
     let shard_shift = log_v - shared.log_shards;
     let vp_lo32 = me.vp_lo as u32;
-    let record_counters = record_step && plan.is_none();
-    if record_counters {
+    if record_step {
         cell.counters.begin_superstep();
     }
     cell.log_frag.clear();
-    let want_log = record_step && shared.collect_log && plan.is_none();
-    let check_plan = shared.validate && plan.is_some();
+    let want_log = record_step && shared.collect_log;
 
     let mut msg_idx = 0usize;
     let mut staged = me.stage.outbox.msgs.drain(..);
     for (i, &end) in me.stage.vp_ends.iter().enumerate() {
         let src = me.vp_lo + i;
-        let mut walker = check_plan.then(|| {
-            let ctx = crate::program::Ctx { vp: src, v, log_v, n: shared.prog.n() };
-            RouteWalker::new(plan.expect("check_plan"), ctx)
-        });
         while msg_idx < end as usize {
             let (dst, env) = staged.next().expect("vp_ends bound the staged messages");
             msg_idx += 1;
             let d = dst as usize;
-            if let Some(w) = walker.as_mut() {
-                // Plan lockstep replaces the per-message model checks: the
-                // compile pass already proved every declared pair legal.
-                let is_data = matches!(env, Envelope::Data(_));
-                match w.next_expected() {
-                    Some((pd, pdata)) if pdata == is_data && pd == d => {}
-                    _ => {
-                        return Err(ModelError::PlanMismatch {
-                            step: step.name,
-                            vp: src,
-                            reason: "send disagrees with the declared route",
-                        })
-                    }
-                }
-            } else if shared.validate {
+            if shared.validate {
                 if d >= v {
                     return Err(ModelError::BadParameter {
                         what: "dst",
@@ -453,7 +787,7 @@ fn flush<S, M: Send>(
             }
             let dst_shard = d >> shard_shift;
             let local = dst_shard == me.w;
-            if record_counters {
+            if record_step {
                 if local {
                     cell.counters.record(src, d);
                 } else {
@@ -494,26 +828,18 @@ fn flush<S, M: Send>(
                 }
             }
         }
-        if let Some(mut w) = walker {
-            if !w.finished() {
-                return Err(ModelError::PlanMismatch {
-                    step: step.name,
-                    vp: src,
-                    reason: "sent fewer messages than the route declares",
-                });
-            }
-        }
     }
     drop(staged);
     me.stage.vp_ends.clear();
     Ok(())
 }
 
-/// Builds this shard's inboxes for the next superstep: counts destinations
-/// over local spill + incoming lane headers (recording receive-side
-/// metrics when `record_counters` — supersteps covered by a communication
-/// plan pass `false`, their metrics are analytic), then drains everything
-/// into the write arena in ascending source order.
+/// Builds this shard's inboxes for the next superstep (dynamic path):
+/// counts destinations over local spill + incoming lane headers (recording
+/// receive-side metrics when `record_counters`), then drains everything
+/// into the write arena in ascending source order. Per-destination counts
+/// are checked — an overflowing count is a [`ModelError`], never a silent
+/// cap that would corrupt the counting-sort offsets.
 fn gather<S, M: Send>(
     me: &mut Worker<'_, S, M>,
     shared: &Shared<'_, S, M>,
@@ -521,7 +847,7 @@ fn gather<S, M: Send>(
     t: usize,
     record_counters: bool,
     write_idx: usize,
-) {
+) -> Result<(), ModelError> {
     // The lane plan is derived from the cluster constraint, which only
     // validation enforces — unchecked runs must scan every potential peer.
     let span =
@@ -536,8 +862,7 @@ fn gather<S, M: Send>(
     for s_prev in span.clone() {
         if s_prev == me.w {
             for &(dst_rel, _) in local.iter() {
-                let c = &mut dst_counts[dst_rel as usize];
-                *c = c.saturating_add(1);
+                bump_count(&mut dst_counts[dst_rel as usize])?;
             }
         } else {
             // SAFETY: gather phase — this worker exclusively owns grid
@@ -548,8 +873,7 @@ fn gather<S, M: Send>(
                     cell.counters.record_received(hdr.src as usize, hdr.dst as usize);
                 }
                 if hdr.data {
-                    let c = &mut dst_counts[hdr.dst as usize - vp_lo];
-                    *c = c.saturating_add(1);
+                    bump_count(&mut dst_counts[hdr.dst as usize - vp_lo])?;
                 }
             }
         }
@@ -576,31 +900,21 @@ fn gather<S, M: Send>(
         }
     }
     write.commit_write(total);
+    Ok(())
 }
 
-/// Coordinator: merges shard counters into the superstep record and
-/// assembles the message-log entry (fragments in shard order = ascending
-/// source order). For supersteps covered by a communication plan there is
-/// nothing to merge — the record is the plan's precomputed `O(log v)`
-/// metrics and the log entry is materialized straight from the declared
-/// route (same global order: ascending source VP, then send order).
+/// Coordinator: merges shard counters of a dynamic superstep into the
+/// superstep record and assembles the message-log entry (fragments in shard
+/// order = ascending source order). Planned supersteps never reach here —
+/// their records are pushed by [`push_planned_record`] with no merge at
+/// all.
 fn merge_superstep<S, M>(
     coord: &mut Coord<'_, '_>,
     shared: &Shared<'_, S, M>,
     label: u32,
     record_step: bool,
-    plan: Option<&StepPlan>,
 ) {
     if !record_step {
-        return;
-    }
-    if let Some(plan) = plan {
-        coord.trace.push_precomputed(label, plan.metrics(), shared.spec.full);
-        if let Some(log) = coord.log.as_deref_mut() {
-            let mut entry = Vec::new();
-            crate::engine::plan_log_entry(plan, shared.spec, &mut entry);
-            log.push(entry);
-        }
         return;
     }
     coord.merge.begin_superstep();
@@ -616,5 +930,139 @@ fn merge_superstep<S, M>(
     coord.trace.push_merged(label, &coord.merge);
     if let (Some(log), Some(entry)) = (coord.log.as_deref_mut(), entry) {
         log.push(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mailbox::Inbox;
+    use crate::plan::Route;
+    use crate::program::Ctx;
+
+    /// A fully planned butterfly: every superstep carries a fault-free
+    /// communication plan.
+    fn planned_butterfly(v: usize, rounds: usize) -> Program<u64, u64> {
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        let log_v = prog.log_v();
+        for r in 0..rounds {
+            let l = (r as u32) % log_v;
+            let d = v >> (l + 1);
+            let last = r == rounds - 1;
+            prog.step_oblivious(
+                l,
+                "bfly",
+                if last { 0 } else { 1 },
+                move |ctx, _| Route::Data(ctx.vp ^ d),
+                move |st, ctx, inbox, out| {
+                    for m in inbox.drain(..) {
+                        *st = st.wrapping_add(m);
+                    }
+                    if !last {
+                        out.send(ctx.vp ^ d, *st);
+                    }
+                },
+            );
+        }
+        prog
+    }
+
+    /// The same butterfly on the dynamic path (no plans declared).
+    fn dynamic_butterfly(v: usize, rounds: usize) -> Program<u64, u64> {
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        let log_v = prog.log_v();
+        for r in 0..rounds {
+            let l = (r as u32) % log_v;
+            let d = v >> (l + 1);
+            let last = r == rounds - 1;
+            prog.step(l, "bfly", move |st, ctx, inbox, out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+                if !last {
+                    out.send(ctx.vp ^ d, *st);
+                }
+            });
+        }
+        prog
+    }
+
+    fn run_counting(
+        prog: &Program<u64, u64>,
+        states: &mut [u64],
+        n_shards: usize,
+        opts: &RunOptions,
+    ) -> (u64, nob_core::metrics::CommTrace) {
+        let spec = GranSpec { levels: prog.log_v(), gran_shift: 0, full: true };
+        let mut trace = TraceBuilder::new(prog.v(), prog.n(), prog.steps().len());
+        let mut log = None;
+        let rounds =
+            run_sharded(prog, states, spec, n_shards, opts, &mut trace, &mut log).unwrap();
+        (rounds, trace.finish())
+    }
+
+    #[test]
+    fn planned_supersteps_cost_exactly_one_barrier() {
+        // A fully planned program pays one prepare barrier up front, then
+        // one barrier per superstep — versus three per dynamic superstep.
+        let (v, rounds) = (16usize, 9usize);
+        let planned = planned_butterfly(v, rounds);
+        let dynamic = dynamic_butterfly(v, rounds);
+        let want: Vec<u64> = {
+            let mut states: Vec<u64> = (0..v as u64).collect();
+            let (b, _) = run_counting(&dynamic, &mut states, 4, &RunOptions::default());
+            assert_eq!(b, 3 * rounds as u64, "dynamic protocol is three barriers per step");
+            states
+        };
+        for w in [2usize, 4] {
+            let mut states: Vec<u64> = (0..v as u64).collect();
+            let (b, trace) = run_counting(&planned, &mut states, w, &RunOptions::default());
+            assert_eq!(
+                b,
+                rounds as u64 + 1,
+                "planned protocol must cost one barrier per step (+1 initial prepare) at {w} workers"
+            );
+            assert_eq!(states, want, "planned results diverge at {w} workers");
+            assert_eq!(trace.superstep_count(), rounds);
+        }
+        // Plans disabled: the same program walks the dynamic protocol.
+        let mut states: Vec<u64> = (0..v as u64).collect();
+        let opts = RunOptions { use_plans: false, ..Default::default() };
+        let (b, _) = run_counting(&planned, &mut states, 2, &opts);
+        assert_eq!(b, 3 * rounds as u64);
+        assert_eq!(states, want);
+    }
+
+    #[test]
+    fn mixed_programs_pay_one_prepare_barrier_per_dynamic_to_planned_edge() {
+        let v = 16usize;
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        let d = v / 2;
+        let body = move |st: &mut u64,
+                         ctx: &Ctx,
+                         inbox: &mut Inbox<'_, u64>,
+                         out: &mut crate::program::Outbox<u64>| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+            out.send(ctx.vp ^ d, *st);
+        };
+        let consume = |st: &mut u64,
+                       _: &Ctx,
+                       inbox: &mut Inbox<'_, u64>,
+                       _: &mut crate::program::Outbox<u64>| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+        };
+        // dynamic, planned, planned, dynamic-consume:
+        // 3 + (1 + 1) + 1 + 3 = 9 barriers.
+        prog.step(0, "dyn", body);
+        prog.step_oblivious(0, "pl1", 1, move |ctx, _| Route::Data(ctx.vp ^ d), body);
+        prog.step_oblivious(0, "pl2", 1, move |ctx, _| Route::Data(ctx.vp ^ d), body);
+        prog.step(0, "consume", consume);
+        let mut states: Vec<u64> = (0..v as u64).collect();
+        let (b, _) = run_counting(&prog, &mut states, 2, &RunOptions::default());
+        assert_eq!(b, 9, "prepare pipelining must skip the extra barrier between planned steps");
     }
 }

@@ -164,6 +164,32 @@ fn sharded_steady_state_does_not_allocate_per_superstep() {
 }
 
 #[test]
+fn sharded_planned_steady_state_does_not_allocate_per_superstep() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The sharded *planned* path — pipelined prepare (route counting into
+    // recycled region tables, prefix sums, window publication), direct
+    // cross-shard arena writes, the written-total safety check, the
+    // coordinator's O(log v) precomputed trace push, and the single
+    // barrier — must be allocation-free in steady state just like the
+    // dynamic sharded path. Armed after a full label cycle so both arenas
+    // and all region tables have reached their high-water shapes.
+    let v = 1 << 8;
+    let rounds = 24;
+    let prog = planned_butterfly_armed(v, rounds, 16);
+    let states: Vec<u64> = (0..v as u64).collect();
+    let opts = RunOptions { workers: Some(4), ..Default::default() };
+    let res = run(&prog, states, &opts).unwrap();
+    assert!(!COUNTING.load(Ordering::SeqCst), "final superstep must disarm the counter");
+    assert_eq!(res.trace.superstep_count(), rounds);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations during {} steady-state sharded planned supersteps of v = {v}",
+        rounds - 17,
+    );
+}
+
+#[test]
 fn planned_steady_state_supersteps_do_not_allocate() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // The planned serial path — route counting pass, prefix sum, direct
@@ -231,6 +257,44 @@ fn planned_butterfly(v: usize, rounds: usize) -> Program<u64, u64> {
         let l = (r as u32) % log_v;
         let d = v >> (l + 1);
         let arm = r == 2;
+        let last = r == rounds - 1;
+        prog.step_oblivious(
+            l,
+            "bfly-planned",
+            if last { 0 } else { 1 },
+            move |ctx, _| Route::Data(ctx.vp ^ d),
+            move |st, ctx, inbox, out| {
+                if ctx.vp == 0 {
+                    if arm {
+                        ALLOCS.store(0, Ordering::SeqCst);
+                        COUNTING.store(true, Ordering::SeqCst);
+                    } else if last {
+                        COUNTING.store(false, Ordering::SeqCst);
+                    }
+                }
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+                if !last {
+                    out.send(ctx.vp ^ d, *st);
+                }
+            },
+        );
+    }
+    prog
+}
+
+/// Like [`planned_butterfly`] but arming at a configurable round (the
+/// sharded executor's arenas and direct-write region tables need a full
+/// label cycle of warmup, not two supersteps).
+fn planned_butterfly_armed(v: usize, rounds: usize, arm_at: usize) -> Program<u64, u64> {
+    use nob_machine::Route;
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for r in 0..rounds {
+        let l = (r as u32) % log_v;
+        let d = v >> (l + 1);
+        let arm = r == arm_at;
         let last = r == rounds - 1;
         prog.step_oblivious(
             l,

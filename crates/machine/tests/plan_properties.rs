@@ -88,8 +88,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Planned execution ≡ dynamic execution: same states, same trace, same
-    /// message log — serial and sharded, plans on and off, validation on
-    /// and off.
+    /// message log — serial and sharded at p ∈ {2, 4, 8} (the direct
+    /// cross-shard scatter vs the lane path), plans on and off, validation
+    /// on and off.
     #[test]
     fn planned_execution_is_bit_for_bit_dynamic((v, steps) in arb_steps()) {
         let planned = build_program(v, &steps, true);
@@ -104,6 +105,15 @@ proptest! {
             ("no-validate", RunOptions { validate: false, ..serial.clone() }),
             ("sharded-2", RunOptions { workers: Some(2), ..RunOptions::with_log() }),
             ("sharded-4", RunOptions { workers: Some(4), ..RunOptions::with_log() }),
+            ("sharded-8", RunOptions { workers: Some(8), ..RunOptions::with_log() }),
+            (
+                "sharded-4-no-validate",
+                RunOptions { validate: false, workers: Some(4), ..RunOptions::with_log() },
+            ),
+            (
+                "sharded-8-plans-off",
+                RunOptions { use_plans: false, workers: Some(8), ..RunOptions::with_log() },
+            ),
         ] {
             let got = run(&planned, states.clone(), &opts).unwrap();
             prop_assert_eq!(&got.states, &want.states, "{} states", name);
@@ -136,7 +146,11 @@ proptest! {
 
     /// A deliberately mis-declared route — the closure sends to a cyclic
     /// perturbation of every declared destination — is rejected under
-    /// validation on both execution paths, never silently executed.
+    /// validation on every execution path (serial direct write, and the
+    /// sharded direct cross-shard scatter at p ∈ {2, 4, 8}), never
+    /// silently executed; the gang exits the reduced one-barrier protocol
+    /// in lockstep with a [`nob_core::ModelError::PlanMismatch`], not a
+    /// hang, a panic or memory corruption.
     #[test]
     fn misdeclared_routes_are_rejected_under_validation(
         (v, mut steps) in arb_steps(),
@@ -171,13 +185,53 @@ proptest! {
             },
         );
         let states: Vec<u64> = vec![0; v];
-        for w in [1usize, 2] {
+        for w in [1usize, 2, 4, 8] {
             let opts = RunOptions { workers: Some(w), ..Default::default() };
             let err = run(&prog, states.clone(), &opts)
                 .expect_err("mis-declared route must be rejected under validation");
             prop_assert!(
                 matches!(err, nob_core::ModelError::PlanMismatch { .. }),
                 "unexpected error at {} workers: {:?}", w, err
+            );
+        }
+    }
+
+    /// A route whose closure escapes the declared shard cluster on the
+    /// cross-shard direct-write path is caught by the writer's span check
+    /// as a [`nob_core::ModelError::PlanMismatch`] — never a stale-window
+    /// write — even with validation (and thus lockstep checking) off.
+    #[test]
+    fn cross_shard_escape_is_plan_mismatch_not_memory_corruption(
+        lg in 2u32..6,
+        validate in any::<bool>(),
+    ) {
+        let v = 1usize << lg;
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        // Declared: a shard-local self-send (label log_v - 1 keeps every
+        // cluster inside one shard at w >= 2). Actual: VP 0 sends across
+        // the machine's bisection — outside the declared cluster span.
+        let label = lg - 1;
+        prog.step_oblivious(
+            label,
+            "escapee",
+            1,
+            |ctx, _| Route::Data(ctx.vp),
+            |_st, ctx, _inbox, out| {
+                if ctx.vp == 0 {
+                    out.send(ctx.v - 1, 13);
+                } else {
+                    out.send(ctx.vp, 13);
+                }
+            },
+        );
+        let states: Vec<u64> = vec![0; v];
+        for w in [2usize, 4] {
+            let opts = RunOptions { validate, workers: Some(w), ..Default::default() };
+            let err = run(&prog, states.clone(), &opts)
+                .expect_err("cluster-escaping send must be rejected");
+            prop_assert!(
+                matches!(err, nob_core::ModelError::PlanMismatch { .. }),
+                "unexpected error at {} workers (validate = {}): {:?}", w, validate, err
             );
         }
     }

@@ -16,6 +16,11 @@
 # PR-3+), plans-enabled rows are compared too, keyed (v/program/threads/plan).
 # arena_msgs_per_sec always means the plans-disabled dynamic path, so old
 # baselines stay directly comparable.
+#
+# When both files carry the per-row memory column (rss_delta_kb, PR-5+ —
+# the row's own VmHWM growth, unlike the cumulative peak_rss_kb), matched
+# rows' deltas are reported too (informational: memory use is
+# environment-sensitive, so growth is printed, not failed on).
 set -euo pipefail
 
 if [ $# -lt 2 ] || [ $# -gt 3 ]; then
@@ -72,6 +77,21 @@ while read -r key _; do
         echo "bench_compare: $key only in $new_file (skipped)"
     fi
 done <<<"$new_rows"
+
+# Per-row memory deltas (informational; requires the key in both files).
+extract_mem() {
+    jq -r '.rows[] | select(.rss_delta_kb != null)
+        | "\(.v)/\(.program)/\(.threads // 1) \(.rss_delta_kb)"' "$1"
+}
+old_mem=$(extract_mem "$old_file")
+new_mem=$(extract_mem "$new_file")
+if [ -n "$old_mem" ] && [ -n "$new_mem" ]; then
+    while read -r key old_kb; do
+        new_kb=$(awk -v k="$key" '$1 == k { print $2; exit }' <<<"$new_mem")
+        [ -n "$new_kb" ] || continue
+        echo "bench_compare: mem $key rss_delta ${old_kb}kB -> ${new_kb}kB"
+    done <<<"$old_mem"
+fi
 
 if [ "$matched" -eq 0 ]; then
     echo "bench_compare: no comparable rows between $old_file and $new_file" >&2

@@ -3,9 +3,11 @@
 # `--smoke` mode — one small size (v = 2^10), FFT + Columnsort, plans
 # enabled vs disabled vs the reference engine, asserting bit-for-bit
 # equality of states, communication trace and message log on the serial,
-# sharded and folded paths. Wired into scripts/tier1.sh so a plan/metric
-# divergence fails tier-1 immediately instead of waiting for a full bench
-# run. Takes a few seconds (release build assumed warm from tier-1).
+# sharded (4 workers — the gang and its direct cross-shard scatter run
+# even on 1-CPU containers; correctness is scheduling-independent) and
+# folded paths. Wired into scripts/tier1.sh so a plan/metric divergence
+# fails tier-1 immediately instead of waiting for a full bench run. Takes
+# a few seconds (release build assumed warm from tier-1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

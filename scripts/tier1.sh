@@ -9,6 +9,17 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy -q --offline --all-targets
 cargo doc --no-deps -q --offline
+
+# Hardened arithmetic: per-destination message counts feed the unsafe
+# counting-sort scatters, where a silently capped count corrupts the
+# prefix-sum offsets — so the engine must use checked adds (ModelError on
+# overflow), never saturating ones. Any saturating_* in the engine sources
+# needs an explicit `allow-saturating:` justification on the same line.
+if grep -rn --include='*.rs' 'saturating_' crates/machine/src | grep -v 'allow-saturating:'; then
+    echo "tier1: unjustified saturating_* arithmetic in crates/machine/src (use a checked add or an allow-saturating: comment)" >&2
+    exit 1
+fi
+
 scripts/bench_smoke.sh
 
 echo "tier1: OK"

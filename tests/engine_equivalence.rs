@@ -43,12 +43,31 @@ where
     assert_eq!(plan_on.states, plan_off.states, "plan-on vs plan-off states, n = {n}");
     assert_eq!(plan_on.trace, plan_off.trace, "plan-on vs plan-off trace, n = {n}");
     assert_eq!(plan_on.message_log, plan_off.message_log, "plan-on vs plan-off log, n = {n}");
-    for w in [2usize, 4] {
-        let sharded =
-            run(&prog, states.clone(), &RunOptions { workers: Some(w), ..Default::default() })
-                .unwrap();
-        assert_eq!(sharded.states, full.states, "sharded states at {w} workers, n = {n}");
-        assert_eq!(sharded.trace, full.trace, "sharded trace at {w} workers, n = {n}");
+    // Sharded planned execution (the direct cross-shard scatter) must agree
+    // with the serial run bit for bit — states, trace and message log — at
+    // every width; the dynamic lane path and the validation-off planned
+    // path are cross-checked at one width to bound the suite's runtime.
+    for (what, opts) in [
+        ("sharded planned", RunOptions { workers: Some(2), ..RunOptions::with_log() }),
+        ("sharded planned", RunOptions { workers: Some(4), ..RunOptions::with_log() }),
+        ("sharded planned", RunOptions { workers: Some(8), ..RunOptions::with_log() }),
+        (
+            "sharded plans-off",
+            RunOptions { workers: Some(4), use_plans: false, ..RunOptions::with_log() },
+        ),
+        (
+            "sharded planned no-validate",
+            RunOptions { workers: Some(4), validate: false, ..RunOptions::with_log() },
+        ),
+    ] {
+        let w = opts.workers.unwrap();
+        let sharded = run(&prog, states.clone(), &opts).unwrap();
+        assert_eq!(sharded.states, plan_on.states, "{what} states at {w} workers, n = {n}");
+        assert_eq!(sharded.trace, plan_on.trace, "{what} trace at {w} workers, n = {n}");
+        assert_eq!(
+            sharded.message_log, plan_on.message_log,
+            "{what} log at {w} workers, n = {n}"
+        );
     }
     for &p in ps {
         if p > prog.v() {
@@ -92,6 +111,23 @@ where
         assert_eq!(
             sharded_folded.trace, folded.trace,
             "sharded folded trace at p = {p}, n = {n}"
+        );
+        // And the sharded folding with plans disabled (lane path) matches
+        // the sharded planned folding (direct cross-shard path) exactly.
+        let sharded_folded_off = run_folded(
+            &prog,
+            states.clone(),
+            p,
+            &RunOptions { workers: Some(4), use_plans: false, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            sharded_folded_off.states, folded.states,
+            "sharded folded plans-off states at p = {p}, n = {n}"
+        );
+        assert_eq!(
+            sharded_folded_off.trace, folded.trace,
+            "sharded folded plans-off trace at p = {p}, n = {n}"
         );
         // The executed folding must reproduce the analytic fold of the
         // full-granularity trace at every sub-granularity.
