@@ -12,10 +12,13 @@
 //!
 //! Usage: `cargo run --release -p nob-bench --bin exp_engine_throughput
 //! [max_log_v] [out_path]` (defaults: 16, `BENCH_engine.json`), or
-//! `… -- --smoke` for the tier-1 smoke mode: one small size, plans on vs
-//! off vs the reference engine, bit-for-bit equality of states, trace and
-//! message log asserted on the serial and sharded paths (so plan/metric
-//! divergence fails fast instead of waiting for a full bench run).
+//! `… -- --smoke [guard.json]` for the tier-1 smoke mode: one small size,
+//! plans on vs off vs the reference engine, bit-for-bit equality of
+//! states, trace and message log asserted on the serial and sharded paths
+//! (so plan/metric divergence fails fast instead of waiting for a full
+//! bench run); with a path, it also times the fft serial row into a
+//! one-row guard file for `bench_compare.sh` (the tier-1 throughput
+//! tripwire).
 //!
 //! The executor width is pinned per row via `RunOptions::workers`, so one
 //! process covers the whole scaling column. On containers that expose a
@@ -236,75 +239,10 @@ fn bench_program<A>(
     }
 }
 
-/// Tier-1 smoke mode: tiny size, serial + sharded at 4 workers (the gang
-/// runs even on 1-CPU containers — correctness is scheduling-independent),
-/// plans on vs off vs the reference engine — trace/state/log equality
-/// asserted, no timing.
-fn smoke() {
-    let v = 1usize << 10;
-    let signal = test_signal(v);
-    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 4);
-    let keys = random_keys(v, 42);
-    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 4);
-    // Folded executions agree too (plan metrics at granularity p), serial
-    // and through the sharded executor.
-    let prog = ColumnSort::<u64>::default().build(v);
-    let states = ColumnSort::<u64>::default().init(v, &keys[..]);
-    for p in [4usize, 32] {
-        let on = nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, true, true))
-            .unwrap();
-        let off =
-            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, false, true))
-                .unwrap();
-        assert_same("folded plan-on vs plan-off", "sort", p, &on, &off);
-        let sh_on =
-            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, true, true))
-                .unwrap();
-        assert_same("sharded folded plan-on vs serial", "sort", p, &sh_on, &on);
-        drop(sh_on);
-        let sh_off =
-            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, false, true))
-                .unwrap();
-        assert_same("sharded folded plan-off vs serial", "sort", p, &sh_off, &on);
-    }
-    println!(
-        "bench_smoke: OK (plans on/off bit-for-bit at v = {v}, serial + sharded at 4 workers + folded)"
-    );
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("--smoke") {
-        smoke();
-        return;
-    }
-    let max_log_v: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
-    let out_path = args.get(2).cloned().unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let cpus = available_cpus();
-    // Thread-scaling column: 1, 2, 4, … up to the next power of two
-    // covering the visible CPUs. A single-CPU container gets only the
-    // serial row by default — multi-worker rows there measure pure
-    // coordination overhead, which burns minutes without measuring scaling
-    // (set NOB_BENCH_ALL_WIDTHS=1 to record them anyway; =0 or empty
-    // disables like unset, the flag's *value* is parsed, not its
-    // presence).
-    let all_widths = env_flag("NOB_BENCH_ALL_WIDTHS");
-    let mut widths = vec![1usize];
-    if cpus > 1 || all_widths {
-        while *widths.last().unwrap() < 4.max(cpus) {
-            widths.push(widths.last().unwrap() * 2);
-        }
-    }
-
-    let mut rows = Vec::new();
-    for log_v in 10..=max_log_v {
-        let v = 1usize << log_v;
-        let signal = test_signal(v);
-        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &widths, &mut rows);
-        let keys = random_keys(v, 42);
-        bench_program(&ColumnSort::<u64>::default(), "sort", v, &keys[..], &widths, &mut rows);
-    }
-
+/// Serializes bench rows into the `BENCH_engine.json` schema (shared by
+/// the full bench and the smoke mode's one-row guard file, so
+/// `scripts/bench_compare.sh` can diff either against a baseline).
+fn emit_json(rows: &[Row], cpus: usize) -> String {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"engine_throughput\",").unwrap();
@@ -344,6 +282,93 @@ fn main() {
     }
     writeln!(json, "  ]").unwrap();
     writeln!(json, "}}").unwrap();
+    json
+}
+
+/// Tier-1 smoke mode: tiny size, serial + sharded at 4 workers (the gang
+/// runs even on 1-CPU containers — correctness is scheduling-independent),
+/// plans on vs off vs the reference engine — trace/state/log equality
+/// asserted, no timing.
+///
+/// With an output path (`--smoke <out.json>`) it additionally times the
+/// fft `v = 2^10` serial row — fault injection disabled, exactly the
+/// baseline's configuration — and writes a one-row guard file for
+/// `scripts/bench_compare.sh` to diff against `BENCH_engine.json`: the
+/// regression tripwire proving the failpoint/watchdog plumbing costs
+/// nothing when disarmed.
+fn smoke(guard_out: Option<&str>) {
+    let v = 1usize << 10;
+    let signal = test_signal(v);
+    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 4);
+    let keys = random_keys(v, 42);
+    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 4);
+    // Folded executions agree too (plan metrics at granularity p), serial
+    // and through the sharded executor.
+    let prog = ColumnSort::<u64>::default().build(v);
+    let states = ColumnSort::<u64>::default().init(v, &keys[..]);
+    for p in [4usize, 32] {
+        let on = nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, true, true))
+            .unwrap();
+        let off =
+            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, false, true))
+                .unwrap();
+        assert_same("folded plan-on vs plan-off", "sort", p, &on, &off);
+        let sh_on =
+            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, true, true))
+                .unwrap();
+        assert_same("sharded folded plan-on vs serial", "sort", p, &sh_on, &on);
+        drop(sh_on);
+        let sh_off =
+            nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, false, true))
+                .unwrap();
+        assert_same("sharded folded plan-off vs serial", "sort", p, &sh_off, &on);
+    }
+    println!(
+        "bench_smoke: OK (plans on/off bit-for-bit at v = {v}, serial + sharded at 4 workers + folded)"
+    );
+    if let Some(out) = guard_out {
+        let mut rows = Vec::new();
+        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &[1], &mut rows);
+        let json = emit_json(&rows, available_cpus());
+        std::fs::write(out, &json).expect("write smoke guard json");
+        eprintln!("wrote {out}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--smoke") {
+        smoke(args.get(2).map(String::as_str));
+        return;
+    }
+    let max_log_v: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let out_path = args.get(2).cloned().unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let cpus = available_cpus();
+    // Thread-scaling column: 1, 2, 4, … up to the next power of two
+    // covering the visible CPUs. A single-CPU container gets only the
+    // serial row by default — multi-worker rows there measure pure
+    // coordination overhead, which burns minutes without measuring scaling
+    // (set NOB_BENCH_ALL_WIDTHS=1 to record them anyway; =0 or empty
+    // disables like unset, the flag's *value* is parsed, not its
+    // presence).
+    let all_widths = env_flag("NOB_BENCH_ALL_WIDTHS");
+    let mut widths = vec![1usize];
+    if cpus > 1 || all_widths {
+        while *widths.last().unwrap() < 4.max(cpus) {
+            widths.push(widths.last().unwrap() * 2);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for log_v in 10..=max_log_v {
+        let v = 1usize << log_v;
+        let signal = test_signal(v);
+        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &widths, &mut rows);
+        let keys = random_keys(v, 42);
+        bench_program(&ColumnSort::<u64>::default(), "sort", v, &keys[..], &widths, &mut rows);
+    }
+
+    let json = emit_json(&rows, cpus);
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     println!("{json}");
     eprintln!("wrote {out_path}");

@@ -63,6 +63,41 @@ pub enum ModelError {
         /// Human-readable description of the divergence.
         reason: &'static str,
     },
+    /// A virtual processor's SPMD closure panicked mid-superstep. The panic
+    /// is caught at the phase boundary and downgraded to this structured
+    /// error (uniform across the serial and sharded executors); the payload
+    /// message is preserved when it was a string.
+    VpPanic {
+        /// Name of the superstep whose closure panicked.
+        step: &'static str,
+        /// The virtual processor that was executing when the panic unwound.
+        vp: usize,
+        /// The panic payload rendered as a string (`&str` / `String`
+        /// payloads verbatim, otherwise a placeholder).
+        payload: String,
+    },
+    /// The gang barrier's watchdog fired: at least one worker failed to
+    /// arrive within the run's `stall_timeout`, so the surviving workers
+    /// drained instead of deadlocking.
+    GangStall {
+        /// The barrier round (1-based) at which the gang stalled.
+        round: u64,
+        /// Number of workers that had not arrived when the watchdog fired.
+        missing: usize,
+    },
+    /// A deterministic test fault fired at an instrumented failpoint
+    /// (see [`crate::fault::FaultPlan`]). Never produced outside fault
+    /// injection.
+    FaultInjected {
+        /// Name of the instrumented site that fired.
+        site: &'static str,
+        /// The shard (worker) that hit the site; `0` on the serial path.
+        shard: usize,
+        /// The superstep index at which the site fired.
+        superstep: usize,
+        /// How many times this site had matched before firing (0-based).
+        occurrence: u64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -90,6 +125,18 @@ impl fmt::Display for ModelError {
             ModelError::PlanMismatch { step, vp, reason } => write!(
                 f,
                 "superstep `{step}`: VP {vp} diverged from the declared communication plan ({reason})"
+            ),
+            ModelError::VpPanic { step, vp, payload } => {
+                write!(f, "superstep `{step}`: VP {vp} panicked: {payload}")
+            }
+            ModelError::GangStall { round, missing } => write!(
+                f,
+                "gang stalled at barrier round {round}: {missing} worker(s) never arrived"
+            ),
+            ModelError::FaultInjected { site, shard, superstep, occurrence } => write!(
+                f,
+                "injected fault at site `{site}` (shard {shard}, superstep {superstep}, \
+                 occurrence {occurrence})"
             ),
         }
     }

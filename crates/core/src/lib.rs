@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod folding;
 pub mod fullness;
 pub mod lower_bounds;
@@ -49,5 +50,6 @@ pub mod theorem;
 pub mod wiseness;
 
 pub use error::ModelError;
+pub use fault::{FaultArm, FaultKind, FaultPlan};
 pub use metrics::{CommTrace, DegreeCounters, FoldedMetrics, SuperstepRecord};
 pub use model::{DbspMachine, EvalModel, SpecModel};

@@ -72,10 +72,33 @@
 
 use crate::mailbox::{route_serial, Arena, ChunkStage, Inbox};
 use crate::program::{Ctx, Envelope, Program};
+use nob_core::fault::FaultPlan;
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{CommTrace, DegreeCounters, TraceBuilder};
 use nob_core::model::log2_exact;
 use nob_core::ModelError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do when a planned superstep's route disagrees with its closure
+/// at run time (a [`ModelError::PlanMismatch`]) on a *non-validated* run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanFallback {
+    /// Fail the run with the mismatch (default). Under
+    /// [`RunOptions::validate`] a mismatch is always a hard failure — it is
+    /// a model violation to report, not a condition to paper over.
+    #[default]
+    Fail,
+    /// Transparently re-execute the whole run with `use_plans = false`: the
+    /// dynamic path discovers the real pattern message by message, so a
+    /// stale or mis-declared route degrades to correct-but-slower instead
+    /// of failing. The abandoned attempt's error is recorded in
+    /// [`RunResult::fallback`] for observability. Only consulted when
+    /// validation is off, plans are enabled, and the program declares at
+    /// least one oblivious route.
+    Dynamic,
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -114,6 +137,25 @@ pub struct RunOptions {
     /// still bound every write by its planned slot region and enforce the
     /// payload multiset before publishing an arena.
     pub use_plans: bool,
+    /// Degradation policy for a [`ModelError::PlanMismatch`] on a
+    /// non-validated planned run (default: [`PlanFallback::Fail`]).
+    pub plan_fallback: PlanFallback,
+    /// Deterministic fault-injection plan (default: `None`). When armed,
+    /// the executors consult it at every instrumented phase boundary; when
+    /// absent the cost is one `Option` discriminant test per phase — never
+    /// anything per message — so the hot path is unchanged (pinned by
+    /// `tests/allocation.rs` and the tier-1 bench guard).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Barrier watchdog for the sharded executor (default: `None` — wait
+    /// forever, exactly the pre-watchdog behavior). When set, a worker
+    /// waiting longer than this at the gang barrier poisons it: every
+    /// current and future wait returns an error, the gang drains, and the
+    /// run fails with [`ModelError::GangStall`] instead of deadlocking.
+    /// Covers workers that are slow, descheduled, or lost mid-protocol; a
+    /// closure that *never* returns still wedges its OS thread (scoped
+    /// threads must join before the run can return), which no in-process
+    /// watchdog can recover — the documented limit of this mechanism.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for RunOptions {
@@ -124,6 +166,9 @@ impl Default for RunOptions {
             collect_messages: false,
             workers: None,
             use_plans: true,
+            plan_fallback: PlanFallback::Fail,
+            faults: None,
+            stall_timeout: None,
         }
     }
 }
@@ -146,6 +191,10 @@ pub struct RunResult<S> {
     pub trace: CommTrace,
     /// Raw message log (one entry per recorded superstep) when requested.
     pub message_log: Option<Vec<Vec<(u32, u32)>>>,
+    /// When [`RunOptions::plan_fallback`] re-executed the run on the
+    /// dynamic path, the abandoned planned attempt's error; `None` for a
+    /// run that completed first try.
+    pub fallback: Option<ModelError>,
 }
 
 /// Minimum VPs per shard for a pool-derived worker count: persistent-worker
@@ -202,7 +251,7 @@ fn shard_count(v: usize, gran: usize, opts: &RunOptions) -> usize {
 /// `states` must hold exactly one state per VP. The returned trace records,
 /// for each superstep, the degree of every folding `M(2^j)`, so that
 /// `H(n, 2^j, σ)` and `D(n, p, g, ℓ)` can be evaluated analytically afterward.
-pub fn run<S: Send, M: Send>(
+pub fn run<S: Send + Clone, M: Send>(
     prog: &Program<S, M>,
     states: Vec<S>,
     opts: &RunOptions,
@@ -229,7 +278,7 @@ pub fn run<S: Send, M: Send>(
 /// one processor's consecutive VPs (fewer when the worker budget is
 /// smaller — shards then span whole processors and the metrics are merged
 /// identically).
-pub fn run_folded<S: Send, M: Send>(
+pub fn run_folded<S: Send + Clone, M: Send>(
     prog: &Program<S, M>,
     states: Vec<S>,
     p: usize,
@@ -244,7 +293,7 @@ pub fn run_folded<S: Send, M: Send>(
     run_core(prog, states, p, spec, opts)
 }
 
-fn run_core<S: Send, M: Send>(
+fn run_core<S: Send + Clone, M: Send>(
     prog: &Program<S, M>,
     mut states: Vec<S>,
     gran: usize,
@@ -254,22 +303,85 @@ fn run_core<S: Send, M: Send>(
     let v = prog.v();
     assert_eq!(states.len(), v, "one state per VP required");
     let n_shards = shard_count(v, gran, opts);
+    // Plan-fallback degradation: armed only when a mismatch can actually
+    // surface from a trusted plan — validation off (under validation a
+    // mismatch is a model violation to report), plans on, and at least one
+    // oblivious route declared. A partial attempt mutates the states, so
+    // the pristine inputs are cloned up front — only when armed, keeping
+    // the default path allocation-profile unchanged.
+    let fallback_armed = opts.plan_fallback == PlanFallback::Dynamic
+        && opts.use_plans
+        && !opts.validate
+        && prog.planned_steps() > 0;
+    let saved = if fallback_armed { Some(states.clone()) } else { None };
+    match run_attempt(prog, &mut states, gran, spec, opts, n_shards) {
+        Ok((trace, message_log)) => Ok(RunResult { states, trace, message_log, fallback: None }),
+        Err(mismatch @ ModelError::PlanMismatch { .. }) if fallback_armed => {
+            let mut states = saved.unwrap_or_default();
+            let retry = RunOptions { use_plans: false, ..opts.clone() };
+            let (trace, message_log) =
+                run_attempt(prog, &mut states, gran, spec, &retry, n_shards)?;
+            Ok(RunResult { states, trace, message_log, fallback: Some(mismatch) })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One execution attempt (the whole superstep sequence) on fresh trace and
+/// log builders; [`run_core`] may invoke it twice under the plan-fallback
+/// policy.
+#[allow(clippy::type_complexity)]
+fn run_attempt<S: Send, M: Send>(
+    prog: &Program<S, M>,
+    states: &mut [S],
+    gran: usize,
+    spec: GranSpec,
+    opts: &RunOptions,
+    n_shards: usize,
+) -> Result<(CommTrace, Option<Vec<Vec<(u32, u32)>>>), ModelError> {
     let mut trace = TraceBuilder::new(gran, prog.n(), prog.steps().len());
     let mut message_log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
     if n_shards <= 1 {
-        run_serial(prog, &mut states, spec, opts, &mut trace, &mut message_log)?;
+        run_serial(prog, states, spec, opts, &mut trace, &mut message_log)?;
     } else {
-        crate::shard::run_sharded(
+        let (_rounds, outcome) = crate::shard::run_sharded(
             prog,
-            &mut states,
+            states,
             spec,
             n_shards,
             opts,
             &mut trace,
             &mut message_log,
-        )?;
+        );
+        outcome?;
     }
-    Ok(RunResult { states, trace: trace.finish(), message_log })
+    Ok((trace.finish(), message_log))
+}
+
+/// Fault-injection sites instrumented on the serial path (the sharded
+/// executor's sites live in `crate::shard`, the arena/count edges in
+/// `crate::mailbox`): the planned direct-write superstep and the dynamic
+/// computation + send phase. Both are checked *inside* the phase's
+/// `catch_unwind`, so panic-flavor faults exercise the same unwind
+/// recovery as a real closure panic.
+pub(crate) const FAULT_SERIAL_PLANNED: &str = "serial:planned";
+/// See [`FAULT_SERIAL_PLANNED`].
+pub(crate) const FAULT_SERIAL_EXEC: &str = "serial:exec";
+
+/// Renders a caught closure panic as the structured
+/// [`ModelError::VpPanic`], preserving string payloads verbatim. Shared by
+/// the serial path and the sharded workers so the two report identically.
+pub(crate) fn vp_panic_error(
+    step: &'static str,
+    vp: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> ModelError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    ModelError::VpPanic { step, vp, payload: msg }
 }
 
 /// The single-shard execution loop: the whole machine is one shard, and
@@ -302,8 +414,9 @@ fn run_serial<S: Send, M: Send>(
     // exact-size allocation per recorded superstep (the entry pushed into
     // the log), never repeated growth.
     let mut log_scratch: Vec<(u32, u32)> = Vec::new();
+    let faults = opts.faults.as_deref();
 
-    for step in prog.steps() {
+    for (t, step) in prog.steps().iter().enumerate() {
         let record_step = step.label < levels;
         let want_log = message_log.is_some() && record_step;
 
@@ -316,23 +429,40 @@ fn run_serial<S: Send, M: Send>(
                 Some(fault) if opts.validate => return Err(fault.clone()),
                 Some(_) => {}
                 None => {
-                    run_planned_step(
-                        step,
-                        plan,
-                        states,
-                        &mut arenas,
-                        read_idx,
-                        &mut dst_counts,
-                        &mut cursors,
-                        &mut stage.outbox,
-                        opts.validate,
-                    )?;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(f) = faults {
+                            f.check(FAULT_SERIAL_PLANNED, 0, t)?;
+                        }
+                        run_planned_step(
+                            step,
+                            plan,
+                            states,
+                            &mut arenas,
+                            read_idx,
+                            &mut dst_counts,
+                            &mut cursors,
+                            &mut stage.outbox,
+                            opts.validate,
+                        )
+                    }));
+                    match outcome {
+                        Ok(result) => result?,
+                        Err(payload) => {
+                            return Err(vp_panic_error(
+                                step.name,
+                                stage.outbox.panic_vp(),
+                                payload,
+                            ))
+                        }
+                    }
                     if record_step {
                         trace.push_precomputed(step.label, plan.metrics(), spec.full);
                         if want_log {
                             log_scratch.clear();
                             plan_log_entry(plan, spec, &mut log_scratch);
-                            message_log.as_mut().expect("want_log").push(log_scratch.clone());
+                            if let Some(log) = message_log.as_mut() {
+                                log.push(log_scratch.clone());
+                            }
                         }
                     }
                     read_idx = 1 - read_idx;
@@ -345,10 +475,26 @@ fn run_serial<S: Send, M: Send>(
         {
             let read = &mut arenas[read_idx];
             let (slab, offsets) = read.take_read();
-            exec_chunk(prog, step, 0, v, states, slab, offsets, &mut stage);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(f) = faults {
+                    f.check(FAULT_SERIAL_EXEC, 0, t)?;
+                }
+                exec_chunk(prog, step, 0, v, states, slab, offsets, &mut stage);
+                Ok(())
+            }));
+            match outcome {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(vp_panic_error(step.name, stage.outbox.panic_vp(), payload))
+                }
+            }
+        }
+        if stage.outbox.take_oob() {
+            return Err(crate::program::oob_dst_error());
         }
 
         // --- streaming validation + metrics + routing counts (one pass) ---
+        crate::mailbox::fault_edge(faults, crate::mailbox::FAULT_BUMP_COUNT, 0, t)?;
         counters.begin_superstep();
         if want_log {
             log_scratch.clear();
@@ -393,12 +539,15 @@ fn run_serial<S: Send, M: Send>(
         if record_step {
             trace.push_superstep(step.label, &counters);
             if want_log {
-                message_log.as_mut().expect("want_log").push(log_scratch.clone());
+                if let Some(log) = message_log.as_mut() {
+                    log.push(log_scratch.clone());
+                }
             }
         }
 
         // --- routing (messages become visible next superstep) --------------
         {
+            crate::mailbox::fault_edge(faults, crate::mailbox::FAULT_PREPARE_WRITE, 0, t)?;
             let write = &mut arenas[1 - read_idx];
             let total = write.prepare_write(&mut dst_counts, &mut cursors);
             let (slab, _offsets) = write.split_for_scatter(total);
@@ -531,6 +680,7 @@ pub(crate) fn exec_direct_chunk<S, M>(
         slab_rest = rest;
         let mut inbox = Inbox::over_slab(mine);
         let ctx = Ctx { vp: vp_lo + i, v, log_v, n };
+        outbox.cur_vp = vp_lo + i;
         outbox.direct_mut().begin_vp(&ctx);
         (step.exec)(state, &ctx, &mut inbox, outbox);
         outbox.direct_mut().end_vp();
@@ -566,6 +716,7 @@ pub(crate) fn exec_chunk<S, M>(
         slab_rest = rest;
         let mut inbox = Inbox::over_slab(mine);
         stage.outbox.begin_vp();
+        stage.outbox.cur_vp = vp_lo + i;
         let ctx = Ctx { vp: vp_lo + i, v, log_v, n };
         (step.exec)(state, &ctx, &mut inbox, &mut stage.outbox);
         stage.vp_ends.push(stage.outbox.msgs.len() as u32);
@@ -810,19 +961,23 @@ mod tests {
     }
 
     #[test]
-    fn sharded_worker_panics_propagate() {
+    fn vp_panics_become_structured_errors_at_every_width() {
+        // A VP-closure panic is downgraded to the identical structured
+        // `VpPanic` on the serial path and at every shard width.
         let mut p: Program<(), u8> = Program::new(8, 8);
         p.step(0, "boom", |_, ctx, _, _| {
             if ctx.vp == 5 {
                 panic!("vp exploded");
             }
         });
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run(&p, vec![(); 8], &sharded(4))
-        }));
-        let payload = res.expect_err("panic must propagate");
-        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
-        assert_eq!(msg, "vp exploded");
+        for w in [1usize, 2, 4, 8] {
+            let err = run(&p, vec![(); 8], &sharded(w)).unwrap_err();
+            assert_eq!(
+                err,
+                ModelError::VpPanic { step: "boom", vp: 5, payload: "vp exploded".into() },
+                "panic downgrade diverges at {w} workers"
+            );
+        }
     }
 
     /// Butterfly exchange declared as an oblivious route (with a wiseness
@@ -975,6 +1130,68 @@ mod tests {
         );
         let err = run(&over, states.clone(), &RunOptions::default()).expect_err("overfull");
         assert!(matches!(err, ModelError::PlanMismatch { .. }), "got {err:?}");
+    }
+
+    /// A program whose declared route diverges from its closure in a way
+    /// the non-validated safety net still catches (VP 0 hoards both
+    /// messages, skewing destination counts), next to a dynamic twin with
+    /// the closure's *actual* behavior.
+    fn skewed_pair(v: usize) -> (Program<u64, u64>, Program<u64, u64>) {
+        use crate::plan::Route;
+        let body = |_: &mut u64, ctx: &Ctx, _: &mut Inbox<'_, u64>, out: &mut crate::program::Outbox<u64>| {
+            out.send(if ctx.vp < 2 { 0 } else { ctx.vp ^ 1 }, ctx.vp as u64)
+        };
+        let consume = |st: &mut u64, _: &Ctx, inbox: &mut Inbox<'_, u64>, _: &mut crate::program::Outbox<u64>| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_add(m);
+            }
+        };
+        let mut lying: Program<u64, u64> = Program::new(v, v);
+        lying.step_oblivious(0, "skew", 1, |ctx, _| Route::Data(ctx.vp ^ 1), body);
+        lying.step_oblivious(0, "consume", 0, |_, _| Route::End, consume);
+        let mut honest: Program<u64, u64> = Program::new(v, v);
+        honest.step(0, "skew", body);
+        honest.step(0, "consume", consume);
+        (lying, honest)
+    }
+
+    #[test]
+    fn plan_fallback_reexecutes_dynamically_and_records_the_mismatch() {
+        let v = 8usize;
+        let (lying, honest) = skewed_pair(v);
+        let states: Vec<u64> = (0..v as u64).collect();
+        for w in [1usize, 2, 4] {
+            let noval =
+                RunOptions { validate: false, workers: Some(w), ..RunOptions::with_log() };
+            // Default policy: the mismatch is the run's error.
+            let err = run(&lying, states.clone(), &noval)
+                .expect_err("Fail policy must surface the mismatch");
+            assert!(matches!(err, ModelError::PlanMismatch { .. }), "w = {w}: got {err:?}");
+            // Dynamic policy: same run degrades to the dynamic path and
+            // matches the honest twin bit for bit, keeping the abandoned
+            // attempt's error as the fallback record.
+            let opts = RunOptions { plan_fallback: PlanFallback::Dynamic, ..noval.clone() };
+            let res = run(&lying, states.clone(), &opts).expect("fallback must recover");
+            assert!(
+                matches!(res.fallback, Some(ModelError::PlanMismatch { .. })),
+                "w = {w}: fallback record missing: {:?}",
+                res.fallback
+            );
+            let want = run(&honest, states.clone(), &noval).unwrap();
+            assert_eq!(res.states, want.states, "fallback states diverge at {w} workers");
+            assert_eq!(res.trace, want.trace, "fallback trace diverges at {w} workers");
+            assert_eq!(res.message_log, want.message_log, "fallback log diverges at {w} workers");
+        }
+        // A healthy planned run under the Dynamic policy stays on the
+        // planned path: no fallback recorded.
+        let (planned, _) = butterfly_pair(v, 3);
+        let opts = RunOptions {
+            validate: false,
+            plan_fallback: PlanFallback::Dynamic,
+            ..Default::default()
+        };
+        let res = run(&planned, states.clone(), &opts).unwrap();
+        assert!(res.fallback.is_none(), "clean run must not record a fallback");
     }
 
     #[test]

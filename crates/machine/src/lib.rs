@@ -124,6 +124,39 @@
 //! (validation errors, panics) drop staged messages through ordinary
 //! destructors.
 //!
+//! ## Robustness
+//!
+//! Failures are structured, deterministic, and never hang the gang:
+//!
+//! * **Structured panic recovery** — a VP closure that panics is downgraded
+//!   to [`nob_core::ModelError::VpPanic`] (superstep name, offending VP,
+//!   payload message preserved), identically on the serial and every
+//!   sharded width; the gang exits its barrier protocol in lockstep and
+//!   the run reports the lowest shard's error — the first in source order,
+//!   matching serial semantics. Out-of-range destinations and a missing
+//!   requested message log are likewise `ModelError`s, not panics;
+//!   non-test engine code is panic-free by a tier-1 lint gate (residual
+//!   `expect`s carry an `allow-panic:` justification).
+//! * **Barrier watchdog** — [`engine::RunOptions::stall_timeout`] arms the
+//!   gang barrier: a lost or descheduled worker poisons it and the run
+//!   fails with [`nob_core::ModelError::GangStall`] instead of
+//!   deadlocking.
+//! * **Deterministic fault injection** — [`engine::RunOptions::faults`]
+//!   accepts a [`nob_core::fault::FaultPlan`] addressing every phase
+//!   boundary of both executors by `(site, shard, superstep, occurrence)`,
+//!   injecting a model error or a panic through the exact abort path a
+//!   real failure would take (sites are listed in the `shard` module
+//!   docs). Without a plan the cost is one `Option` test per phase — the
+//!   zero-allocation steady state is unchanged.
+//! * **Graceful degradation** — [`engine::PlanFallback::Dynamic`] lets a
+//!   non-validated run that trips a plan-mismatch safety net re-execute
+//!   transparently on the dynamic path, recording the abandoned attempt's
+//!   error in [`engine::RunResult::fallback`].
+//!
+//! The chaos suite (`tests/chaos.rs`) sweeps injected faults over
+//! site × flavor × shard width and asserts structured errors, lockstep
+//! exit, and bit-for-bit clean re-runs in the same process.
+//!
 //! ## Execution modes
 //!
 //! * [`engine::run`] — full-granularity execution on `M(v)`, sharded across
@@ -157,7 +190,7 @@ pub mod reference;
 mod shard;
 pub mod traits;
 
-pub use engine::{run, run_folded, RunOptions, RunResult};
+pub use engine::{run, run_folded, PlanFallback, RunOptions, RunResult};
 pub use mailbox::Inbox;
 pub use plan::{Route, StepPlan};
 pub use program::{Ctx, LanePlan, Outbox, Program, Superstep};

@@ -101,6 +101,32 @@ pub(crate) fn bump_count(count: &mut u32) -> Result<(), ModelError> {
     Ok(())
 }
 
+/// Names of the fault-injection edges owned by this module: the
+/// per-destination counting pass feeding [`bump_count`] and the arena
+/// (re)growth in [`Arena::prepare_write`]. Both executors call
+/// [`fault_edge`] with these right before entering the edge, so the chaos
+/// suite can prove that a failure while sizing or growing the arenas rides
+/// the normal abort protocol (no partially committed arena is ever read).
+pub(crate) const FAULT_BUMP_COUNT: &str = "mailbox:bump_count";
+/// See [`FAULT_BUMP_COUNT`].
+pub(crate) const FAULT_PREPARE_WRITE: &str = "mailbox:prepare_write";
+
+/// Fault-injection check at one of this module's instrumented edges:
+/// delegates to the run's [`nob_core::fault::FaultPlan`] when one is armed;
+/// a run without a plan pays a single `Option` discriminant test.
+#[inline]
+pub(crate) fn fault_edge(
+    faults: Option<&nob_core::fault::FaultPlan>,
+    site: &'static str,
+    shard: usize,
+    superstep: usize,
+) -> Result<(), ModelError> {
+    match faults {
+        Some(plan) => plan.check(site, shard, superstep),
+        None => Ok(()),
+    }
+}
+
 /// One half of the double buffer: a message slab grouped by destination VP.
 pub(crate) struct Arena<M> {
     slab: Vec<MaybeUninit<M>>,
@@ -658,6 +684,12 @@ impl<M> DirectSink<M> {
         self.core().vp_sent
     }
 
+    /// The VP whose sends are in progress (panic attribution).
+    #[inline]
+    pub(crate) fn current_vp(&self) -> usize {
+        self.core().cur_vp
+    }
+
     /// Delivers a payload message into its planned slot (the slot lives in
     /// the whole-machine arena or a destination shard's arena, depending on
     /// the armed writer).
@@ -1000,6 +1032,7 @@ impl<M> Lane<M> {
         let mut payloads = self.payloads.drain(..);
         for hdr in &self.hdrs {
             if hdr.data {
+                // allow-panic: push_data pairs every data header with a payload
                 let m = payloads.next().expect("one payload per data header");
                 deliver(hdr.dst, m);
             }

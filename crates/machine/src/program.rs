@@ -70,6 +70,13 @@ pub struct Outbox<M> {
     pub(crate) msgs: Vec<(u32, Envelope<M>)>,
     pub(crate) vp_start: usize,
     pub(crate) direct: Option<crate::mailbox::DirectSink<M>>,
+    /// The VP whose sends are in progress (engine-maintained; used to
+    /// attribute a closure panic to the VP that unwound).
+    pub(crate) cur_vp: usize,
+    /// Set when a staged send named a destination beyond the `u32` design
+    /// range; the message is dropped and the engine surfaces a structured
+    /// error at the next phase boundary instead of panicking mid-closure.
+    pub(crate) oob_dst: bool,
 }
 
 impl<M> std::fmt::Debug for Outbox<M> {
@@ -83,7 +90,7 @@ impl<M> std::fmt::Debug for Outbox<M> {
 
 impl<M> Outbox<M> {
     pub(crate) fn new() -> Self {
-        Outbox { msgs: Vec::new(), vp_start: 0, direct: None }
+        Outbox { msgs: Vec::new(), vp_start: 0, direct: None, cur_vp: 0, oob_dst: false }
     }
 
     /// Marks the start of a new VP's messages (engine-internal).
@@ -109,6 +116,7 @@ impl<M> Outbox<M> {
     /// The armed direct writer (engine-internal; panics when not armed).
     #[inline]
     pub(crate) fn direct_mut(&mut self) -> &mut crate::mailbox::DirectSink<M> {
+        // allow-panic: engine-internal arming invariant, unreachable from user input
         self.direct.as_mut().expect("direct mode not armed")
     }
 
@@ -116,7 +124,25 @@ impl<M> Outbox<M> {
     /// (engine-internal).
     #[inline]
     pub(crate) fn exit_direct(&mut self) -> crate::mailbox::DirectSink<M> {
+        // allow-panic: engine-internal arming invariant, unreachable from user input
         self.direct.take().expect("direct mode not armed")
+    }
+
+    /// The VP to attribute an in-flight closure panic to, disarming any
+    /// direct writer left armed by the unwind (engine-internal; called on
+    /// the `catch_unwind` failure path only).
+    pub(crate) fn panic_vp(&mut self) -> usize {
+        match self.direct.take() {
+            Some(d) => d.current_vp(),
+            None => self.cur_vp,
+        }
+    }
+
+    /// Consumes the out-of-range-destination flag (engine-internal; checked
+    /// once per phase so the error rides the normal abort protocol).
+    #[inline]
+    pub(crate) fn take_oob(&mut self) -> bool {
+        std::mem::take(&mut self.oob_dst)
     }
 
     /// Sends a constant-size message to VP `dst` (the paper's `send(m, q)`);
@@ -127,7 +153,10 @@ impl<M> Outbox<M> {
             d.send(dst, msg);
             return;
         }
-        let dst = u32::try_from(dst).expect("destination id exceeds u32 range");
+        let Ok(dst) = u32::try_from(dst) else {
+            self.oob_dst = true;
+            return;
+        };
         self.msgs.push((dst, Envelope::Data(msg)));
     }
 
@@ -139,7 +168,10 @@ impl<M> Outbox<M> {
             d.send_dummy(dst);
             return;
         }
-        let dst = u32::try_from(dst).expect("destination id exceeds u32 range");
+        let Ok(dst) = u32::try_from(dst) else {
+            self.oob_dst = true;
+            return;
+        };
         self.msgs.push((dst, Envelope::Dummy));
     }
 
@@ -156,6 +188,16 @@ impl<M> Outbox<M> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// The error reported when a staged send named a destination beyond the
+/// `u32` design range (see [`Outbox::send`]); shared by the serial path and
+/// the sharded flush so both report identically.
+pub(crate) fn oob_dst_error() -> nob_core::ModelError {
+    nob_core::ModelError::BadParameter {
+        what: "dst",
+        reason: "destination id exceeds the u32 design range",
     }
 }
 

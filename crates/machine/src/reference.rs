@@ -40,6 +40,9 @@ fn run_one<S, M>(
     (step.exec)(state, &ctx, &mut ib, &mut out);
     drop(ib);
     inbox.clear();
+    // allow-panic: the legacy baseline keeps its historical panic on an
+    // out-of-u32-range destination (the arena engine reports a ModelError).
+    assert!(!out.oob_dst, "destination id exceeds u32 range");
     out.msgs
 }
 
@@ -109,6 +112,8 @@ pub fn run_reference<S: Send, M: Send>(
                     msgs: out.iter().map(|&(d, _)| (d, Envelope::Dummy)).collect(),
                     vp_start: 0,
                     direct: None,
+                    cur_vp: 0,
+                    oob_dst: false,
                 };
                 validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
             }
@@ -133,7 +138,7 @@ pub fn run_reference<S: Send, M: Send>(
         }
     }
 
-    Ok(RunResult { states, trace, message_log })
+    Ok(RunResult { states, trace, message_log, fallback: None })
 }
 
 /// Legacy folded execution. Semantically identical to
@@ -167,6 +172,8 @@ pub fn run_folded_reference<S: Send, M: Send>(
                     msgs: out.iter().map(|&(d, _)| (d, Envelope::Dummy)).collect(),
                     vp_start: 0,
                     direct: None,
+                    cur_vp: 0,
+                    oob_dst: false,
                 };
                 validate_outbox::<M>(src, step.label, log_v, v, &shim)?;
             }
@@ -193,5 +200,5 @@ pub fn run_folded_reference<S: Send, M: Send>(
         }
     }
 
-    Ok(RunResult { states, trace, message_log: None })
+    Ok(RunResult { states, trace, message_log: None, fallback: None })
 }

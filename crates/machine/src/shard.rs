@@ -80,24 +80,58 @@
 //!
 //! # Failure protocol
 //!
-//! Workers park on [`Barrier`]s, so no worker may ever unwind past one
-//! while peers still wait. Every phase body runs under `catch_unwind`;
-//! validation errors, plan mismatches and panics park their evidence in the
-//! shard cell (or the shared panic slot) and stamp the *barrier round* the
-//! failing worker is about to wait at into the shared abort round. After
-//! every round, each worker exits iff the abort round is at or before the
-//! round it just passed — a decision every worker provably agrees on,
-//! because a stamp for round `r` happens-before every release from round
-//! `r`, while a faster peer's failure in a *later* phase stamps a later
-//! round that a round-`r` check deliberately ignores. (The barrier
-//! sequence itself is a deterministic function of the program: the
-//! per-step protocol choice and the pipelined prepares depend only on the
-//! static plan coverage.) The run then reports the panic (re-raised) or
-//! the lowest shard's error — which is also the first in source order,
-//! matching the serial engine. Abandoned lane payloads are reclaimed by
-//! plain `Vec` destructors; partially written direct-scatter slabs are
-//! never committed, so their payloads leak (never dropped, never
+//! Workers park on the [`GangBarrier`], so no worker may ever unwind past
+//! one while peers still wait. Every phase body runs under `catch_unwind`;
+//! validation errors, plan mismatches, injected faults and panics (the
+//! latter downgraded to the structured [`ModelError::VpPanic`] — step
+//! name, offending VP, payload message preserved) park their evidence in
+//! the shard cell and stamp the *barrier round* the failing worker is
+//! about to wait at into the shared abort round. After every round, each
+//! worker exits iff the abort round is at or before the round it just
+//! passed — a decision every worker provably agrees on, because a stamp
+//! for round `r` happens-before every release from round `r`, while a
+//! faster peer's failure in a *later* phase stamps a later round that a
+//! round-`r` check deliberately ignores. (The barrier sequence itself is a
+//! deterministic function of the program: the per-step protocol choice and
+//! the pipelined prepares depend only on the static plan coverage.) The
+//! run then reports the lowest-numbered shard's error — also the first in
+//! source order, matching the serial engine, which downgrades closure
+//! panics to the identical `VpPanic`. Abandoned lane payloads are
+//! reclaimed by plain `Vec` destructors; partially written direct-scatter
+//! slabs are never committed, so their payloads leak (never dropped, never
 //! re-observed), bounded by one superstep's traffic.
+//!
+//! One failure point lies *after* its barrier: the planned protocol's
+//! arena commit, which must run once peers are done writing into the
+//! arena. A failure there (instrumented as the `shard:commit` failpoint)
+//! settles for the *next* round and pays exactly one more wait — the
+//! round every healthy peer reaches next — so the gang still exits in
+//! lockstep; at the last superstep there is no next round and the worker
+//! simply leaves.
+//!
+//! ## Watchdog
+//!
+//! With [`RunOptions::stall_timeout`] set the barrier is watchdog-armed: a
+//! waiter that outlasts the timeout while its round is incomplete
+//! *poisons* the barrier; every current and future wait then returns an
+//! error, each worker records a [`ModelError::GangStall`] and leaves
+//! without further waits. A lost or descheduled worker thus becomes a
+//! structured error instead of a process deadlock. A closure that *never*
+//! returns still wedges its OS thread (scoped threads must join before the
+//! run can return) — the documented limit of in-process recovery.
+//!
+//! ## Fault injection
+//!
+//! Every phase boundary checks the run's [`nob_core::fault::FaultPlan`]
+//! ([`RunOptions::faults`]) under its site name — `shard:prepare`,
+//! `shard:exec_planned`, `shard:commit`, `shard:flush`, `shard:gather`,
+//! `shard:merge`, plus the `mailbox:bump_count` / `mailbox:prepare_write`
+//! edges inside gather — *inside* the phase's `catch_unwind`, so both
+//! error- and panic-flavor faults traverse exactly the abort path a real
+//! failure would. A run without a plan pays one `Option` discriminant test
+//! per phase (`tests/allocation.rs` pins the steady state unchanged), and
+//! `tests/chaos.rs` sweeps site × flavor × width asserting structured
+//! errors, lockstep exit, and bit-for-bit clean reruns.
 //!
 //! # Why not the rayon pool?
 //!
@@ -125,10 +159,28 @@ use crate::program::{Envelope, LanePlan, Program, Superstep};
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{DegreeCounters, EpochMerge, TraceBuilder};
 use nob_core::model::log2_exact;
+use nob_core::fault::FaultPlan;
 use nob_core::ModelError;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Fault-injection sites instrumented by this executor, one per phase
+/// boundary of the two protocols (see the module docs' failure-protocol
+/// section; the serial path's sites live in `crate::engine`, the
+/// arena/count edges in `crate::mailbox`).
+const FAULT_PREPARE: &str = "shard:prepare";
+/// See [`FAULT_PREPARE`].
+const FAULT_EXEC_PLANNED: &str = "shard:exec_planned";
+/// See [`FAULT_PREPARE`].
+const FAULT_COMMIT: &str = "shard:commit";
+/// See [`FAULT_PREPARE`].
+const FAULT_FLUSH: &str = "shard:flush";
+/// See [`FAULT_PREPARE`].
+const FAULT_GATHER: &str = "shard:gather";
+/// See [`FAULT_PREPARE`].
+const FAULT_MERGE: &str = "shard:merge";
 
 /// Per-shard state crossing the worker/coordinator boundary. Protected by a
 /// mutex only to satisfy the type system: the barrier protocol already
@@ -152,7 +204,7 @@ struct Shared<'p, S, M> {
     /// by arena parity (invariant 5 in `mailbox`).
     direct: DirectGrid<M>,
     cells: Vec<Mutex<ShardCell>>,
-    barrier: Barrier,
+    barrier: GangBarrier,
     /// Earliest barrier round preceded by an error or panic (`u64::MAX`
     /// while the run is healthy). A failing worker stamps the round it is
     /// *about* to wait at — before waiting — so after every round `r` the
@@ -163,7 +215,8 @@ struct Shared<'p, S, M> {
     /// next-phase failure could be observed by a slow worker's earlier
     /// check, splitting the gang across different exit barriers.)
     abort_round: AtomicU64,
-    panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The run's fault-injection plan, if any (see the module docs).
+    faults: Option<&'p FaultPlan>,
     spec: GranSpec,
     validate: bool,
     collect_log: bool,
@@ -225,11 +278,84 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// The gang barrier, optionally watchdog-armed. Without a timeout the
+/// semantics match `std::sync::Barrier` (wait forever). With one, a waiter
+/// that outlasts the timeout while its round is still incomplete *poisons*
+/// the barrier: its own wait and every current and future wait return
+/// `Err(missing)` — the number of workers that had not arrived when the
+/// watchdog fired — so the whole gang drains deterministically instead of
+/// deadlocking on a lost peer.
+struct GangBarrier {
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+    n: usize,
+    timeout: Option<Duration>,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    /// `Some(missing)` once the watchdog fired; sticky for the run.
+    stalled: Option<usize>,
+}
+
+impl GangBarrier {
+    fn new(n: usize, timeout: Option<Duration>) -> Self {
+        GangBarrier {
+            state: Mutex::new(BarrierState { arrived: 0, generation: 0, stalled: None }),
+            cvar: Condvar::new(),
+            n,
+            timeout,
+        }
+    }
+
+    /// Waits for the whole gang; `Err(missing)` reports a poisoned barrier.
+    fn wait(&self) -> Result<(), usize> {
+        let mut st = lock(&self.state);
+        if let Some(missing) = st.stalled {
+            return Err(missing);
+        }
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        loop {
+            st = match self.timeout {
+                None => self.cvar.wait(st).unwrap_or_else(|e| e.into_inner()),
+                Some(dur) => {
+                    let (guard, timeout) =
+                        self.cvar.wait_timeout(st, dur).unwrap_or_else(|e| e.into_inner());
+                    let mut guard = guard;
+                    if timeout.timed_out() && guard.generation == gen && guard.stalled.is_none()
+                    {
+                        let missing = self.n - guard.arrived;
+                        guard.stalled = Some(missing);
+                        self.cvar.notify_all();
+                        return Err(missing);
+                    }
+                    guard
+                }
+            };
+            if st.generation != gen {
+                return Ok(());
+            }
+            if let Some(missing) = st.stalled {
+                return Err(missing);
+            }
+        }
+    }
+}
+
 /// Executes `prog` on `n_shards` persistent workers. Trace granularity and
 /// folding semantics come from `spec`; results are bit-for-bit identical to
 /// the serial path. Returns the number of barrier rounds the gang walked
 /// (a protocol diagnostic: dynamic supersteps cost three, steady-state
-/// planned supersteps one).
+/// planned supersteps one — and on failure, the round the gang exited at,
+/// which the abort-protocol tests pin) together with the run outcome.
 pub(crate) fn run_sharded<S: Send, M: Send>(
     prog: &Program<S, M>,
     states: &mut [S],
@@ -238,7 +364,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
     opts: &RunOptions,
     trace: &mut TraceBuilder,
     message_log: &mut Option<Vec<Vec<(u32, u32)>>>,
-) -> Result<u64, ModelError> {
+) -> (u64, Result<(), ModelError>) {
     let v = prog.v();
     let log_v = prog.log_v();
     let log_shards = log2_exact(n_shards);
@@ -264,9 +390,9 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
                 })
             })
             .collect(),
-        barrier: Barrier::new(n_shards),
+        barrier: GangBarrier::new(n_shards, opts.stall_timeout),
         abort_round: AtomicU64::new(u64::MAX),
-        panic_slot: Mutex::new(None),
+        faults: opts.faults.as_deref(),
         spec,
         validate: opts.validate,
         collect_log: message_log.is_some(),
@@ -314,38 +440,67 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
         rounds = shard_loop(coordinator, &shared, Some(coord));
     });
 
-    if let Some(p) = lock(&shared.panic_slot).take() {
-        resume_unwind(p);
-    }
     for cell in &shared.cells {
         if let Some(e) = lock(cell).error.take() {
-            return Err(e);
+            return (rounds, Err(e));
         }
     }
-    Ok(rounds)
+    (rounds, Ok(()))
 }
 
-/// Registers a phase outcome: model errors go to the shard cell, panics to
-/// the shared slot; either stamps `next_round` — the barrier round this
-/// worker is about to wait at — into the abort round, the gang's common
-/// exit point (see [`Shared::abort_round`]).
+/// Fault-injection check at one of this executor's instrumented phase
+/// boundaries; free (one `Option` discriminant test) when no plan is armed.
+#[inline]
+fn fault_check<S, M>(
+    shared: &Shared<'_, S, M>,
+    site: &'static str,
+    w: usize,
+    t: usize,
+) -> Result<(), ModelError> {
+    match shared.faults {
+        Some(plan) => plan.check(site, w, t),
+        None => Ok(()),
+    }
+}
+
+/// Waits at the gang barrier. On a watchdog stall this worker records the
+/// structured [`ModelError::GangStall`] in its own cell (every worker
+/// records one, so the run reports the lowest shard's, per the usual rule)
+/// and must exit its loop without further waits; returns whether the round
+/// completed normally.
+fn gang_wait<S, M>(shared: &Shared<'_, S, M>, w: usize, next_round: u64) -> bool {
+    match shared.barrier.wait() {
+        Ok(()) => true,
+        Err(missing) => {
+            lock(&shared.cells[w])
+                .error
+                .get_or_insert(ModelError::GangStall { round: next_round, missing });
+            false
+        }
+    }
+}
+
+/// Registers a phase outcome in the shard cell: model errors verbatim,
+/// panics downgraded to the structured [`ModelError::VpPanic`] (`step` and
+/// `vp` attribute the failure; the serial path produces the identical
+/// error). Either stamps `next_round` — the barrier round this worker is
+/// about to wait at — into the abort round, the gang's common exit point
+/// (see [`Shared::abort_round`]).
 fn settle<S, M>(
     shared: &Shared<'_, S, M>,
     w: usize,
     outcome: std::thread::Result<Result<(), ModelError>>,
+    step: &'static str,
+    vp: usize,
     next_round: u64,
 ) {
-    match outcome {
-        Ok(Ok(())) => {}
-        Ok(Err(e)) => {
-            lock(&shared.cells[w]).error.get_or_insert(e);
-            shared.abort_round.fetch_min(next_round, Ordering::SeqCst);
-        }
-        Err(p) => {
-            lock(&shared.panic_slot).get_or_insert(p);
-            shared.abort_round.fetch_min(next_round, Ordering::SeqCst);
-        }
-    }
+    let err = match outcome {
+        Ok(Ok(())) => return,
+        Ok(Err(e)) => e,
+        Err(p) => crate::engine::vp_panic_error(step, vp, p),
+    };
+    lock(&shared.cells[w]).error.get_or_insert(err);
+    shared.abort_round.fetch_min(next_round, Ordering::SeqCst);
 }
 
 /// The usable communication plan of a step, under the run's plan policy.
@@ -385,10 +540,14 @@ fn shard_loop<S: Send, M: Send>(
                 // First planned superstep of a run (or after a dynamic
                 // one): publish the windows, then let everyone see them.
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fault_check(shared, FAULT_PREPARE, me.w, t)?;
                     prepare_direct(&mut me, shared, t, plan, widx)
                 }));
-                settle(shared, me.w, outcome, rounds + 1);
-                shared.barrier.wait();
+                let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
+                settle(shared, me.w, outcome, step.name, vp, rounds + 1);
+                if !gang_wait(shared, me.w, rounds + 1) {
+                    break;
+                }
                 rounds += 1;
                 if shared.abort_round.load(Ordering::SeqCst) <= rounds {
                     break;
@@ -397,6 +556,7 @@ fn shard_loop<S: Send, M: Send>(
             let next_plan = steps.get(t + 1).and_then(|s| active_plan(shared, s));
             let mut prepped_next = false;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
+                fault_check(shared, FAULT_EXEC_PLANNED, me.w, t)?;
                 exec_planned(&mut me, shared, step, plan, t, read_idx)?;
                 if let Some(c) = coord.as_mut() {
                     // Nothing to merge for a planned superstep: push the
@@ -412,21 +572,41 @@ fn shard_loop<S: Send, M: Send>(
                     // (already consumed) read arena, and its windows land
                     // in the other parity, so peers mid-exec never observe
                     // the publication until the barrier below.
+                    fault_check(shared, FAULT_PREPARE, me.w, t + 1)?;
                     prepare_direct(&mut me, shared, t + 1, np, read_idx)?;
                     prepped_next = true;
                 }
                 Ok(())
             }));
-            settle(shared, me.w, outcome, rounds + 1);
-            shared.barrier.wait();
+            let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
+            settle(shared, me.w, outcome, step.name, vp, rounds + 1);
+            if !gang_wait(shared, me.w, rounds + 1) {
+                break;
+            }
             rounds += 1;
             if shared.abort_round.load(Ordering::SeqCst) <= rounds {
                 break;
             }
             // Peers are past the barrier: every region of this worker's
             // write arena is full and checked, so publish it to the next
-            // superstep's read phase.
-            me.arenas[widx].commit_write(me.pending_total[widx]);
+            // superstep's read phase. This is the one failure point *after*
+            // its barrier (see the module docs): on failure, settle for the
+            // next round and pay exactly one more wait — the round every
+            // healthy peer reaches next — so the gang still exits in
+            // lockstep; at the last superstep there is no next round.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                fault_check(shared, FAULT_COMMIT, me.w, t)?;
+                me.arenas[widx].commit_write(me.pending_total[widx]);
+                Ok(())
+            }));
+            if !matches!(outcome, Ok(Ok(()))) {
+                let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
+                settle(shared, me.w, outcome, step.name, vp, rounds + 1);
+                if t + 1 < steps.len() && gang_wait(shared, me.w, rounds + 1) {
+                    rounds += 1;
+                }
+                break;
+            }
             prepared = prepped_next;
             read_idx = 1 - read_idx;
             continue;
@@ -437,6 +617,7 @@ fn shard_loop<S: Send, M: Send>(
 
         // --- phase 1: exec + flush ----------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            fault_check(shared, FAULT_FLUSH, me.w, t)?;
             if shared.validate {
                 // A *faulted* plan is an error under validation; without it
                 // the step simply runs on this dynamic path (the serial
@@ -463,8 +644,11 @@ fn shard_loop<S: Send, M: Send>(
             let mut cell = lock(&shared.cells[me.w]);
             flush(&mut me, shared, &mut cell, step, record_step)
         }));
-        settle(shared, me.w, outcome, rounds + 1);
-        shared.barrier.wait();
+        let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
+        settle(shared, me.w, outcome, step.name, vp, rounds + 1);
+        if !gang_wait(shared, me.w, rounds + 1) {
+            break;
+        }
         rounds += 1;
         if shared.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
@@ -472,24 +656,30 @@ fn shard_loop<S: Send, M: Send>(
 
         // --- phase 2: gather ----------------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
+            fault_check(shared, FAULT_GATHER, me.w, t)?;
             let mut cell = lock(&shared.cells[me.w]);
             gather(&mut me, shared, &mut cell, t, record_step, 1 - read_idx)
         }));
-        settle(shared, me.w, outcome, rounds + 1);
-        shared.barrier.wait();
+        settle(shared, me.w, outcome, step.name, me.vp_lo, rounds + 1);
+        if !gang_wait(shared, me.w, rounds + 1) {
+            break;
+        }
         rounds += 1;
 
         // --- phase 3: merge (coordinator only) ----------------------------
         if let Some(c) = coord.as_mut() {
             if shared.abort_round.load(Ordering::SeqCst) > rounds {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fault_check(shared, FAULT_MERGE, 0, t)?;
                     merge_superstep(c, shared, step.label, record_step);
                     Ok(())
                 }));
-                settle(shared, 0, outcome, rounds + 1);
+                settle(shared, 0, outcome, step.name, 0, rounds + 1);
             }
         }
-        shared.barrier.wait();
+        if !gang_wait(shared, me.w, rounds + 1) {
+            break;
+        }
         rounds += 1;
         if shared.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
@@ -756,6 +946,9 @@ fn flush<S, M: Send>(
     step: &Superstep<S, M>,
     record_step: bool,
 ) -> Result<(), ModelError> {
+    if me.stage.outbox.take_oob() {
+        return Err(crate::program::oob_dst_error());
+    }
     let v = shared.v;
     let log_v = shared.log_v;
     let shard_shift = log_v - shared.log_shards;
@@ -771,6 +964,9 @@ fn flush<S, M: Send>(
     for (i, &end) in me.stage.vp_ends.iter().enumerate() {
         let src = me.vp_lo + i;
         while msg_idx < end as usize {
+            // allow-panic: `vp_ends` is built by `end_vp` from the same
+            // staging buffer, so an exhausted iterator here is an engine
+            // bug, unreachable from user input.
             let (dst, env) = staged.next().expect("vp_ends bound the staged messages");
             msg_idx += 1;
             let d = dst as usize;
@@ -859,6 +1055,7 @@ fn gather<S, M: Send>(
 
     // `dst_counts` is all-zero here: `prepare_write` zeroes the counts as
     // it consumes them (no per-superstep `fill(0)` sweep).
+    crate::mailbox::fault_edge(shared.faults, crate::mailbox::FAULT_BUMP_COUNT, me.w, t)?;
     for s_prev in span.clone() {
         if s_prev == me.w {
             for &(dst_rel, _) in local.iter() {
@@ -879,6 +1076,7 @@ fn gather<S, M: Send>(
         }
     }
 
+    crate::mailbox::fault_edge(shared.faults, crate::mailbox::FAULT_PREPARE_WRITE, me.w, t)?;
     let write = &mut me.arenas[write_idx];
     let total = write.prepare_write(dst_counts, cursors);
     let (slab, _offsets) = write.split_for_scatter(total);
@@ -996,8 +1194,9 @@ mod tests {
         let spec = GranSpec { levels: prog.log_v(), gran_shift: 0, full: true };
         let mut trace = TraceBuilder::new(prog.v(), prog.n(), prog.steps().len());
         let mut log = None;
-        let rounds =
-            run_sharded(prog, states, spec, n_shards, opts, &mut trace, &mut log).unwrap();
+        let (rounds, outcome) =
+            run_sharded(prog, states, spec, n_shards, opts, &mut trace, &mut log);
+        outcome.unwrap();
         (rounds, trace.finish())
     }
 
@@ -1064,5 +1263,103 @@ mod tests {
         let mut states: Vec<u64> = (0..v as u64).collect();
         let (b, _) = run_counting(&prog, &mut states, 2, &RunOptions::default());
         assert_eq!(b, 9, "prepare pipelining must skip the extra barrier between planned steps");
+    }
+
+    /// Raw sharded run exposing rounds *and* outcome (the failure tests pin
+    /// both).
+    fn run_raw(
+        prog: &Program<u64, u64>,
+        states: &mut [u64],
+        n_shards: usize,
+        opts: &RunOptions,
+    ) -> (u64, Result<(), ModelError>) {
+        let spec = GranSpec { levels: prog.log_v(), gran_shift: 0, full: true };
+        let mut trace = TraceBuilder::new(prog.v(), prog.n(), prog.steps().len());
+        let mut log = None;
+        run_sharded(prog, states, spec, n_shards, opts, &mut trace, &mut log)
+    }
+
+    #[test]
+    fn vp_panics_exit_the_gang_in_lockstep_at_every_width() {
+        let v = 8usize;
+        let boom = |_: &mut u64, ctx: &Ctx, _: &mut Inbox<'_, u64>, _: &mut crate::program::Outbox<u64>| {
+            if ctx.vp == 5 {
+                panic!("vp exploded");
+            }
+        };
+        let want = ModelError::VpPanic { step: "boom", vp: 5, payload: "vp exploded".into() };
+
+        // Dynamic protocol: the panic settles before the flush barrier, so
+        // the whole gang exits at round 1 — no matter the width.
+        let mut dynamic: Program<u64, u64> = Program::new(v, v);
+        dynamic.step(0, "boom", boom);
+        for w in [2usize, 4, 8] {
+            let mut states = vec![0u64; v];
+            let (rounds, outcome) = run_raw(&dynamic, &mut states, w, &RunOptions::default());
+            assert_eq!(outcome.unwrap_err(), want, "dynamic error diverges at {w} workers");
+            assert_eq!(rounds, 1, "dynamic gang must exit at the flush barrier at {w} workers");
+        }
+
+        // Planned (one-barrier) protocol: the prepare barrier is round 1,
+        // the panicking exec settles before round 2 — the gang's exit.
+        let mut planned: Program<u64, u64> = Program::new(v, v);
+        planned.step_oblivious(0, "boom", 0, |_, _| Route::End, boom);
+        for w in [2usize, 4, 8] {
+            let mut states = vec![0u64; v];
+            let (rounds, outcome) = run_raw(&planned, &mut states, w, &RunOptions::default());
+            assert_eq!(outcome.unwrap_err(), want, "planned error diverges at {w} workers");
+            assert_eq!(rounds, 2, "planned gang must exit at the exec barrier at {w} workers");
+        }
+    }
+
+    #[test]
+    fn gang_barrier_watchdog_poisons_instead_of_deadlocking() {
+        use std::time::Duration;
+        let b = std::sync::Arc::new(GangBarrier::new(3, Some(Duration::from_millis(20))));
+        // Two of three waiters arrive; the watchdog fires and both get the
+        // missing count. The absent waiter finds the barrier poisoned.
+        let (r1, r2) = std::thread::scope(|s| {
+            let b1 = std::sync::Arc::clone(&b);
+            let h1 = s.spawn(move || b1.wait());
+            let b2 = std::sync::Arc::clone(&b);
+            let h2 = s.spawn(move || b2.wait());
+            (h1.join().unwrap(), h2.join().unwrap())
+        });
+        assert_eq!(r1, Err(1));
+        assert_eq!(r2, Err(1));
+        assert_eq!(b.wait(), Err(1), "a poisoned barrier must stay poisoned");
+
+        // Without a timeout (and with one, when everyone shows up) the
+        // barrier behaves like `std::sync::Barrier`.
+        let b = GangBarrier::new(2, Some(Duration::from_millis(500)));
+        std::thread::scope(|s| {
+            let h = s.spawn(|| b.wait());
+            assert_eq!(b.wait(), Ok(()));
+            assert_eq!(h.join().unwrap(), Ok(()));
+        });
+    }
+
+    #[test]
+    fn stalled_worker_surfaces_as_gang_stall_not_deadlock() {
+        use std::time::Duration;
+        let v = 8usize;
+        // VP 5 (shard 1 of 2) outsleeps the watchdog by a wide margin; the
+        // healthy worker's wait times out and the run reports the
+        // structured stall instead of hanging.
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        prog.step(0, "naps", |_, ctx, _, _| {
+            if ctx.vp == 5 {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+        });
+        let opts =
+            RunOptions { stall_timeout: Some(Duration::from_millis(50)), ..Default::default() };
+        let mut states = vec![0u64; v];
+        let (_, outcome) = run_raw(&prog, &mut states, 2, &opts);
+        assert_eq!(
+            outcome.unwrap_err(),
+            ModelError::GangStall { round: 1, missing: 1 },
+            "a lost worker must become a structured error"
+        );
     }
 }

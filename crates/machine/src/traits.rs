@@ -64,8 +64,13 @@ pub fn execute_with_log<A: NobAlgorithm>(
 ) -> Result<(A::Output, CommTrace, Vec<Vec<(u32, u32)>>), ModelError> {
     let states = alg.init(n, input);
     let prog = alg.build(n);
-    let RunResult { states, trace, message_log } = run(&prog, states, &RunOptions::with_log())?;
-    Ok((alg.extract(n, states), trace, message_log.expect("log requested")))
+    let RunResult { states, trace, message_log, .. } =
+        run(&prog, states, &RunOptions::with_log())?;
+    let message_log = message_log.ok_or(ModelError::BadParameter {
+        what: "message_log",
+        reason: "engine returned no message log for a log-requesting run",
+    })?;
+    Ok((alg.extract(n, states), trace, message_log))
 }
 
 /// Runs the *folding* of `alg` on `M(p)`: the executable counterpart of the

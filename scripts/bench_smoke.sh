@@ -8,7 +8,24 @@
 # folded paths. Wired into scripts/tier1.sh so a plan/metric divergence
 # fails tier-1 immediately instead of waiting for a full bench run. Takes
 # a few seconds (release build assumed warm from tier-1).
+#
+# It also times the fft v = 2^10 serial row (faults disarmed — the default)
+# into a one-row guard file and diffs it against the checked-in
+# BENCH_engine.json baseline: the throughput tripwire proving the
+# fault-injection/watchdog plumbing costs nothing when disabled. The
+# threshold (percent) is deliberately loose — CI containers are noisy —
+# and tunable via NOB_SMOKE_BENCH_TOL; requires jq (skipped with a notice
+# when absent, like bench_compare.sh itself would fail).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release --offline -q -p nob-bench --bin exp_engine_throughput -- --smoke
+guard="$(mktemp /tmp/BENCH_smoke.XXXXXX.json)"
+trap 'rm -f "$guard"' EXIT
+
+cargo run --release --offline -q -p nob-bench --bin exp_engine_throughput -- --smoke "$guard"
+
+if command -v jq >/dev/null 2>&1; then
+    scripts/bench_compare.sh BENCH_engine.json "$guard" "${NOB_SMOKE_BENCH_TOL:-35}"
+else
+    echo "bench_smoke: jq not found, skipping throughput guard comparison" >&2
+fi

@@ -20,6 +20,33 @@ if grep -rn --include='*.rs' 'saturating_' crates/machine/src | grep -v 'allow-s
     exit 1
 fi
 
+# Panic-free engine: failures must surface as structured ModelErrors (the
+# chaos-hardening contract), so non-test engine code may not unwrap/expect
+# without an explicit `allow-panic:` justification on the line or in a
+# comment within the three lines above it. Test modules are exempt: the
+# scan stops at each file's first `#[cfg(test)]`.
+panics=$(
+    for f in $(find crates/machine/src -name '*.rs'); do
+        awk '
+            /#\[cfg\(test\)\]/ { exit }
+            /allow-panic:/ { ok = FNR }
+            /\.unwrap\(\)|\.expect\(/ {
+                if (!ok || FNR - ok > 3) print FILENAME ":" FNR ":" $0
+            }
+        ' "$f"
+    done
+)
+if [ -n "$panics" ]; then
+    echo "$panics"
+    echo "tier1: unjustified unwrap()/expect( in crates/machine/src non-test code (return a ModelError or add an allow-panic: comment)" >&2
+    exit 1
+fi
+
+# Chaos suite: deterministic fault injection over every instrumented
+# failpoint × flavor × shard width; bounded so a hang (the exact failure
+# class the suite guards against) fails tier-1 instead of wedging it.
+timeout 60 cargo test -q --offline -p nob-machine --test chaos
+
 scripts/bench_smoke.sh
 
 echo "tier1: OK"
