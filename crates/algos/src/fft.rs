@@ -321,13 +321,23 @@ impl BinaryExchangeFft {
 }
 
 /// Completes the DIF butterfly of the round with stride `d` (block `2d`).
-fn binex_combine(st: &mut FftState, ctx: &Ctx, inbox: &mut Inbox<'_, Complex>, d: usize) {
+/// `tw` is the round's precomputed twiddle table (`tw[j] = ω_{2d}^j`,
+/// built once per program by [`twiddle_table`]) — bit-for-bit the values
+/// [`Complex::twiddle`] would produce, without paying `cos`/`sin` per VP
+/// on the execution hot path.
+fn binex_combine(st: &mut FftState, ctx: &Ctx, inbox: &mut Inbox<'_, Complex>, d: usize, tw: &[Complex]) {
+    debug_assert_eq!(tw.len(), d);
     let other = inbox.pop().expect("butterfly partner message");
     st.val = if ctx.vp & d == 0 {
         st.val.add(other)
     } else {
-        other.sub(st.val).mul(Complex::twiddle(ctx.vp % d, 2 * d))
+        other.sub(st.val).mul(tw[ctx.vp % d])
     };
+}
+
+/// The stride-`d` round's twiddle table: `tw[j] = ω_{2d}^j` for `j < d`.
+fn twiddle_table(d: usize) -> std::sync::Arc<[Complex]> {
+    (0..d).map(|j| Complex::twiddle(j, 2 * d)).collect()
 }
 
 impl NobAlgorithm for BinaryExchangeFft {
@@ -354,29 +364,34 @@ impl NobAlgorithm for BinaryExchangeFft {
         assert!(Self::supports(n), "BinaryExchangeFft supports powers of two, got {n}");
         let mut prog = Program::new(n, n);
         let log_n = prog.log_v();
+        // Round l's combine stride equals round l-1's send stride, so each
+        // round hands its twiddle table to the next step's closure.
+        let mut prev: Option<(usize, std::sync::Arc<[Complex]>)> = None;
         for l in 0..log_n {
-            let prev_d = if l == 0 { None } else { Some(n >> l) };
             let d = n >> (l + 1);
+            let combine = prev.take();
             prog.step_oblivious(
                 l,
                 "binex-round",
                 1,
                 move |ctx, _| Route::Data(ctx.vp ^ d),
                 move |st, ctx, inbox, out| {
-                    if let Some(pd) = prev_d {
-                        binex_combine(st, ctx, inbox, pd);
+                    if let Some((pd, tw)) = &combine {
+                        binex_combine(st, ctx, inbox, *pd, tw);
                     }
                     out.send(ctx.vp ^ d, st.val);
                 },
             );
+            prev = Some((d, twiddle_table(d)));
         }
+        let (pd, tw) = prev.expect("log_n >= 1 for supported sizes");
         prog.step_oblivious(
             log_n - 1,
             "binex-finalize",
             0,
             |_, _| Route::Skip,
             move |st, ctx, inbox, _out| {
-                binex_combine(st, ctx, inbox, 1);
+                binex_combine(st, ctx, inbox, pd, &tw);
             },
         );
         prog

@@ -42,7 +42,7 @@
 //! they stay on the engine's dynamic path.
 
 use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program, Route};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The local rule: combine the three predecessors (absent at the spatial
 /// boundary) into the new cell value.
@@ -211,10 +211,13 @@ impl Geo {
 /// (it is the canonical copy within its level-ℓ segment). 0 = scratch.
 type ServeMask = u32;
 
-/// Per-VP value store.
+/// Per-VP value store. Ordered (not hashed): the distribution supersteps
+/// send while iterating the store, so iteration order is send order — and
+/// send order must be a deterministic function of `(program, v)` for the
+/// engine's trace capture to replay these steps as planned ones.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StencilState<V> {
-    store: HashMap<(i64, i64), (V, ServeMask)>,
+    store: BTreeMap<(i64, i64), (V, ServeMask)>,
 }
 
 impl<V: Clone> StencilState<V> {

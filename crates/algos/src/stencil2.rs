@@ -30,7 +30,7 @@
 //! `H = Θ(n·(√(n²/p) + σ))`).
 
 use nob_machine::{Ctx, Inbox, NobAlgorithm, Outbox, Program, Route};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The 9-point local rule. `neigh[dy+1][dx+1]` is `v(x+δx, y+δy, t−1)`
 /// (None outside the spatial square).
@@ -251,10 +251,14 @@ impl Geo2 {
 
 type ServeMask = u32;
 
-/// Per-VP value store for the (n,2)-stencil.
+/// Per-VP value store for the (n,2)-stencil. Ordered (not hashed): the
+/// distribution supersteps send while iterating the store, so iteration
+/// order is send order — and send order must be a deterministic function
+/// of `(program, v)` for the engine's trace capture to replay these steps
+/// as planned ones.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stencil2State<V> {
-    store: HashMap<(i64, i64, i64), (V, ServeMask)>,
+    store: BTreeMap<(i64, i64, i64), (V, ServeMask)>,
 }
 
 impl<V: Clone> Stencil2State<V> {

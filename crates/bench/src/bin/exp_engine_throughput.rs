@@ -1,14 +1,24 @@
 //! Engine-throughput experiment: messages/second of the sharded arena
 //! engine vs the preserved legacy reference engine, on the real FFT and
-//! Columnsort programs, for `v = 2^10 .. 2^16`, with a thread-scaling
-//! column (1, 2, 4, … executor workers) and a **communication-plan
-//! column**: every row measures the engine twice, with the programs'
-//! declared oblivious plans enabled (`plan_msgs_per_sec` — analytic
-//! metrics, compile-proven validation, direct-write scatter) and disabled
-//! (`arena_msgs_per_sec` — the dynamic path, directly comparable to the
-//! pre-plan baselines). Emits a machine-readable `BENCH_engine.json` so
-//! future PRs can track the perf trajectory (`scripts/bench_compare.sh`
-//! diffs two such files, including the plan column when both runs have it).
+//! Columnsort programs plus a fully *dynamic* butterfly, for
+//! `v = 2^10 .. 2^16`, with a thread-scaling column (1, 2, 4, … executor
+//! workers) and four engine configurations per row:
+//!
+//! * `plan_msgs_per_sec` — declared plans, fusion **off**: the PR-5
+//!   one-barrier protocol, kept directly comparable to older baselines.
+//! * `fused_msgs_per_sec` — declared plans, fusion **on**: shard-local
+//!   planned steps skip barriers and size arenas from the `O(1)` layout.
+//! * `captured_msgs_per_sec` — the program's dynamic steps
+//!   record-and-replayed via `Program::capture_plans` (100% planned),
+//!   fusion on: the engine's best mode. For fft/sort (fully declared)
+//!   capture is a no-op and this column documents captured-replay parity;
+//!   for `bfly-dyn` (zero declared routes) it *is* the capture win.
+//! * `arena_msgs_per_sec` — plans disabled, the dynamic path, comparable
+//!   to pre-plan baselines.
+//!
+//! Emits a machine-readable `BENCH_engine.json` so future PRs can track
+//! the perf trajectory (`scripts/bench_compare.sh` diffs two such files,
+//! including the plan column when both runs have it).
 //!
 //! Usage: `cargo run --release -p nob-bench --bin exp_engine_throughput
 //! [max_log_v] [out_path]` (defaults: 16, `BENCH_engine.json`), or
@@ -76,8 +86,10 @@ impl Measurement {
     }
 }
 
-/// Times `engine` over enough repetitions to exceed ~200ms, returning the
-/// best (fastest) repetition — the standard noise-resistant estimator.
+/// Times `engine` over enough repetitions to exceed ~500ms, returning the
+/// best (fastest) repetition — the standard noise-resistant estimator
+/// (the floor buys enough repetitions to catch an interference-free
+/// window on shared CI containers).
 fn measure<S: Clone + Send, M: Send>(
     prog: &Program<S, M>,
     states: &[S],
@@ -88,7 +100,7 @@ fn measure<S: Clone + Send, M: Send>(
     let mut supersteps = 0;
     let mut spent = 0.0f64;
     let mut reps = 0u32;
-    while reps < 3 || (spent < 0.2 && reps < 50) {
+    while reps < 3 || (spent < 0.5 && reps < 120) {
         let input = states.to_vec();
         let start = Instant::now();
         let res = engine(prog, input);
@@ -107,10 +119,17 @@ struct Row {
     program: &'static str,
     /// Executor workers pinned for this row (`RunOptions::workers`).
     threads: usize,
-    /// Supersteps carrying a compiled communication plan.
+    /// Supersteps carrying a *declared* compiled communication plan.
     planned_steps: usize,
-    /// Engine with communication plans enabled.
+    /// Supersteps planned after `Program::capture_plans` (always the full
+    /// step count — the 100%-coverage invariant is asserted per row).
+    captured_steps: usize,
+    /// Declared plans enabled, fusion off (the PR-5 one-barrier anchor).
     plan: Measurement,
+    /// Declared plans enabled, fusion on (zero-barrier shard-local runs).
+    fused: Measurement,
+    /// Capture-augmented program (100% planned), fusion on.
+    captured: Measurement,
     /// Engine with plans disabled (dynamic path; comparable to pre-plan
     /// baselines' `arena_msgs_per_sec`).
     arena: Measurement,
@@ -121,8 +140,8 @@ struct Row {
     rss_delta_kb: u64,
 }
 
-fn worker_opts(w: usize, use_plans: bool) -> RunOptions {
-    RunOptions { workers: Some(w), use_plans, ..Default::default() }
+fn worker_opts(w: usize, use_plans: bool, fuse: bool) -> RunOptions {
+    RunOptions { workers: Some(w), use_plans, fuse, ..Default::default() }
 }
 
 /// Asserts bit-for-bit equality of two runs (states, trace, message log).
@@ -148,13 +167,16 @@ fn crosscheck<A>(
     n: usize,
     input: &A::Input,
     widest: usize,
+    declared_plans: bool,
 ) -> (Program<A::State, A::Msg>, Vec<A::State>)
 where
     A: NobAlgorithm,
     A::State: Clone + PartialEq + std::fmt::Debug,
 {
     let prog = alg.build(n);
-    assert!(prog.planned_steps() > 0, "{name}: no compiled communication plans at v = {n}");
+    if declared_plans {
+        assert!(prog.planned_steps() > 0, "{name}: no compiled communication plans at v = {n}");
+    }
     let states = alg.init(n, input);
     // Message-log equality is only checked at small sizes: a log is O(total
     // messages) (55M entries for sort at v = 2^16), and holding three logged
@@ -167,6 +189,14 @@ where
     let plan_off = run(&prog, states.clone(), &worker_logged(1, false, logs)).unwrap();
     assert_same("plan-on vs plan-off", name, n, &plan_on, &plan_off);
     drop(plan_off);
+    let fuse_off = run(
+        &prog,
+        states.clone(),
+        &RunOptions { fuse: false, ..worker_logged(1, true, logs) },
+    )
+    .unwrap();
+    assert_same("fuse-on vs fuse-off", name, n, &plan_on, &fuse_off);
+    drop(fuse_off);
     let reference_opts =
         RunOptions { collect_messages: logs, ..Default::default() };
     let r = run_reference(&prog, states.clone(), &reference_opts).unwrap();
@@ -176,10 +206,53 @@ where
         let sh = run(&prog, states.clone(), &worker_logged(widest, true, logs)).unwrap();
         assert_same("sharded planned vs serial", name, n, &sh, &plan_on);
         drop(sh);
+        let sh_fuse_off = run(
+            &prog,
+            states.clone(),
+            &RunOptions { fuse: false, ..worker_logged(widest, true, logs) },
+        )
+        .unwrap();
+        assert_same("sharded fuse-off vs serial", name, n, &sh_fuse_off, &plan_on);
+        drop(sh_fuse_off);
         let sh_off = run(&prog, states.clone(), &worker_logged(widest, false, logs)).unwrap();
         assert_same("sharded plans-off vs serial", name, n, &sh_off, &plan_on);
     }
     (prog, states)
+}
+
+/// Builds the capture-augmented twin of `alg`'s program — dynamic steps
+/// record-and-replayed into plans — asserts the 100%-coverage invariant,
+/// and cross-checks the captured replay bit-for-bit against the dynamic
+/// run (serial, and sharded at `widest`).
+fn captured_twin<A>(
+    alg: &A,
+    name: &'static str,
+    n: usize,
+    states: &[A::State],
+    dynamic: &Program<A::State, A::Msg>,
+    widest: usize,
+) -> Program<A::State, A::Msg>
+where
+    A: NobAlgorithm,
+    A::State: Clone + PartialEq + std::fmt::Debug,
+{
+    let mut cap = alg.build(n);
+    cap.capture_plans(states.to_vec()).unwrap_or_else(|e| panic!("{name}: capture failed: {e}"));
+    assert_eq!(
+        cap.planned_steps(),
+        cap.steps().len(),
+        "{name}: capture left a dynamic step unplanned at v = {n}"
+    );
+    let logs = n <= (1 << 12);
+    let want = run(dynamic, states.to_vec(), &worker_logged(1, false, logs)).unwrap();
+    let got = run(&cap, states.to_vec(), &worker_logged(1, true, logs)).unwrap();
+    assert_same("captured vs dynamic", name, n, &got, &want);
+    drop(got);
+    if widest > 1 {
+        let sh = run(&cap, states.to_vec(), &worker_logged(widest, true, logs)).unwrap();
+        assert_same("sharded captured vs dynamic", name, n, &sh, &want);
+    }
+    cap
 }
 
 fn worker_logged(w: usize, use_plans: bool, collect_messages: bool) -> RunOptions {
@@ -192,6 +265,7 @@ fn bench_program<A>(
     n: usize,
     input: &A::Input,
     widths: &[usize],
+    declared_plans: bool,
     rows: &mut Vec<Row>,
 ) where
     A: NobAlgorithm,
@@ -204,13 +278,17 @@ fn bench_program<A>(
     // any memory regression — first materializes. Sampling after them would
     // report a delta of 0 for every row.
     let mut rss_mark = peak_rss_kb();
-    let (prog, states) = crosscheck(alg, name, n, input, widest);
+    let (prog, states) = crosscheck(alg, name, n, input, widest, declared_plans);
+    let cap = captured_twin(alg, name, n, &states, &prog, widest);
     let base = RunOptions::default();
     let reference = measure(&prog, &states, |p, s| run_reference(p, s, &base).unwrap());
     for &w in widths {
-        let on = worker_opts(w, true);
-        let off = worker_opts(w, false);
-        let plan = measure(&prog, &states, |p, s| run(p, s, &on).unwrap());
+        let anchor = worker_opts(w, true, false);
+        let fuse_on = worker_opts(w, true, true);
+        let off = worker_opts(w, false, false);
+        let plan = measure(&prog, &states, |p, s| run(p, s, &anchor).unwrap());
+        let fused = measure(&prog, &states, |p, s| run(p, s, &fuse_on).unwrap());
+        let captured = measure(&cap, &states, |p, s| run(p, s, &fuse_on).unwrap());
         let arena = measure(&prog, &states, |p, s| run(p, s, &off).unwrap());
         let rss_after = peak_rss_kb();
         let row = Row {
@@ -218,7 +296,10 @@ fn bench_program<A>(
             program: name,
             threads: w,
             planned_steps: prog.planned_steps(),
+            captured_steps: cap.planned_steps(),
             plan,
+            fused,
+            captured,
             arena,
             reference: reference.clone(),
             peak_rss_kb: rss_after,
@@ -226,14 +307,17 @@ fn bench_program<A>(
         };
         rss_mark = rss_after;
         eprintln!(
-            "v={:<6} {:<5} w={} plan {:>10.0} msg/s | dynamic {:>10.0} msg/s | reference {:>10.0} msg/s | plan/dyn {:.2}x",
+            "v={:<6} {:<9} w={} plan {:>10.0} | fused {:>10.0} | captured {:>10.0} | dynamic {:>10.0} | reference {:>10.0} msg/s | fused/plan {:.2}x | captured/dyn {:.2}x",
             row.v,
             row.program,
             row.threads,
             row.plan.msgs_per_sec(),
+            row.fused.msgs_per_sec(),
+            row.captured.msgs_per_sec(),
             row.arena.msgs_per_sec(),
             row.reference.msgs_per_sec(),
-            row.plan.msgs_per_sec() / row.arena.msgs_per_sec(),
+            row.fused.msgs_per_sec() / row.plan.msgs_per_sec(),
+            row.captured.msgs_per_sec() / row.arena.msgs_per_sec(),
         );
         rows.push(row);
     }
@@ -249,30 +333,39 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
     writeln!(json, "  \"pool_threads\": {},", rayon::current_num_threads()).unwrap();
     writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
     writeln!(json, "  \"validate\": {},", RunOptions::default().validate).unwrap();
-    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = communication plans enabled (analytic metrics + direct-write scatter, cross-shard when threads > 1); arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal\",").unwrap();
+    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = declared communication plans enabled with fusion off (the one-barrier protocol, comparable to pre-fusion baselines); fused_msgs_per_sec = declared plans with superstep fusion on (zero-barrier shard-local pipelines + O(1) layout arena sizing); captured_msgs_per_sec = the capture-augmented program (capture_plans, 100% planned) with fusion on — the capture win for programs with dynamic steps, captured-replay parity for fully declared ones; arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal\",").unwrap();
     writeln!(json, "  \"rows\": [").unwrap();
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         writeln!(
             json,
-            "    {{\"v\": {}, \"program\": \"{}\", \"threads\": {}, \"supersteps\": {}, \"planned_steps\": {}, \"messages_per_run\": {}, \
+            "    {{\"v\": {}, \"program\": \"{}\", \"threads\": {}, \"supersteps\": {}, \"planned_steps\": {}, \"captured_steps\": {}, \"messages_per_run\": {}, \
              \"plan_secs\": {:.6}, \"plan_msgs_per_sec\": {:.0}, \
+             \"fused_secs\": {:.6}, \"fused_msgs_per_sec\": {:.0}, \
+             \"captured_secs\": {:.6}, \"captured_msgs_per_sec\": {:.0}, \
              \"arena_secs\": {:.6}, \"arena_msgs_per_sec\": {:.0}, \
              \"reference_secs\": {:.6}, \"reference_msgs_per_sec\": {:.0}, \
-             \"plan_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
+             \"plan_speedup\": {:.3}, \"fuse_speedup\": {:.3}, \"capture_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
             row.v,
             row.program,
             row.threads,
             row.plan.supersteps,
             row.planned_steps,
+            row.captured_steps,
             row.plan.messages,
             row.plan.secs,
             row.plan.msgs_per_sec(),
+            row.fused.secs,
+            row.fused.msgs_per_sec(),
+            row.captured.secs,
+            row.captured.msgs_per_sec(),
             row.arena.secs,
             row.arena.msgs_per_sec(),
             row.reference.secs,
             row.reference.msgs_per_sec(),
             row.plan.msgs_per_sec() / row.arena.msgs_per_sec(),
+            row.fused.msgs_per_sec() / row.plan.msgs_per_sec(),
+            row.captured.msgs_per_sec() / row.arena.msgs_per_sec(),
             row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
             row.peak_rss_kb,
             row.rss_delta_kb,
@@ -285,10 +378,62 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
     json
 }
 
+/// A fully *dynamic* butterfly: the same exchange shape as the FFT's
+/// binary-exchange network, but declared with `Program::step` — zero
+/// oblivious routes, so only trace capture can bring it onto the planned
+/// path. Its `captured_msgs_per_sec` column is the record-and-replay win;
+/// its `plan` column equals `arena` (nothing declared to plan).
+#[derive(Debug, Clone, Default)]
+struct DynButterfly;
+
+impl NobAlgorithm for DynButterfly {
+    type State = u64;
+    type Msg = u64;
+    type Input = [u64];
+    type Output = Vec<u64>;
+
+    fn name(&self) -> String {
+        "bfly-dyn".to_string()
+    }
+
+    fn v(&self, n: usize) -> usize {
+        n
+    }
+
+    fn init(&self, n: usize, input: &[u64]) -> Vec<u64> {
+        assert_eq!(input.len(), n);
+        input.to_vec()
+    }
+
+    fn build(&self, n: usize) -> Program<u64, u64> {
+        let mut prog: Program<u64, u64> = Program::new(n, n);
+        let log_v = prog.log_v();
+        for l in 0..log_v {
+            let d = n >> (l + 1);
+            prog.step(l, "bfly-dyn", move |st, ctx, inbox, out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_mul(31).wrapping_add(m);
+                }
+                out.send(ctx.vp ^ d, *st);
+            });
+        }
+        prog.step(log_v - 1, "bfly-consume", |st, _ctx, inbox, _out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_mul(31).wrapping_add(m);
+            }
+        });
+        prog
+    }
+
+    fn extract(&self, _n: usize, states: Vec<u64>) -> Vec<u64> {
+        states
+    }
+}
+
 /// Tier-1 smoke mode: tiny size, serial + sharded at 4 workers (the gang
 /// runs even on 1-CPU containers — correctness is scheduling-independent),
-/// plans on vs off vs the reference engine — trace/state/log equality
-/// asserted, no timing.
+/// plans on vs off, fusion on vs off, capture on vs off, vs the reference
+/// engine — trace/state/log equality asserted, no timing.
 ///
 /// With an output path (`--smoke <out.json>`) it additionally times the
 /// fft `v = 2^10` serial row — fault injection disabled, exactly the
@@ -299,11 +444,11 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
 fn smoke(guard_out: Option<&str>) {
     let v = 1usize << 10;
     let signal = test_signal(v);
-    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 4);
+    crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 4, true);
     let keys = random_keys(v, 42);
-    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 4);
+    crosscheck(&ColumnSort::<u64>::default(), "sort", v, &keys[..], 4, true);
     // Folded executions agree too (plan metrics at granularity p), serial
-    // and through the sharded executor.
+    // and through the sharded executor, fused and unfused.
     let prog = ColumnSort::<u64>::default().build(v);
     let states = ColumnSort::<u64>::default().init(v, &keys[..]);
     for p in [4usize, 32] {
@@ -313,22 +458,67 @@ fn smoke(guard_out: Option<&str>) {
             nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(1, false, true))
                 .unwrap();
         assert_same("folded plan-on vs plan-off", "sort", p, &on, &off);
+        let fuse_off = nob_machine::run_folded(
+            &prog,
+            states.clone(),
+            p,
+            &RunOptions { fuse: false, ..worker_logged(1, true, true) },
+        )
+        .unwrap();
+        assert_same("folded fuse-on vs fuse-off", "sort", p, &fuse_off, &on);
+        drop(fuse_off);
         let sh_on =
             nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, true, true))
                 .unwrap();
         assert_same("sharded folded plan-on vs serial", "sort", p, &sh_on, &on);
         drop(sh_on);
+        let sh_fuse_off = nob_machine::run_folded(
+            &prog,
+            states.clone(),
+            p,
+            &RunOptions { fuse: false, ..worker_logged(4, true, true) },
+        )
+        .unwrap();
+        assert_same("sharded folded fuse-off vs serial", "sort", p, &sh_fuse_off, &on);
+        drop(sh_fuse_off);
         let sh_off =
             nob_machine::run_folded(&prog, states.clone(), p, &worker_logged(4, false, true))
                 .unwrap();
         assert_same("sharded folded plan-off vs serial", "sort", p, &sh_off, &on);
     }
+    // Capture-on/off equality rows: the dynamic butterfly captured and
+    // replayed must match its live dynamic run bit for bit — serial,
+    // sharded (fused and unfused), and folded.
+    let bfly = DynButterfly;
+    let bkeys = random_keys(v, 7);
+    let (bprog, bstates) = crosscheck(&bfly, "bfly-dyn", v, &bkeys[..], 4, false);
+    let cap = captured_twin(&bfly, "bfly-dyn", v, &bstates, &bprog, 4);
+    let want = run(&bprog, bstates.clone(), &worker_logged(1, false, true)).unwrap();
+    let cap_fuse_off = run(
+        &cap,
+        bstates.clone(),
+        &RunOptions { fuse: false, ..worker_logged(4, true, true) },
+    )
+    .unwrap();
+    assert_same("sharded captured fuse-off vs dynamic", "bfly-dyn", v, &cap_fuse_off, &want);
+    drop(cap_fuse_off);
+    for p in [4usize, 32] {
+        let dyn_fold =
+            nob_machine::run_folded(&bprog, bstates.clone(), p, &worker_logged(1, false, true))
+                .unwrap();
+        for w in [1usize, 4] {
+            let cap_fold =
+                nob_machine::run_folded(&cap, bstates.clone(), p, &worker_logged(w, true, true))
+                    .unwrap();
+            assert_same("folded captured vs dynamic", "bfly-dyn", p, &cap_fold, &dyn_fold);
+        }
+    }
     println!(
-        "bench_smoke: OK (plans on/off bit-for-bit at v = {v}, serial + sharded at 4 workers + folded)"
+        "bench_smoke: OK (plans on/off, fusion on/off, capture on/off bit-for-bit at v = {v}, serial + sharded at 4 workers + folded)"
     );
     if let Some(out) = guard_out {
         let mut rows = Vec::new();
-        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &[1], &mut rows);
+        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &[1], true, &mut rows);
         let json = emit_json(&rows, available_cpus());
         std::fs::write(out, &json).expect("write smoke guard json");
         eprintln!("wrote {out}");
@@ -363,9 +553,11 @@ fn main() {
     for log_v in 10..=max_log_v {
         let v = 1usize << log_v;
         let signal = test_signal(v);
-        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &widths, &mut rows);
+        bench_program(&BinaryExchangeFft, "fft", v, &signal[..], &widths, true, &mut rows);
         let keys = random_keys(v, 42);
-        bench_program(&ColumnSort::<u64>::default(), "sort", v, &keys[..], &widths, &mut rows);
+        bench_program(&ColumnSort::<u64>::default(), "sort", v, &keys[..], &widths, true, &mut rows);
+        let bkeys = random_keys(v, 7);
+        bench_program(&DynButterfly, "bfly-dyn", v, &bkeys[..], &widths, false, &mut rows);
     }
 
     let json = emit_json(&rows, cpus);

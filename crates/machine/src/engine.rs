@@ -137,6 +137,18 @@ pub struct RunOptions {
     /// still bound every write by its planned slot region and enforce the
     /// payload multiset before publishing an arena.
     pub use_plans: bool,
+    /// Run planned supersteps on the *fused* tier where the plan proves it
+    /// safe (default: `true`): on the serial path, size the write arena
+    /// straight from the plan's `O(1)` layout summary instead of
+    /// re-enumerating the route; on the sharded path, execute planned
+    /// supersteps whose payloads are proven shard-local entirely inside
+    /// their own worker — no window publication, no cross-shard reads and
+    /// **no barrier at all** (consecutive such steps form a zero-barrier
+    /// pipeline). Results are bit-for-bit identical either way (enforced by
+    /// the differential suites and `scripts/bench_smoke.sh`); `false`
+    /// reproduces the one-barrier protocol exactly, for benchmarking and
+    /// differential testing.
+    pub fuse: bool,
     /// Degradation policy for a [`ModelError::PlanMismatch`] on a
     /// non-validated planned run (default: [`PlanFallback::Fail`]).
     pub plan_fallback: PlanFallback,
@@ -166,6 +178,7 @@ impl Default for RunOptions {
             collect_messages: false,
             workers: None,
             use_plans: true,
+            fuse: true,
             plan_fallback: PlanFallback::Fail,
             faults: None,
             stall_timeout: None,
@@ -367,6 +380,10 @@ fn run_attempt<S: Send, M: Send>(
 pub(crate) const FAULT_SERIAL_PLANNED: &str = "serial:planned";
 /// See [`FAULT_SERIAL_PLANNED`].
 pub(crate) const FAULT_SERIAL_EXEC: &str = "serial:exec";
+/// The capture run's computation + send phase (see [`capture_run`]): checked
+/// inside the phase's `catch_unwind` like the other serial sites, so a fault
+/// during trace capture rides the same recovery as a closure panic there.
+pub(crate) const FAULT_SERIAL_CAPTURE: &str = "serial:capture";
 
 /// Renders a caught closure panic as the structured
 /// [`ModelError::VpPanic`], preserving string payloads verbatim. Shared by
@@ -410,6 +427,10 @@ fn run_serial<S: Send, M: Send>(
     // counts as it consumes them, so no per-superstep `fill(0)` sweep).
     let mut dst_counts = vec![0u32; v];
     let mut cursors = vec![0u32; v];
+    // Seen-bitmap scratch for unit-layout planned steps (one bit per VP,
+    // re-zeroed per bitmap step), preallocated so planned steady state
+    // stays allocation-free.
+    let mut dst_seen = vec![0u64; v.div_ceil(64)];
     // Recycled per-superstep log entry scratch: log-collecting runs pay one
     // exact-size allocation per recorded superstep (the entry pushed into
     // the log), never repeated growth.
@@ -441,8 +462,10 @@ fn run_serial<S: Send, M: Send>(
                             read_idx,
                             &mut dst_counts,
                             &mut cursors,
+                            &mut dst_seen,
                             &mut stage.outbox,
                             opts.validate,
+                            opts.fuse,
                         )
                     }));
                     match outcome {
@@ -559,12 +582,124 @@ fn run_serial<S: Send, M: Send>(
     Ok(())
 }
 
+/// The trace-capture run behind [`Program::capture_plans`]: one serial,
+/// *fully dynamic* execution of the whole program that records, for every
+/// superstep without a declared plan, the exact send sequence as per-VP
+/// prefix offsets over a flat `(dst, is_data)` slot table — the input of
+/// [`crate::plan::StepPlan::compile_captured`]. Steps that already carry a
+/// plan replay dynamically too (so the recorded run is exactly the dynamic
+/// semantics end to end) and yield `None`.
+///
+/// Validation is forced on regardless of any run options: a capture that
+/// escaped its cluster would compile into a plan [`StepPlan::compile`]
+/// rejects anyway, so the violation is reported here, at its source.
+/// Metrics, traces and logs are not produced — the run exists only for its
+/// side effect on the captured tables; the final states are discarded.
+#[allow(clippy::type_complexity)]
+pub(crate) fn capture_run<S, M>(
+    prog: &Program<S, M>,
+    mut states: Vec<S>,
+    faults: Option<&FaultPlan>,
+) -> Result<Vec<Option<(Vec<u32>, Vec<(u32, bool)>)>>, ModelError> {
+    let v = prog.v();
+    assert_eq!(states.len(), v, "one state per VP required");
+    let log_v = prog.log_v();
+    let mut stage: ChunkStage<M> = ChunkStage::new(v);
+    let mut arenas = [Arena::<M>::new(v), Arena::<M>::new(v)];
+    let mut read_idx = 0usize;
+    let mut dst_counts = vec![0u32; v];
+    let mut cursors = vec![0u32; v];
+    let mut captures = Vec::with_capacity(prog.steps().len());
+
+    for (t, step) in prog.steps().iter().enumerate() {
+        // Declared plans are honored, never re-captured; a route that failed
+        // its compile-time proof is reported up front, exactly as a
+        // validated planned run would report it.
+        if let Some(fault) = step.plan().and_then(|p| p.fault()) {
+            return Err(fault.clone());
+        }
+
+        // --- computation + send phase (always the dynamic path) -----------
+        {
+            let read = &mut arenas[read_idx];
+            let (slab, offsets) = read.take_read();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(f) = faults {
+                    f.check(FAULT_SERIAL_CAPTURE, 0, t)?;
+                }
+                exec_chunk(prog, step, 0, v, &mut states, slab, offsets, &mut stage);
+                Ok(())
+            }));
+            match outcome {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(vp_panic_error(step.name, stage.outbox.panic_vp(), payload))
+                }
+            }
+        }
+        if stage.outbox.take_oob() {
+            return Err(crate::program::oob_dst_error());
+        }
+
+        // --- forced validation + routing counts ----------------------------
+        let mut msg_idx = 0usize;
+        for (src, &end) in stage.vp_ends.iter().enumerate() {
+            for (dst, env) in &stage.outbox.msgs[msg_idx..end as usize] {
+                let dst = *dst as usize;
+                if dst >= v {
+                    return Err(ModelError::BadParameter {
+                        what: "dst",
+                        reason: "message destination out of machine range",
+                    });
+                }
+                if !message_allowed(src, dst, log_v, step.label) {
+                    return Err(ModelError::ClusterViolation { label: step.label, src, dst });
+                }
+                if matches!(env, Envelope::Data(_)) {
+                    crate::mailbox::bump_count(&mut dst_counts[dst])?;
+                }
+            }
+            msg_idx = end as usize;
+        }
+
+        // --- record the trace before the scatter drains it -----------------
+        captures.push(if step.plan().is_none() {
+            let mut offsets = Vec::with_capacity(v + 1);
+            offsets.push(0u32);
+            offsets.extend_from_slice(&stage.vp_ends);
+            let slots = stage
+                .outbox
+                .msgs
+                .iter()
+                .map(|(dst, env)| (*dst, matches!(env, Envelope::Data(_))))
+                .collect();
+            Some((offsets, slots))
+        } else {
+            None
+        });
+
+        // --- routing --------------------------------------------------------
+        {
+            let write = &mut arenas[1 - read_idx];
+            let total = write.prepare_write(&mut dst_counts, &mut cursors);
+            let (slab, _offsets) = write.split_for_scatter(total);
+            route_serial(&mut stage, &mut cursors, slab);
+            write.commit_write(total);
+        }
+        read_idx = 1 - read_idx;
+    }
+    Ok(captures)
+}
+
 /// Executes one planned superstep on the serial path: a counting pass over
-/// the declared route sizes the write arena, every VP closure then writes
-/// its payloads **directly into the destination arena slot** through the
-/// cursor-guarded [`DirectOut`] — no staging copy, no validation scan, no
-/// streaming counters, no counting-sort scatter. The caller pushes the
-/// plan's precomputed metrics afterwards.
+/// the declared route sizes the write arena — or, on the fused tier
+/// (`fuse` and the plan carries a [`crate::plan::PlanLayout`]), the arena
+/// is sized straight from the `O(1)` layout summary with no route
+/// enumeration at all — every VP closure then writes its payloads
+/// **directly into the destination arena slot** through the cursor-guarded
+/// [`DirectOut`] — no staging copy, no validation scan, no streaming
+/// counters, no counting-sort scatter. The caller pushes the plan's
+/// precomputed metrics afterwards.
 ///
 /// Mis-declared plans are rejected, never silently executed: the direct
 /// writer bounds every write by its destination's planned range, and the
@@ -582,24 +717,51 @@ fn run_planned_step<S, M: Send>(
     read_idx: usize,
     dst_counts: &mut [u32],
     cursors: &mut [u32],
+    dst_seen: &mut [u64],
     outbox: &mut crate::program::Outbox<M>,
     validate: bool,
+    fuse: bool,
 ) -> Result<(), ModelError> {
     let [a0, a1] = arenas;
     let (read, write) = if read_idx == 0 { (a0, a1) } else { (a1, a0) };
     let v = dst_counts.len();
 
-    // Counting pass: exact per-destination payload counts from the route.
-    plan.count_data(dst_counts)?;
-    let total = write.prepare_write(dst_counts, cursors);
+    // Size the write arena: from the plan's O(1) layout summary when the
+    // fused tier is enabled and compile detected one, else the counting
+    // pass over the declared route. Either way the direct writer re-checks
+    // every slot bound at write time, so a wrong layout could only surface
+    // as PlanMismatch, never as an out-of-bounds write. Unit layouts
+    // (`k == 1` — butterflies, shuffles, transposes) deliver through the
+    // L1-resident seen-bitmap instead of the cursor table.
+    let (total, uniform_k) = match plan.layout().filter(|_| fuse) {
+        Some(&crate::plan::PlanLayout::Uniform(k)) => {
+            (write.prepare_write_uniform(k, (k != 1).then_some(&mut *cursors)), k)
+        }
+        Some(layout @ crate::plan::PlanLayout::Table(_)) => {
+            (write.prepare_write_counts(|d| layout.count(d), cursors), 0)
+        }
+        None => {
+            plan.count_data(dst_counts)?;
+            (write.prepare_write(dst_counts, cursors), 0)
+        }
+    };
     debug_assert_eq!(total as u64, plan.total_data(), "count pass disagrees with compile pass");
+    let bitmap = uniform_k == 1;
+    if bitmap {
+        dst_seen.fill(0);
+    }
 
     // Arm the direct writer over the write arena's freshly sized slab.
     {
         let (wslab, woffsets) = write.split_for_scatter(total);
         let check = validate.then(|| plan.route_raw());
         outbox.enter_direct(crate::mailbox::DirectSink::Serial(crate::mailbox::DirectOut::new(
-            wslab, cursors, woffsets, check,
+            wslab,
+            cursors,
+            woffsets,
+            check,
+            uniform_k,
+            bitmap.then_some(&mut *dst_seen),
         )));
     }
 
@@ -619,7 +781,11 @@ fn run_planned_step<S, M: Send>(
         // range was left short (without lockstep checking the sender is
         // unknown, but the starved receiver is not).
         let (_, woffsets) = write.split_for_scatter(total);
-        let vp = (0..v).find(|&d| cursors[d] < woffsets[d + 1]).unwrap_or(0);
+        let vp = if bitmap {
+            (0..v).find(|&d| dst_seen[d >> 6] & (1u64 << (d & 63)) == 0).unwrap_or(0)
+        } else {
+            (0..v).find(|&d| cursors[d] < woffsets[d + 1]).unwrap_or(0)
+        };
         return Err(ModelError::PlanMismatch {
             step: step.name,
             vp,

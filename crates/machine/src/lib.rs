@@ -16,9 +16,23 @@
 //! algorithm" restriction — same label sequence for all processing elements,
 //! terminating with a sync — a structural property of the program object.
 //!
-//! ## Dynamic vs. Oblivious execution paths
+//! ## The three execution tiers
 //!
-//! Every superstep executes on one of two paths, chosen per step:
+//! Every superstep executes on one of three tiers, chosen per step at run
+//! time from what the program declares (or has captured — see below) and
+//! where the step's traffic stays:
+//!
+//! 1. **Dynamic** — no plan. The engine discovers the pattern message by
+//!    message; three barriers per superstep on the sharded path.
+//! 2. **Planned** — a compiled [`plan::StepPlan`] (declared or captured).
+//!    Analytic metrics, direct-write scatter, one barrier per superstep.
+//! 3. **Fused** — a planned step whose payloads provably stay within each
+//!    worker's shard ([`plan::StepPlan::shard_local`]). Consecutive fused
+//!    steps run entirely worker-locally with **zero barriers** — the
+//!    superstep pipeline never synchronizes until the next cross-shard or
+//!    dynamic step.
+//!
+//! How a step acquires its plan:
 //!
 //! * **Dynamic** ([`program::Program::step`]): the closure's sends define
 //!   the pattern. The engine discovers it message by message — staging the
@@ -55,6 +69,20 @@
 //!   divergence that *preserves* all per-region counts — one permutation
 //!   declared as another — executes with the declared metrics recorded
 //!   unchecked; only validation pins the exact sequence).
+//! * **Captured** ([`program::Program::capture_plans`]): a program whose
+//!   routes are deterministic for its inputs but inconvenient (or
+//!   impossible) to declare obliviously can record one dynamic run and
+//!   compile the observed routes into `StepPlan`s table-backed per step —
+//!   replayed, validated and direct-written exactly like declared routes.
+//!   **Cache invalidation**: a capture is valid only for the same program
+//!   instance and the same `(initial states, v)` it was recorded against.
+//!   A run whose behavior drifts from its capture is *detected*, never
+//!   silently mis-delivered: under validation every send is checked
+//!   against the captured route in lockstep, and even without validation
+//!   the direct writers' slot bounds and payload-total gates reject any
+//!   count-changing drift — either way a structured
+//!   [`nob_core::ModelError::PlanMismatch`], or a transparent re-execution
+//!   on the dynamic path under [`engine::PlanFallback::Dynamic`].
 //!
 //! ## Shard/lane architecture
 //!
@@ -94,6 +122,16 @@
 //!   while the coordinator pushes the plan's precomputed record with
 //!   nothing to merge. One barrier per planned superstep, after which
 //!   every worker commits its own (fully written, total-checked) arena.
+//! * **Zero barriers** (fused supersteps): when a plan's compile-time
+//!   payload-locality summary proves every payload stays within its
+//!   sender's shard at the current width, each worker sizes its arena
+//!   from the plan's `O(1)` [`plan::PlanLayout`] (or a shard-local count
+//!   pass), executes, and commits — entirely locally, no window
+//!   publication, no barrier at all. Runs of consecutive fused steps form
+//!   an unsynchronized per-worker pipeline; metrics are still pushed per
+//!   superstep and traces stay bit-for-bit identical. Disable with
+//!   [`engine::RunOptions::fuse`]`= false` to reproduce the one-barrier
+//!   protocol exactly.
 //!
 //! The serial path (1 shard) keeps its proven **zero-allocation steady
 //! state** on both the dynamic and the planned path; all paths produce

@@ -79,6 +79,12 @@
 //!    fully initialized with each slot written exactly once no matter what
 //!    the routes declared. The executor's barrier provides every
 //!    happens-before edge (publish → read, peer writes → owner commit).
+//!    During *fused* (shard-local planned) supersteps this discipline
+//!    degenerates to exclusivity: the plan proved every payload of worker
+//!    `w` stays inside shard `w`, so the window slot at `(parity, w)` — its
+//!    publication, its cursor row, its slot regions and the commit — is
+//!    touched only by worker `w` itself, and no barrier (hence no
+//!    happens-before edge to any peer) is required at all.
 #![allow(unsafe_code)]
 
 use crate::program::Envelope;
@@ -134,11 +140,16 @@ pub(crate) struct Arena<M> {
     offsets: Vec<u32>,
     /// Initialized prefix length of `slab` (invariant 1).
     filled: usize,
+    /// `Some(k)` when `offsets` currently holds the affine prefix sum of a
+    /// uniform per-destination count `k` (`offsets[d] = d * k`), letting
+    /// [`Arena::prepare_write_uniform`] skip rebuilding an unchanged table.
+    /// Any general prepare invalidates it.
+    uniform_k: Option<u32>,
 }
 
 impl<M> Arena<M> {
     pub(crate) fn new(v: usize) -> Self {
-        Arena { slab: Vec::new(), offsets: vec![0; v + 1], filled: 0 }
+        Arena { slab: Vec::new(), offsets: vec![0; v + 1], filled: 0, uniform_k: Some(0) }
     }
 
     /// Hands the initialized prefix and the offset table to the read phase,
@@ -158,6 +169,7 @@ impl<M> Arena<M> {
     /// sweep on top of this loop).
     pub(crate) fn prepare_write(&mut self, counts: &mut [u32], cursors: &mut [u32]) -> usize {
         debug_assert_eq!(self.filled, 0, "arena overwritten while holding messages");
+        self.uniform_k = None;
         let v = counts.len();
         debug_assert_eq!(self.offsets.len(), v + 1);
         // Accumulate in u64 and check the fit: a wrapped u32 offset table
@@ -175,6 +187,71 @@ impl<M> Arena<M> {
         // fail here rather than under-size the slab.
         assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
         self.offsets[v] = acc as u32;
+        let total = acc as usize;
+        if self.slab.len() < total {
+            self.slab.resize_with(total, MaybeUninit::uninit);
+        }
+        total
+    }
+
+    /// [`Arena::prepare_write`] with the per-destination counts supplied by
+    /// a closure instead of a materialized slice: the layout fast path of
+    /// planned supersteps reads counts straight from an `O(1)`
+    /// [`crate::plan::PlanLayout`] summary, skipping both the route
+    /// enumeration that would fill a counts vector and the zeroing contract
+    /// that comes with it (no counts slice is touched, so the caller's
+    /// all-zero `dst_counts` invariant is trivially preserved).
+    pub(crate) fn prepare_write_counts(
+        &mut self,
+        count_of: impl Fn(usize) -> u32,
+        cursors: &mut [u32],
+    ) -> usize {
+        debug_assert_eq!(self.filled, 0, "arena overwritten while holding messages");
+        self.uniform_k = None;
+        let v = cursors.len();
+        debug_assert_eq!(self.offsets.len(), v + 1);
+        // Same u64 accumulation + fit check as `prepare_write`: a wrapped
+        // u32 offset table would send the unsafe scatter out of bounds.
+        let mut acc = 0u64;
+        for (d, cursor) in cursors.iter_mut().enumerate() {
+            self.offsets[d] = acc as u32;
+            *cursor = acc as u32;
+            acc += u64::from(count_of(d));
+        }
+        assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
+        self.offsets[v] = acc as u32;
+        let total = acc as usize;
+        if self.slab.len() < total {
+            self.slab.resize_with(total, MaybeUninit::uninit);
+        }
+        total
+    }
+
+    /// [`Arena::prepare_write_counts`] specialized to a uniform
+    /// per-destination count `k` (`offsets[d] = d * k`): the affine table
+    /// is rebuilt only when `k` changed since this arena's last uniform
+    /// prepare — pipelines of same-shape planned steps (butterflies,
+    /// shuffles, transposes) pay one cursor-reset `memcpy` per superstep
+    /// instead of a loop-carried prefix sum over both tables.
+    /// `cursors` is `None` when the caller delivers through the unit-layout
+    /// seen-bitmap (no cursor table consumed that superstep).
+    pub(crate) fn prepare_write_uniform(&mut self, k: u32, cursors: Option<&mut [u32]>) -> usize {
+        debug_assert_eq!(self.filled, 0, "arena overwritten while holding messages");
+        let v = self.offsets.len() - 1;
+        // Same fit check as `prepare_write`: a wrapped u32 offset table
+        // would send the unsafe scatter out of bounds.
+        let acc = v as u64 * u64::from(k);
+        assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
+        if self.uniform_k != Some(k) {
+            for (d, o) in self.offsets.iter_mut().enumerate() {
+                *o = d as u32 * k;
+            }
+            self.uniform_k = Some(k);
+        }
+        if let Some(cursors) = cursors {
+            debug_assert_eq!(cursors.len(), v);
+            cursors.copy_from_slice(&self.offsets[..v]);
+        }
         let total = acc as usize;
         if self.slab.len() < total {
             self.slab.resize_with(total, MaybeUninit::uninit);
@@ -426,6 +503,20 @@ pub(crate) struct DirectOut<M> {
     /// Offsets table (`v + 1` entries): destination `d` owns slots
     /// `[offsets[d], offsets[d+1])`.
     limits: *const u32,
+    /// Non-zero when the offsets table is the affine prefix sum of a
+    /// uniform per-destination count `k` (`offsets[d] = d * k`): slot
+    /// limits are then computed as `(d + 1) * k` instead of loaded, saving
+    /// one scattered table read per payload on the fused fast path.
+    uniform_k: u32,
+    /// Unit-layout fast path (`uniform_k == 1`): a zeroed `v`-bit map the
+    /// engine lends for the superstep. The slot for `dst` is exactly `dst`,
+    /// so delivery test-and-sets one L1-resident bit instead of
+    /// read-modify-writing the `O(v)`-byte cursor table — one scattered
+    /// cache miss per payload less once `v` outgrows the cache. A repeated
+    /// destination finds its bit set (same fault as a cursor at its limit),
+    /// and `finish`'s written-total gate still catches starved
+    /// destinations, so drift detection is bit-for-bit the cursor policy's.
+    bits: Option<*mut u64>,
     core: DirectCore,
 }
 
@@ -588,19 +679,38 @@ impl<M> DirectOut<M> {
     /// superstep, are not accessed through any other path while the writer
     /// is installed, `cursors` was initialized to the offsets prefix, and
     /// `limits` is the matching `v + 1`-entry offsets table.
+    /// `uniform_k`, when non-zero, asserts the offsets table is the affine
+    /// prefix sum `offsets[d] = d * uniform_k` (the engine passes the
+    /// plan's detected [`crate::plan::PlanLayout::Uniform`] count); 0 means
+    /// general table limits. `bits` (unit layouts only, `uniform_k == 1`)
+    /// lends an all-zero `v`-bit seen-map that replaces the cursor table
+    /// for the superstep; it must outlive the writer like the buffers do.
     pub(crate) fn new(
         slab: &mut [MaybeUninit<M>],
         cursors: &mut [u32],
         limits: &[u32],
         check: Option<(*const crate::plan::RouteDyn, usize)>,
+        uniform_k: u32,
+        bits: Option<&mut [u64]>,
     ) -> Self {
         let v = cursors.len();
         debug_assert_eq!(limits.len(), v + 1);
+        debug_assert!(
+            uniform_k == 0 || limits.iter().enumerate().all(|(d, &o)| o == d as u32 * uniform_k),
+            "uniform_k disagrees with the offsets table"
+        );
+        let bits = bits.map(|b| {
+            debug_assert!(uniform_k == 1, "seen-bitmap mode requires a unit layout");
+            debug_assert!(b.len() * 64 >= v && b.iter().all(|&w| w == 0));
+            b.as_mut_ptr()
+        });
         DirectOut {
             slab: slab.as_mut_ptr(),
             slab_len: slab.len(),
             cursors: cursors.as_mut_ptr(),
             limits: limits.as_ptr(),
+            uniform_k,
+            bits,
             core: DirectCore::new(v, check),
         }
     }
@@ -611,19 +721,37 @@ impl<M> DirectOut<M> {
         if !self.core.admit_data(dst) {
             return;
         }
-        // SAFETY: dst < v bounds the cursor/limit reads; the cursor check
-        // bounds the slab write inside the destination's planned range
-        // (ranges are disjoint and within `slab_len` by construction of the
-        // offsets prefix sum).
+        // SAFETY: dst < v bounds the bit/cursor/limit accesses; the seen-bit
+        // (unit layouts) or cursor check bounds the slab write inside the
+        // destination's planned range (ranges are disjoint and within
+        // `slab_len` by construction of the offsets prefix sum; for unit
+        // layouts the range is exactly slot `dst`).
         unsafe {
-            let cur = *self.cursors.add(dst);
-            if cur >= *self.limits.add(dst + 1) {
-                self.core.fail("more payload messages to a destination than planned");
-                return;
+            if let Some(bits) = self.bits {
+                let word = bits.add(dst >> 6);
+                let mask = 1u64 << (dst & 63);
+                if *word & mask != 0 {
+                    self.core.fail("more payload messages to a destination than planned");
+                    return;
+                }
+                *word |= mask;
+                debug_assert!(dst < self.slab_len);
+                (*self.slab.add(dst)).write(msg);
+            } else {
+                let cur = *self.cursors.add(dst);
+                let limit = if self.uniform_k != 0 {
+                    (dst as u32 + 1) * self.uniform_k
+                } else {
+                    *self.limits.add(dst + 1)
+                };
+                if cur >= limit {
+                    self.core.fail("more payload messages to a destination than planned");
+                    return;
+                }
+                debug_assert!((cur as usize) < self.slab_len);
+                (*self.slab.add(cur as usize)).write(msg);
+                *self.cursors.add(dst) = cur + 1;
             }
-            debug_assert!((cur as usize) < self.slab_len);
-            (*self.slab.add(cur as usize)).write(msg);
-            *self.cursors.add(dst) = cur + 1;
         }
         self.core.written += 1;
     }

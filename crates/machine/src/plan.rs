@@ -26,10 +26,17 @@
 //!   slot** through cursor-guarded raw writes
 //!   (`crate::mailbox::DirectOut`) — no staging copy, no counting sort.
 //!
-//! The plan deliberately stores **no O(v) or O(messages) tables** — only the
-//! boxed route function and `O(log v)` metric words — so an 850-superstep
-//! folded Columnsort carries kilobytes of plan state, not hundreds of
-//! megabytes of precomputed slots.
+//! A *declared* plan deliberately stores **no O(v) or O(messages) tables** —
+//! only the boxed route function, `O(log v)` metric words and an `O(1)`
+//! [`PlanLayout`] summary when the per-destination payload counts are
+//! uniform (an explicit offsets table is kept only for small machines, see
+//! [`LAYOUT_TABLE_MAX_V`]) — so an 850-superstep folded Columnsort carries
+//! kilobytes of plan state, not hundreds of megabytes of precomputed slots.
+//! A *captured* plan (`StepPlan::compile_captured`) is the deliberate
+//! exception: it **is** a table — the exact `(dst, kind)` sequence of one
+//! recorded dynamic superstep, wrapped in a route closure and compiled
+//! through the same pipeline, so replays get the identical metrics,
+//! cluster proof and mis-declaration detection as declared routes.
 //!
 //! # Mis-declared routes
 //!
@@ -48,6 +55,62 @@ use crate::program::Ctx;
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{StepMetrics, StepMetricsBuilder};
 use nob_core::ModelError;
+
+/// Largest machine for which a non-uniform per-destination layout is kept
+/// as an explicit offsets table (`(v + 1) · 4` bytes per step — 16 KiB at
+/// this cap). Beyond it a non-uniform plan simply keeps the counting-pass
+/// path: an 850-superstep program must never trade one route enumeration
+/// per execution for hundreds of megabytes of resident tables.
+pub const LAYOUT_TABLE_MAX_V: usize = 4096;
+
+/// The per-destination payload shape of a plan, detected once at compile
+/// time. It lets the executors size and partition a write arena **without
+/// enumerating the route** (the planned path's remaining per-message cost):
+/// the serial engine skips `StepPlan::count_data` entirely, and a sharded
+/// worker running a shard-local step skips its region-counting pass.
+#[derive(Debug, Clone)]
+pub enum PlanLayout {
+    /// Every destination receives exactly this many payload messages
+    /// (`O(1)` state — covers butterflies, shuffles, transposes, and idle
+    /// steps, where the count is 0).
+    Uniform(u32),
+    /// Prefix-sum offsets table (`v + 1` entries): destination `d` receives
+    /// `table[d + 1] - table[d]` payloads. Only kept for machines up to
+    /// [`LAYOUT_TABLE_MAX_V`].
+    Table(Box<[u32]>),
+}
+
+impl PlanLayout {
+    /// Payload messages delivered to destination `dst`.
+    #[inline]
+    pub(crate) fn count(&self, dst: usize) -> u32 {
+        match self {
+            PlanLayout::Uniform(c) => *c,
+            PlanLayout::Table(t) => t[dst + 1] - t[dst],
+        }
+    }
+
+    /// Detects the layout of a per-destination count vector.
+    fn detect(counts: &[u32], total_data: u64) -> Option<PlanLayout> {
+        let first = counts.first().copied().unwrap_or(0);
+        if counts.iter().all(|&c| c == first) {
+            return Some(PlanLayout::Uniform(first));
+        }
+        // A table only helps when it is small, and its entries must fit the
+        // u32 offsets the arenas run on.
+        if counts.len() > LAYOUT_TABLE_MAX_V || total_data >= u64::from(u32::MAX) {
+            return None;
+        }
+        let mut table = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0u32;
+        table.push(0);
+        for &c in counts {
+            acc += c; // fits: total_data < u32::MAX checked above
+            table.push(acc);
+        }
+        Some(PlanLayout::Table(table.into_boxed_slice()))
+    }
+}
 
 /// One declared message slot of an oblivious route: what the VP at `ctx`
 /// does with its `k`-th send of the superstep.
@@ -97,6 +160,17 @@ pub struct StepPlan {
     /// destination or cluster escape), if any; a faulted plan is never
     /// executed directly.
     pub(crate) fault: Option<ModelError>,
+    /// Cluster depth every *payload* message of this step stays within:
+    /// `src` and `dst` of each payload share at least this many leading
+    /// bits of their `log v`-bit VP ids (`log v` when the step sends no
+    /// payloads, or only to self). Dummies are excluded — they write
+    /// nothing, so they never force cross-shard machinery. A step is
+    /// shard-local on `2^s` executor shards iff `min_locality >= s`, which
+    /// is what makes it *fusible*: it can run with no barrier at all.
+    pub(crate) min_locality: u32,
+    /// Per-destination payload shape, when regular enough to exploit (see
+    /// [`PlanLayout`]). `None` keeps the counting-pass path.
+    pub(crate) layout: Option<PlanLayout>,
 }
 
 impl std::fmt::Debug for StepPlan {
@@ -125,6 +199,11 @@ impl StepPlan {
         let mut metrics = StepMetricsBuilder::new(log_v);
         let mut total_data = 0u64;
         let mut fault = None;
+        let mut min_locality = log_v;
+        // Transient per-destination payload counts (compile-time only):
+        // feeds the layout detection, dropped before the plan is stored.
+        let mut counts = vec![0u32; v];
+        let mut counts_ok = true;
         'scan: for vp in 0..v {
             let ctx = Ctx { vp, v, log_v, n };
             for k in 0..out_degree {
@@ -148,10 +227,72 @@ impl StepPlan {
                 metrics.record(vp, dst);
                 if data {
                     total_data += 1;
+                    match counts[dst].checked_add(1) {
+                        Some(c) => counts[dst] = c,
+                        // Dense beyond the design limit: the counting pass
+                        // will surface the ModelError at run time; just
+                        // decline to summarize the layout.
+                        None => counts_ok = false,
+                    }
+                    if dst != vp {
+                        min_locality = min_locality.min(log_v - 1 - (vp ^ dst).ilog2());
+                    }
                 }
             }
         }
-        StepPlan { route, out_degree, v, log_v, n, metrics: metrics.finish(), total_data, fault }
+        let (min_locality, layout) = if fault.is_none() && counts_ok {
+            (min_locality, PlanLayout::detect(&counts, total_data))
+        } else {
+            (0, None)
+        };
+        StepPlan {
+            route,
+            out_degree,
+            v,
+            log_v,
+            n,
+            metrics: metrics.finish(),
+            total_data,
+            fault,
+            min_locality,
+            layout,
+        }
+    }
+
+    /// Compiles a **captured route**: the exact message sequence of one
+    /// recorded dynamic execution of a superstep, as per-VP prefix offsets
+    /// (`v + 1` entries) over a flat `(dst, is_data)` slot table in send
+    /// order. The table is wrapped in an ordinary route closure and pushed
+    /// through [`StepPlan::compile`], so a captured plan gets the same
+    /// analytic metrics, cluster proof, direct-write scatter and lockstep
+    /// validation as a declared one — the executors cannot tell them apart,
+    /// and a stale capture (the program's dynamic pattern changed) surfaces
+    /// as a [`ModelError::PlanMismatch`] exactly like a mis-declared route.
+    pub(crate) fn compile_captured(
+        v: usize,
+        log_v: u32,
+        n: usize,
+        label: u32,
+        offsets: Vec<u32>,
+        slots: Vec<(u32, bool)>,
+    ) -> StepPlan {
+        debug_assert_eq!(offsets.len(), v + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, slots.len());
+        let out_degree = (0..v).map(|vp| (offsets[vp + 1] - offsets[vp]) as usize).max().unwrap_or(0);
+        let route: RouteFn = Box::new(move |ctx: &Ctx, k: usize| {
+            let lo = offsets[ctx.vp] as usize;
+            if lo + k < offsets[ctx.vp + 1] as usize {
+                let (dst, data) = slots[lo + k];
+                if data {
+                    Route::Data(dst as usize)
+                } else {
+                    Route::Dummy(dst as usize)
+                }
+            } else {
+                Route::End
+            }
+        });
+        StepPlan::compile(v, log_v, n, label, out_degree, route)
     }
 
     /// The compile-time route violation, if any.
@@ -170,6 +311,24 @@ impl StepPlan {
     #[inline]
     pub fn metrics(&self) -> &StepMetrics {
         &self.metrics
+    }
+
+    /// The per-destination payload layout summary, if compile detected one
+    /// ([`PlanLayout::Uniform`] always, an explicit table only for small
+    /// machines). `None` means the executors fall back to the
+    /// `StepPlan::count_data` enumeration pass.
+    #[inline]
+    pub fn layout(&self) -> Option<&PlanLayout> {
+        self.layout.as_ref()
+    }
+
+    /// Whether every payload of this step stays inside its source's shard
+    /// when `M(v)` is folded onto `2^log_shards` contiguous shards — i.e.
+    /// the step is *fusible*: it can execute without any cross-shard
+    /// synchronization.
+    #[inline]
+    pub fn shard_local(&self, log_shards: u32) -> bool {
+        self.min_locality >= log_shards
     }
 
     /// The route as a raw trait-object pointer plus `out_degree`, for the
@@ -330,5 +489,77 @@ mod tests {
         let idle = Ctx { vp: 2, v: 4, log_v: 2, n: 4 };
         let mut k = 0;
         assert_eq!(walk_next(&*plan.route, &idle, &mut k, plan.out_degree), None);
+    }
+
+    #[test]
+    fn compile_detects_uniform_and_table_layouts() {
+        // Butterfly exchange: exactly one payload per destination → Uniform(1).
+        let fft = StepPlan::compile(8, 3, 8, 0, 1, route_exchange(1));
+        assert!(matches!(fft.layout(), Some(PlanLayout::Uniform(1))));
+        // All-idle step → Uniform(0).
+        let idle = StepPlan::compile(8, 3, 8, 0, 1, Box::new(|_, _| Route::End));
+        assert!(matches!(idle.layout(), Some(PlanLayout::Uniform(0))));
+        assert_eq!(idle.min_locality, 3, "no payloads: locality is log v");
+        // Skewed fan-in: VP 0 receives everything → explicit table (v small).
+        let fan = StepPlan::compile(4, 2, 4, 0, 1, Box::new(|_, _| Route::Data(0)));
+        match fan.layout() {
+            Some(PlanLayout::Table(t)) => assert_eq!(&t[..], &[0, 4, 4, 4, 4]),
+            other => panic!("expected table layout, got {other:?}"),
+        }
+        assert_eq!(fan.layout().map(|l| l.count(0)), Some(4));
+        assert_eq!(fan.layout().map(|l| l.count(3)), Some(0));
+        // A faulted compile never advertises a layout (or locality); it is
+        // only trivially "local" at the degenerate one-shard fold.
+        let bad = StepPlan::compile(8, 3, 8, 1, 1, route_exchange(4));
+        assert!(bad.layout().is_none());
+        assert!(!bad.shard_local(1));
+    }
+
+    #[test]
+    fn min_locality_tracks_payload_cluster_depth() {
+        // vp ^ 1 stays inside every 2-VP cluster: locality log_v - 1.
+        let near = StepPlan::compile(8, 3, 8, 0, 1, route_exchange(1));
+        assert_eq!(near.min_locality, 2);
+        assert!(near.shard_local(2) && !near.shard_local(3));
+        // vp ^ 4 crosses the bisection: locality 0, never shard-local.
+        let far = StepPlan::compile(8, 3, 8, 0, 1, route_exchange(4));
+        assert_eq!(far.min_locality, 0);
+        assert!(far.shard_local(0) && !far.shard_local(1));
+        // Self-sends and dummies don't narrow locality: a dummy across the
+        // bisection touches no payload window, so the step stays fusible.
+        let dummy = StepPlan::compile(
+            8,
+            3,
+            8,
+            0,
+            2,
+            Box::new(|ctx: &Ctx, k| match k {
+                0 => Route::Data(ctx.vp),
+                _ => Route::Dummy(ctx.vp ^ 4),
+            }),
+        );
+        assert_eq!(dummy.min_locality, 3);
+        assert!(dummy.shard_local(3));
+    }
+
+    #[test]
+    fn captured_routes_compile_like_declared_ones() {
+        // Capture of a dynamic run on v = 4: VP 0 sent to 1 then a dummy to
+        // 0; VP 2 sent to 3; VPs 1 and 3 were silent.
+        let offsets = vec![0u32, 2, 2, 3, 3];
+        let slots = vec![(1u32, true), (0u32, false), (3u32, true)];
+        let plan = StepPlan::compile_captured(4, 2, 4, 1, offsets, slots);
+        assert!(plan.fault().is_none());
+        assert_eq!(plan.total_data(), 2);
+        assert_eq!(plan.out_degree, 2);
+        let mut seen = Vec::new();
+        plan.for_each_message(0..4, |s, d, data| seen.push((s, d, data)));
+        assert_eq!(seen, vec![(0, 1, true), (0, 0, false), (2, 3, true)]);
+        assert_eq!(plan.min_locality, 1, "both payloads stay in their pair");
+        assert!(plan.shard_local(1));
+        // A captured route that violates its superstep's cluster label is a
+        // compile fault, exactly like a mis-declared oblivious route.
+        let bad = StepPlan::compile_captured(4, 2, 4, 1, vec![0, 1, 1, 1, 1], vec![(2, true)]);
+        assert!(matches!(bad.fault(), Some(ModelError::ClusterViolation { .. })));
     }
 }

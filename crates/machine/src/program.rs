@@ -338,6 +338,60 @@ impl<S, M> Program<S, M> {
         self
     }
 
+    /// Records one dynamic execution of this program on `states` (the
+    /// initial VP states, exactly as they would be passed to a run) and
+    /// compiles the observed send sequence of every *plan-less* superstep
+    /// into a replayable captured [`StepPlan`] (see
+    /// `StepPlan::compile_captured`). Returns the number of fault-free
+    /// plans added; on success every superstep is planned and the program
+    /// executes on the direct-write scatter — serial, sharded and fused —
+    /// exactly like one declared with [`Program::step_oblivious`]
+    /// throughout.
+    ///
+    /// **Cache invalidation:** a capture is a trace of *this* program
+    /// instance. It stays valid precisely as long as the dynamic send
+    /// sequence it recorded does — i.e. for programs whose communication,
+    /// while arrival-order-dependent in form, is a fixed function of
+    /// `(program, v)` (the network-oblivious premise). Rebuilding the
+    /// program for a different `v`, `n` or input means re-capturing;
+    /// a stale capture replayed against diverging sends surfaces as
+    /// [`nob_core::ModelError::PlanMismatch`] (or a transparent re-run
+    /// under [`crate::engine::PlanFallback::Dynamic`]), never as corrupted
+    /// output. Programs whose pattern genuinely varies with VP state
+    /// (data-dependent routing) are not capturable — replay detection
+    /// makes that an error, not a wrong answer.
+    ///
+    /// Steps that already carry a plan (declared or captured) are left
+    /// untouched; the capture run replays them dynamically for fidelity
+    /// with the recorded execution.
+    pub fn capture_plans(&mut self, states: Vec<S>) -> Result<usize, nob_core::ModelError> {
+        self.capture_plans_with(states, None)
+    }
+
+    /// [`Program::capture_plans`] with a deterministic fault plan armed for
+    /// the capture run itself (site `serial:capture`) — the chaos suite's
+    /// entry point; production callers use [`Program::capture_plans`].
+    pub fn capture_plans_with(
+        &mut self,
+        states: Vec<S>,
+        faults: Option<&nob_core::fault::FaultPlan>,
+    ) -> Result<usize, nob_core::ModelError> {
+        let captures = crate::engine::capture_run(self, states, faults)?;
+        let mut added = 0;
+        for (t, cap) in captures.into_iter().enumerate() {
+            let Some((offsets, slots)) = cap else { continue };
+            let step = &mut self.steps[t];
+            let plan = StepPlan::compile_captured(
+                self.v, self.log_v, self.n, step.label, offsets, slots,
+            );
+            if plan.fault().is_none() {
+                added += 1;
+            }
+            step.plan = Some(plan);
+        }
+        Ok(added)
+    }
+
     /// Number of supersteps carrying a usable (fault-free) communication
     /// plan — the program's plan coverage, reported by the benchmarks.
     pub fn planned_steps(&self) -> usize {

@@ -1,6 +1,7 @@
 //! The persistent sharded executor: long-lived workers over shard-owned
 //! mailboxes, exchanging messages through statically planned lanes
-//! (dynamic supersteps) or direct cross-shard arena writes (planned
+//! (dynamic supersteps), direct cross-shard arena writes (planned
+//! supersteps), or no synchronization at all (fused shard-local planned
 //! supersteps).
 //!
 //! # Architecture
@@ -12,8 +13,9 @@
 //! states, its pair of double-buffered [`Arena`]s, its staging buffer and a
 //! private shard-local [`DegreeCounters`] — mirroring the paper's folding
 //! layout (processor `r` of `M(p)` simulates the `v/p` consecutive VPs
-//! starting at `r·v/p`). Each superstep then runs one of two protocols,
-//! chosen by whether it carries a usable communication plan.
+//! starting at `r·v/p`). Each superstep then runs one of three protocols,
+//! chosen by whether it carries a usable communication plan and whether
+//! that plan's payloads provably stay shard-local at the current width.
 //!
 //! # Dynamic superstep protocol (three barriers)
 //!
@@ -73,10 +75,35 @@
 //! directly after a dynamic one (or at the start of a run) pays one extra
 //! prepare barrier.
 //!
-//! Delivery order is preserved bit for bit on both protocols: lanes are
-//! drained (and direct-write regions laid out) in ascending source-shard
-//! order, each internally in ascending source-VP, then send, order —
-//! exactly the serial engine's stable counting sort.
+//! # Fused superstep protocol (zero barriers)
+//!
+//! A planned superstep whose compile-time payload-locality summary
+//! ([`StepPlan::shard_local`]) proves every payload stays within its
+//! sender's shard needs no cross-shard window at all. The worker sizes its
+//! own write arena — from the plan's `O(1)` [`crate::plan::PlanLayout`]
+//! when compile detected one, else a count pass over its shard's routes —
+//! executes its VPs with the direct writer bounded to its own shard,
+//! pushes the superstep record, checks its written total, and **commits
+//! immediately**: no window publication, no barrier, no round consumed.
+//! Consecutive fused supersteps therefore form an unsynchronized
+//! per-worker pipeline; the gang next meets at the first cross-shard or
+//! dynamic step. The decision is a pure function of `(plan, n_shards,
+//! `[`RunOptions::fuse`]`)`, so every worker takes the same arm and the
+//! barrier-round sequence stays deterministic — which the failure
+//! protocol below relies on. Fused steps never pipeline a *prepare* into
+//! a predecessor (their arena is sized locally, and publishing a window
+//! for a step peers run at different times would race); a cross-shard
+//! planned step may still pipeline-prepare across an intervening fused
+//! run, because every worker's prepare enumerates spans with the same
+//! fused/unfused classification. `RunOptions { fuse: false, .. }`
+//! reproduces the one-barrier protocol bit for bit.
+//!
+//! Delivery order is preserved bit for bit on all three protocols: lanes
+//! are drained (and direct-write regions laid out) in ascending
+//! source-shard order, each internally in ascending source-VP, then send,
+//! order — exactly the serial engine's stable counting sort. (A fused
+//! step's sources are all shard-internal, so worker-local counting-sort
+//! order *is* the global order.)
 //!
 //! # Failure protocol
 //!
@@ -124,7 +151,8 @@
 //!
 //! Every phase boundary checks the run's [`nob_core::fault::FaultPlan`]
 //! ([`RunOptions::faults`]) under its site name — `shard:prepare`,
-//! `shard:exec_planned`, `shard:commit`, `shard:flush`, `shard:gather`,
+//! `shard:exec_planned`, `shard:fused_exec` (the fused tier's whole
+//! iteration), `shard:commit`, `shard:flush`, `shard:gather`,
 //! `shard:merge`, plus the `mailbox:bump_count` / `mailbox:prepare_write`
 //! edges inside gather — *inside* the phase's `catch_unwind`, so both
 //! error- and panic-flavor faults traverse exactly the abort path a real
@@ -181,6 +209,9 @@ const FAULT_FLUSH: &str = "shard:flush";
 const FAULT_GATHER: &str = "shard:gather";
 /// See [`FAULT_PREPARE`].
 const FAULT_MERGE: &str = "shard:merge";
+/// See [`FAULT_PREPARE`]. Wraps the whole fused iteration (inline prepare,
+/// exec, record, commit) — the zero-barrier tier's single failure site.
+const FAULT_FUSED_EXEC: &str = "shard:fused_exec";
 
 /// Per-shard state crossing the worker/coordinator boundary. Protected by a
 /// mutex only to satisfy the type system: the barrier protocol already
@@ -221,6 +252,9 @@ struct Shared<'p, S, M> {
     validate: bool,
     collect_log: bool,
     use_plans: bool,
+    /// Whether planned supersteps proven shard-local may run on the fused
+    /// zero-barrier tier (see [`RunOptions::fuse`]).
+    fuse: bool,
     v: usize,
     log_v: u32,
     n_shards: usize,
@@ -397,6 +431,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
         validate: opts.validate,
         collect_log: message_log.is_some(),
         use_plans: opts.use_plans,
+        fuse: opts.fuse,
         v,
         log_v,
         n_shards,
@@ -511,6 +546,35 @@ fn active_plan<'p, S, M>(
     step.plan().filter(|p| shared.use_plans && p.fault().is_none())
 }
 
+/// Whether `plan`'s superstep runs on the **fused** zero-barrier tier:
+/// fusion is enabled and the plan proved at compile time that every payload
+/// stays inside its source's shard. A purely static predicate (of the plan
+/// and the run options, never of execution state), so all workers always
+/// agree on it and the gang's barrier sequences stay deterministic.
+#[inline]
+fn fused<S, M>(shared: &Shared<'_, S, M>, plan: &StepPlan) -> bool {
+    shared.fuse && plan.shard_local(shared.log_shards)
+}
+
+/// The source-shard span of planned superstep `t`'s scatter for worker `w`:
+/// the worker alone on the fused tier, the label's peer span otherwise.
+/// Both [`prepare_direct`] and [`exec_planned`] derive their span from
+/// here, so the region layout and the writer can never disagree about
+/// which rows are in play.
+#[inline]
+fn exec_span<S, M>(
+    shared: &Shared<'_, S, M>,
+    w: usize,
+    t: usize,
+    plan: &StepPlan,
+) -> std::ops::Range<usize> {
+    if fused(shared, plan) {
+        w..w + 1
+    } else {
+        shared.plan.peer_span(w, t)
+    }
+}
+
 /// The per-worker superstep loop (see the module docs for the two barrier
 /// protocols). `coord` is `Some` exactly for worker 0. Returns the number
 /// of barrier rounds walked.
@@ -532,6 +596,56 @@ fn shard_loop<S: Send, M: Send>(
     for (t, step) in steps.iter().enumerate() {
         let record_step = step.label < shared.spec.levels;
         let plan = step.plan().filter(|_| shared.use_plans);
+
+        // --- fused path: shard-local planned superstep, zero barriers -----
+        if let Some(plan) = active_plan(shared, step).filter(|p| fused(shared, p)) {
+            let widx = 1 - read_idx;
+            // The whole iteration is one shard-local unit: lay out our own
+            // write arena (unless a preceding cross-shard step pipelined
+            // it), run our VPs with the direct writer over our own window,
+            // record (coordinator), and commit immediately — no peer ever
+            // reads this parity's window slot `me.w`, so no barrier
+            // separates any of it (invariant 5's fused extension). A fused
+            // step never pipelines a prepare for its successor: publishing
+            // a window a *peer* would read with no intervening barrier is
+            // exactly the race the parity discipline forbids.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                fault_check(shared, FAULT_FUSED_EXEC, me.w, t)?;
+                if !prepared {
+                    prepare_direct(&mut me, shared, t, plan, widx)?;
+                }
+                exec_planned(&mut me, shared, step, plan, t, read_idx)?;
+                if let Some(c) = coord.as_mut() {
+                    if record_step {
+                        push_planned_record(c, shared, step.label, plan);
+                    }
+                }
+                me.arenas[widx].commit_write(me.pending_total[widx]);
+                Ok(())
+            }));
+            if !matches!(outcome, Ok(Ok(()))) {
+                let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
+                settle(shared, me.w, outcome, step.name, vp, rounds + 1);
+                // Healthy peers next wait at `rounds + 1` iff some later
+                // step is non-fused; otherwise they run to completion
+                // without another barrier and so must we. Two workers
+                // failing at *different* fused steps agree on this scan:
+                // everything between their two steps must itself be fused
+                // (a non-fused step in between would have parked the later
+                // worker at its barrier, where the abort stamp exits it),
+                // so both see the same first non-fused successor.
+                let peers_wait_again = steps[t + 1..].iter().any(|s| {
+                    active_plan(shared, s).is_none_or(|p| !fused(shared, p))
+                });
+                if peers_wait_again && gang_wait(shared, me.w, rounds + 1) {
+                    rounds += 1;
+                }
+                break;
+            }
+            prepared = false;
+            read_idx = 1 - read_idx;
+            continue;
+        }
 
         // --- planned path: direct cross-shard scatter, one barrier --------
         if let Some(plan) = active_plan(shared, step) {
@@ -780,12 +894,42 @@ fn prepare_direct<S, M: Send>(
     // fault-free, so every declared (src, dst) pair was proven
     // cluster-legal at compile time. (Sends *diverging* from the
     // declaration are caught by the writer's span/region checks.)
-    let span = shared.plan.peer_span(me.w, t);
+    let span = exec_span(shared, me.w, t, plan);
     let (lo, hi) = (span.start, span.end);
     let vps = me.vps;
     let shard_shift = shared.log_v - shared.log_shards;
     let w = me.w;
     let vp_lo = me.vp_lo;
+
+    // Single-shard span + layout summary: every payload to one of our
+    // destinations originates inside our own shard (by fusion locality or
+    // by a label at least log shards deep), so the plan's *global*
+    // per-destination counts are exactly our region sizes — size the arena
+    // straight from the O(1) layout, no route enumeration at all. The
+    // writer still re-checks every slot bound, so a wrong layout could
+    // only surface as PlanMismatch, never as an out-of-bounds write.
+    if hi - lo == 1 {
+        if let Some(layout) = plan.layout().filter(|_| shared.fuse) {
+            let total =
+                me.arenas[widx].prepare_write_counts(|d| layout.count(vp_lo + d), &mut me.cursors);
+            let tabs = &mut me.direct_tabs[widx];
+            for d in 0..vps {
+                let base = me.cursors[d];
+                tabs.starts[lo * vps + d] = base;
+                tabs.cursors[lo * vps + d] = base;
+                tabs.starts[(lo + 1) * vps + d] = base + layout.count(vp_lo + d);
+            }
+            let (slab, _offsets) = me.arenas[widx].split_for_scatter(total);
+            let tabs = &mut me.direct_tabs[widx];
+            let window = DirectWindow::new(slab, &tabs.starts, &mut tabs.cursors, vp_lo as u32);
+            me.pending_total[widx] = total;
+            // SAFETY: identical publication discipline to the general path
+            // below (prepare phase, own window slot, parity alternation);
+            // invariant 5.
+            unsafe { shared.direct.publish(widx, w, window) };
+            return Ok(());
+        }
+    }
 
     // Counting pass: rows `lo..hi` of the start table accumulate
     // per-(source shard, destination) payload counts while `dst_counts`
@@ -864,7 +1008,7 @@ fn exec_planned<S, M: Send>(
     read_idx: usize,
 ) -> Result<(), ModelError> {
     let widx = 1 - read_idx;
-    let span = shared.plan.peer_span(me.w, t);
+    let span = exec_span(shared, me.w, t, plan);
     let shard_shift = shared.log_v - shared.log_shards;
     let check = shared.validate.then(|| plan.route_raw());
     // SAFETY: exec phase — every window of parity `widx` in the span was
@@ -1202,8 +1346,15 @@ mod tests {
 
     #[test]
     fn planned_supersteps_cost_exactly_one_barrier() {
-        // A fully planned program pays one prepare barrier up front, then
-        // one barrier per superstep — versus three per dynamic superstep.
+        // Three tiers on the same program: dynamic costs three barriers per
+        // superstep, the fuse-off planned protocol exactly one per step
+        // (+1 initial prepare), and the fused tier removes the barrier
+        // entirely from every superstep whose payload locality clears the
+        // shard depth. The butterfly's labels cycle 0,1,2,3 with matching
+        // exchange distances, so at 2 shards only the label-0 steps
+        // (r ∈ {0, 4}) stay cross-shard (2 barriers each incl. the
+        // prepare), and at 4 shards the label-1 steps join them
+        // (r ∈ {0, 1, 4, 5}; r = 1 and 5 ride a pipelined prepare).
         let (v, rounds) = (16usize, 9usize);
         let planned = planned_butterfly(v, rounds);
         let dynamic = dynamic_butterfly(v, rounds);
@@ -1213,15 +1364,26 @@ mod tests {
             assert_eq!(b, 3 * rounds as u64, "dynamic protocol is three barriers per step");
             states
         };
-        for w in [2usize, 4] {
+        for (w, fused_barriers) in [(2usize, 4u64), (4, 6)] {
             let mut states: Vec<u64> = (0..v as u64).collect();
             let (b, trace) = run_counting(&planned, &mut states, w, &RunOptions::default());
             assert_eq!(
+                b, fused_barriers,
+                "fused tier must pay barriers only for cross-shard steps at {w} workers"
+            );
+            assert_eq!(states, want, "fused results diverge at {w} workers");
+            assert_eq!(trace.superstep_count(), rounds);
+
+            // Fusion off: the one-barrier protocol, exactly as before.
+            let mut states: Vec<u64> = (0..v as u64).collect();
+            let opts = RunOptions { fuse: false, ..Default::default() };
+            let (b, trace) = run_counting(&planned, &mut states, w, &opts);
+            assert_eq!(
                 b,
                 rounds as u64 + 1,
-                "planned protocol must cost one barrier per step (+1 initial prepare) at {w} workers"
+                "fuse-off planned protocol must cost one barrier per step (+1 initial prepare) at {w} workers"
             );
-            assert_eq!(states, want, "planned results diverge at {w} workers");
+            assert_eq!(states, want, "fuse-off results diverge at {w} workers");
             assert_eq!(trace.superstep_count(), rounds);
         }
         // Plans disabled: the same program walks the dynamic protocol.
@@ -1300,13 +1462,26 @@ mod tests {
             assert_eq!(rounds, 1, "dynamic gang must exit at the flush barrier at {w} workers");
         }
 
-        // Planned (one-barrier) protocol: the prepare barrier is round 1,
-        // the panicking exec settles before round 2 — the gang's exit.
+        // A payload-free plan is shard-local at every width, so under
+        // fusion the single superstep runs with zero barriers: the panic
+        // settles inside the fused iteration, there is no later non-fused
+        // step for healthy peers to wait at, and every worker leaves
+        // without ever touching the barrier.
         let mut planned: Program<u64, u64> = Program::new(v, v);
         planned.step_oblivious(0, "boom", 0, |_, _| Route::End, boom);
         for w in [2usize, 4, 8] {
             let mut states = vec![0u64; v];
             let (rounds, outcome) = run_raw(&planned, &mut states, w, &RunOptions::default());
+            assert_eq!(outcome.unwrap_err(), want, "fused error diverges at {w} workers");
+            assert_eq!(rounds, 0, "fused gang must exit without any barrier at {w} workers");
+        }
+
+        // Fusion off (the one-barrier protocol): the prepare barrier is
+        // round 1, the panicking exec settles before round 2 — the exit.
+        for w in [2usize, 4, 8] {
+            let mut states = vec![0u64; v];
+            let opts = RunOptions { fuse: false, ..Default::default() };
+            let (rounds, outcome) = run_raw(&planned, &mut states, w, &opts);
             assert_eq!(outcome.unwrap_err(), want, "planned error diverges at {w} workers");
             assert_eq!(rounds, 2, "planned gang must exit at the exec barrier at {w} workers");
         }

@@ -10,7 +10,7 @@
 //! excluding one-time setup (arena/stage/counter construction, trace
 //! reservation) and end-of-run trace materialization.
 
-use nob_machine::{run, Program, RunOptions};
+use nob_machine::{run, PlanFallback, Program, RunOptions};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -244,6 +244,43 @@ fn log_collecting_runs_allocate_one_entry_per_recorded_superstep() {
         long - short,
         32,
         "extra log-collecting supersteps must cost exactly one record + one log entry each",
+    );
+}
+
+#[test]
+fn dynamic_fallback_on_unplanned_programs_does_not_clone_states() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // `PlanFallback::Dynamic` clones the pristine states up front so a
+    // failed planned attempt can be retried from scratch — but the
+    // insurance is only bought when a planned step exists to fail. A fully
+    // dynamic program (zero planned steps) must have an allocation profile
+    // identical to the default policy's.
+    let v = 1 << 8;
+    let count_run = |fallback: PlanFallback| -> usize {
+        let prog = counting_butterfly_silent(v, 8);
+        assert_eq!(prog.planned_steps(), 0, "fixture must be fully dynamic");
+        let states: Vec<u64> = (0..v as u64).collect();
+        let opts = RunOptions {
+            parallel: false,
+            validate: false,
+            plan_fallback: fallback,
+            ..Default::default()
+        };
+        ALLOCS.store(0, Ordering::SeqCst);
+        COUNTING.store(true, Ordering::SeqCst);
+        let res = run(&prog, states, &opts).unwrap();
+        COUNTING.store(false, Ordering::SeqCst);
+        assert!(res.fallback.is_none(), "nothing to fall back from");
+        ALLOCS.load(Ordering::SeqCst)
+    };
+    // Min-of-3 filters additive allocator noise from other threads, same
+    // as the log-collection test above.
+    let _ = count_run(PlanFallback::Fail);
+    let sample = |fb: PlanFallback| (0..3).map(|_| count_run(fb)).min().unwrap();
+    assert_eq!(
+        sample(PlanFallback::Dynamic),
+        sample(PlanFallback::Fail),
+        "arming fallback on an unplanned program must not clone the states",
     );
 }
 

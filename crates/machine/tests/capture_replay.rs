@@ -1,0 +1,217 @@
+//! Property tests of trace capture: for *arbitrary value-dependent* programs
+//! — whose destinations are computed from the evolving state and therefore
+//! cannot be declared obliviously — a captured run compiled into
+//! [`StepPlan`]s and replayed must be **bit-for-bit indistinguishable** from
+//! the live dynamic run: states, trace and raw message log, serial and
+//! sharded at w ∈ {1, 2, 4, 8}, validation on and off, fused and unfused,
+//! and at every folding. A capture that has gone stale (the program's
+//! behavior changed after capture) must surface as a structured
+//! [`nob_core::ModelError::PlanMismatch`] — or degrade to the dynamic path
+//! under [`PlanFallback::Dynamic`] — never as silent corruption.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use nob_machine::{run, run_folded, PlanFallback, Program, RunOptions};
+use proptest::prelude::*;
+
+/// Splitmix-style hash driving the value-dependent routes.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Builds a program whose every destination is derived from the *current
+/// state* — deterministic for fixed initial states, but impossible to
+/// declare as an oblivious route. Exactly the programs only capture can
+/// bring onto the planned path.
+fn build_dynamic(v: usize, steps: &[(u32, u64, u8)]) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for &(raw_label, seed, fanout) in steps {
+        let label = raw_label % log_v.max(1);
+        prog.step(label, "value-dependent", move |st, ctx, inbox, out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_mul(31).wrapping_add(m);
+            }
+            let cluster = ctx.v >> label;
+            let base = ctx.vp - ctx.vp % cluster;
+            for k in 0..fanout as usize {
+                let dst = base + (mix(*st ^ seed ^ (k as u64) << 32) as usize) % cluster;
+                out.send(dst, st.wrapping_add(k as u64));
+            }
+            if mix(*st ^ seed).is_multiple_of(5) {
+                out.send_dummy(base + (mix(seed) as usize) % cluster);
+            }
+        });
+    }
+    prog.step(log_v - 1, "consume", |st, _ctx, inbox, _out| {
+        for m in inbox.drain(..) {
+            *st = st.wrapping_mul(31).wrapping_add(m);
+        }
+    });
+    prog
+}
+
+fn arb_steps() -> impl Strategy<Value = (usize, Vec<(u32, u64, u8)>)> {
+    (2u32..7).prop_flat_map(|log_v| {
+        let v = 1usize << log_v;
+        proptest::collection::vec((0u32..log_v, any::<u64>(), 0u8..4), 1..8)
+            .prop_map(move |steps| (v, steps))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Captured replay ≡ live dynamic execution: same states, same trace,
+    /// same message log — serial and sharded at w ∈ {1, 2, 4, 8},
+    /// validation on and off, fusion on and off.
+    #[test]
+    fn captured_replay_is_bit_for_bit_dynamic((v, steps) in arb_steps()) {
+        let dynamic = build_dynamic(v, &steps);
+        let mut captured = build_dynamic(v, &steps);
+        let states: Vec<u64> = (0..v as u64).map(mix).collect();
+        let added = captured.capture_plans(states.clone()).unwrap();
+        prop_assert_eq!(added, captured.steps().len(), "every step was dynamic");
+        prop_assert_eq!(captured.planned_steps(), captured.steps().len());
+
+        let serial = RunOptions { workers: Some(1), ..RunOptions::with_log() };
+        let want = run(&dynamic, states.clone(), &serial).unwrap();
+        for (name, opts) in [
+            ("serial", serial.clone()),
+            ("serial-no-validate", RunOptions { validate: false, ..serial.clone() }),
+            ("serial-fuse-off", RunOptions { fuse: false, ..serial.clone() }),
+            ("sharded-2", RunOptions { workers: Some(2), ..RunOptions::with_log() }),
+            ("sharded-4", RunOptions { workers: Some(4), ..RunOptions::with_log() }),
+            ("sharded-8", RunOptions { workers: Some(8), ..RunOptions::with_log() }),
+            (
+                "sharded-4-no-validate",
+                RunOptions { validate: false, workers: Some(4), ..RunOptions::with_log() },
+            ),
+            (
+                "sharded-8-fuse-off",
+                RunOptions { fuse: false, workers: Some(8), ..RunOptions::with_log() },
+            ),
+        ] {
+            let got = run(&captured, states.clone(), &opts).unwrap();
+            prop_assert!(got.fallback.is_none(), "{} fell back", name);
+            prop_assert_eq!(&got.states, &want.states, "{} states", name);
+            prop_assert_eq!(&got.trace, &want.trace, "{} trace", name);
+            prop_assert_eq!(&got.message_log, &want.message_log, "{} log", name);
+        }
+    }
+
+    /// Folded captured replay ≡ folded dynamic execution at every p and
+    /// worker width.
+    #[test]
+    fn folded_captured_replay_matches_dynamic((v, steps) in arb_steps()) {
+        let dynamic = build_dynamic(v, &steps);
+        let mut captured = build_dynamic(v, &steps);
+        let states: Vec<u64> = (0..v as u64).collect();
+        captured.capture_plans(states.clone()).unwrap();
+        prop_assert_eq!(captured.planned_steps(), captured.steps().len());
+
+        let mut p = 2usize;
+        while p <= v {
+            let serial = RunOptions { workers: Some(1), ..RunOptions::with_log() };
+            let want = run_folded(&dynamic, states.clone(), p, &serial).unwrap();
+            for w in [1usize, 2, 4, 8] {
+                let opts = RunOptions { workers: Some(w), ..RunOptions::with_log() };
+                let got = run_folded(&captured, states.clone(), p, &opts).unwrap();
+                prop_assert_eq!(&got.states, &want.states, "folded states p={} w={}", p, w);
+                prop_assert_eq!(&got.trace, &want.trace, "folded trace p={} w={}", p, w);
+                prop_assert_eq!(&got.message_log, &want.message_log, "folded log p={} w={}", p, w);
+            }
+            p *= 2;
+        }
+    }
+}
+
+/// A value-dependent step whose routing can be flipped after capture,
+/// simulating a program whose behavior drifted out from under its cache.
+/// The poisoned variant changes per-destination *counts* (evens receive
+/// two payloads, odds none), so the drift is structurally detectable on
+/// every tier — with validation via the lockstep route check, without it
+/// via the direct writer's slot bounds.
+fn poisonable(v: usize, flag: &Arc<AtomicBool>) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    let f = Arc::clone(flag);
+    prog.step(0, "poisonable", move |st, ctx, inbox, out| {
+        for m in inbox.drain(..) {
+            *st = st.wrapping_mul(31).wrapping_add(m);
+        }
+        let dst = if f.load(Ordering::Relaxed) { ctx.vp & !1 } else { (ctx.vp + 1) % ctx.v };
+        out.send(dst, *st | 1);
+    });
+    prog.step(log_v - 1, "consume", |st, _ctx, inbox, _out| {
+        for m in inbox.drain(..) {
+            *st = st.wrapping_mul(31).wrapping_add(m);
+        }
+    });
+    prog
+}
+
+/// A stale capture is a structured [`PlanMismatch`] on every execution
+/// path — serial and sharded at every width — never corruption.
+#[test]
+fn stale_capture_is_rejected_as_plan_mismatch() {
+    let v = 16;
+    let flag = Arc::new(AtomicBool::new(false));
+    let mut prog = poisonable(v, &flag);
+    let states: Vec<u64> = (0..v as u64).collect();
+    assert_eq!(prog.capture_plans(states.clone()).unwrap(), 2);
+
+    // The program's behavior changes *after* capture: the send pattern no
+    // longer matches what the captured plan promises.
+    flag.store(true, Ordering::Relaxed);
+    for w in [1usize, 2, 4, 8] {
+        for validate in [true, false] {
+            let opts = RunOptions { workers: Some(w), validate, ..Default::default() };
+            let err = run(&prog, states.clone(), &opts)
+                .expect_err("stale capture must be rejected, validated or not");
+            assert!(
+                matches!(err, nob_core::ModelError::PlanMismatch { .. }),
+                "unexpected error at {w} workers (validate={validate}): {err:?}"
+            );
+        }
+    }
+}
+
+/// Under [`PlanFallback::Dynamic`] a stale capture degrades to the dynamic
+/// path: the run completes with the *live* behavior's output and records
+/// the abandoned planned attempt in [`RunResult::fallback`].
+#[test]
+fn stale_capture_degrades_to_dynamic_under_fallback() {
+    let v = 16;
+    let flag = Arc::new(AtomicBool::new(false));
+    let mut captured = poisonable(v, &flag);
+    let states: Vec<u64> = (0..v as u64).collect();
+    captured.capture_plans(states.clone()).unwrap();
+    flag.store(true, Ordering::Relaxed);
+
+    // What the drifted program *actually* does now, dynamically.
+    let live = poisonable(v, &flag);
+    let want = run(&live, states.clone(), &RunOptions::default()).unwrap();
+
+    for w in [1usize, 2, 4, 8] {
+        // Fallback arms only on non-validated runs: under validation a
+        // mismatch is a model violation to report, not degrade around.
+        let opts = RunOptions {
+            workers: Some(w),
+            validate: false,
+            plan_fallback: PlanFallback::Dynamic,
+            ..Default::default()
+        };
+        let got = run(&captured, states.clone(), &opts).unwrap();
+        assert!(
+            matches!(got.fallback, Some(nob_core::ModelError::PlanMismatch { .. })),
+            "fallback not recorded at {w} workers: {:?}",
+            got.fallback
+        );
+        assert_eq!(got.states, want.states, "degraded run diverged at {w} workers");
+    }
+}

@@ -16,9 +16,10 @@
 //!    the same process is bit-for-bit identical (states, trace, message
 //!    log) to a baseline computed before any fault ran.
 //!
-//! The driver program mixes both protocols — dynamic (three-barrier lane
-//! exchange), planned (one-barrier direct scatter, including a pipelined
-//! prepare edge) — so every phase boundary is reachable.
+//! The driver program mixes all three protocols — dynamic (three-barrier
+//! lane exchange), planned (one-barrier direct scatter, including a
+//! pipelined prepare edge) and fused (zero-barrier shard-local pipeline) —
+//! so every phase boundary is reachable.
 
 use nob_core::fault::{FaultKind, FaultPlan};
 use nob_core::ModelError;
@@ -29,7 +30,9 @@ use std::time::Duration;
 
 const V: usize = 16;
 
-/// dynamic → planned → planned (pipelined prepare) → dynamic.
+/// dynamic → planned → planned (pipelined prepare) → fused × 2
+/// (zero-barrier: vp^1 at label 3 has payload locality 3, shard-local at
+/// every swept width) → dynamic.
 fn mixed_program() -> Program<u64, u64> {
     let mut prog: Program<u64, u64> = Program::new(V, V);
     let fold = |st: &mut u64, inbox: &mut nob_machine::Inbox<'_, u64>| {
@@ -61,7 +64,27 @@ fn mixed_program() -> Program<u64, u64> {
             out.send(ctx.vp ^ 4, *st + 3);
         },
     );
-    prog.step(0, "dyn-d", move |st, _, inbox, _| fold(st, inbox));
+    prog.step_oblivious(
+        3,
+        "fu-d",
+        1,
+        |ctx, _| Route::Data(ctx.vp ^ 1),
+        move |st, ctx, inbox, out| {
+            fold(st, inbox);
+            out.send(ctx.vp ^ 1, *st + 4);
+        },
+    );
+    prog.step_oblivious(
+        3,
+        "fu-e",
+        1,
+        |ctx, _| Route::Data(ctx.vp ^ 1),
+        move |st, ctx, inbox, out| {
+            fold(st, inbox);
+            out.send(ctx.vp ^ 1, *st + 5);
+        },
+    );
+    prog.step(0, "dyn-f", move |st, _, inbox, _| fold(st, inbox));
     prog
 }
 
@@ -152,9 +175,10 @@ fn injected_faults_surface_structured_and_leave_no_residue() {
 
     // Sharded widths: every executor site, both flavors (each site's check
     // runs inside its phase's `catch_unwind`), first and last shard.
-    const SHARD_SITES: [&str; 8] = [
+    const SHARD_SITES: [&str; 9] = [
         "shard:prepare",
         "shard:exec_planned",
+        "shard:fused_exec",
         "shard:commit",
         "shard:flush",
         "shard:gather",
@@ -199,6 +223,7 @@ fn every_instrumented_site_is_reachable() {
     for site in [
         "shard:prepare",
         "shard:exec_planned",
+        "shard:fused_exec",
         "shard:commit",
         "shard:flush",
         "shard:gather",
@@ -207,5 +232,50 @@ fn every_instrumented_site_is_reachable() {
         "mailbox:prepare_write",
     ] {
         assert!(reachable(4, site, 4), "sharded site {site} unreachable");
+    }
+}
+
+#[test]
+fn capture_failpoint_is_reachable_and_structured() {
+    // The capture run has its own failpoint (`serial:capture`, inside the
+    // per-step `catch_unwind`): both flavors must surface structured, the
+    // program must stay uncorrupted, and a clean capture afterwards must
+    // still reach 100% coverage and replay identically.
+    let prog = mixed_program();
+    let baseline = run(&prog, init_states(), &opts(1)).expect("baseline");
+
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        let mut prog = mixed_program();
+        let plan = match kind {
+            FaultKind::Error => FaultPlan::error_at("serial:capture", 0, 0),
+            FaultKind::Panic => FaultPlan::panic_at("serial:capture", 0, 0),
+        };
+        let err = prog
+            .capture_plans_with(init_states(), Some(&plan))
+            .expect_err("armed capture must fail");
+        assert_eq!(plan.fired(), 1, "{kind:?}: capture failpoint did not fire");
+        match kind {
+            FaultKind::Error => assert!(
+                matches!(err, ModelError::FaultInjected { site: "serial:capture", .. }),
+                "{kind:?}: wrong error {err:?}"
+            ),
+            FaultKind::Panic => assert!(
+                matches!(&err, ModelError::VpPanic { payload, .. } if payload.contains("injected panic")),
+                "{kind:?}: wrong error {err:?}"
+            ),
+        }
+        // A failed capture adds no plans and leaves the program runnable …
+        assert_clean(&run(&prog, init_states(), &opts(2)).unwrap(), &baseline, "post-fault run");
+        // … and a clean capture afterwards closes every gap.
+        let added = prog.capture_plans(init_states()).expect("clean capture");
+        assert!(added > 0, "clean capture added nothing");
+        assert_eq!(prog.planned_steps(), prog.steps().len(), "not 100% planned");
+        for w in [1usize, 2, 4, 8] {
+            assert_clean(
+                &run(&prog, init_states(), &opts(w)).unwrap(),
+                &baseline,
+                "captured replay",
+            );
+        }
     }
 }

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Communication-plan smoke check: runs the engine-throughput experiment's
-# `--smoke` mode — one small size (v = 2^10), FFT + Columnsort, plans
-# enabled vs disabled vs the reference engine, asserting bit-for-bit
-# equality of states, communication trace and message log on the serial,
-# sharded (4 workers — the gang and its direct cross-shard scatter run
-# even on 1-CPU containers; correctness is scheduling-independent) and
-# folded paths. Wired into scripts/tier1.sh so a plan/metric divergence
-# fails tier-1 immediately instead of waiting for a full bench run. Takes
-# a few seconds (release build assumed warm from tier-1).
+# `--smoke` mode — one small size (v = 2^10), FFT + Columnsort plus the
+# dynamic butterfly, plans enabled vs disabled, fusion on vs off, and
+# capture on vs off (captured plans replayed against the live dynamic
+# run), all vs the reference engine, asserting bit-for-bit equality of
+# states, communication trace and message log on the serial, sharded
+# (4 workers — the gang, its direct cross-shard scatter and the
+# zero-barrier fused pipeline run even on 1-CPU containers; correctness
+# is scheduling-independent) and folded paths. Wired into
+# scripts/tier1.sh so a plan/metric/capture divergence fails tier-1
+# immediately instead of waiting for a full bench run. Takes a few
+# seconds (release build assumed warm from tier-1).
 #
 # It also times the fft v = 2^10 serial row (faults disarmed — the default)
 # into a one-row guard file and diffs it against the checked-in
