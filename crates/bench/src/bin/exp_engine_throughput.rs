@@ -125,9 +125,15 @@ struct Row {
     /// step count — the 100%-coverage invariant is asserted per row).
     captured_steps: usize,
     /// Declared plans enabled, fusion off (the PR-5 one-barrier anchor).
-    plan: Measurement,
+    /// `None` when the program declares no plans (`planned_steps == 0`):
+    /// a plans-on run of such a program is the dynamic path wearing a
+    /// different flag, so timing it would duplicate `arena` and a reader
+    /// diffing plan columns across files would be comparing noise —
+    /// the JSON emits `null` instead.
+    plan: Option<Measurement>,
     /// Declared plans enabled, fusion on (zero-barrier shard-local runs).
-    fused: Measurement,
+    /// `None` exactly when `plan` is (nothing declared to fuse).
+    fused: Option<Measurement>,
     /// Capture-augmented program (100% planned), fusion on.
     captured: Measurement,
     /// Engine with plans disabled (dynamic path; comparable to pre-plan
@@ -286,8 +292,17 @@ fn bench_program<A>(
         let anchor = worker_opts(w, true, false);
         let fuse_on = worker_opts(w, true, true);
         let off = worker_opts(w, false, false);
-        let plan = measure(&prog, &states, |p, s| run(p, s, &anchor).unwrap());
-        let fused = measure(&prog, &states, |p, s| run(p, s, &fuse_on).unwrap());
+        // Programs with no declared plans (bfly-dyn) skip the plan/fused
+        // timings: plans-on over zero planned steps is the dynamic path,
+        // so the columns would be duplicates of `arena` — emit null.
+        let (plan, fused) = if prog.planned_steps() > 0 {
+            (
+                Some(measure(&prog, &states, |p, s| run(p, s, &anchor).unwrap())),
+                Some(measure(&prog, &states, |p, s| run(p, s, &fuse_on).unwrap())),
+            )
+        } else {
+            (None, None)
+        };
         let captured = measure(&cap, &states, |p, s| run(p, s, &fuse_on).unwrap());
         let arena = measure(&prog, &states, |p, s| run(p, s, &off).unwrap());
         let rss_after = peak_rss_kb();
@@ -306,17 +321,25 @@ fn bench_program<A>(
             rss_delta_kb: rss_after.saturating_sub(rss_mark),
         };
         rss_mark = rss_after;
+        let col = |m: &Option<Measurement>| match m {
+            Some(m) => format!("{:>10.0}", m.msgs_per_sec()),
+            None => format!("{:>10}", "-"),
+        };
+        let fuse_ratio = match (&row.fused, &row.plan) {
+            (Some(f), Some(p)) => format!("{:.2}x", f.msgs_per_sec() / p.msgs_per_sec()),
+            _ => "-".to_string(),
+        };
         eprintln!(
-            "v={:<6} {:<9} w={} plan {:>10.0} | fused {:>10.0} | captured {:>10.0} | dynamic {:>10.0} | reference {:>10.0} msg/s | fused/plan {:.2}x | captured/dyn {:.2}x",
+            "v={:<6} {:<9} w={} plan {} | fused {} | captured {:>10.0} | dynamic {:>10.0} | reference {:>10.0} msg/s | fused/plan {} | captured/dyn {:.2}x",
             row.v,
             row.program,
             row.threads,
-            row.plan.msgs_per_sec(),
-            row.fused.msgs_per_sec(),
+            col(&row.plan),
+            col(&row.fused),
             row.captured.msgs_per_sec(),
             row.arena.msgs_per_sec(),
             row.reference.msgs_per_sec(),
-            row.fused.msgs_per_sec() / row.plan.msgs_per_sec(),
+            fuse_ratio,
             row.captured.msgs_per_sec() / row.arena.msgs_per_sec(),
         );
         rows.push(row);
@@ -333,38 +356,57 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
     writeln!(json, "  \"pool_threads\": {},", rayon::current_num_threads()).unwrap();
     writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
     writeln!(json, "  \"validate\": {},", RunOptions::default().validate).unwrap();
-    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = declared communication plans enabled with fusion off (the one-barrier protocol, comparable to pre-fusion baselines); fused_msgs_per_sec = declared plans with superstep fusion on (zero-barrier shard-local pipelines + O(1) layout arena sizing); captured_msgs_per_sec = the capture-augmented program (capture_plans, 100% planned) with fusion on — the capture win for programs with dynamic steps, captured-replay parity for fully declared ones; arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal\",").unwrap();
+    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = declared communication plans enabled with fusion off (the one-barrier protocol, comparable to pre-fusion baselines); fused_msgs_per_sec = declared plans with superstep fusion on (zero-barrier shard-local pipelines + O(1) layout arena sizing); captured_msgs_per_sec = the capture-augmented program (capture_plans, 100% planned) with fusion on — the capture win for programs with dynamic steps, captured-replay parity for fully declared ones; arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. plan_* and fused_* are null on rows whose program declares no plans (planned_steps = 0): plans-on there is the dynamic path, so the columns would duplicate arena_*. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal\",").unwrap();
     writeln!(json, "  \"rows\": [").unwrap();
+    // Nullable column formatters: rows whose program declares no plans
+    // (bfly-dyn) carry `null` in the plan/fused columns rather than a
+    // duplicate of the dynamic numbers (`bench_compare.sh` skips nulls).
+    let secs = |m: &Option<Measurement>| match m {
+        Some(m) => format!("{:.6}", m.secs),
+        None => "null".to_string(),
+    };
+    let rate = |m: &Option<Measurement>| match m {
+        Some(m) => format!("{:.0}", m.msgs_per_sec()),
+        None => "null".to_string(),
+    };
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
+        let plan_speedup = match &row.plan {
+            Some(p) => format!("{:.3}", p.msgs_per_sec() / row.arena.msgs_per_sec()),
+            None => "null".to_string(),
+        };
+        let fuse_speedup = match (&row.fused, &row.plan) {
+            (Some(f), Some(p)) => format!("{:.3}", f.msgs_per_sec() / p.msgs_per_sec()),
+            _ => "null".to_string(),
+        };
         writeln!(
             json,
             "    {{\"v\": {}, \"program\": \"{}\", \"threads\": {}, \"supersteps\": {}, \"planned_steps\": {}, \"captured_steps\": {}, \"messages_per_run\": {}, \
-             \"plan_secs\": {:.6}, \"plan_msgs_per_sec\": {:.0}, \
-             \"fused_secs\": {:.6}, \"fused_msgs_per_sec\": {:.0}, \
+             \"plan_secs\": {}, \"plan_msgs_per_sec\": {}, \
+             \"fused_secs\": {}, \"fused_msgs_per_sec\": {}, \
              \"captured_secs\": {:.6}, \"captured_msgs_per_sec\": {:.0}, \
              \"arena_secs\": {:.6}, \"arena_msgs_per_sec\": {:.0}, \
              \"reference_secs\": {:.6}, \"reference_msgs_per_sec\": {:.0}, \
-             \"plan_speedup\": {:.3}, \"fuse_speedup\": {:.3}, \"capture_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
+             \"plan_speedup\": {}, \"fuse_speedup\": {}, \"capture_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
             row.v,
             row.program,
             row.threads,
-            row.plan.supersteps,
+            row.arena.supersteps,
             row.planned_steps,
             row.captured_steps,
-            row.plan.messages,
-            row.plan.secs,
-            row.plan.msgs_per_sec(),
-            row.fused.secs,
-            row.fused.msgs_per_sec(),
+            row.arena.messages,
+            secs(&row.plan),
+            rate(&row.plan),
+            secs(&row.fused),
+            rate(&row.fused),
             row.captured.secs,
             row.captured.msgs_per_sec(),
             row.arena.secs,
             row.arena.msgs_per_sec(),
             row.reference.secs,
             row.reference.msgs_per_sec(),
-            row.plan.msgs_per_sec() / row.arena.msgs_per_sec(),
-            row.fused.msgs_per_sec() / row.plan.msgs_per_sec(),
+            plan_speedup,
+            fuse_speedup,
             row.captured.msgs_per_sec() / row.arena.msgs_per_sec(),
             row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
             row.peak_rss_kb,
@@ -382,7 +424,7 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
 /// binary-exchange network, but declared with `Program::step` — zero
 /// oblivious routes, so only trace capture can bring it onto the planned
 /// path. Its `captured_msgs_per_sec` column is the record-and-replay win;
-/// its `plan` column equals `arena` (nothing declared to plan).
+/// its `plan`/`fused` columns are `null` (nothing declared to time).
 #[derive(Debug, Clone, Default)]
 struct DynButterfly;
 

@@ -1,0 +1,592 @@
+//! Job-server experiment: jobs/second and latency percentiles of the
+//! multi-tenant [`JobServer`] — the persistent gang + compiled-plan cache
+//! + pooled arenas serving path — against the per-job cold cost it
+//! amortizes.
+//!
+//! Workloads (each one row in `BENCH_server.json`):
+//!
+//! * `fft_cold` — FFT `v = 2^10` jobs submitted under a *fresh* shape key
+//!   each time: every job misses the plan cache, so it pays program
+//!   construction and `StepPlan` compilation (the full route scan +
+//!   cluster-legality proof per superstep) before executing. This is the
+//!   pre-server per-request cost, measured on the serving path.
+//! * `fft_warm` — the same jobs under one shape key: job 1 compiles, the
+//!   rest reuse the cached compiled program (the builder closure is
+//!   dropped unopened) and its send totals. `warm_over_cold` is the
+//!   amortization win the server exists for (acceptance: ≥ 3x).
+//! * `fft_warm_gang` — a burst of warm jobs submitted upfront to a
+//!   4-worker gang and drained: pipelined serving throughput where
+//!   per-job cost is an enqueue plus the gang's two barrier rounds.
+//!   Latencies are completion-from-submit, i.e. they include queue wait.
+//! * `mixed` — interactive small jobs (`v = 2^10`) racing large jobs
+//!   (`v = 2^14`) on the same gang: the FIFO + size-aware admission row.
+//!   `p50_us`/`p99_us` are the *small*-job latencies (the ones admission
+//!   protects); `large_p99_us` reports the large tail next to them.
+//! * `fft_warm_steady` — sequential warm jobs measured last, after every
+//!   pool has seen its high-water job: `rss_delta_kb` across the batch
+//!   must be 0 (steady-state serving allocates no new memory).
+//!
+//! The cold/warm pair runs on a width-1 server (the serial serving path)
+//! so the compile-amortization signal is not diluted by barrier
+//! coordination noise on small containers; the gang rows run at width 4
+//! regardless of visible CPUs (correctness and pooling are
+//! scheduling-independent; on a 1-CPU container their absolute numbers
+//! measure coordination overhead, same caveat as `exp_engine_throughput`).
+//!
+//! Usage: `cargo run --release -p nob-bench --bin exp_server [out_path]`
+//! (default `BENCH_server.json`), or `… -- --smoke` for the tier-1 mode:
+//! no timing, bit-for-bit equality of served results against direct
+//! [`run`] baselines — cold, warm, captured, serial-path, post-fault and
+//! post-stall jobs on a persistent gang.
+
+use nob_algos::fft::BinaryExchangeFft;
+use nob_bench::{random_keys, test_signal};
+use nob_machine::{
+    run, JobServer, JobSpec, JobTicket, NobAlgorithm, Program, ProgramSource, RunOptions,
+    ServerConfig, ShapeKey,
+};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+type FftState = <BinaryExchangeFft as NobAlgorithm>::State;
+type FftMsg = <BinaryExchangeFft as NobAlgorithm>::Msg;
+type FftServer = JobServer<FftState, FftMsg>;
+
+/// Peak resident set size so far, in kB (`VmHWM` — see
+/// `exp_engine_throughput` for why deltas of a high-water mark are the
+/// per-row memory signal).
+fn peak_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|l| l.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The `q`-th percentile (0..=100) by nearest-rank on a sorted copy.
+fn percentile(lat_us: &[f64], q: usize) -> f64 {
+    if lat_us.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = lat_us.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[(sorted.len() - 1) * q / 100]
+}
+
+/// Serving options for throughput rows: no per-message validation, no
+/// trace materialization — the latency-critical configuration the server
+/// documents.
+fn serving_spec(shape: ShapeKey) -> JobSpec {
+    let mut spec = JobSpec::new(shape);
+    spec.opts.validate = false;
+    spec.opts.want_trace = false;
+    spec
+}
+
+fn fft_source(v: usize) -> ProgramSource<FftState, FftMsg> {
+    ProgramSource::Build(Box::new(move || BinaryExchangeFft.build(v)))
+}
+
+struct Row {
+    name: &'static str,
+    v: usize,
+    width: usize,
+    jobs: usize,
+    secs: f64,
+    lat_us: Vec<f64>,
+    /// Small-vs-large split of `lat_us` (mixed row); `None` elsewhere.
+    large_lat_us: Option<Vec<f64>>,
+    warm_over_cold: Option<f64>,
+    cache_hits: u64,
+    cache_misses: u64,
+    peak_rss_kb: u64,
+    rss_delta_kb: u64,
+}
+
+impl Row {
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.secs
+    }
+}
+
+/// Runs `jobs` sequential submit→wait round trips; per-job latency is the
+/// full round trip. Inputs are pre-cloned outside the timed window.
+#[allow(clippy::too_many_arguments)]
+fn sequential_batch(
+    name: &'static str,
+    srv: &FftServer,
+    v: usize,
+    width: usize,
+    jobs: usize,
+    spec_for: impl Fn(usize) -> JobSpec,
+    expect: &[FftState],
+    rss_mark: &mut u64,
+) -> Row {
+    let states = BinaryExchangeFft.init(v, &test_signal(v));
+    let inputs: Vec<Vec<FftState>> = (0..jobs).map(|_| states.clone()).collect();
+    let before = srv.stats();
+    let mut lat_us = Vec::with_capacity(jobs);
+    let t0 = Instant::now();
+    for (i, input) in inputs.into_iter().enumerate() {
+        let at = Instant::now();
+        let res = srv
+            .run_job(spec_for(i), input, fft_source(v))
+            .unwrap_or_else(|e| panic!("{name}: job {i} failed: {e}"));
+        lat_us.push(at.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(res.states, expect, "{name}: job {i} diverged from the direct run");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let after = srv.stats();
+    let rss_after = peak_rss_kb();
+    let row = Row {
+        name,
+        v,
+        width,
+        jobs,
+        secs,
+        lat_us,
+        large_lat_us: None,
+        warm_over_cold: None,
+        cache_hits: after.cache_hits - before.cache_hits,
+        cache_misses: after.cache_misses - before.cache_misses,
+        peak_rss_kb: rss_after,
+        rss_delta_kb: rss_after.saturating_sub(*rss_mark),
+    };
+    *rss_mark = rss_after;
+    row
+}
+
+/// A ticket with its submit timestamp and a waiter thread that records the
+/// completion latency the moment the job resolves (waiting tickets in
+/// submission order would hide a small job's early completion behind an
+/// earlier large job's wait).
+fn spawn_waiter(
+    ticket: JobTicket<FftState>,
+    small: bool,
+    expect: Arc<Vec<FftState>>,
+    sink: Arc<Mutex<Vec<(bool, f64)>>>,
+) -> std::thread::JoinHandle<()> {
+    let at = Instant::now();
+    std::thread::spawn(move || {
+        let res = ticket.wait().expect("served job failed");
+        let us = at.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(res.states, *expect, "served job diverged from the direct run");
+        sink.lock().unwrap().push((small, us));
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--smoke") {
+        smoke();
+        return;
+    }
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_server.json".to_string());
+    let v = 1usize << 10;
+    let jobs = 32usize;
+    let mut rss_mark = peak_rss_kb();
+    let mut rows = Vec::new();
+
+    // Direct-run baseline for result equality (states only: serving rows
+    // skip trace materialization).
+    let expect = {
+        let prog = BinaryExchangeFft.build(v);
+        let states = BinaryExchangeFft.init(v, &test_signal(v));
+        run(&prog, states, &RunOptions { workers: Some(1), ..Default::default() })
+            .expect("baseline run")
+            .states
+    };
+
+    // --- cold vs warm on the serial serving path (width 1) --------------
+    let srv1: FftServer = JobServer::new(ServerConfig::with_shards(1)).expect("server");
+    let cold = sequential_batch(
+        "fft_cold",
+        &srv1,
+        v,
+        1,
+        jobs,
+        |i| serving_spec(ShapeKey { algo: "fft-cold", variant: i as u64 }),
+        &expect,
+        &mut rss_mark,
+    );
+    assert_eq!(cold.cache_misses, jobs as u64, "cold jobs must all miss the plan cache");
+    eprintln!(
+        "{:<16} w={} {:>8.0} jobs/s | p50 {:>7.0}us p99 {:>7.0}us",
+        cold.name,
+        cold.width,
+        cold.jobs_per_sec(),
+        percentile(&cold.lat_us, 50),
+        percentile(&cold.lat_us, 99),
+    );
+    // One unmeasured job compiles the warm shape's cache entry.
+    srv1.run_job(
+        serving_spec(ShapeKey { algo: "fft-warm", variant: 0 }),
+        BinaryExchangeFft.init(v, &test_signal(v)),
+        fft_source(v),
+    )
+    .expect("warmup job");
+    let mut warm = sequential_batch(
+        "fft_warm",
+        &srv1,
+        v,
+        1,
+        jobs,
+        |_| serving_spec(ShapeKey { algo: "fft-warm", variant: 0 }),
+        &expect,
+        &mut rss_mark,
+    );
+    assert_eq!(warm.cache_hits, jobs as u64, "warm jobs must all hit the plan cache");
+    warm.warm_over_cold = Some(warm.jobs_per_sec() / cold.jobs_per_sec());
+    eprintln!(
+        "{:<16} w={} {:>8.0} jobs/s | p50 {:>7.0}us p99 {:>7.0}us | warm/cold {:.2}x",
+        warm.name,
+        warm.width,
+        warm.jobs_per_sec(),
+        percentile(&warm.lat_us, 50),
+        percentile(&warm.lat_us, 99),
+        warm.warm_over_cold.unwrap(),
+    );
+    rows.push(cold);
+    rows.push(warm);
+    drop(srv1);
+
+    // --- gang rows (width 4) --------------------------------------------
+    let srv4: FftServer = JobServer::new(ServerConfig::with_shards(4)).expect("server");
+    let expect_arc = Arc::new(expect);
+    let warm_key = ShapeKey { algo: "fft-warm", variant: 0 };
+    srv4.run_job(
+        serving_spec(warm_key),
+        BinaryExchangeFft.init(v, &test_signal(v)),
+        fft_source(v),
+    )
+    .expect("gang warmup job");
+
+    // Pipelined burst: all jobs queued upfront, gang drains them.
+    {
+        let states = BinaryExchangeFft.init(v, &test_signal(v));
+        let inputs: Vec<Vec<FftState>> = (0..jobs).map(|_| states.clone()).collect();
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let before = srv4.stats();
+        let t0 = Instant::now();
+        let waiters: Vec<_> = inputs
+            .into_iter()
+            .map(|input| {
+                let t = srv4.submit(serving_spec(warm_key), input, fft_source(v)).expect("submit");
+                spawn_waiter(t, true, Arc::clone(&expect_arc), Arc::clone(&sink))
+            })
+            .collect();
+        for w in waiters {
+            w.join().expect("waiter");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let after = srv4.stats();
+        let rss_after = peak_rss_kb();
+        let lat_us: Vec<f64> = sink.lock().unwrap().iter().map(|&(_, us)| us).collect();
+        let row = Row {
+            name: "fft_warm_gang",
+            v,
+            width: 4,
+            jobs,
+            secs,
+            lat_us,
+            large_lat_us: None,
+            warm_over_cold: None,
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            peak_rss_kb: rss_after,
+            rss_delta_kb: rss_after.saturating_sub(rss_mark),
+        };
+        rss_mark = rss_after;
+        eprintln!(
+            "{:<16} w={} {:>8.0} jobs/s | p50 {:>7.0}us p99 {:>7.0}us (burst: latency includes queue wait)",
+            row.name,
+            row.width,
+            row.jobs_per_sec(),
+            percentile(&row.lat_us, 50),
+            percentile(&row.lat_us, 99),
+        );
+        rows.push(row);
+    }
+
+    // Mixed small/large: 4 large jobs interleaved with 32 small ones; the
+    // admission policy lets queued small jobs overtake a large head.
+    {
+        let v_large = 1usize << 14;
+        let expect_large = {
+            let prog = BinaryExchangeFft.build(v_large);
+            let states = BinaryExchangeFft.init(v_large, &test_signal(v_large));
+            run(&prog, states, &RunOptions { workers: Some(1), ..Default::default() })
+                .expect("baseline large run")
+                .states
+        };
+        let large_key = ShapeKey { algo: "fft-large", variant: 0 };
+        srv4.run_job(
+            serving_spec(large_key),
+            BinaryExchangeFft.init(v_large, &test_signal(v_large)),
+            fft_source(v_large),
+        )
+        .expect("large warmup job");
+        let expect_large = Arc::new(expect_large);
+        let small_states = BinaryExchangeFft.init(v, &test_signal(v));
+        let large_states = BinaryExchangeFft.init(v_large, &test_signal(v_large));
+        let (n_large, per_large) = (4usize, 8usize);
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let before = srv4.stats();
+        let t0 = Instant::now();
+        let mut waiters = Vec::new();
+        for _ in 0..n_large {
+            let t = srv4
+                .submit(serving_spec(large_key), large_states.clone(), fft_source(v_large))
+                .expect("submit large");
+            waiters.push(spawn_waiter(t, false, Arc::clone(&expect_large), Arc::clone(&sink)));
+            for _ in 0..per_large {
+                let t = srv4
+                    .submit(serving_spec(warm_key), small_states.clone(), fft_source(v))
+                    .expect("submit small");
+                waiters.push(spawn_waiter(t, true, Arc::clone(&expect_arc), Arc::clone(&sink)));
+            }
+        }
+        for w in waiters {
+            w.join().expect("waiter");
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let after = srv4.stats();
+        let rss_after = peak_rss_kb();
+        let done = sink.lock().unwrap();
+        let small_lat: Vec<f64> =
+            done.iter().filter(|&&(s, _)| s).map(|&(_, us)| us).collect();
+        let large_lat: Vec<f64> =
+            done.iter().filter(|&&(s, _)| !s).map(|&(_, us)| us).collect();
+        drop(done);
+        let total = n_large * (1 + per_large);
+        let row = Row {
+            name: "mixed",
+            v,
+            width: 4,
+            jobs: total,
+            secs,
+            lat_us: small_lat,
+            large_lat_us: Some(large_lat),
+            warm_over_cold: None,
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            peak_rss_kb: rss_after,
+            rss_delta_kb: rss_after.saturating_sub(rss_mark),
+        };
+        rss_mark = rss_after;
+        eprintln!(
+            "{:<16} w={} {:>8.0} jobs/s | small p50 {:>7.0}us p99 {:>7.0}us | large p99 {:>9.0}us",
+            row.name,
+            row.width,
+            row.jobs_per_sec(),
+            percentile(&row.lat_us, 50),
+            percentile(&row.lat_us, 99),
+            percentile(row.large_lat_us.as_deref().unwrap_or(&[]), 99),
+        );
+        rows.push(row);
+    }
+
+    // Warm steady state, measured last: every pool has seen its high-water
+    // job, so this batch must not move the VmHWM at all.
+    let steady = sequential_batch(
+        "fft_warm_steady",
+        &srv4,
+        v,
+        4,
+        100,
+        |_| serving_spec(warm_key),
+        &expect_arc,
+        &mut rss_mark,
+    );
+    eprintln!(
+        "{:<16} w={} {:>8.0} jobs/s | p50 {:>7.0}us p99 {:>7.0}us | rss_delta {}kB",
+        steady.name,
+        steady.width,
+        steady.jobs_per_sec(),
+        percentile(&steady.lat_us, 50),
+        percentile(&steady.lat_us, 99),
+        steady.rss_delta_kb,
+    );
+    rows.push(steady);
+
+    let json = emit_json(&rows, available_cpus());
+    std::fs::write(&out_path, &json).expect("write BENCH_server.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}
+
+fn emit_json(rows: &[Row], cpus: usize) -> String {
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"job_server\",").unwrap();
+    writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
+    writeln!(json, "  \"note\": \"Multi-tenant JobServer serving rows (validate off, traces off — the latency-critical serving configuration). fft_cold = every job under a fresh shape key (plan-cache miss: program build + StepPlan compile per job); fft_warm = one shape key (cache hit: compiled program + send totals reused, builder dropped unopened) on the width-1 serial serving path; warm_over_cold = the amortization ratio. fft_warm_gang = warm burst drained by a 4-worker persistent gang (latency includes queue wait). mixed = small v=2^10 jobs racing large v=2^14 jobs under size-aware admission: p50_us/p99_us are small-job latencies, large_p99_us the large tail. fft_warm_steady runs last; its rss_delta_kb (VmHWM growth) must be 0 — steady-state serving allocates no new memory. Gang rows are width 4 regardless of visible CPUs; on a 1-CPU container their absolute numbers measure coordination overhead.\",").unwrap();
+    writeln!(json, "  \"workloads\": [").unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let warm = match row.warm_over_cold {
+            Some(r) => format!("{r:.3}"),
+            None => "null".to_string(),
+        };
+        let large_p99 = match &row.large_lat_us {
+            Some(l) => format!("{:.0}", percentile(l, 99)),
+            None => "null".to_string(),
+        };
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"v\": {}, \"width\": {}, \"jobs\": {}, \"secs\": {:.6}, \
+             \"jobs_per_sec\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}, \
+             \"large_p99_us\": {}, \"warm_over_cold\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
+            row.name,
+            row.v,
+            row.width,
+            row.jobs,
+            row.secs,
+            row.jobs_per_sec(),
+            percentile(&row.lat_us, 50),
+            percentile(&row.lat_us, 99),
+            large_p99,
+            warm,
+            row.cache_hits,
+            row.cache_misses,
+            row.peak_rss_kb,
+            row.rss_delta_kb,
+            comma,
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+    json
+}
+
+/// Tier-1 smoke: no timing — bit-for-bit equality of served results
+/// against direct [`run`] baselines on a persistent 4-worker gang, plus
+/// the failure-isolation contract (a faulted job leaves the gang
+/// serviceable).
+fn smoke() {
+    let v = 1usize << 10;
+    let prog = BinaryExchangeFft.build(v);
+    let states = BinaryExchangeFft.init(v, &test_signal(v));
+    let baseline =
+        run(&prog, states.clone(), &RunOptions { workers: Some(1), ..Default::default() })
+            .expect("baseline run");
+    let srv: FftServer = JobServer::new(ServerConfig::with_shards(4)).expect("server");
+    let key = ShapeKey { algo: "fft", variant: 0 };
+
+    // Cold, then warm: identical results, cache accounting as declared.
+    for pass in 0..3 {
+        let res = srv
+            .run_job(JobSpec::new(key), states.clone(), fft_source(v))
+            .expect("served fft job");
+        assert_eq!(res.states, baseline.states, "served fft diverged (pass {pass})");
+        assert_eq!(
+            res.trace.as_ref().expect("trace requested"),
+            &baseline.trace,
+            "served fft trace diverged (pass {pass})"
+        );
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.cache_misses, 1, "first fft job must be the only cache miss");
+    assert_eq!(stats.cache_hits, 2, "repeat fft jobs must hit the plan cache");
+
+    // Serial path: a job smaller than the gang runs on the scheduler
+    // thread through the same cache.
+    let v_small = 2usize;
+    let small_prog = BinaryExchangeFft.build(v_small);
+    let small_states = BinaryExchangeFft.init(v_small, &test_signal(v_small));
+    let small_baseline = run(
+        &small_prog,
+        small_states.clone(),
+        &RunOptions { workers: Some(1), ..Default::default() },
+    )
+    .expect("small baseline");
+    let res = srv
+        .run_job(
+            JobSpec::new(ShapeKey { algo: "fft", variant: 8 }),
+            small_states.clone(),
+            fft_source(v_small),
+        )
+        .expect("serial-path job");
+    assert_eq!(res.states, small_baseline.states, "serial-path job diverged");
+    assert_eq!(res.rounds, 0, "serial-path job must not walk the gang barrier");
+
+    // Failure isolation: an injected fault fails exactly its job; the next
+    // job on the same gang is clean and bit-for-bit right.
+    let mut faulty = JobSpec::new(key);
+    faulty.opts.faults = Some(Arc::new(nob_core::fault::FaultPlan::error_at(
+        "shard:exec_planned",
+        1,
+        1,
+    )));
+    let err = srv
+        .run_job(faulty, states.clone(), fft_source(v))
+        .expect_err("injected fault must fail the job");
+    let after = srv
+        .run_job(JobSpec::new(key), states.clone(), fft_source(v))
+        .expect("gang must stay serviceable after a failed job");
+    assert_eq!(after.states, baseline.states, "post-fault job diverged (gang not reset?)");
+    assert_eq!(
+        after.trace.as_ref().expect("trace requested"),
+        &baseline.trace,
+        "post-fault trace diverged"
+    );
+    drop(err);
+
+    // Captured plans: a fully dynamic butterfly served via
+    // `submit_captured` replays its recorded plans; resubmitting with the
+    // same states hits the capture's validity-keyed cache entry.
+    let bfly = |v: usize| {
+        let mut prog: Program<u64, u64> = Program::new(v, v);
+        let log_v = prog.log_v();
+        for l in 0..log_v {
+            let d = v >> (l + 1);
+            prog.step(l, "bfly-dyn", move |st, ctx, inbox, out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_mul(31).wrapping_add(m);
+                }
+                out.send(ctx.vp ^ d, *st);
+            });
+        }
+        prog.step(log_v - 1, "bfly-consume", |st, _ctx, inbox, _out| {
+            for m in inbox.drain(..) {
+                *st = st.wrapping_mul(31).wrapping_add(m);
+            }
+        });
+        prog
+    };
+    let keys = random_keys(v, 7);
+    let dyn_baseline = run(
+        &bfly(v),
+        keys.clone(),
+        &RunOptions { workers: Some(1), use_plans: false, ..Default::default() },
+    )
+    .expect("dynamic baseline");
+    let bsrv: JobServer<u64, u64> =
+        JobServer::new(ServerConfig::with_shards(4)).expect("server");
+    let bkey = ShapeKey { algo: "bfly-dyn", variant: 0 };
+    for pass in 0..2 {
+        let res = bsrv
+            .submit_captured(JobSpec::new(bkey), keys.clone(), move || bfly(v))
+            .expect("submit captured")
+            .wait()
+            .expect("captured job");
+        assert_eq!(res.states, dyn_baseline.states, "captured replay diverged (pass {pass})");
+    }
+    let bstats = bsrv.stats();
+    assert_eq!(bstats.cache_misses, 1, "first captured job must miss");
+    assert_eq!(bstats.cache_hits, 1, "identical captured resubmit must hit");
+
+    println!(
+        "exp_server smoke: OK (cold/warm/captured/serial-path jobs bit-for-bit at v = {v} \
+         on a persistent 4-worker gang; faulted job isolated, gang serviceable after)"
+    );
+}

@@ -663,6 +663,41 @@ impl TraceBuilder {
         }
     }
 
+    /// Re-targets a pooled builder at a new run: records are cleared (the
+    /// flat storage keeps its capacity) and the granularity and problem size
+    /// are replaced, so a serving layer can recycle one builder across jobs
+    /// without re-paying its three vector allocations. Grows only when
+    /// `expected_steps` exceeds every previous run's reservation.
+    pub fn reset(&mut self, gran: usize, n: usize, expected_steps: usize) {
+        self.log_gran = log2_exact(gran);
+        self.n = n;
+        self.labels.clear();
+        self.totals.clear();
+        self.flat_h.clear();
+        self.labels.reserve(expected_steps);
+        self.totals.reserve(expected_steps);
+        self.flat_h.reserve(expected_steps * self.log_gran as usize);
+    }
+
+    /// Materializes the accumulated records as a [`CommTrace`] without
+    /// consuming the builder — the pooled counterpart of
+    /// [`TraceBuilder::finish`], for builders that outlive the run.
+    pub fn snapshot(&self) -> CommTrace {
+        let levels = self.log_gran as usize;
+        let steps = self
+            .labels
+            .iter()
+            .zip(&self.totals)
+            .enumerate()
+            .map(|(i, (&label, &total))| SuperstepRecord {
+                label,
+                h_by_fold: self.flat_h[i * levels..(i + 1) * levels].to_vec(),
+                total_msgs: total,
+            })
+            .collect();
+        CommTrace { log_v: self.log_gran, n: self.n, steps }
+    }
+
     /// Number of supersteps pushed so far.
     pub fn len(&self) -> usize {
         self.labels.len()

@@ -403,8 +403,9 @@ pub(crate) fn vp_panic_error(
 
 /// The single-shard execution loop: the whole machine is one shard, and
 /// steady-state supersteps allocate nothing (the engine's headline property,
-/// proven by `tests/allocation.rs`).
-fn run_serial<S: Send, M: Send>(
+/// proven by `tests/allocation.rs`). `pub(crate)` so `crate::server` can
+/// route jobs too small for its gang through the same loop.
+pub(crate) fn run_serial<S: Send, M: Send>(
     prog: &Program<S, M>,
     states: &mut [S],
     spec: GranSpec,

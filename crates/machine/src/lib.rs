@@ -195,6 +195,38 @@
 //! site × flavor × shard width and asserts structured errors, lockstep
 //! exit, and bit-for-bit clean re-runs in the same process.
 //!
+//! ## Serving
+//!
+//! [`engine::run`] is batch-shaped: it spawns the gang, compiles plans,
+//! executes one program and tears everything down. [`server::JobServer`]
+//! is the serving counterpart — many program runs multiplexed over **one
+//! persistent gang**:
+//!
+//! * **Gang lifetime** — the workers are spawned once, at server creation,
+//!   and live until the server drops; dispatching a job costs two condvar
+//!   rendezvous per worker (job handoff and done handshake) instead of
+//!   thread spawns and joins. Worker arenas, staging buffers, scatter
+//!   scratch, shard counters and the trace builder are recycled across
+//!   jobs, extending the engine's zero-allocation steady state *across*
+//!   jobs (pinned by `tests/allocation.rs`).
+//! * **Plan cache** — compiled programs (StepPlans, layouts, lane plans,
+//!   declared send totals) are cached under `(shape fingerprint, v,
+//!   n_shards)`, where the shape is the submitter-declared
+//!   [`server::ShapeKey`]. Captured-plan entries additionally key on a
+//!   fingerprint of the initial states — the capture validity rule above —
+//!   so a lookalike job with different data re-captures instead of
+//!   replaying a stale route. The cache only ever changes *cost*: a wrong
+//!   or stale entry surfaces as [`nob_core::ModelError::PlanMismatch`] (or
+//!   a [`engine::PlanFallback::Dynamic`] re-run) through the same safety
+//!   gates that police declared routes.
+//! * **Admission** — FIFO with one size-aware exception: the earliest
+//!   small job (`v ≤ small_cutoff`) overtakes a large queued head, at most
+//!   `max_overtakes` times, so interactive jobs are not starved behind a
+//!   bulk sort and bulk sorts are not starved by a stream of small ones.
+//! * **Isolation** — a `VpPanic`, injected fault or `GangStall` fails only
+//!   its own job's ticket; the barrier is re-armed with a fresh generation
+//!   and the next job runs on the same, still-warm gang.
+//!
 //! ## Execution modes
 //!
 //! * [`engine::run`] — full-granularity execution on `M(v)`, sharded across
@@ -225,6 +257,7 @@ pub mod plan;
 pub mod program;
 pub mod protocol;
 pub mod reference;
+pub mod server;
 mod shard;
 pub mod traits;
 
@@ -232,4 +265,8 @@ pub use engine::{run, run_folded, PlanFallback, RunOptions, RunResult};
 pub use mailbox::Inbox;
 pub use plan::{Route, StepPlan};
 pub use program::{Ctx, LanePlan, Outbox, Program, Superstep};
+pub use server::{
+    JobOptions, JobResult, JobServer, JobSpec, JobTicket, ProgramSource, ServerConfig,
+    ServerStats, ShapeKey,
+};
 pub use traits::{execute, execute_folded, execute_with_log, NobAlgorithm};

@@ -271,6 +271,24 @@ impl<M> Arena<M> {
         debug_assert!(total <= self.slab.len());
         self.filled = total;
     }
+
+    /// Re-targets a pooled arena at a machine of `v` VPs for the next job:
+    /// any still-owned messages are dropped (a finished run leaves its final
+    /// superstep's sends undelivered; a failed one may leave a whole
+    /// committed arena), the offset table is rebuilt all-zero — the state
+    /// [`Arena::new`] establishes and the first `take_read` of a run relies
+    /// on to carve empty inboxes — and the slab keeps its high-water
+    /// capacity, so warm same-shape jobs allocate nothing here.
+    pub(crate) fn recycle(&mut self, v: usize) {
+        for slot in &mut self.slab[..self.filled] {
+            // SAFETY: invariant 1 — the prefix is initialized and owned.
+            unsafe { slot.assume_init_drop() };
+        }
+        self.filled = 0;
+        self.offsets.clear();
+        self.offsets.resize(v + 1, 0);
+        self.uniform_k = Some(0);
+    }
 }
 
 impl<M> Drop for Arena<M> {
@@ -1223,6 +1241,19 @@ impl<M> LaneGrid<M> {
     pub(crate) unsafe fn lane_in(&self, src: usize, dst: usize) -> &mut Lane<M> {
         debug_assert!(src < self.shards && dst < self.shards);
         unsafe { &mut *self.lanes[src * self.shards + dst].get() }
+    }
+
+    /// Empties every lane, keeping capacities — the between-jobs reset of a
+    /// pooled grid. A job that aborted mid-superstep can leave staged
+    /// headers and payloads behind; draining them here (payloads dropped)
+    /// keeps them out of the next job's gather. `&mut self` proves no
+    /// worker holds a lane, so no unsafe access is involved.
+    pub(crate) fn clear_all(&mut self) {
+        for cell in &mut self.lanes {
+            let lane = cell.get_mut();
+            lane.hdrs.clear();
+            lane.payloads.clear();
+        }
     }
 }
 

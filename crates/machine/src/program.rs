@@ -494,6 +494,25 @@ impl LanePlan {
     pub fn cross_shard_steps(&self) -> usize {
         self.cluster_shards.iter().filter(|&&c| c > 1).count()
     }
+
+    /// An empty plan to seed a pooled slot before its first
+    /// [`LanePlan::recompute_pooled`].
+    pub(crate) fn placeholder() -> Self {
+        LanePlan { n_shards: 1, cluster_shards: Vec::new(), max_cluster_shards: 1 }
+    }
+
+    /// Recomputes the plan for `prog` on `n_shards` in place — the
+    /// allocation-free counterpart of [`LanePlan::new`] for pooled slots
+    /// (grows `cluster_shards` only past its high-water step count).
+    pub(crate) fn recompute_pooled<S, M>(&mut self, prog: &Program<S, M>, n_shards: usize) {
+        debug_assert!(n_shards.is_power_of_two() && n_shards <= prog.v());
+        let log_s = log2_exact(n_shards);
+        self.n_shards = n_shards;
+        self.cluster_shards.clear();
+        self.cluster_shards
+            .extend(prog.steps().iter().map(|s| (n_shards >> s.label.min(log_s)) as u32));
+        self.max_cluster_shards = self.cluster_shards.iter().copied().max().unwrap_or(1);
+    }
 }
 
 /// Checks an outbox against the cluster constraint of an `i`-superstep.

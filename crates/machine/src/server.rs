@@ -1,0 +1,1256 @@
+//! Multi-tenant job server: many program runs multiplexed over one
+//! persistent worker gang.
+//!
+//! Everything below `crate::engine::run` executes **one** program and tears
+//! the world down afterwards: the gang is spawned and joined per run, plans
+//! are compiled per program instance, and every arena/table/trace buffer is
+//! allocated from scratch. That is the right shape for a batch experiment
+//! and the wrong one for serving — the paper's one-specification-everywhere
+//! argument has a serving corollary: one *compiled* specification should
+//! run many times at near-zero marginal setup cost. A [`JobServer`]
+//! delivers that with three mechanisms:
+//!
+//! * **A persistent gang.** `n_shards` OS threads are spawned once, at
+//!   server creation, and block on per-worker job slots instead of exiting
+//!   after a run. Dispatching a job costs one slot handoff to each worker
+//!   and one handshake back — two condvar rendezvous per worker — instead
+//!   of `n_shards` thread spawns and joins. The scheduler thread doubles as
+//!   worker 0 (the coordinator), exactly like the calling thread does in
+//!   `run`.
+//! * **A compiled-plan cache** keyed by `(program shape fingerprint, v,
+//!   n_shards)`: repeat requests reuse the built [`Program`] — its
+//!   `StepPlan`s and `PlanLayout`s included — plus the lane plan and the
+//!   per-shard declared send totals, so a warm job skips program
+//!   construction, plan compilation *and* the per-worker route enumeration
+//!   of `prepare_run`. Captured plans (see [`Program::capture_plans`])
+//!   additionally key on a fingerprint of the initial states, the PR-7
+//!   validity rule: a lookalike job with different states misses and
+//!   re-captures instead of replaying someone else's routes.
+//! * **Arena pooling.** Worker kits (arenas, staging, scatter scratch,
+//!   direct-write tables), shard cells, the epoch-merge scratch, the trace
+//!   builder and the lane grid are all recycled between jobs, so warm
+//!   steady state allocates nothing *across* jobs — extended from the
+//!   engine's long-standing within-one-run guarantee and proven by the
+//!   cross-job case in `tests/allocation.rs`.
+//!
+//! # Trust model of the cache key
+//!
+//! Program routes are closures, so the server cannot fingerprint a program
+//! structurally; the submitter names its shape with a [`ShapeKey`] instead,
+//! and the cache trusts that name the same way the engine trusts a declared
+//! oblivious route. A key that misdescribes its program degrades exactly
+//! like a mis-declared route: the planned path's bounds and written-total
+//! checks surface a [`ModelError::PlanMismatch`] (or a
+//! [`PlanFallback::Dynamic`] degrade) — never corruption and never an
+//! out-of-bounds write. For [`ProgramSource::Prebuilt`] jobs the submitted
+//! program is authoritative (the lane plan is recomputed from its real
+//! labels each job, allocation-free), so even a lying key cannot misroute
+//! the dynamic path.
+//!
+//! # Failure isolation
+//!
+//! A `VpPanic`, fault injection, or `GangStall` in one job fails **that
+//! job's ticket** and leaves the gang serviceable: the barrier poison that
+//! is deliberately sticky within a run is replaced between jobs by a fresh
+//! barrier generation (`GangCore::reset_for_job`), worker kits drain any
+//! mid-superstep residue, and the lanes are cleared. The one documented
+//! limit carries over from the engine: a VP closure that *never returns*
+//! wedges its worker thread forever, which no in-process watchdog can
+//! recover — `stall_timeout` converts every slow-or-lost-peer case into a
+//! structured per-job [`ModelError::GangStall`].
+//!
+//! # Admission
+//!
+//! The queue is FIFO with one size-aware exception: when the head job is
+//! large (`weight > small_cutoff`, weight = `v`), the earliest *small* job
+//! overtakes it, so interactive traffic is not starved behind a `v = 2^16`
+//! sort. Each overtake increments the head's counter; a head overtaken
+//! `max_overtakes` times becomes non-overtakable, bounding large-job
+//! starvation.
+//!
+//! # Unsafe surface
+//!
+//! One pattern, mirroring `std::thread::scope`: the scheduler builds the
+//! per-job `Shared` view on its stack and hands the persistent workers a
+//! lifetime-erased pointer to it (`SharedView`). Soundness is the scoped
+//! rendezvous: workers drop the reference before posting their done
+//! handshake, and the scheduler keeps the pointee alive and unmoved until
+//! it has collected every handshake.
+
+#![allow(unsafe_code)]
+
+use crate::engine::{run_serial, GranSpec, PlanFallback, RunOptions};
+use crate::program::{LanePlan, Program};
+use crate::shard::{
+    prepare_run, prepare_run_cached, shard_loop, Coord, GangBarrier, GangCore, ShardCell, Shared,
+    Worker, WorkerKit,
+};
+use nob_core::fault::FaultPlan;
+use nob_core::metrics::{CommTrace, EpochMerge, TraceBuilder};
+use nob_core::model::log2_exact;
+use nob_core::ModelError;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The submitter-declared identity of a program's *shape*: everything that
+/// determines its superstep sequence, labels and routes (but not its data).
+/// Two submissions with equal keys and equal `v` promise to build
+/// observably identical programs; see the module docs' trust model for what
+/// happens when that promise is broken (structured degradation, never
+/// corruption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// The algorithm family, e.g. `"fft"` — use the program's
+    /// [`crate::traits::NobAlgorithm::name`] when one exists.
+    pub algo: &'static str,
+    /// Distinguishes variants within a family (rounds, tuning, phase
+    /// count…). Fold whatever parameters shape the program into this.
+    pub variant: u64,
+}
+
+impl ShapeKey {
+    fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.algo.hash(&mut h);
+        self.variant.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Where a job's program comes from.
+pub enum ProgramSource<S, M> {
+    /// An already-built program, shared by the submitter. The cache reuses
+    /// lane plans and send totals across equal-key submissions but the
+    /// submitted program itself is always the one executed.
+    Prebuilt(Arc<Program<S, M>>),
+    /// Built on first use and cached under the job's [`ShapeKey`]; repeat
+    /// submissions reuse the cached program, compiled plans included.
+    Build(Box<dyn FnOnce() -> Program<S, M> + Send>),
+    /// Like [`ProgramSource::Build`], followed by
+    /// [`Program::capture_plans`] over the job's initial states. The cache
+    /// entry keys on a fingerprint of those states (the PR-7 capture
+    /// validity rule), so a lookalike job with different data misses and
+    /// re-captures rather than replaying a stale route.
+    BuildCaptured(Box<dyn FnOnce() -> Program<S, M> + Send>),
+}
+
+/// Per-job execution options — the serving subset of [`RunOptions`]
+/// (worker count is the server's, parallelism is the gang).
+#[derive(Debug, Clone)]
+pub struct JobOptions {
+    /// Check the i-superstep cluster constraint on every message.
+    pub validate: bool,
+    /// Execute declared/captured communication plans.
+    pub use_plans: bool,
+    /// Allow the zero-barrier fused tier for shard-local planned steps.
+    pub fuse: bool,
+    /// Degradation policy for a plan mismatch on a non-validated run.
+    pub plan_fallback: PlanFallback,
+    /// Keep the raw per-superstep message log.
+    pub collect_messages: bool,
+    /// Materialize the job's [`CommTrace`] (skip for latency-critical jobs:
+    /// the pooled trace builder still records, but no per-step vectors are
+    /// allocated for the result).
+    pub want_trace: bool,
+    /// Deterministic fault-injection plan for this job only.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Per-job barrier watchdog: a stall fails this job with
+    /// [`ModelError::GangStall`] and the gang is reset for the next one.
+    pub stall_timeout: Option<Duration>,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions {
+            validate: true,
+            use_plans: true,
+            fuse: true,
+            plan_fallback: PlanFallback::Fail,
+            collect_messages: false,
+            want_trace: true,
+            faults: None,
+            stall_timeout: None,
+        }
+    }
+}
+
+/// A job submission: its declared shape plus execution options.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The program's shape identity (the cache key's first component).
+    pub shape: ShapeKey,
+    /// Execution options.
+    pub opts: JobOptions,
+}
+
+impl JobSpec {
+    /// A spec with default options.
+    pub fn new(shape: ShapeKey) -> Self {
+        JobSpec { shape, opts: JobOptions::default() }
+    }
+}
+
+/// Outcome of a completed job.
+#[derive(Debug)]
+pub struct JobResult<S> {
+    /// Final per-VP states.
+    pub states: Vec<S>,
+    /// The communication trace, when [`JobOptions::want_trace`] was set.
+    pub trace: Option<CommTrace>,
+    /// Raw message log, when requested.
+    pub message_log: Option<Vec<Vec<(u32, u32)>>>,
+    /// Barrier rounds the gang walked for this job (0 on the serial path).
+    pub rounds: u64,
+    /// The abandoned planned attempt's error when
+    /// [`PlanFallback::Dynamic`] re-executed the job dynamically.
+    pub fallback: Option<ModelError>,
+}
+
+struct TicketCell<S> {
+    slot: Mutex<Option<Result<JobResult<S>, ModelError>>>,
+    cv: Condvar,
+}
+
+/// A handle to a submitted job; redeem it with [`JobTicket::wait`].
+pub struct JobTicket<S> {
+    cell: Arc<TicketCell<S>>,
+}
+
+impl<S> JobTicket<S> {
+    /// Blocks until the job completes and returns its outcome.
+    pub fn wait(self) -> Result<JobResult<S>, ModelError> {
+        let mut g = lock(&self.cell.slot);
+        loop {
+            if let Some(out) = g.take() {
+                return out;
+            }
+            g = self.cell.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+fn fulfill<S>(cell: &TicketCell<S>, out: Result<JobResult<S>, ModelError>) {
+    *lock(&cell.slot) = Some(out);
+    cell.cv.notify_all();
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Gang width: a power of two in `1..=256`. Jobs with `v <` this run on
+    /// the serial path of the scheduler thread instead.
+    pub n_shards: usize,
+    /// Jobs with `v <= small_cutoff` count as small/interactive for
+    /// admission (may overtake a queued large job).
+    pub small_cutoff: u64,
+    /// A queued large job overtaken this many times becomes non-overtakable
+    /// (anti-starvation bound).
+    pub max_overtakes: u32,
+}
+
+impl ServerConfig {
+    /// A server of `n_shards` persistent workers with default admission
+    /// tuning (small = `v ≤ 2^12`, at most 64 overtakes).
+    pub fn with_shards(n_shards: usize) -> Self {
+        ServerConfig { n_shards, small_cutoff: 1 << 12, max_overtakes: 64 }
+    }
+}
+
+/// A point-in-time snapshot of server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that failed with a [`ModelError`].
+    pub failed: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (cold builds).
+    pub cache_misses: u64,
+    /// Jobs that degraded to the dynamic path via [`PlanFallback::Dynamic`].
+    pub fallbacks: u64,
+    /// Jobs routed to the scheduler's serial path (`v <` gang width).
+    pub serial_jobs: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    fallbacks: AtomicU64,
+    serial_jobs: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            serial_jobs: self.serial_jobs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue
+// ---------------------------------------------------------------------------
+
+struct JobRequest<S, M> {
+    states: Vec<S>,
+    spec: JobSpec,
+    /// `Some` until [`resolve_program`] consumes it (an `Option` so the
+    /// resolver can take the builder out by value).
+    source: Option<ProgramSource<S, M>>,
+    states_fp: Option<u64>,
+    ticket: Arc<TicketCell<S>>,
+}
+
+struct Pending<S, M> {
+    job: JobRequest<S, M>,
+    overtaken: u32,
+}
+
+/// The FIFO + size-aware admission queue (see the module docs). Factored
+/// out of the locking so the policy is directly unit-testable.
+pub(crate) struct Admission<S, M> {
+    pending: Vec<Pending<S, M>>,
+    small_cutoff: u64,
+    max_overtakes: u32,
+}
+
+impl<S, M> Admission<S, M> {
+    fn new(cfg: &ServerConfig) -> Self {
+        Admission {
+            pending: Vec::new(),
+            small_cutoff: cfg.small_cutoff,
+            max_overtakes: cfg.max_overtakes,
+        }
+    }
+
+    fn push(&mut self, job: JobRequest<S, M>) {
+        self.pending.push(Pending { job, overtaken: 0 });
+    }
+
+    fn weight(p: &Pending<S, M>) -> u64 {
+        p.job.states.len() as u64
+    }
+
+    /// Pops the next job per policy: FIFO, except that the earliest small
+    /// job overtakes a large, not-yet-exhausted head.
+    fn pop(&mut self) -> Option<JobRequest<S, M>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let head_small = Self::weight(&self.pending[0]) <= self.small_cutoff;
+        if !head_small && self.pending[0].overtaken < self.max_overtakes {
+            if let Some(i) =
+                self.pending.iter().position(|p| Self::weight(p) <= self.small_cutoff)
+            {
+                self.pending[0].overtaken += 1;
+                return Some(self.pending.remove(i).job);
+            }
+        }
+        Some(self.pending.remove(0).job)
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = JobRequest<S, M>> + '_ {
+        self.pending.drain(..).map(|p| p.job)
+    }
+}
+
+struct QueueState<S, M> {
+    q: Admission<S, M>,
+    shutdown: bool,
+}
+
+struct ServerInner<S, M> {
+    queue: Mutex<QueueState<S, M>>,
+    cv: Condvar,
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    shape: u64,
+    v: usize,
+    n_shards: usize,
+    /// `Some` exactly for captured-plan entries: the PR-7
+    /// `(initial states, v)` validity key.
+    states_fp: Option<u64>,
+}
+
+struct CacheEntry<S, M> {
+    prog: Arc<Program<S, M>>,
+    /// Per-shard, per-step declared payload totals, harvested from the
+    /// first cold gang run ([`prepare_run`]'s output); `None` until then.
+    totals: Option<Arc<Vec<Vec<u64>>>>,
+}
+
+struct PlanCache<S, M> {
+    entries: HashMap<CacheKey, CacheEntry<S, M>>,
+}
+
+// ---------------------------------------------------------------------------
+// Gang plumbing
+// ---------------------------------------------------------------------------
+
+/// A lifetime-erased pointer to the scheduler's per-job [`Shared`] view.
+///
+/// # Safety contract (the scoped rendezvous)
+/// The scheduler guarantees the pointee outlives every use: it does not
+/// move or drop the `Shared` until each dispatched worker has posted its
+/// [`DoneMsg`], and workers drop their reference before posting. This is
+/// `std::thread::scope`'s argument with the join replaced by the done
+/// handshake (a `Mutex` + `Condvar` slot, so the release/acquire pairing
+/// carries the happens-before edge).
+struct SharedView<S: 'static, M: 'static> {
+    ptr: *const Shared<'static, S, M>,
+}
+
+// SAFETY: the view is only a pointer; the pointee is `Sync` (it is shared
+// across the gang by `run_sharded` the same way) and the rendezvous above
+// bounds every dereference within the pointee's true lifetime.
+unsafe impl<S: Send, M: Send> Send for SharedView<S, M> {}
+
+impl<S: 'static, M: 'static> SharedView<S, M> {
+    fn erase(shared: &Shared<'_, S, M>) -> Self {
+        SharedView { ptr: (shared as *const Shared<'_, S, M>).cast() }
+    }
+
+    /// # Safety
+    /// Caller must be inside the scoped rendezvous described on the type:
+    /// the scheduler still awaits this worker's done handshake.
+    unsafe fn get(&self) -> &Shared<'static, S, M> {
+        unsafe { &*self.ptr }
+    }
+}
+
+/// How a worker sizes its planned-path state for a job.
+enum Prep {
+    /// Enumerate routes and compute declared totals ([`prepare_run`]).
+    Cold,
+    /// Reuse cached per-shard totals ([`prepare_run_cached`]).
+    Cached(Arc<Vec<Vec<u64>>>),
+    /// Plans disabled for this job — nothing to size.
+    Dynamic,
+}
+
+enum GangMsg<S: 'static, M: 'static> {
+    Job { view: SharedView<S, M>, vps: usize, prep: Prep, chunk: Vec<S> },
+    Shutdown,
+}
+
+struct DoneMsg<S> {
+    chunk: Vec<S>,
+    /// This shard's declared totals, reported back on cold jobs for the
+    /// plan cache.
+    totals: Option<Vec<u64>>,
+}
+
+/// A one-item handoff slot: `put` never blocks (the protocol guarantees
+/// emptiness), `take` blocks until an item arrives. Allocation-free per
+/// message, unlike a channel.
+struct Slot<T> {
+    cell: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot { cell: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn put(&self, item: T) {
+        let mut g = lock(&self.cell);
+        debug_assert!(g.is_none(), "slot handoff overlap");
+        *g = Some(item);
+        self.cv.notify_one();
+    }
+
+    fn take(&self) -> T {
+        let mut g = lock(&self.cell);
+        loop {
+            if let Some(item) = g.take() {
+                return item;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct Chan<S: 'static, M: 'static> {
+    job: Slot<GangMsg<S, M>>,
+    done: Slot<DoneMsg<S>>,
+}
+
+/// The loop of persistent gang member `w` (`1..n_shards`): block on the job
+/// slot, run one job's shard loop, hand the chunk back, repeat. The worker
+/// kit lives here, across jobs — that is the arena pooling.
+fn gang_member<S: Send + 'static, M: Send + 'static>(w: usize, chan: Arc<Chan<S, M>>) {
+    let mut kit: Option<WorkerKit<M>> = None;
+    loop {
+        match chan.job.take() {
+            GangMsg::Shutdown => return,
+            GangMsg::Job { view, vps, prep, mut chunk } => {
+                let kit_now = match kit.take() {
+                    Some(mut k) => {
+                        k.reset(vps);
+                        k
+                    }
+                    None => WorkerKit::new(vps),
+                };
+                let totals;
+                {
+                    // SAFETY: scoped rendezvous — the scheduler keeps the
+                    // pointee alive until our `done.put` below, and this
+                    // reference dies at the end of this block, before it.
+                    let shared = unsafe { view.get() };
+                    let mut me = Worker::from_kit(w, w * vps, vps, &mut chunk, kit_now);
+                    match &prep {
+                        Prep::Cold => prepare_run(&mut me, shared),
+                        Prep::Cached(t) => prepare_run_cached(&mut me, shared, &t[w]),
+                        Prep::Dynamic => {}
+                    }
+                    shard_loop(&mut me, shared, None);
+                    let k = me.into_kit();
+                    totals = matches!(prep, Prep::Cold).then(|| k.send_total().to_vec());
+                    kit = Some(k);
+                }
+                chan.done.put(DoneMsg { chunk, totals });
+            }
+        }
+    }
+}
+
+/// Per-trace-shape pooled coordinator state (shard cells + merge scratch),
+/// parked in a map so alternating shapes in a mixed workload don't
+/// re-allocate counters every job.
+struct ShapeRes {
+    cells: Vec<Mutex<ShardCell>>,
+    merge: EpochMerge,
+}
+
+/// Everything the scheduler thread owns: the persistent gang, the pooled
+/// run state, and the plan cache (scheduler-local, hence lock-free).
+struct Gang<S: Send + 'static, M: Send + 'static> {
+    n_shards: usize,
+    log_shards: u32,
+    chans: Vec<Arc<Chan<S, M>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    core: GangCore<M>,
+    kit0: Option<WorkerKit<M>>,
+    chunk0: Vec<S>,
+    chunks: Vec<Vec<S>>,
+    shapes: HashMap<u32, ShapeRes>,
+    cur_shape: Option<u32>,
+    trace: TraceBuilder,
+    cache: PlanCache<S, M>,
+}
+
+impl<S: Send + 'static, M: Send + 'static> Gang<S, M> {
+    fn spawn(n_shards: usize) -> Self {
+        let log_shards = log2_exact(n_shards);
+        let chans: Vec<Arc<Chan<S, M>>> = (1..n_shards)
+            .map(|_| Arc::new(Chan { job: Slot::new(), done: Slot::new() }))
+            .collect();
+        let handles = chans
+            .iter()
+            .enumerate()
+            .map(|(i, chan)| {
+                let chan = Arc::clone(chan);
+                std::thread::Builder::new()
+                    .name(format!("nob-gang-{}", i + 1))
+                    .spawn(move || gang_member(i + 1, chan))
+                    // allow-panic: thread spawn at server construction; a
+                    // spawn failure here is unrecoverable setup, like the
+                    // engine's own MAX_WORKERS rationale.
+                    .expect("spawn gang member")
+            })
+            .collect();
+        Gang {
+            n_shards,
+            log_shards,
+            chans,
+            handles,
+            core: GangCore {
+                plan: LanePlan::placeholder(),
+                grid: crate::mailbox::LaneGrid::new(n_shards),
+                direct: crate::mailbox::DirectGrid::new(n_shards),
+                cells: Vec::new(),
+                barrier: GangBarrier::new(n_shards, None),
+                abort_round: AtomicU64::new(u64::MAX),
+            },
+            kit0: None,
+            chunk0: Vec::new(),
+            chunks: (1..n_shards).map(|_| Vec::new()).collect(),
+            shapes: HashMap::new(),
+            cur_shape: None,
+            trace: TraceBuilder::new(1, 1, 0),
+            cache: PlanCache { entries: HashMap::new() },
+        }
+    }
+
+    /// Installs the pooled shard cells for trace shape `log_v` (full
+    /// granularity), parking the previous shape's cells. Allocates only the
+    /// first time a shape is seen.
+    fn ensure_shape(&mut self, log_v: u32) {
+        if self.cur_shape == Some(log_v) {
+            return;
+        }
+        if let Some(prev) = self.cur_shape.take() {
+            let cells = std::mem::take(&mut self.core.cells);
+            if let Some(res) = self.shapes.get_mut(&prev) {
+                res.cells = cells;
+            }
+        }
+        let (n_shards, log_shards) = (self.n_shards, self.log_shards);
+        let spec = GranSpec { levels: log_v, gran_shift: 0, full: true };
+        let entry = self.shapes.entry(log_v).or_insert_with(|| ShapeRes {
+            cells: (0..n_shards)
+                .map(|w| Mutex::new(ShardCell::new(spec, log_v, log_shards, w)))
+                .collect(),
+            merge: EpochMerge::new(log_v, log_shards),
+        });
+        self.core.cells = std::mem::take(&mut entry.cells);
+        self.cur_shape = Some(log_v);
+    }
+
+    fn shutdown(mut self) {
+        for chan in &self.chans {
+            chan.job.put(GangMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+/// A multi-tenant job server over one persistent sharded worker gang (see
+/// the module docs). Dropping the server fails any still-queued jobs and
+/// joins the gang.
+pub struct JobServer<S: Send + 'static, M: Send + 'static> {
+    inner: Arc<ServerInner<S, M>>,
+    stats: Arc<StatsInner>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+fn closed_error() -> ModelError {
+    ModelError::BadParameter { what: "job server", reason: "server shut down before the job ran" }
+}
+
+impl<S, M> JobServer<S, M>
+where
+    S: Send + Clone + 'static,
+    M: Send + 'static,
+{
+    /// Creates a server and spawns its gang (`config.n_shards` workers, one
+    /// of them the scheduler thread itself).
+    pub fn new(config: ServerConfig) -> Result<Self, ModelError> {
+        if !config.n_shards.is_power_of_two() || config.n_shards == 0 || config.n_shards > 256 {
+            return Err(ModelError::BadParameter {
+                what: "n_shards",
+                reason: "gang width must be a power of two in 1..=256",
+            });
+        }
+        let inner = Arc::new(ServerInner {
+            queue: Mutex::new(QueueState { q: Admission::new(&config), shutdown: false }),
+            cv: Condvar::new(),
+        });
+        let stats = Arc::new(StatsInner::default());
+        let scheduler = {
+            let inner = Arc::clone(&inner);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("nob-server-sched".into())
+                .spawn(move || scheduler_main(inner, stats, config))
+                .map_err(|_| ModelError::BadParameter {
+                    what: "job server",
+                    reason: "could not spawn the scheduler thread",
+                })?
+        };
+        Ok(JobServer { inner, stats, scheduler: Some(scheduler) })
+    }
+
+    fn enqueue(
+        &self,
+        spec: JobSpec,
+        states: Vec<S>,
+        source: ProgramSource<S, M>,
+        states_fp: Option<u64>,
+    ) -> Result<JobTicket<S>, ModelError> {
+        let v = states.len();
+        if !v.is_power_of_two() {
+            return Err(ModelError::NotPowerOfTwo { what: "v", value: v });
+        }
+        let cell = Arc::new(TicketCell { slot: Mutex::new(None), cv: Condvar::new() });
+        let job = JobRequest {
+            states,
+            spec,
+            source: Some(source),
+            states_fp,
+            ticket: Arc::clone(&cell),
+        };
+        {
+            let mut g = lock(&self.inner.queue);
+            if g.shutdown {
+                return Err(closed_error());
+            }
+            g.q.push(job);
+        }
+        self.inner.cv.notify_all();
+        Ok(JobTicket { cell })
+    }
+
+    /// Submits a job; the returned ticket resolves when it has run.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        states: Vec<S>,
+        source: ProgramSource<S, M>,
+    ) -> Result<JobTicket<S>, ModelError> {
+        debug_assert!(
+            !matches!(source, ProgramSource::BuildCaptured(_)),
+            "captured sources go through submit_captured (their cache entry \
+             must key on the initial states)"
+        );
+        self.enqueue(spec, states, source, None)
+    }
+
+    /// Submits a job whose program captures its plans from these initial
+    /// states ([`ProgramSource::BuildCaptured`]); the cache entry keys on a
+    /// fingerprint of the states, per the capture validity rule.
+    pub fn submit_captured(
+        &self,
+        spec: JobSpec,
+        states: Vec<S>,
+        build: impl FnOnce() -> Program<S, M> + Send + 'static,
+    ) -> Result<JobTicket<S>, ModelError>
+    where
+        S: Hash,
+    {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        states.len().hash(&mut h);
+        for s in &states {
+            s.hash(&mut h);
+        }
+        let fp = h.finish();
+        self.enqueue(spec, states, ProgramSource::BuildCaptured(Box::new(build)), Some(fp))
+    }
+
+    /// Submit-and-wait convenience for sequential callers.
+    pub fn run_job(
+        &self,
+        spec: JobSpec,
+        states: Vec<S>,
+        source: ProgramSource<S, M>,
+    ) -> Result<JobResult<S>, ModelError> {
+        self.submit(spec, states, source)?.wait()
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+}
+
+impl<S: Send + 'static, M: Send + 'static> Drop for JobServer<S, M> {
+    fn drop(&mut self) {
+        lock(&self.inner.queue).shutdown = true;
+        self.inner.cv.notify_all();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+fn scheduler_main<S, M>(inner: Arc<ServerInner<S, M>>, stats: Arc<StatsInner>, cfg: ServerConfig)
+where
+    S: Send + Clone + 'static,
+    M: Send + 'static,
+{
+    let mut gang: Gang<S, M> = Gang::spawn(cfg.n_shards);
+    loop {
+        let job = {
+            let mut g = lock(&inner.queue);
+            loop {
+                // Shutdown outranks queued work: dropping the server fails
+                // still-queued jobs instead of running the backlog out.
+                if g.shutdown {
+                    break None;
+                }
+                if let Some(job) = g.q.pop() {
+                    break Some(job);
+                }
+                g = inner.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { break };
+        process_job(&mut gang, job, &stats);
+    }
+    // Shutdown: fail whatever is still queued, then drain the gang.
+    {
+        let mut g = lock(&inner.queue);
+        for job in g.q.drain() {
+            fulfill(&job.ticket, Err(closed_error()));
+        }
+    }
+    gang.shutdown();
+}
+
+/// Resolves a job's program through the plan cache. Returns the program to
+/// execute and whether this was a cache hit. (The lane plan is always
+/// recomputed from the executing program; the cache carries compiled
+/// plans and send totals, never routing authority.)
+#[allow(clippy::type_complexity)]
+fn resolve_program<S: Send + Clone, M: Send>(
+    cache: &mut PlanCache<S, M>,
+    job: &mut JobRequest<S, M>,
+    n_shards: usize,
+) -> Result<(Arc<Program<S, M>>, bool), ModelError> {
+    let key = CacheKey {
+        shape: job.spec.shape.fingerprint(),
+        v: job.states.len(),
+        n_shards,
+        states_fp: job.states_fp,
+    };
+    // Take the source out; a cache hit never needs the builder.
+    let Some(source) = job.source.take() else {
+        // Unreachable: every job is resolved exactly once.
+        return Err(ModelError::BadParameter {
+            what: "job server",
+            reason: "job source already consumed",
+        });
+    };
+    match source {
+        ProgramSource::Prebuilt(prog) => {
+            if prog.v() != job.states.len() {
+                return Err(ModelError::BadVectorLength {
+                    what: "states",
+                    expected: prog.v(),
+                    got: job.states.len(),
+                });
+            }
+            let hit = cache.entries.contains_key(&key);
+            if !hit {
+                cache.entries.insert(
+                    key,
+                    CacheEntry {
+                        prog: Arc::clone(&prog),
+                        totals: None,
+                    },
+                );
+            }
+            Ok((prog, hit))
+        }
+        ProgramSource::Build(build) | ProgramSource::BuildCaptured(build)
+            if cache.entries.contains_key(&key) =>
+        {
+            drop(build);
+            // allow-panic: guarded by the contains_key arm condition above.
+            let entry = cache.entries.get(&key).expect("checked above");
+            Ok((Arc::clone(&entry.prog), true))
+        }
+        ProgramSource::Build(build) => {
+            let prog = build();
+            if prog.v() != job.states.len() {
+                return Err(ModelError::BadVectorLength {
+                    what: "states",
+                    expected: prog.v(),
+                    got: job.states.len(),
+                });
+            }
+            let prog = Arc::new(prog);
+            cache.entries.insert(
+                key,
+                CacheEntry {
+                    prog: Arc::clone(&prog),
+                    totals: None,
+                },
+            );
+            Ok((prog, false))
+        }
+        ProgramSource::BuildCaptured(build) => {
+            let mut prog = build();
+            if prog.v() != job.states.len() {
+                return Err(ModelError::BadVectorLength {
+                    what: "states",
+                    expected: prog.v(),
+                    got: job.states.len(),
+                });
+            }
+            prog.capture_plans(job.states.clone())?;
+            let prog = Arc::new(prog);
+            cache.entries.insert(
+                key,
+                CacheEntry {
+                    prog: Arc::clone(&prog),
+                    totals: None,
+                },
+            );
+            Ok((prog, false))
+        }
+    }
+}
+
+fn process_job<S, M>(gang: &mut Gang<S, M>, mut job: JobRequest<S, M>, stats: &StatsInner)
+where
+    S: Send + Clone + 'static,
+    M: Send + 'static,
+{
+    let v = job.states.len();
+    let serial = v < gang.n_shards || gang.n_shards == 1;
+    let width = if serial { 1 } else { gang.n_shards };
+    let (prog, hit) = match resolve_program(&mut gang.cache, &mut job, width) {
+        Ok(r) => r,
+        Err(e) => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+            fulfill(&job.ticket, Err(e));
+            return;
+        }
+    };
+    if hit {
+        stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let outcome = if serial {
+        stats.serial_jobs.fetch_add(1, Ordering::Relaxed);
+        serial_job(gang, &prog, &mut job)
+    } else {
+        gang_job(gang, &prog, &mut job)
+    };
+    match &outcome {
+        Ok(r) => {
+            if r.fallback.is_some() {
+                stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    fulfill(&job.ticket, outcome);
+}
+
+fn run_options(opts: &JobOptions) -> RunOptions {
+    RunOptions {
+        parallel: false,
+        validate: opts.validate,
+        collect_messages: opts.collect_messages,
+        workers: Some(1),
+        use_plans: opts.use_plans,
+        fuse: opts.fuse,
+        plan_fallback: opts.plan_fallback,
+        faults: opts.faults.clone(),
+        stall_timeout: opts.stall_timeout,
+    }
+}
+
+/// Whether a plan mismatch on this job may degrade to a dynamic re-run
+/// (mirrors `run_core`'s arming rule).
+fn fallback_armed<S, M>(opts: &JobOptions, prog: &Program<S, M>) -> bool {
+    opts.plan_fallback == PlanFallback::Dynamic
+        && opts.use_plans
+        && !opts.validate
+        && prog.planned_steps() > 0
+}
+
+/// Runs one job on the scheduler thread's serial path (machines smaller
+/// than the gang). Pays per-job scratch allocations — these jobs are tiny
+/// by definition; the pooled path is the gang.
+fn serial_job<S, M>(
+    gang: &mut Gang<S, M>,
+    prog: &Arc<Program<S, M>>,
+    job: &mut JobRequest<S, M>,
+) -> Result<JobResult<S>, ModelError>
+where
+    S: Send + Clone + 'static,
+    M: Send + 'static,
+{
+    let opts = &job.spec.opts;
+    let spec = GranSpec { levels: prog.log_v(), gran_shift: 0, full: true };
+    let ropts = run_options(opts);
+    let armed = fallback_armed(opts, prog);
+    let saved = armed.then(|| job.states.clone());
+    gang.trace.reset(prog.v(), prog.n(), prog.steps().len());
+    let mut log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
+    let first = run_serial(prog, &mut job.states, spec, &ropts, &mut gang.trace, &mut log);
+    let fallback = match first {
+        Ok(()) => None,
+        Err(mismatch @ ModelError::PlanMismatch { .. }) if armed => {
+            job.states = saved.unwrap_or_default();
+            gang.trace.reset(prog.v(), prog.n(), prog.steps().len());
+            log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
+            let retry = RunOptions { use_plans: false, ..ropts };
+            run_serial(prog, &mut job.states, spec, &retry, &mut gang.trace, &mut log)?;
+            Some(mismatch)
+        }
+        Err(e) => return Err(e),
+    };
+    Ok(JobResult {
+        states: std::mem::take(&mut job.states),
+        trace: opts.want_trace.then(|| gang.trace.snapshot()),
+        message_log: log,
+        rounds: 0,
+        fallback,
+    })
+}
+
+/// Runs one job on the persistent gang, with one dynamic retry under the
+/// fallback policy. The job's input states stay pristine until a successful
+/// attempt gathers over them, so the retry needs no upfront clone.
+fn gang_job<S, M>(
+    gang: &mut Gang<S, M>,
+    prog: &Arc<Program<S, M>>,
+    job: &mut JobRequest<S, M>,
+) -> Result<JobResult<S>, ModelError>
+where
+    S: Send + Clone + 'static,
+    M: Send + 'static,
+{
+    let armed = fallback_armed(&job.spec.opts, prog);
+    match gang_attempt(gang, prog, job, true) {
+        Ok(res) => Ok(res),
+        Err(mismatch @ ModelError::PlanMismatch { .. }) if armed => {
+            let mut res = gang_attempt(gang, prog, job, false)?;
+            res.fallback = Some(mismatch);
+            Ok(res)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn gang_attempt<S, M>(
+    gang: &mut Gang<S, M>,
+    prog: &Arc<Program<S, M>>,
+    job: &mut JobRequest<S, M>,
+    plans_pass: bool,
+) -> Result<JobResult<S>, ModelError>
+where
+    S: Send + Clone + 'static,
+    M: Send + 'static,
+{
+    let opts = &job.spec.opts;
+    let v = prog.v();
+    let log_v = prog.log_v();
+    let n = gang.n_shards;
+    let vps = v / n;
+    let use_plans = opts.use_plans && plans_pass;
+    let key = CacheKey {
+        shape: job.spec.shape.fingerprint(),
+        v,
+        n_shards: n,
+        states_fp: job.states_fp,
+    };
+
+    // --- recycle the pooled run state -----------------------------------
+    gang.ensure_shape(log_v);
+    gang.core.reset_for_job(opts.stall_timeout);
+    // The lane plan is always derived from the program actually executing
+    // (allocation-free in-place recompute, O(steps)), so even a shape key
+    // that misdescribes its Prebuilt program cannot misroute the dynamic
+    // path — the cache only ever short-circuits *cost* (compiled plans,
+    // send totals), never the routing authority.
+    gang.core.plan.recompute_pooled(prog, n);
+    let prep = if !use_plans {
+        Prep::Dynamic
+    } else {
+        match gang.cache.entries.get(&key).and_then(|e| e.totals.clone()) {
+            Some(t) => Prep::Cached(t),
+            None => Prep::Cold,
+        }
+    };
+    let cold = matches!(prep, Prep::Cold);
+
+    // --- scatter input chunks -------------------------------------------
+    gang.chunk0.clear();
+    gang.chunk0.extend_from_slice(&job.states[..vps]);
+    for i in 1..n {
+        let c = &mut gang.chunks[i - 1];
+        c.clear();
+        c.extend_from_slice(&job.states[i * vps..(i + 1) * vps]);
+    }
+
+    // --- per-job shared view + dispatch ---------------------------------
+    let spec = GranSpec { levels: log_v, gran_shift: 0, full: true };
+    let mut log = opts.collect_messages.then(|| Vec::with_capacity(prog.steps().len()));
+    gang.trace.reset(v, prog.n(), prog.steps().len());
+    let shared = Shared {
+        prog,
+        core: &gang.core,
+        faults: opts.faults.as_deref(),
+        spec,
+        validate: opts.validate,
+        collect_log: opts.collect_messages,
+        use_plans,
+        fuse: opts.fuse,
+        v,
+        log_v,
+        n_shards: n,
+        log_shards: gang.log_shards,
+    };
+    for i in 1..n {
+        let chunk = std::mem::take(&mut gang.chunks[i - 1]);
+        let prep_i = match &prep {
+            Prep::Cold => Prep::Cold,
+            Prep::Cached(t) => Prep::Cached(Arc::clone(t)),
+            Prep::Dynamic => Prep::Dynamic,
+        };
+        gang.chans[i - 1].job.put(GangMsg::Job {
+            view: SharedView::erase(&shared),
+            vps,
+            prep: prep_i,
+            chunk,
+        });
+    }
+
+    // --- worker 0 (this thread) -----------------------------------------
+    let kit0 = match gang.kit0.take() {
+        Some(mut k) => {
+            k.reset(vps);
+            k
+        }
+        None => WorkerKit::new(vps),
+    };
+    let rounds;
+    {
+        let mut me = Worker::from_kit(0, 0, vps, &mut gang.chunk0, kit0);
+        match &prep {
+            Prep::Cold => prepare_run(&mut me, &shared),
+            Prep::Cached(t) => prepare_run_cached(&mut me, &shared, &t[0]),
+            Prep::Dynamic => {}
+        }
+        // allow-panic: `ensure_shape` just installed this entry.
+        let res = gang.shapes.get_mut(&log_v).expect("shape installed by ensure_shape");
+        let coord = Coord::new(&mut res.merge, &mut gang.trace, log.as_mut());
+        rounds = shard_loop(&mut me, &shared, Some(coord));
+        gang.kit0 = Some(me.into_kit());
+    }
+
+    // --- collect the done handshakes (ends the scoped rendezvous) -------
+    let mut peer_totals: Vec<Option<Vec<u64>>> = Vec::new();
+    for i in 1..n {
+        let done = gang.chans[i - 1].done.take();
+        gang.chunks[i - 1] = done.chunk;
+        if cold {
+            peer_totals.push(done.totals);
+        }
+    }
+    drop(shared);
+
+    // --- harvest cold totals into the cache -----------------------------
+    if cold {
+        let mut totals: Vec<Vec<u64>> = Vec::with_capacity(n);
+        // allow-panic: kit0 was put back right above.
+        let k0 = gang.kit0.as_ref().expect("kit0 returned after shard_loop");
+        totals.push(k0.send_total().to_vec());
+        let mut complete = true;
+        for t in peer_totals {
+            match t {
+                Some(t) => totals.push(t),
+                None => complete = false,
+            }
+        }
+        if complete {
+            if let Some(entry) = gang.cache.entries.get_mut(&key) {
+                entry.totals = Some(Arc::new(totals));
+            }
+        }
+    }
+
+    // --- first error in shard order wins (run_sharded's rule) -----------
+    for cell in &gang.core.cells {
+        if let Some(e) = lock(cell).error.take() {
+            return Err(e);
+        }
+    }
+
+    // --- gather results back into the job's states ----------------------
+    job.states[..vps].clone_from_slice(&gang.chunk0);
+    for i in 1..n {
+        job.states[i * vps..(i + 1) * vps].clone_from_slice(&gang.chunks[i - 1]);
+    }
+    Ok(JobResult {
+        states: std::mem::take(&mut job.states),
+        trace: opts.want_trace.then(|| gang.trace.snapshot()),
+        message_log: log,
+        rounds,
+        fallback: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(v: usize) -> JobRequest<u64, u64> {
+        JobRequest {
+            states: vec![0; v],
+            spec: JobSpec::new(ShapeKey { algo: "t", variant: 0 }),
+            source: Some(ProgramSource::Prebuilt(Arc::new(Program::new(v, v)))),
+            states_fp: None,
+            ticket: Arc::new(TicketCell { slot: Mutex::new(None), cv: Condvar::new() }),
+        }
+    }
+
+    #[test]
+    fn admission_small_overtakes_large_head() {
+        let cfg = ServerConfig { n_shards: 2, small_cutoff: 8, max_overtakes: 2 };
+        let mut q: Admission<u64, u64> = Admission::new(&cfg);
+        q.push(req(64)); // large head
+        q.push(req(4)); // small
+        q.push(req(4)); // small
+        assert_eq!(q.pop().map(|j| j.states.len()), Some(4));
+        assert_eq!(q.pop().map(|j| j.states.len()), Some(4));
+        // Head exhausted its overtake budget: FIFO resumes.
+        q.push(req(2));
+        assert_eq!(q.pop().map(|j| j.states.len()), Some(64));
+        assert_eq!(q.pop().map(|j| j.states.len()), Some(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn admission_small_head_is_fifo() {
+        let cfg = ServerConfig { n_shards: 2, small_cutoff: 8, max_overtakes: 4 };
+        let mut q: Admission<u64, u64> = Admission::new(&cfg);
+        q.push(req(4));
+        q.push(req(2));
+        assert_eq!(q.pop().map(|j| j.states.len()), Some(4));
+        assert_eq!(q.pop().map(|j| j.states.len()), Some(2));
+    }
+
+    #[test]
+    fn shape_key_fingerprint_distinguishes_variants() {
+        let a = ShapeKey { algo: "fft", variant: 0 };
+        let b = ShapeKey { algo: "fft", variant: 1 };
+        let c = ShapeKey { algo: "sort", variant: 0 };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), ShapeKey { algo: "fft", variant: 0 }.fingerprint());
+    }
+}

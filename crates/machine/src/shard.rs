@@ -218,24 +218,43 @@ const FAULT_FUSED_EXEC: &str = "shard:fused_exec";
 /// serializes access (the owning worker holds it during exec/flush/gather,
 /// the coordinator between the gather and merge barriers), so every lock is
 /// uncontended.
-struct ShardCell {
-    counters: DegreeCounters,
+pub(crate) struct ShardCell {
+    pub(crate) counters: DegreeCounters,
     /// This shard's slice of the superstep's message log, in source order.
-    log_frag: Vec<(u32, u32)>,
+    pub(crate) log_frag: Vec<(u32, u32)>,
     /// First model violation detected by this shard, if any.
-    error: Option<ModelError>,
+    pub(crate) error: Option<ModelError>,
 }
 
-/// Executor-wide shared state.
-struct Shared<'p, S, M> {
-    prog: &'p Program<S, M>,
-    plan: LanePlan,
-    grid: LaneGrid<M>,
+impl ShardCell {
+    /// A fresh cell for shard `w` at the given trace shape.
+    pub(crate) fn new(spec: GranSpec, log_v: u32, log_shards: u32, w: usize) -> Self {
+        ShardCell {
+            counters: if spec.full {
+                DegreeCounters::shard_full(log_v, log_shards, w)
+            } else {
+                DegreeCounters::shard_folded(log_v, spec.levels, log_shards, w)
+            },
+            log_frag: Vec::new(),
+            error: None,
+        }
+    }
+}
+
+/// The gang's long-lived infrastructure: every piece of executor-shared
+/// state that does **not** borrow from a particular program or run — the
+/// lane plan and grids, the shard cells, the barrier and the abort latch.
+/// [`run_sharded`] builds one per run; the persistent gang of
+/// `crate::server` builds one per server and recycles it across jobs (see
+/// [`GangCore::reset_for_job`]).
+pub(crate) struct GangCore<M> {
+    pub(crate) plan: LanePlan,
+    pub(crate) grid: LaneGrid<M>,
     /// Published write-arena windows for planned supersteps, double-buffered
     /// by arena parity (invariant 5 in `mailbox`).
-    direct: DirectGrid<M>,
-    cells: Vec<Mutex<ShardCell>>,
-    barrier: GangBarrier,
+    pub(crate) direct: DirectGrid<M>,
+    pub(crate) cells: Vec<Mutex<ShardCell>>,
+    pub(crate) barrier: GangBarrier,
     /// Earliest barrier round preceded by an error or panic (`u64::MAX`
     /// while the run is healthy). A failing worker stamps the round it is
     /// *about* to wait at — before waiting — so after every round `r` the
@@ -245,20 +264,58 @@ struct Shared<'p, S, M> {
     /// deliberately ignores. (A live boolean would race: a fast worker's
     /// next-phase failure could be observed by a slow worker's earlier
     /// check, splitting the gang across different exit barriers.)
-    abort_round: AtomicU64,
+    pub(crate) abort_round: AtomicU64,
+}
+
+impl<M> GangCore<M> {
+    /// Resets the recyclable run state between two jobs of a persistent
+    /// gang. Requires `&mut self` — the caller proves every worker has
+    /// quiesced — and replaces the sticky in-run barrier poison with a
+    /// fresh epoch, so one job's `GangStall`/`VpPanic` never outlives it:
+    ///
+    /// * the barrier restarts at a clean generation with the new job's
+    ///   watchdog timeout;
+    /// * the abort latch re-arms at `u64::MAX` (healthy);
+    /// * every cell's error and log fragment are cleared (counters are
+    ///   epoch-stamped and reset themselves at `begin_superstep`);
+    /// * the lanes are emptied — a job that aborted mid-superstep can leave
+    ///   staged traffic behind that must not leak into the next job's
+    ///   gather. Stale published windows in `direct` are left in place:
+    ///   they are never read before the next prepare republishes them
+    ///   (parity discipline, invariant 5 in `mailbox`).
+    ///
+    /// The caller is responsible for re-targeting `plan` and `cells` when
+    /// the job's shape differs from the previous one.
+    pub(crate) fn reset_for_job(&mut self, stall_timeout: Option<Duration>) {
+        self.barrier.reset(stall_timeout);
+        *self.abort_round.get_mut() = u64::MAX;
+        for cell in &mut self.cells {
+            let cell = cell.get_mut().unwrap_or_else(|e| e.into_inner());
+            cell.error = None;
+            cell.log_frag.clear();
+        }
+        self.grid.clear_all();
+    }
+}
+
+/// Executor-wide shared state: the per-run (or per-job) view over a
+/// [`GangCore`], plus everything borrowed from the program and options.
+pub(crate) struct Shared<'p, S, M> {
+    pub(crate) prog: &'p Program<S, M>,
+    pub(crate) core: &'p GangCore<M>,
     /// The run's fault-injection plan, if any (see the module docs).
-    faults: Option<&'p FaultPlan>,
-    spec: GranSpec,
-    validate: bool,
-    collect_log: bool,
-    use_plans: bool,
+    pub(crate) faults: Option<&'p FaultPlan>,
+    pub(crate) spec: GranSpec,
+    pub(crate) validate: bool,
+    pub(crate) collect_log: bool,
+    pub(crate) use_plans: bool,
     /// Whether planned supersteps proven shard-local may run on the fused
     /// zero-barrier tier (see [`RunOptions::fuse`]).
-    fuse: bool,
-    v: usize,
-    log_v: u32,
-    n_shards: usize,
-    log_shards: u32,
+    pub(crate) fuse: bool,
+    pub(crate) v: usize,
+    pub(crate) log_v: u32,
+    pub(crate) n_shards: usize,
+    pub(crate) log_shards: u32,
 }
 
 /// One parity's direct-write tables of a worker: the region-start table
@@ -272,8 +329,66 @@ struct DirectTables {
     cursors: Vec<u32>,
 }
 
+/// The pooled, job-independent resources of one worker: everything a
+/// [`Worker`] owns except its identity and its states slice. The one-run
+/// executor builds a kit per worker and drops it with the run; the
+/// persistent workers of `crate::server` keep one kit alive across jobs
+/// ([`WorkerKit::reset`] between jobs), which is what makes warm
+/// steady state allocation-free *across* jobs, not just within one.
+pub(crate) struct WorkerKit<M> {
+    stage: ChunkStage<M>,
+    local: Vec<(u32, M)>,
+    arenas: [Arena<M>; 2],
+    dst_counts: Vec<u32>,
+    cursors: Vec<u32>,
+    direct_tabs: [DirectTables; 2],
+    send_total: Vec<u64>,
+}
+
+impl<M> WorkerKit<M> {
+    pub(crate) fn new(vps: usize) -> Self {
+        WorkerKit {
+            stage: ChunkStage::new(vps),
+            local: Vec::new(),
+            arenas: [Arena::new(vps), Arena::new(vps)],
+            dst_counts: vec![0u32; vps],
+            cursors: vec![0u32; vps],
+            direct_tabs: [DirectTables::default(), DirectTables::default()],
+            send_total: Vec::new(),
+        }
+    }
+
+    /// Re-targets a pooled kit at a job of `vps` VPs per shard: staging,
+    /// spill and arenas are emptied (a failed job can leave residue in any
+    /// of them, including a still-set out-of-band flag) and the scatter
+    /// scratch is rebuilt all-zero — the between-supersteps invariant
+    /// `prepare_write` maintains — while every buffer keeps its high-water
+    /// capacity, so a warm same-shape job allocates nothing here.
+    pub(crate) fn reset(&mut self, vps: usize) {
+        self.stage.reset();
+        self.stage.outbox.oob_dst = false;
+        self.stage.outbox.cur_vp = 0;
+        debug_assert!(self.stage.outbox.direct.is_none(), "direct sink across jobs");
+        self.local.clear();
+        for arena in &mut self.arenas {
+            arena.recycle(vps);
+        }
+        self.dst_counts.clear();
+        self.dst_counts.resize(vps, 0);
+        self.cursors.clear();
+        self.cursors.resize(vps, 0);
+    }
+
+    /// The per-step declared payload totals computed by the last
+    /// [`prepare_run`] on this kit (the plan cache harvests them once, on a
+    /// cold job).
+    pub(crate) fn send_total(&self) -> &[u64] {
+        &self.send_total
+    }
+}
+
 /// Resources owned exclusively by one worker.
-struct Worker<'a, S, M> {
+pub(crate) struct Worker<'a, S, M> {
     w: usize,
     vp_lo: usize,
     vps: usize,
@@ -298,12 +413,65 @@ struct Worker<'a, S, M> {
     pending_total: [usize; 2],
 }
 
+impl<'a, S, M> Worker<'a, S, M> {
+    /// Assembles a worker for one job from its identity, its states chunk
+    /// and a (possibly pooled) resource kit. Plain field moves, zero cost;
+    /// [`Worker::into_kit`] gives the resources back afterwards.
+    pub(crate) fn from_kit(
+        w: usize,
+        vp_lo: usize,
+        vps: usize,
+        states: &'a mut [S],
+        kit: WorkerKit<M>,
+    ) -> Self {
+        Worker {
+            w,
+            vp_lo,
+            vps,
+            states,
+            stage: kit.stage,
+            local: kit.local,
+            arenas: kit.arenas,
+            dst_counts: kit.dst_counts,
+            cursors: kit.cursors,
+            direct_tabs: kit.direct_tabs,
+            send_total: kit.send_total,
+            pending_total: [0; 2],
+        }
+    }
+
+    /// Disassembles the worker back into its resource kit (see
+    /// [`Worker::from_kit`]).
+    pub(crate) fn into_kit(self) -> WorkerKit<M> {
+        WorkerKit {
+            stage: self.stage,
+            local: self.local,
+            arenas: self.arenas,
+            dst_counts: self.dst_counts,
+            cursors: self.cursors,
+            direct_tabs: self.direct_tabs,
+            send_total: self.send_total,
+        }
+    }
+}
+
 /// Coordinator-only resources, held by worker 0 (which runs on the calling
-/// thread).
-struct Coord<'a, 'b> {
-    merge: EpochMerge,
+/// thread). The merge scratch is borrowed, not owned, so a serving layer
+/// can pool it across jobs.
+pub(crate) struct Coord<'a, 'b> {
+    merge: &'a mut EpochMerge,
     trace: &'a mut TraceBuilder,
     log: Option<&'b mut Vec<Vec<(u32, u32)>>>,
+}
+
+impl<'a, 'b> Coord<'a, 'b> {
+    pub(crate) fn new(
+        merge: &'a mut EpochMerge,
+        trace: &'a mut TraceBuilder,
+        log: Option<&'b mut Vec<Vec<(u32, u32)>>>,
+    ) -> Self {
+        Coord { merge, trace, log }
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -319,7 +487,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// `Err(missing)` — the number of workers that had not arrived when the
 /// watchdog fired — so the whole gang drains deterministically instead of
 /// deadlocking on a lost peer.
-struct GangBarrier {
+pub(crate) struct GangBarrier {
     state: Mutex<BarrierState>,
     cvar: Condvar,
     n: usize,
@@ -334,13 +502,28 @@ struct BarrierState {
 }
 
 impl GangBarrier {
-    fn new(n: usize, timeout: Option<Duration>) -> Self {
+    pub(crate) fn new(n: usize, timeout: Option<Duration>) -> Self {
         GangBarrier {
             state: Mutex::new(BarrierState { arrived: 0, generation: 0, stalled: None }),
             cvar: Condvar::new(),
             n,
             timeout,
         }
+    }
+
+    /// Re-arms a pooled barrier for the next job: the stall poison — sticky
+    /// *within* a run so a failed gang drains deterministically — is
+    /// cleared, the generation advances so no historic waiter can confuse
+    /// epochs, and the watchdog adopts the new job's timeout. `&mut self`
+    /// proves no worker is waiting (the serving layer only calls this after
+    /// every worker posted its job-done handshake, which happens-after its
+    /// final wait).
+    fn reset(&mut self, timeout: Option<Duration>) {
+        let st = self.state.get_mut().unwrap_or_else(|e| e.into_inner());
+        st.arrived = 0;
+        st.generation += 1;
+        st.stalled = None;
+        self.timeout = timeout;
     }
 
     /// Waits for the whole gang; `Err(missing)` reports a poisoned barrier.
@@ -406,26 +589,19 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
     debug_assert!(log_shards <= spec.levels, "shards must not outnumber fold processors");
     let vps = v / n_shards;
 
-    let shared = Shared {
-        prog,
+    let core = GangCore {
         plan: prog.lane_plan(n_shards),
         grid: LaneGrid::new(n_shards),
         direct: DirectGrid::new(n_shards),
         cells: (0..n_shards)
-            .map(|w| {
-                Mutex::new(ShardCell {
-                    counters: if spec.full {
-                        DegreeCounters::shard_full(log_v, log_shards, w)
-                    } else {
-                        DegreeCounters::shard_folded(log_v, spec.levels, log_shards, w)
-                    },
-                    log_frag: Vec::new(),
-                    error: None,
-                })
-            })
+            .map(|w| Mutex::new(ShardCell::new(spec, log_v, log_shards, w)))
             .collect(),
         barrier: GangBarrier::new(n_shards, opts.stall_timeout),
         abort_round: AtomicU64::new(u64::MAX),
+    };
+    let shared = Shared {
+        prog,
+        core: &core,
         faults: opts.faults.as_deref(),
         spec,
         validate: opts.validate,
@@ -444,20 +620,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
         let taken = std::mem::take(&mut rest);
         let (mine, r) = taken.split_at_mut(vps);
         rest = r;
-        workers.push(Worker {
-            w,
-            vp_lo: w * vps,
-            vps,
-            states: mine,
-            stage: ChunkStage::new(vps),
-            local: Vec::new(),
-            arenas: [Arena::new(vps), Arena::new(vps)],
-            dst_counts: vec![0u32; vps],
-            cursors: vec![0u32; vps],
-            direct_tabs: [DirectTables::default(), DirectTables::default()],
-            send_total: Vec::new(),
-            pending_total: [0; 2],
-        });
+        workers.push(Worker::from_kit(w, w * vps, vps, mine, WorkerKit::new(vps)));
     }
 
     let coordinator = workers.remove(0);
@@ -465,17 +628,24 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
     std::thread::scope(|scope| {
         for worker in workers {
             let shared = &shared;
-            scope.spawn(move || shard_loop(worker, shared, None));
+            scope.spawn(move || {
+                let mut worker = worker;
+                if shared.use_plans {
+                    prepare_run(&mut worker, shared);
+                }
+                shard_loop(&mut worker, shared, None);
+            });
         }
-        let coord = Coord {
-            merge: EpochMerge::new(spec.levels, log_shards),
-            trace,
-            log: message_log.as_mut(),
-        };
-        rounds = shard_loop(coordinator, &shared, Some(coord));
+        let mut merge = EpochMerge::new(spec.levels, log_shards);
+        let coord = Coord { merge: &mut merge, trace, log: message_log.as_mut() };
+        let mut coordinator = coordinator;
+        if shared.use_plans {
+            prepare_run(&mut coordinator, &shared);
+        }
+        rounds = shard_loop(&mut coordinator, &shared, Some(coord));
     });
 
-    for cell in &shared.cells {
+    for cell in &core.cells {
         if let Some(e) = lock(cell).error.take() {
             return (rounds, Err(e));
         }
@@ -504,10 +674,10 @@ fn fault_check<S, M>(
 /// and must exit its loop without further waits; returns whether the round
 /// completed normally.
 fn gang_wait<S, M>(shared: &Shared<'_, S, M>, w: usize, next_round: u64) -> bool {
-    match shared.barrier.wait() {
+    match shared.core.barrier.wait() {
         Ok(()) => true,
         Err(missing) => {
-            lock(&shared.cells[w])
+            lock(&shared.core.cells[w])
                 .error
                 .get_or_insert(ModelError::GangStall { round: next_round, missing });
             false
@@ -534,8 +704,8 @@ fn settle<S, M>(
         Ok(Err(e)) => e,
         Err(p) => crate::engine::vp_panic_error(step, vp, p),
     };
-    lock(&shared.cells[w]).error.get_or_insert(err);
-    shared.abort_round.fetch_min(next_round, Ordering::SeqCst);
+    lock(&shared.core.cells[w]).error.get_or_insert(err);
+    shared.core.abort_round.fetch_min(next_round, Ordering::SeqCst);
 }
 
 /// The usable communication plan of a step, under the run's plan policy.
@@ -571,21 +741,19 @@ fn exec_span<S, M>(
     if fused(shared, plan) {
         w..w + 1
     } else {
-        shared.plan.peer_span(w, t)
+        shared.core.plan.peer_span(w, t)
     }
 }
 
 /// The per-worker superstep loop (see the module docs for the two barrier
-/// protocols). `coord` is `Some` exactly for worker 0. Returns the number
-/// of barrier rounds walked.
-fn shard_loop<S: Send, M: Send>(
-    mut me: Worker<'_, S, M>,
+/// protocols). `coord` is `Some` exactly for worker 0. The caller runs
+/// [`prepare_run`] (or its cached variant) first when plans are enabled.
+/// Returns the number of barrier rounds walked.
+pub(crate) fn shard_loop<S: Send, M: Send>(
+    me: &mut Worker<'_, S, M>,
     shared: &Shared<'_, S, M>,
     mut coord: Option<Coord<'_, '_>>,
 ) -> u64 {
-    if shared.use_plans {
-        prepare_run(&mut me, shared);
-    }
     let mut rounds = 0u64;
     let mut read_idx = 0usize;
     // Whether the upcoming planned superstep's window is already published
@@ -612,9 +780,9 @@ fn shard_loop<S: Send, M: Send>(
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 fault_check(shared, FAULT_FUSED_EXEC, me.w, t)?;
                 if !prepared {
-                    prepare_direct(&mut me, shared, t, plan, widx)?;
+                    prepare_direct(me, shared, t, plan, widx)?;
                 }
-                exec_planned(&mut me, shared, step, plan, t, read_idx)?;
+                exec_planned(me, shared, step, plan, t, read_idx)?;
                 if let Some(c) = coord.as_mut() {
                     if record_step {
                         push_planned_record(c, shared, step.label, plan);
@@ -655,7 +823,7 @@ fn shard_loop<S: Send, M: Send>(
                 // one): publish the windows, then let everyone see them.
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     fault_check(shared, FAULT_PREPARE, me.w, t)?;
-                    prepare_direct(&mut me, shared, t, plan, widx)
+                    prepare_direct(me, shared, t, plan, widx)
                 }));
                 let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
                 settle(shared, me.w, outcome, step.name, vp, rounds + 1);
@@ -663,7 +831,7 @@ fn shard_loop<S: Send, M: Send>(
                     break;
                 }
                 rounds += 1;
-                if shared.abort_round.load(Ordering::SeqCst) <= rounds {
+                if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
                     break;
                 }
             }
@@ -671,7 +839,7 @@ fn shard_loop<S: Send, M: Send>(
             let mut prepped_next = false;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 fault_check(shared, FAULT_EXEC_PLANNED, me.w, t)?;
-                exec_planned(&mut me, shared, step, plan, t, read_idx)?;
+                exec_planned(me, shared, step, plan, t, read_idx)?;
                 if let Some(c) = coord.as_mut() {
                     // Nothing to merge for a planned superstep: push the
                     // precomputed record here, overlapped with the other
@@ -687,7 +855,7 @@ fn shard_loop<S: Send, M: Send>(
                     // in the other parity, so peers mid-exec never observe
                     // the publication until the barrier below.
                     fault_check(shared, FAULT_PREPARE, me.w, t + 1)?;
-                    prepare_direct(&mut me, shared, t + 1, np, read_idx)?;
+                    prepare_direct(me, shared, t + 1, np, read_idx)?;
                     prepped_next = true;
                 }
                 Ok(())
@@ -698,7 +866,7 @@ fn shard_loop<S: Send, M: Send>(
                 break;
             }
             rounds += 1;
-            if shared.abort_round.load(Ordering::SeqCst) <= rounds {
+            if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
                 break;
             }
             // Peers are past the barrier: every region of this worker's
@@ -755,8 +923,8 @@ fn shard_loop<S: Send, M: Send>(
                     &mut me.stage,
                 );
             }
-            let mut cell = lock(&shared.cells[me.w]);
-            flush(&mut me, shared, &mut cell, step, record_step)
+            let mut cell = lock(&shared.core.cells[me.w]);
+            flush(me, shared, &mut cell, step, record_step)
         }));
         let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
         settle(shared, me.w, outcome, step.name, vp, rounds + 1);
@@ -764,15 +932,15 @@ fn shard_loop<S: Send, M: Send>(
             break;
         }
         rounds += 1;
-        if shared.abort_round.load(Ordering::SeqCst) <= rounds {
+        if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
         }
 
         // --- phase 2: gather ----------------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             fault_check(shared, FAULT_GATHER, me.w, t)?;
-            let mut cell = lock(&shared.cells[me.w]);
-            gather(&mut me, shared, &mut cell, t, record_step, 1 - read_idx)
+            let mut cell = lock(&shared.core.cells[me.w]);
+            gather(me, shared, &mut cell, t, record_step, 1 - read_idx)
         }));
         settle(shared, me.w, outcome, step.name, me.vp_lo, rounds + 1);
         if !gang_wait(shared, me.w, rounds + 1) {
@@ -782,7 +950,7 @@ fn shard_loop<S: Send, M: Send>(
 
         // --- phase 3: merge (coordinator only) ----------------------------
         if let Some(c) = coord.as_mut() {
-            if shared.abort_round.load(Ordering::SeqCst) > rounds {
+            if shared.core.abort_round.load(Ordering::SeqCst) > rounds {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     fault_check(shared, FAULT_MERGE, 0, t)?;
                     merge_superstep(c, shared, step.label, record_step);
@@ -795,7 +963,7 @@ fn shard_loop<S: Send, M: Send>(
             break;
         }
         rounds += 1;
-        if shared.abort_round.load(Ordering::SeqCst) <= rounds {
+        if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
         }
         read_idx = 1 - read_idx;
@@ -809,7 +977,7 @@ fn shard_loop<S: Send, M: Send>(
 /// for the steps that will still run dynamically (faulted plans). Planned
 /// steady state therefore starts at its high-water capacity instead of
 /// growing into it during the first label cycle.
-fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>) {
+pub(crate) fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>) {
     let shard_shift = shared.log_v - shared.log_shards;
     let n = shared.n_shards;
     let mut hdr_need = vec![0usize; n];
@@ -818,7 +986,8 @@ fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>)
     let mut pay_step = vec![0usize; n];
     let mut local_need = 0usize;
     let mut any_active = false;
-    me.send_total = vec![0u64; shared.prog.steps().len()];
+    me.send_total.clear();
+    me.send_total.resize(shared.prog.steps().len(), 0);
     for (t, step) in shared.prog.steps().iter().enumerate() {
         let Some(plan) = step.plan() else {
             continue;
@@ -865,13 +1034,47 @@ fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>)
         if d != me.w && hdr_need[d] > 0 {
             // SAFETY: pre-superstep setup — every worker touches only its
             // own grid row, the send-phase discipline of invariant 3.
-            unsafe { shared.grid.lane_out(me.w, d) }.reserve(hdr_need[d], pay_need[d]);
+            unsafe { shared.core.grid.lane_out(me.w, d) }.reserve(hdr_need[d], pay_need[d]);
         }
     }
     if any_active {
         for tabs in &mut me.direct_tabs {
-            tabs.starts = vec![0u32; (n + 1) * me.vps];
-            tabs.cursors = vec![0u32; n * me.vps];
+            tabs.starts.clear();
+            tabs.starts.resize((n + 1) * me.vps, 0);
+            tabs.cursors.clear();
+            tabs.cursors.resize(n * me.vps, 0);
+        }
+    }
+}
+
+/// The warm-path counterpart of [`prepare_run`] for a plan-cache hit: the
+/// per-step declared totals were computed once on the cold job and come
+/// from the cache, so the whole per-worker route enumeration is skipped —
+/// only the direct-write tables are (re)sized, within pooled capacity. The
+/// faulted-plan lane pre-sizing is skipped too: pooled lanes already sit at
+/// their high-water capacity from earlier jobs, and growth is one-time.
+///
+/// Trusting cached totals is safe the same way trusting a declared route
+/// is: a total that disagrees with what the job actually sends surfaces as
+/// the planned path's written-total [`ModelError::PlanMismatch`], never as
+/// corruption.
+pub(crate) fn prepare_run_cached<S, M: Send>(
+    me: &mut Worker<'_, S, M>,
+    shared: &Shared<'_, S, M>,
+    totals: &[u64],
+) {
+    debug_assert_eq!(totals.len(), shared.prog.steps().len());
+    me.send_total.clear();
+    me.send_total.extend_from_slice(totals);
+    let n = shared.n_shards;
+    let any_active =
+        shared.prog.steps().iter().any(|s| s.plan().is_some_and(|p| p.fault().is_none()));
+    if any_active {
+        for tabs in &mut me.direct_tabs {
+            tabs.starts.clear();
+            tabs.starts.resize((n + 1) * me.vps, 0);
+            tabs.cursors.clear();
+            tabs.cursors.resize(n * me.vps, 0);
         }
     }
 }
@@ -926,7 +1129,7 @@ fn prepare_direct<S, M: Send>(
             // SAFETY: identical publication discipline to the general path
             // below (prepare phase, own window slot, parity alternation);
             // invariant 5.
-            unsafe { shared.direct.publish(widx, w, window) };
+            unsafe { shared.core.direct.publish(widx, w, window) };
             return Ok(());
         }
     }
@@ -991,7 +1194,7 @@ fn prepare_direct<S, M: Send>(
     // slot, peers read it only after the next barrier, and the previous
     // window of this parity has no remaining readers (parity alternation);
     // invariant 5.
-    unsafe { shared.direct.publish(widx, w, window) };
+    unsafe { shared.core.direct.publish(widx, w, window) };
     Ok(())
 }
 
@@ -1016,7 +1219,7 @@ fn exec_planned<S, M: Send>(
     // `me.w` of those windows is this worker's exclusively until the next
     // barrier (invariant 5).
     let sink = unsafe {
-        DirectShard::new(&shared.direct, widx, me.w, span, shard_shift, me.vps, shared.v, check)
+        DirectShard::new(&shared.core.direct, widx, me.w, span, shard_shift, me.vps, shared.v, check)
     };
     me.stage.outbox.enter_direct(DirectSink::Sharded(sink));
 
@@ -1152,7 +1355,7 @@ fn flush<S, M: Send>(
                         // SAFETY: send phase — this worker exclusively owns
                         // grid row `me.w` until the next barrier
                         // (invariant 3 in `mailbox`).
-                        unsafe { shared.grid.lane_out(me.w, dst_shard) }.push_data(
+                        unsafe { shared.core.grid.lane_out(me.w, dst_shard) }.push_data(
                             src as u32,
                             dst,
                             m,
@@ -1163,7 +1366,7 @@ fn flush<S, M: Send>(
                     if !local {
                         // SAFETY: as above. Cross-shard dummies ride the
                         // lane headers so the receiver can meter them.
-                        unsafe { shared.grid.lane_out(me.w, dst_shard) }.push_dummy(src as u32, dst);
+                        unsafe { shared.core.grid.lane_out(me.w, dst_shard) }.push_dummy(src as u32, dst);
                     }
                 }
             }
@@ -1191,7 +1394,7 @@ fn gather<S, M: Send>(
     // The lane plan is derived from the cluster constraint, which only
     // validation enforces — unchecked runs must scan every potential peer.
     let span =
-        if shared.validate { shared.plan.peer_span(me.w, t) } else { 0..shared.n_shards };
+        if shared.validate { shared.core.plan.peer_span(me.w, t) } else { 0..shared.n_shards };
     let vp_lo = me.vp_lo;
     let local = &mut me.local;
     let dst_counts = &mut me.dst_counts;
@@ -1208,7 +1411,7 @@ fn gather<S, M: Send>(
         } else {
             // SAFETY: gather phase — this worker exclusively owns grid
             // column `me.w` until the next barrier (invariant 3).
-            let lane = unsafe { shared.grid.lane_in(s_prev, me.w) };
+            let lane = unsafe { shared.core.grid.lane_in(s_prev, me.w) };
             for hdr in &lane.hdrs {
                 if record_counters {
                     cell.counters.record_received(hdr.src as usize, hdr.dst as usize);
@@ -1233,7 +1436,7 @@ fn gather<S, M: Send>(
             }
         } else {
             // SAFETY: as above.
-            let lane = unsafe { shared.grid.lane_in(s_prev, me.w) };
+            let lane = unsafe { shared.core.grid.lane_in(s_prev, me.w) };
             lane.drain_deliveries(|dst, m| {
                 let cur = &mut cursors[dst as usize - vp_lo];
                 slab[*cur as usize].write(m);
@@ -1262,7 +1465,7 @@ fn merge_superstep<S, M>(
     coord.merge.begin_superstep();
     let mut entry = shared.collect_log.then(Vec::new);
     for w in 0..shared.n_shards {
-        let cell = lock(&shared.cells[w]);
+        let cell = lock(&shared.core.cells[w]);
         coord.merge.add_shard(w, &cell.counters);
         if let Some(e) = entry.as_mut() {
             e.extend_from_slice(&cell.log_frag);

@@ -284,6 +284,105 @@ fn dynamic_fallback_on_unplanned_programs_does_not_clone_states() {
     );
 }
 
+#[test]
+fn warm_server_jobs_do_not_allocate_across_jobs() {
+    use nob_machine::server::{JobServer, JobSpec, ProgramSource, ServerConfig, ShapeKey};
+    use nob_machine::Route;
+
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The job server's pooling claim, measured: after the first (cold) job
+    // compiles plans and grows every pooled structure to its high-water
+    // shape — worker-kit arenas, staging, scatter scratch, chunk buffers,
+    // lane grid, shard cells, merge scratch, trace builder — warm jobs on
+    // the persistent gang allocate *nothing*, dispatch and handshake
+    // included. The counter is armed from inside job 3's first superstep
+    // and disarmed in job N's last, so the window spans whole warm jobs
+    // plus every inter-job seam (done handshakes, queue pop, cache hit,
+    // epoch reset, chunk scatter/gather, ticket fulfillment of jobs 3..N-1)
+    // while excluding the cold compile and the submission side. Job 1
+    // stalls its last superstep until the main thread has finished
+    // submitting, pinning every ticket/queue allocation before the window.
+    static JOBS_STARTED: AtomicUsize = AtomicUsize::new(0);
+    static SUBMITS_DONE: AtomicBool = AtomicBool::new(false);
+    const JOBS: usize = 6;
+    JOBS_STARTED.store(0, Ordering::SeqCst);
+    SUBMITS_DONE.store(false, Ordering::SeqCst);
+
+    let v = 1 << 8;
+    let rounds = 10usize;
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for r in 0..rounds {
+        let l = (r as u32) % log_v;
+        let d = v >> (l + 1);
+        let (first, last) = (r == 0, r == rounds - 1);
+        prog.step_oblivious(
+            l,
+            "bfly-served",
+            if last { 0 } else { 1 },
+            move |ctx, _| Route::Data(ctx.vp ^ d),
+            move |st, ctx, inbox, out| {
+                if ctx.vp == 0 && first {
+                    let job = JOBS_STARTED.fetch_add(1, Ordering::SeqCst) + 1;
+                    if job == 3 {
+                        ALLOCS.store(0, Ordering::SeqCst);
+                        COUNTING.store(true, Ordering::SeqCst);
+                    }
+                }
+                if ctx.vp == 0 && last {
+                    match JOBS_STARTED.load(Ordering::SeqCst) {
+                        // Hold job 1 open until the whole batch is queued.
+                        1 => {
+                            while !SUBMITS_DONE.load(Ordering::SeqCst) {
+                                std::thread::yield_now();
+                            }
+                        }
+                        JOBS => COUNTING.store(false, Ordering::SeqCst),
+                        _ => {}
+                    }
+                }
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+                if !last {
+                    out.send(ctx.vp ^ d, *st);
+                }
+            },
+        );
+    }
+    let prog = std::sync::Arc::new(prog);
+    let states: Vec<u64> = (0..v as u64).collect();
+    let srv: JobServer<u64, u64> = JobServer::new(ServerConfig::with_shards(4)).unwrap();
+    let mut spec = JobSpec::new(ShapeKey { algo: "bfly-served", variant: rounds as u64 });
+    spec.opts.want_trace = false;
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|_| {
+            srv.submit(
+                spec.clone(),
+                states.clone(),
+                ProgramSource::Prebuilt(std::sync::Arc::clone(&prog)),
+            )
+            .unwrap()
+        })
+        .collect();
+    SUBMITS_DONE.store(true, Ordering::SeqCst);
+    let mut results = tickets.into_iter().map(|t| t.wait().unwrap());
+    let first = results.next().unwrap();
+    for (k, res) in results.enumerate() {
+        assert_eq!(res.states, first.states, "warm job {} diverged", k + 2);
+    }
+    assert!(!COUNTING.load(Ordering::SeqCst), "last job must disarm the counter");
+    let stats = srv.stats();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, (JOBS - 1) as u64);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations across {} warm server jobs of v = {v}",
+        JOBS - 2,
+    );
+}
+
 /// The [`counting_butterfly`] pattern declared as an oblivious route
 /// (planned execution path).
 fn planned_butterfly(v: usize, rounds: usize) -> Program<u64, u64> {

@@ -1,0 +1,414 @@
+//! Integration suite for the multi-tenant job server
+//! ([`nob_machine::server`]): results must be bit-for-bit identical to the
+//! batch engine's, the compiled-plan cache must key on `(shape, v, width)`
+//! — plus the initial states for captured plans — and must degrade
+//! structurally (never corrupt) when a cached entry goes stale, and a
+//! failing job (injected fault, stall) must leave the persistent gang
+//! serviceable for the next one.
+
+use nob_core::fault::FaultPlan;
+use nob_core::ModelError;
+use nob_machine::plan::Route;
+use nob_machine::server::{
+    JobOptions, JobServer, JobSpec, ProgramSource, ServerConfig, ShapeKey,
+};
+use nob_machine::{run, PlanFallback, Program, RunOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Splitmix-style hash for value-dependent routes and state seeding.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A butterfly-style oblivious program: one planned superstep per level
+/// (exchange with the `k`-th bit partner), which exercises every tier mix
+/// the gang serves — cross-shard direct writes at the top levels, fused
+/// shard-local steps at the bottom.
+fn butterfly(v: usize) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    for i in 0..log_v {
+        let bit = 1usize << (log_v - 1 - i);
+        prog.step_oblivious(
+            i,
+            "bfly",
+            1,
+            move |ctx, _| Route::Data(ctx.vp ^ bit),
+            move |st, ctx, inbox, out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_mul(31).wrapping_add(m);
+                }
+                out.send(ctx.vp ^ bit, *st ^ bit as u64);
+            },
+        );
+    }
+    prog.step(log_v - 1, "consume", |st, _ctx, inbox, _out| {
+        for m in inbox.drain(..) {
+            *st = st.wrapping_mul(31).wrapping_add(m);
+        }
+    });
+    prog
+}
+
+/// A value-dependent program (not declarable obliviously) for the captured
+/// path, with a poison flag that flips its routing after capture —
+/// `capture_replay.rs`'s staleness machinery.
+fn poisonable(v: usize, flag: &Arc<AtomicBool>) -> Program<u64, u64> {
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    let log_v = prog.log_v();
+    let f = Arc::clone(flag);
+    prog.step(0, "poisonable", move |st, ctx, inbox, out| {
+        for m in inbox.drain(..) {
+            *st = st.wrapping_mul(31).wrapping_add(m);
+        }
+        let dst = if f.load(Ordering::Relaxed) {
+            ctx.vp & !1
+        } else {
+            (ctx.vp + mix(*st) as usize % ctx.v) % ctx.v
+        };
+        out.send(dst, *st | 1);
+    });
+    prog.step(log_v - 1, "consume", |st, _ctx, inbox, _out| {
+        for m in inbox.drain(..) {
+            *st = st.wrapping_mul(31).wrapping_add(m);
+        }
+    });
+    prog
+}
+
+fn seed_states(v: usize, salt: u64) -> Vec<u64> {
+    (0..v as u64).map(|i| mix(i ^ salt)).collect()
+}
+
+fn server(n_shards: usize) -> JobServer<u64, u64> {
+    JobServer::new(ServerConfig::with_shards(n_shards)).unwrap()
+}
+
+/// Cold and warm server jobs are bit-for-bit the batch engine: states and
+/// trace identical, the repeats all cache hits.
+#[test]
+fn server_matches_run_cold_and_warm() {
+    let v = 64;
+    let states = seed_states(v, 7);
+    let want = run(&butterfly(v), states.clone(), &RunOptions::default()).unwrap();
+
+    let srv = server(4);
+    let spec = JobSpec::new(ShapeKey { algo: "bfly", variant: v as u64 });
+    for round in 0..3 {
+        let res = srv
+            .run_job(spec.clone(), states.clone(), ProgramSource::Build(Box::new(move || butterfly(v))))
+            .unwrap();
+        assert_eq!(res.states, want.states, "round {round} states");
+        assert_eq!(res.trace.as_ref(), Some(&want.trace), "round {round} trace");
+        assert!(res.fallback.is_none());
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.cache_misses, 1, "only the first job compiles");
+    assert_eq!(stats.cache_hits, 2);
+}
+
+/// Dynamic (unplanned) programs are served identically too, warm included.
+#[test]
+fn server_serves_dynamic_programs() {
+    let v = 32;
+    let flag = Arc::new(AtomicBool::new(false));
+    let states = seed_states(v, 3);
+    let want = run(&poisonable(v, &flag), states.clone(), &RunOptions::default()).unwrap();
+
+    let srv = server(4);
+    let spec = JobSpec::new(ShapeKey { algo: "dyn", variant: 0 });
+    for _ in 0..2 {
+        let f = Arc::clone(&flag);
+        let res = srv
+            .run_job(
+                spec.clone(),
+                states.clone(),
+                ProgramSource::Build(Box::new(move || poisonable(v, &f))),
+            )
+            .unwrap();
+        assert_eq!(res.states, want.states);
+        assert_eq!(res.trace.as_ref(), Some(&want.trace));
+    }
+}
+
+/// The cache keys on `v` and on the execution width: the same shape at a
+/// different `v` — or routed to the serial path (`v <` gang width) — is a
+/// different entry, never a false hit.
+#[test]
+fn cache_misses_across_v_and_width() {
+    let srv = server(8);
+    let shape = ShapeKey { algo: "bfly", variant: 0 };
+    // Three distinct (v, width) keys under ONE shape key: gang at v=32,
+    // gang at v=64, serial at v=4.
+    for v in [32usize, 64, 4] {
+        for repeat in 0..2 {
+            let states = seed_states(v, 11);
+            let want = run(&butterfly(v), states.clone(), &RunOptions::default()).unwrap();
+            let res = srv
+                .run_job(
+                    JobSpec::new(shape),
+                    states,
+                    ProgramSource::Build(Box::new(move || butterfly(v))),
+                )
+                .unwrap();
+            assert_eq!(res.states, want.states, "v={v} repeat={repeat}");
+        }
+    }
+    let stats = srv.stats();
+    assert_eq!(stats.cache_misses, 3, "one compile per (v, width)");
+    assert_eq!(stats.cache_hits, 3, "one warm repeat each");
+    assert_eq!(stats.serial_jobs, 2, "v=4 rides the serial path");
+}
+
+/// Captured-plan entries key on the initial states: a lookalike job — same
+/// shape, same `v`, different data — misses and re-captures against its own
+/// states instead of replaying the other job's routes.
+#[test]
+fn captured_lookalike_misses_and_recaptures() {
+    let v = 32;
+    let flag = Arc::new(AtomicBool::new(false));
+    let states_a = seed_states(v, 1);
+    let states_b = seed_states(v, 2);
+    let want_a = run(&poisonable(v, &flag), states_a.clone(), &RunOptions::default()).unwrap();
+    let want_b = run(&poisonable(v, &flag), states_b.clone(), &RunOptions::default()).unwrap();
+
+    let srv = server(4);
+    let spec = JobSpec::new(ShapeKey { algo: "captured", variant: 0 });
+    let submit = |states: Vec<u64>| {
+        let f = Arc::clone(&flag);
+        srv.submit_captured(spec.clone(), states, move || poisonable(v, &f))
+            .unwrap()
+            .wait()
+            .unwrap()
+    };
+    assert_eq!(submit(states_a.clone()).states, want_a.states);
+    assert_eq!(submit(states_a).states, want_a.states, "same states: warm replay");
+    assert_eq!(submit(states_b).states, want_b.states, "lookalike re-captures");
+    let stats = srv.stats();
+    assert_eq!(stats.cache_misses, 2, "two captures: states A and states B");
+    assert_eq!(stats.cache_hits, 1, "one warm replay of A");
+}
+
+/// A cached captured entry whose program has drifted is *detected* on the
+/// warm hit — a structured `PlanMismatch` under validation, a transparent
+/// dynamic re-run under `PlanFallback::Dynamic` — and either way the gang
+/// serves the next job cleanly.
+#[test]
+fn stale_captured_hit_degrades_structurally() {
+    let v = 32;
+    let flag = Arc::new(AtomicBool::new(false));
+    let states = seed_states(v, 9);
+
+    let srv = server(4);
+    let spec = JobSpec::new(ShapeKey { algo: "poisonable", variant: 0 });
+    let f0 = Arc::clone(&flag);
+    let first = srv
+        .submit_captured(spec.clone(), states.clone(), move || poisonable(v, &f0))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(first.fallback.is_none());
+
+    // The program's behavior drifts out from under the cache entry.
+    flag.store(true, Ordering::Relaxed);
+
+    // Validated warm hit: rejected as a structured mismatch.
+    let f1 = Arc::clone(&flag);
+    let err = srv
+        .submit_captured(spec.clone(), states.clone(), move || poisonable(v, &f1))
+        .unwrap()
+        .wait()
+        .expect_err("stale capture must be rejected");
+    assert!(matches!(err, ModelError::PlanMismatch { .. }), "got {err:?}");
+
+    // Non-validated warm hit under Dynamic fallback: completes with the
+    // live behavior and records the abandoned attempt.
+    let live = run(&poisonable(v, &flag), states.clone(), &RunOptions::default()).unwrap();
+    let mut fb_spec = spec.clone();
+    fb_spec.opts = JobOptions {
+        validate: false,
+        plan_fallback: PlanFallback::Dynamic,
+        ..JobOptions::default()
+    };
+    let f2 = Arc::clone(&flag);
+    let res = srv
+        .submit_captured(fb_spec, states.clone(), move || poisonable(v, &f2))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(matches!(res.fallback, Some(ModelError::PlanMismatch { .. })));
+    assert_eq!(res.states, live.states, "degraded run executes live behavior");
+
+    // The gang is still serviceable for an unrelated program.
+    let clean = seed_states(64, 5);
+    let want = run(&butterfly(64), clean.clone(), &RunOptions::default()).unwrap();
+    let res = srv
+        .run_job(
+            JobSpec::new(ShapeKey { algo: "bfly", variant: 64 }),
+            clean,
+            ProgramSource::Build(Box::new(|| butterfly(64))),
+        )
+        .unwrap();
+    assert_eq!(res.states, want.states);
+}
+
+/// Chaos coverage for serving: an injected fault (error and panic flavor)
+/// in job `k` fails `k`'s ticket with the structured error and job `k+1`
+/// runs clean on the *same* gang — per-job epoch reset instead of sticky
+/// barrier poison.
+#[test]
+fn gang_survives_injected_fault_between_jobs() {
+    let v = 64;
+    let states = seed_states(v, 13);
+    let want = run(&butterfly(v), states.clone(), &RunOptions::default()).unwrap();
+    let srv = server(4);
+    let spec = JobSpec::new(ShapeKey { algo: "bfly", variant: v as u64 });
+    let submit = |opts: JobOptions| {
+        let mut spec = spec.clone();
+        spec.opts = opts;
+        srv.run_job(
+            spec,
+            states.clone(),
+            ProgramSource::Build(Box::new(move || butterfly(v))),
+        )
+    };
+    // Warm the cache first, then alternate faulty and clean jobs.
+    assert_eq!(submit(JobOptions::default()).unwrap().states, want.states);
+    for (site, shard) in
+        [("shard:exec_planned", 1usize), ("shard:commit", 2), ("shard:prepare", 3)]
+    {
+        let faulty = JobOptions {
+            faults: Some(Arc::new(FaultPlan::error_at(site, shard, 1))),
+            stall_timeout: Some(Duration::from_secs(5)),
+            ..JobOptions::default()
+        };
+        let err = match submit(faulty) {
+            Err(e) => e,
+            Ok(_) => panic!("armed fault at {site} shard {shard} did not fail the job"),
+        };
+        assert!(
+            matches!(err, ModelError::FaultInjected { .. }),
+            "{site}: got {err:?}"
+        );
+        let clean = submit(JobOptions::default()).unwrap();
+        assert_eq!(clean.states, want.states, "{site}: gang not serviceable after fault");
+        assert_eq!(clean.trace.as_ref(), Some(&want.trace), "{site}: trace residue");
+    }
+    // Panic flavor rides the same recovery — on worker 0, i.e. the
+    // scheduler thread itself, whose unwind must also stay contained.
+    let panicky = JobOptions {
+        faults: Some(Arc::new(FaultPlan::panic_at("shard:exec_planned", 0, 1))),
+        stall_timeout: Some(Duration::from_secs(5)),
+        ..JobOptions::default()
+    };
+    let err = submit(panicky).expect_err("panic fault must fail the job");
+    assert!(matches!(err, ModelError::VpPanic { .. }), "got {err:?}");
+    let clean = submit(JobOptions::default()).unwrap();
+    assert_eq!(clean.states, want.states);
+    assert_eq!(srv.stats().failed, 4);
+}
+
+/// A stalled job (one worker descheduled past `stall_timeout`) fails with
+/// `GangStall` and the next job runs clean: the re-armed barrier replaces
+/// the in-run sticky poison between jobs.
+#[test]
+fn gang_survives_stall_between_jobs() {
+    let v = 64;
+    let trip = Arc::new(AtomicBool::new(true));
+    let states = seed_states(v, 17);
+    let build = |trip: Arc<AtomicBool>| {
+        move || {
+            let mut prog: Program<u64, u64> = Program::new(v, v);
+            let log_v = prog.log_v();
+            let t = Arc::clone(&trip);
+            prog.step(0, "maybe-slow", move |st, ctx, inbox, out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+                // One VP of shard 3 oversleeps the watchdog, once.
+                if ctx.vp == ctx.v - 1 && t.swap(false, Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                out.send(ctx.vp ^ (ctx.v / 2), *st + 1);
+            });
+            prog.step(log_v - 1, "consume", |st, _ctx, inbox, _out| {
+                for m in inbox.drain(..) {
+                    *st = st.wrapping_add(m);
+                }
+            });
+            prog
+        }
+    };
+    let want = run(&build(Arc::new(AtomicBool::new(false)))(), states.clone(), &RunOptions::default())
+        .unwrap();
+
+    let srv = server(4);
+    let mut spec = JobSpec::new(ShapeKey { algo: "slow", variant: 0 });
+    spec.opts.stall_timeout = Some(Duration::from_millis(40));
+    let err = srv
+        .run_job(spec.clone(), states.clone(), ProgramSource::Build(Box::new(build(Arc::clone(&trip)))))
+        .expect_err("watchdog must fail the stalled job");
+    assert!(matches!(err, ModelError::GangStall { .. }), "got {err:?}");
+    assert!(!trip.load(Ordering::Relaxed), "the slow VP actually ran");
+
+    let res = srv
+        .run_job(spec, states.clone(), ProgramSource::Build(Box::new(build(trip))))
+        .unwrap();
+    assert_eq!(res.states, want.states, "gang not serviceable after stall");
+}
+
+/// Prebuilt submissions share one program across jobs; dropping the server
+/// fails still-queued tickets structurally instead of running the backlog.
+#[test]
+fn prebuilt_jobs_and_drop_semantics() {
+    let v = 32;
+    let states = seed_states(v, 23);
+    let prog = Arc::new(butterfly(v));
+    let want = run(&prog, states.clone(), &RunOptions::default()).unwrap();
+
+    let srv = server(4);
+    let spec = JobSpec::new(ShapeKey { algo: "bfly", variant: v as u64 });
+    let res = srv
+        .run_job(spec.clone(), states.clone(), ProgramSource::Prebuilt(Arc::clone(&prog)))
+        .unwrap();
+    assert_eq!(res.states, want.states);
+
+    // Head the queue with a slow job, stack tickets behind it, drop.
+    let slow = Arc::new(butterfly(1 << 12));
+    let slow_states = seed_states(1 << 12, 1);
+    let head = srv
+        .submit(
+            JobSpec::new(ShapeKey { algo: "bfly", variant: 1 << 12 }),
+            slow_states,
+            ProgramSource::Prebuilt(slow),
+        )
+        .unwrap();
+    let queued: Vec<_> = (0..3)
+        .map(|_| {
+            srv.submit(spec.clone(), states.clone(), ProgramSource::Prebuilt(Arc::clone(&prog)))
+                .unwrap()
+        })
+        .collect();
+    drop(srv);
+    // The head may or may not have started; queued tickets behind it must
+    // resolve either way — completed or failed-by-shutdown, never hang.
+    let _ = head.wait();
+    let mut refused = 0;
+    for t in queued {
+        match t.wait() {
+            Ok(r) => assert_eq!(r.states, want.states),
+            Err(ModelError::BadParameter { what, .. }) => {
+                assert_eq!(what, "job server");
+                refused += 1;
+            }
+            Err(e) => panic!("unexpected queued-job error: {e:?}"),
+        }
+    }
+    assert!(refused > 0, "shutdown should refuse still-queued jobs");
+}

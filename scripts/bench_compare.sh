@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Compares two `BENCH_engine.json` runs and fails on msgs/sec regressions.
+# Compares two bench runs and fails on throughput regressions. Understands
+# both schemas: `BENCH_engine.json` (rows keyed (v, program, threads),
+# rate = arena/plan msgs/sec) and `BENCH_server.json` (workloads keyed
+# (name, width), rate = jobs/sec). Both files must be the same kind.
 #
 # Usage: scripts/bench_compare.sh OLD.json NEW.json [threshold_pct]
 #
@@ -36,12 +39,31 @@ for f in "$old_file" "$new_file"; do
 done
 command -v jq >/dev/null || { echo "bench_compare: jq is required" >&2; exit 2; }
 
-# (v, program, threads[, plan]) -> msgs/sec, one row per line.
+# Schema kind: a `workloads` array marks a job-server file, a `rows` array
+# an engine-throughput file.
+kind_of() {
+    jq -r 'if .workloads then "server" elif .rows then "engine" else "unknown" end' "$1"
+}
+kind=$(kind_of "$old_file")
+kind_new=$(kind_of "$new_file")
+if [ "$kind" != "$kind_new" ] || [ "$kind" = unknown ]; then
+    echo "bench_compare: cannot compare a '$kind' file against a '$kind_new' file" >&2
+    exit 2
+fi
+rate_label="msgs/sec"
+[ "$kind" = server ] && rate_label="jobs/sec"
+
+# Engine: (v, program, threads[, plan]) -> msgs/sec, one row per line.
+# Server: (workload name, width) -> jobs/sec.
 extract() {
-    jq -r '.rows[]
-        | "\(.v)/\(.program)/\(.threads // 1) \(.arena_msgs_per_sec)",
-          (select(.plan_msgs_per_sec != null)
-           | "\(.v)/\(.program)/\(.threads // 1)/plan \(.plan_msgs_per_sec)")' "$1"
+    if [ "$kind" = server ]; then
+        jq -r '.workloads[] | "\(.name)/w\(.width) \(.jobs_per_sec)"' "$1"
+    else
+        jq -r '.rows[]
+            | "\(.v)/\(.program)/\(.threads // 1) \(.arena_msgs_per_sec)",
+              (select(.plan_msgs_per_sec != null)
+               | "\(.v)/\(.program)/\(.threads // 1)/plan \(.plan_msgs_per_sec)")' "$1"
+    fi
 }
 
 old_rows=$(extract "$old_file")
@@ -80,8 +102,13 @@ done <<<"$new_rows"
 
 # Per-row memory deltas (informational; requires the key in both files).
 extract_mem() {
-    jq -r '.rows[] | select(.rss_delta_kb != null)
-        | "\(.v)/\(.program)/\(.threads // 1) \(.rss_delta_kb)"' "$1"
+    if [ "$kind" = server ]; then
+        jq -r '.workloads[] | select(.rss_delta_kb != null)
+            | "\(.name)/w\(.width) \(.rss_delta_kb)"' "$1"
+    else
+        jq -r '.rows[] | select(.rss_delta_kb != null)
+            | "\(.v)/\(.program)/\(.threads // 1) \(.rss_delta_kb)"' "$1"
+    fi
 }
 old_mem=$(extract_mem "$old_file")
 new_mem=$(extract_mem "$new_file")
@@ -98,7 +125,7 @@ if [ "$matched" -eq 0 ]; then
     exit 2
 fi
 if [ "$fail" -ne 0 ]; then
-    echo "bench_compare: FAILED (> ${threshold}% msgs/sec regression at matched thread count)" >&2
+    echo "bench_compare: FAILED (> ${threshold}% ${rate_label} regression at a matched key)" >&2
     exit 1
 fi
 echo "bench_compare: OK ($matched rows within ${threshold}%)"

@@ -27,6 +27,13 @@ trap 'rm -f "$guard"' EXIT
 
 cargo run --release --offline -q -p nob-bench --bin exp_engine_throughput -- --smoke "$guard"
 
+# Job-server smoke: served results (cold/warm/captured/serial-path) must be
+# bit-for-bit identical to direct runs on a persistent gang, and a faulted
+# job must leave the gang serviceable. Correctness only — the jobs/sec
+# numbers live in BENCH_server.json via `exp_server` (diffable across runs
+# with scripts/bench_compare.sh, which understands both bench schemas).
+cargo run --release --offline -q -p nob-bench --bin exp_server -- --smoke
+
 if command -v jq >/dev/null 2>&1; then
     scripts/bench_compare.sh BENCH_engine.json "$guard" "${NOB_SMOKE_BENCH_TOL:-35}"
 else

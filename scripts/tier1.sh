@@ -6,6 +6,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
+# Examples are real build targets (the serving-API walkthrough lives in
+# one) but `cargo build` alone never compiles them — build them explicitly
+# so tier-1 catches example rot.
+cargo build --release --offline --examples
 cargo test -q --offline
 cargo clippy -q --offline --all-targets
 cargo doc --no-deps -q --offline
