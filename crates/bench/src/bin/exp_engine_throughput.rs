@@ -22,13 +22,15 @@
 //!
 //! Usage: `cargo run --release -p nob-bench --bin exp_engine_throughput
 //! [max_log_v] [out_path]` (defaults: 16, `BENCH_engine.json`), or
-//! `… -- --smoke [guard.json]` for the tier-1 smoke mode: one small size,
-//! plans on vs off vs the reference engine, bit-for-bit equality of
-//! states, trace and message log asserted on the serial and sharded paths
-//! (so plan/metric divergence fails fast instead of waiting for a full
-//! bench run); with a path, it also times the fft serial row into a
-//! one-row guard file for `bench_compare.sh` (the tier-1 throughput
-//! tripwire).
+//! `… -- --smoke [guard.json [telemetry.json]]` for the tier-1 smoke
+//! mode: one small size, plans on vs off vs the reference engine,
+//! bit-for-bit equality of states, trace and message log asserted on the
+//! serial and sharded paths (so plan/metric divergence fails fast instead
+//! of waiting for a full bench run); with a guard path, it also times the
+//! fft serial row into a one-row guard file for `bench_compare.sh` (the
+//! tier-1 throughput tripwire); with a telemetry path, it writes one
+//! armed `nob-telemetry-v1` run snapshot covering every instrumented
+//! phase for `bench_smoke.sh` to jq-validate.
 //!
 //! The executor width is pinned per row via `RunOptions::workers`, so one
 //! process covers the whole scaling column. On containers that expose a
@@ -39,9 +41,11 @@
 use nob_algos::fft::BinaryExchangeFft;
 use nob_algos::sort::ColumnSort;
 use nob_bench::{random_keys, test_signal};
+use nob_core::telemetry::{RunReport, Site, TelemetrySink};
 use nob_machine::reference::run_reference;
 use nob_machine::{run, NobAlgorithm, Program, RunOptions};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Peak resident set size so far, in kB (`VmHWM`: a process-lifetime
@@ -144,6 +148,10 @@ struct Row {
     /// VmHWM growth across this row's measurements alone (0 when the row
     /// fit inside an earlier row's footprint).
     rss_delta_kb: u64,
+    /// Phase-time snapshot from one telemetry-armed captured-fused run
+    /// plus one armed dynamic run at this row's width (untimed — the rate
+    /// columns above stay disarmed, exactly the baseline configuration).
+    phases: RunReport,
 }
 
 fn worker_opts(w: usize, use_plans: bool, fuse: bool) -> RunOptions {
@@ -305,6 +313,18 @@ fn bench_program<A>(
         };
         let captured = measure(&cap, &states, |p, s| run(p, s, &fuse_on).unwrap());
         let arena = measure(&prog, &states, |p, s| run(p, s, &off).unwrap());
+        // Phase-time column: one armed captured-fused run and one armed
+        // dynamic run share a sink, so the row's phase map covers the
+        // planned tiers (prepare/exec_planned/fused/commit) *and* the
+        // dynamic ones (exec/flush/gather/merge) plus barrier waits. The
+        // timed rate columns above never see the sink — they stay the
+        // disarmed baseline configuration.
+        let sink = Arc::new(TelemetrySink::for_workers(w));
+        let armed = RunOptions { telemetry: Some(Arc::clone(&sink)), ..fuse_on.clone() };
+        run(&cap, states.clone(), &armed).unwrap();
+        let armed_dyn = RunOptions { telemetry: Some(Arc::clone(&sink)), ..off.clone() };
+        run(&prog, states.clone(), &armed_dyn).unwrap();
+        let phases = sink.run_report();
         let rss_after = peak_rss_kb();
         let row = Row {
             v: n,
@@ -319,6 +339,7 @@ fn bench_program<A>(
             reference: reference.clone(),
             peak_rss_kb: rss_after,
             rss_delta_kb: rss_after.saturating_sub(rss_mark),
+            phases,
         };
         rss_mark = rss_after;
         let col = |m: &Option<Measurement>| match m {
@@ -346,6 +367,23 @@ fn bench_program<A>(
     }
 }
 
+/// Renders a row's phase-time snapshot as a flat `{"site": nanos, ...}`
+/// JSON object, every [`Site`] present (zeros included) so consumers can
+/// rely on the key set — the per-row column `scripts/bench_compare.sh`
+/// diffs informationally.
+fn phase_map(report: &RunReport) -> String {
+    let mut out = String::with_capacity(report.sites.len() * 32);
+    out.push('{');
+    for (i, s) in report.sites.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "\"{}\": {}", s.site, s.nanos).unwrap();
+    }
+    out.push('}');
+    out
+}
+
 /// Serializes bench rows into the `BENCH_engine.json` schema (shared by
 /// the full bench and the smoke mode's one-row guard file, so
 /// `scripts/bench_compare.sh` can diff either against a baseline).
@@ -356,7 +394,7 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
     writeln!(json, "  \"pool_threads\": {},", rayon::current_num_threads()).unwrap();
     writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
     writeln!(json, "  \"validate\": {},", RunOptions::default().validate).unwrap();
-    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = declared communication plans enabled with fusion off (the one-barrier protocol, comparable to pre-fusion baselines); fused_msgs_per_sec = declared plans with superstep fusion on (zero-barrier shard-local pipelines + O(1) layout arena sizing); captured_msgs_per_sec = the capture-augmented program (capture_plans, 100% planned) with fusion on — the capture win for programs with dynamic steps, captured-replay parity for fully declared ones; arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. plan_* and fused_* are null on rows whose program declares no plans (planned_steps = 0): plans-on there is the dynamic path, so the columns would duplicate arena_*. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal\",").unwrap();
+    writeln!(json, "  \"note\": \"threads = executor workers pinned via RunOptions::workers (1 = serial path; threads > 1 rows are omitted on single-CPU containers unless NOB_BENCH_ALL_WIDTHS is truthy — 0/empty disable). plan_msgs_per_sec = declared communication plans enabled with fusion off (the one-barrier protocol, comparable to pre-fusion baselines); fused_msgs_per_sec = declared plans with superstep fusion on (zero-barrier shard-local pipelines + O(1) layout arena sizing); captured_msgs_per_sec = the capture-augmented program (capture_plans, 100% planned) with fusion on — the capture win for programs with dynamic steps, captured-replay parity for fully declared ones; arena_msgs_per_sec = plans disabled, comparable to pre-plan baselines. plan_* and fused_* are null on rows whose program declares no plans (planned_steps = 0): plans-on there is the dynamic path, so the columns would duplicate arena_*. peak_rss_kb is the process VmHWM high-water mark (cumulative across rows); rss_delta_kb is this row's own VmHWM growth, the per-row memory signal. phase_nanos = per-phase wall-clock (nob-telemetry-v1 site names) from one telemetry-armed captured-fused run plus one armed dynamic run at this row's width — untimed, so the rate columns stay measured with telemetry disarmed\",").unwrap();
     writeln!(json, "  \"rows\": [").unwrap();
     // Nullable column formatters: rows whose program declares no plans
     // (bfly-dyn) carry `null` in the plan/fused columns rather than a
@@ -387,7 +425,7 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
              \"captured_secs\": {:.6}, \"captured_msgs_per_sec\": {:.0}, \
              \"arena_secs\": {:.6}, \"arena_msgs_per_sec\": {:.0}, \
              \"reference_secs\": {:.6}, \"reference_msgs_per_sec\": {:.0}, \
-             \"plan_speedup\": {}, \"fuse_speedup\": {}, \"capture_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
+             \"plan_speedup\": {}, \"fuse_speedup\": {}, \"capture_speedup\": {:.3}, \"speedup\": {:.3}, \"peak_rss_kb\": {}, \"rss_delta_kb\": {}, \"phase_nanos\": {}}}{}",
             row.v,
             row.program,
             row.threads,
@@ -411,6 +449,7 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
             row.arena.msgs_per_sec() / row.reference.msgs_per_sec(),
             row.peak_rss_kb,
             row.rss_delta_kb,
+            phase_map(&row.phases),
             comma,
         )
         .unwrap();
@@ -478,12 +517,13 @@ impl NobAlgorithm for DynButterfly {
 /// engine — trace/state/log equality asserted, no timing.
 ///
 /// With an output path (`--smoke <out.json>`) it additionally times the
-/// fft `v = 2^10` serial row — fault injection disabled, exactly the
-/// baseline's configuration — and writes a one-row guard file for
-/// `scripts/bench_compare.sh` to diff against `BENCH_engine.json`: the
-/// regression tripwire proving the failpoint/watchdog plumbing costs
-/// nothing when disarmed.
-fn smoke(guard_out: Option<&str>) {
+/// fft `v = 2^10` serial row — fault injection and telemetry both
+/// disarmed, exactly the baseline's configuration — and writes a one-row
+/// guard file for `scripts/bench_compare.sh` to diff against
+/// `BENCH_engine.json`: the regression tripwire proving the
+/// failpoint/watchdog *and* telemetry plumbing cost nothing when
+/// disarmed. A second path adds the armed telemetry snapshot (see below).
+fn smoke(guard_out: Option<&str>, telemetry_out: Option<&str>) {
     let v = 1usize << 10;
     let signal = test_signal(v);
     crosscheck(&BinaryExchangeFft, "fft", v, &signal[..], 4, true);
@@ -565,12 +605,50 @@ fn smoke(guard_out: Option<&str>) {
         std::fs::write(out, &json).expect("write smoke guard json");
         eprintln!("wrote {out}");
     }
+    // One armed telemetry snapshot covering *every* instrumented site: a
+    // planned fft run sharded (prepare / exec_planned / fused_exec /
+    // commit / barrier_wait) and serial (serial:planned), a dynamic
+    // butterfly run sharded (exec / flush / gather / merge / barrier_wait)
+    // and serial (serial:exec), and a plan capture (serial:capture) — all
+    // recording into one pre-sized sink. `bench_smoke.sh` jq-validates the
+    // written `nob-telemetry-v1` snapshot; the in-process assertion below
+    // makes a hole in coverage fail with the site's name.
+    if let Some(out) = telemetry_out {
+        let sink = Arc::new(TelemetrySink::for_workers(4));
+        let armed = |w: usize, use_plans: bool| RunOptions {
+            workers: Some(w),
+            use_plans,
+            telemetry: Some(Arc::clone(&sink)),
+            ..Default::default()
+        };
+        let fprog = BinaryExchangeFft.build(v);
+        let fstates = BinaryExchangeFft.init(v, &signal[..]);
+        run(&fprog, fstates.clone(), &armed(4, true)).expect("armed sharded planned run");
+        run(&fprog, fstates, &armed(1, true)).expect("armed serial planned run");
+        let dprog = DynButterfly.build(v);
+        run(&dprog, bstates.clone(), &armed(4, false)).expect("armed sharded dynamic run");
+        run(&dprog, bstates.clone(), &armed(1, false)).expect("armed serial dynamic run");
+        let mut cprog = DynButterfly.build(v);
+        cprog
+            .capture_plans_with(bstates.clone(), None, Some(&sink))
+            .expect("armed plan capture");
+        let report = sink.run_report();
+        for s in Site::ALL {
+            assert!(
+                report.count(s) > 0,
+                "smoke telemetry snapshot left site {} unobserved",
+                s.name()
+            );
+        }
+        std::fs::write(out, report.to_json() + "\n").expect("write telemetry snapshot");
+        eprintln!("wrote {out}");
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--smoke") {
-        smoke(args.get(2).map(String::as_str));
+        smoke(args.get(2).map(String::as_str), args.get(3).map(String::as_str));
         return;
     }
     let max_log_v: u32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(16);

@@ -41,13 +41,14 @@
 
 use nob_algos::fft::BinaryExchangeFft;
 use nob_bench::{random_keys, test_signal};
+use nob_core::telemetry::TelemetrySink;
 use nob_machine::{
     run, JobServer, JobSpec, JobTicket, NobAlgorithm, Program, ProgramSource, RunOptions,
     ServerConfig, ShapeKey,
 };
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type FftState = <BinaryExchangeFft as NobAlgorithm>::State;
 type FftMsg = <BinaryExchangeFft as NobAlgorithm>::Msg;
@@ -93,6 +94,21 @@ fn fft_source(v: usize) -> ProgramSource<FftState, FftMsg> {
     ProgramSource::Build(Box::new(move || BinaryExchangeFft.build(v)))
 }
 
+/// A server armed with a telemetry sink: every job carries its measured
+/// queue wait and service time (the split the latency columns report),
+/// and the sink accumulates the serving-layer counters.
+fn armed_server(n_shards: usize, sink: &Arc<TelemetrySink>) -> FftServer {
+    JobServer::new(ServerConfig {
+        telemetry: Some(Arc::clone(sink)),
+        ..ServerConfig::with_shards(n_shards)
+    })
+    .expect("server")
+}
+
+fn dur_us(d: Option<Duration>) -> f64 {
+    d.map_or(0.0, |d| d.as_secs_f64() * 1e6)
+}
+
 struct Row {
     name: &'static str,
     v: usize,
@@ -100,6 +116,12 @@ struct Row {
     jobs: usize,
     secs: f64,
     lat_us: Vec<f64>,
+    /// Per-job queue wait (telemetry lifecycle split of `lat_us`'s
+    /// population: admission-queue time before dispatch).
+    qwait_us: Vec<f64>,
+    /// Per-job service time (dispatch to fulfillment) — the other half of
+    /// the lifecycle split.
+    svc_us: Vec<f64>,
     /// Small-vs-large split of `lat_us` (mixed row); `None` elsewhere.
     large_lat_us: Option<Vec<f64>>,
     warm_over_cold: Option<f64>,
@@ -132,6 +154,8 @@ fn sequential_batch(
     let inputs: Vec<Vec<FftState>> = (0..jobs).map(|_| states.clone()).collect();
     let before = srv.stats();
     let mut lat_us = Vec::with_capacity(jobs);
+    let mut qwait_us = Vec::with_capacity(jobs);
+    let mut svc_us = Vec::with_capacity(jobs);
     let t0 = Instant::now();
     for (i, input) in inputs.into_iter().enumerate() {
         let at = Instant::now();
@@ -139,6 +163,8 @@ fn sequential_batch(
             .run_job(spec_for(i), input, fft_source(v))
             .unwrap_or_else(|e| panic!("{name}: job {i} failed: {e}"));
         lat_us.push(at.elapsed().as_secs_f64() * 1e6);
+        qwait_us.push(dur_us(res.queue_wait));
+        svc_us.push(dur_us(res.service));
         assert_eq!(res.states, expect, "{name}: job {i} diverged from the direct run");
     }
     let secs = t0.elapsed().as_secs_f64();
@@ -151,6 +177,8 @@ fn sequential_batch(
         jobs,
         secs,
         lat_us,
+        qwait_us,
+        svc_us,
         large_lat_us: None,
         warm_over_cold: None,
         cache_hits: after.cache_hits - before.cache_hits,
@@ -162,6 +190,15 @@ fn sequential_batch(
     row
 }
 
+/// One concurrent job's recorded latencies: the full submit-to-completion
+/// round trip plus the server's own queue-wait/service split.
+struct Sample {
+    small: bool,
+    us: f64,
+    qwait_us: f64,
+    svc_us: f64,
+}
+
 /// A ticket with its submit timestamp and a waiter thread that records the
 /// completion latency the moment the job resolves (waiting tickets in
 /// submission order would hide a small job's early completion behind an
@@ -170,21 +207,26 @@ fn spawn_waiter(
     ticket: JobTicket<FftState>,
     small: bool,
     expect: Arc<Vec<FftState>>,
-    sink: Arc<Mutex<Vec<(bool, f64)>>>,
+    sink: Arc<Mutex<Vec<Sample>>>,
 ) -> std::thread::JoinHandle<()> {
     let at = Instant::now();
     std::thread::spawn(move || {
         let res = ticket.wait().expect("served job failed");
         let us = at.elapsed().as_secs_f64() * 1e6;
         assert_eq!(res.states, *expect, "served job diverged from the direct run");
-        sink.lock().unwrap().push((small, us));
+        sink.lock().unwrap().push(Sample {
+            small,
+            us,
+            qwait_us: dur_us(res.queue_wait),
+            svc_us: dur_us(res.service),
+        });
     })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).map(String::as_str) == Some("--smoke") {
-        smoke();
+        smoke(args.get(2).map(String::as_str));
         return;
     }
     let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_server.json".to_string());
@@ -204,7 +246,12 @@ fn main() {
     };
 
     // --- cold vs warm on the serial serving path (width 1) --------------
-    let srv1: FftServer = JobServer::new(ServerConfig::with_shards(1)).expect("server");
+    // Every bench server is telemetry-armed: the queue-wait/service split
+    // columns come from the lifecycle events (arming is the configuration
+    // being measured — the disarmed-is-free guard lives in
+    // `exp_engine_throughput`'s smoke row).
+    let sink1 = Arc::new(TelemetrySink::for_workers(1));
+    let srv1 = armed_server(1, &sink1);
     let cold = sequential_batch(
         "fft_cold",
         &srv1,
@@ -257,7 +304,8 @@ fn main() {
     drop(srv1);
 
     // --- gang rows (width 4) --------------------------------------------
-    let srv4: FftServer = JobServer::new(ServerConfig::with_shards(4)).expect("server");
+    let sink4 = Arc::new(TelemetrySink::for_workers(4));
+    let srv4 = armed_server(4, &sink4);
     let expect_arc = Arc::new(expect);
     let warm_key = ShapeKey { algo: "fft-warm", variant: 0 };
     srv4.run_job(
@@ -287,7 +335,11 @@ fn main() {
         let secs = t0.elapsed().as_secs_f64();
         let after = srv4.stats();
         let rss_after = peak_rss_kb();
-        let lat_us: Vec<f64> = sink.lock().unwrap().iter().map(|&(_, us)| us).collect();
+        let done = sink.lock().unwrap();
+        let lat_us: Vec<f64> = done.iter().map(|s| s.us).collect();
+        let qwait_us: Vec<f64> = done.iter().map(|s| s.qwait_us).collect();
+        let svc_us: Vec<f64> = done.iter().map(|s| s.svc_us).collect();
+        drop(done);
         let row = Row {
             name: "fft_warm_gang",
             v,
@@ -295,6 +347,8 @@ fn main() {
             jobs,
             secs,
             lat_us,
+            qwait_us,
+            svc_us,
             large_lat_us: None,
             warm_over_cold: None,
             cache_hits: after.cache_hits - before.cache_hits,
@@ -359,10 +413,11 @@ fn main() {
         let after = srv4.stats();
         let rss_after = peak_rss_kb();
         let done = sink.lock().unwrap();
-        let small_lat: Vec<f64> =
-            done.iter().filter(|&&(s, _)| s).map(|&(_, us)| us).collect();
-        let large_lat: Vec<f64> =
-            done.iter().filter(|&&(s, _)| !s).map(|&(_, us)| us).collect();
+        let small_lat: Vec<f64> = done.iter().filter(|s| s.small).map(|s| s.us).collect();
+        let small_qwait: Vec<f64> =
+            done.iter().filter(|s| s.small).map(|s| s.qwait_us).collect();
+        let small_svc: Vec<f64> = done.iter().filter(|s| s.small).map(|s| s.svc_us).collect();
+        let large_lat: Vec<f64> = done.iter().filter(|s| !s.small).map(|s| s.us).collect();
         drop(done);
         let total = n_large * (1 + per_large);
         let row = Row {
@@ -372,6 +427,8 @@ fn main() {
             jobs: total,
             secs,
             lat_us: small_lat,
+            qwait_us: small_qwait,
+            svc_us: small_svc,
             large_lat_us: Some(large_lat),
             warm_over_cold: None,
             cache_hits: after.cache_hits - before.cache_hits,
@@ -426,7 +483,7 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"bench\": \"job_server\",").unwrap();
     writeln!(json, "  \"available_cpus\": {cpus},").unwrap();
-    writeln!(json, "  \"note\": \"Multi-tenant JobServer serving rows (validate off, traces off — the latency-critical serving configuration). fft_cold = every job under a fresh shape key (plan-cache miss: program build + StepPlan compile per job); fft_warm = one shape key (cache hit: compiled program + send totals reused, builder dropped unopened) on the width-1 serial serving path; warm_over_cold = the amortization ratio. fft_warm_gang = warm burst drained by a 4-worker persistent gang (latency includes queue wait). mixed = small v=2^10 jobs racing large v=2^14 jobs under size-aware admission: p50_us/p99_us are small-job latencies, large_p99_us the large tail. fft_warm_steady runs last; its rss_delta_kb (VmHWM growth) must be 0 — steady-state serving allocates no new memory. Gang rows are width 4 regardless of visible CPUs; on a 1-CPU container their absolute numbers measure coordination overhead.\",").unwrap();
+    writeln!(json, "  \"note\": \"Multi-tenant JobServer serving rows (validate off, traces off — the latency-critical serving configuration). fft_cold = every job under a fresh shape key (plan-cache miss: program build + StepPlan compile per job); fft_warm = one shape key (cache hit: compiled program + send totals reused, builder dropped unopened) on the width-1 serial serving path; warm_over_cold = the amortization ratio. fft_warm_gang = warm burst drained by a 4-worker persistent gang (latency includes queue wait). mixed = small v=2^10 jobs racing large v=2^14 jobs under size-aware admission: p50_us/p99_us are small-job latencies, large_p99_us the large tail. fft_warm_steady runs last; its rss_delta_kb (VmHWM growth) must be 0 — steady-state serving allocates no new memory. Gang rows are width 4 regardless of visible CPUs; on a 1-CPU container their absolute numbers measure coordination overhead. Servers run telemetry-armed: queue_p50_us/queue_p99_us (admission-queue wait before dispatch) and service_p50_us/service_p99_us (dispatch to fulfillment) split each row's latency from the per-job lifecycle events, over the same job population as p50_us/p99_us (mixed: small jobs).\",").unwrap();
     writeln!(json, "  \"workloads\": [").unwrap();
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -442,6 +499,8 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
             json,
             "    {{\"name\": \"{}\", \"v\": {}, \"width\": {}, \"jobs\": {}, \"secs\": {:.6}, \
              \"jobs_per_sec\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}, \
+             \"queue_p50_us\": {:.0}, \"queue_p99_us\": {:.0}, \
+             \"service_p50_us\": {:.0}, \"service_p99_us\": {:.0}, \
              \"large_p99_us\": {}, \"warm_over_cold\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"peak_rss_kb\": {}, \"rss_delta_kb\": {}}}{}",
@@ -453,6 +512,10 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
             row.jobs_per_sec(),
             percentile(&row.lat_us, 50),
             percentile(&row.lat_us, 99),
+            percentile(&row.qwait_us, 50),
+            percentile(&row.qwait_us, 99),
+            percentile(&row.svc_us, 50),
+            percentile(&row.svc_us, 99),
             large_p99,
             warm,
             row.cache_hits,
@@ -471,15 +534,20 @@ fn emit_json(rows: &[Row], cpus: usize) -> String {
 /// Tier-1 smoke: no timing — bit-for-bit equality of served results
 /// against direct [`run`] baselines on a persistent 4-worker gang, plus
 /// the failure-isolation contract (a faulted job leaves the gang
-/// serviceable).
-fn smoke() {
+/// serviceable). The server is telemetry-armed; with an output path
+/// (`--smoke <snapshot.json>`) its `nob-telemetry-v1` server snapshot is
+/// written for `bench_smoke.sh` to jq-validate (lifecycle counters
+/// covering dispatch, epoch reset, pool reuse, the serial path, and
+/// plan-cache hit/miss accounting that must equal the job count).
+fn smoke(snapshot_out: Option<&str>) {
     let v = 1usize << 10;
     let prog = BinaryExchangeFft.build(v);
     let states = BinaryExchangeFft.init(v, &test_signal(v));
     let baseline =
         run(&prog, states.clone(), &RunOptions { workers: Some(1), ..Default::default() })
             .expect("baseline run");
-    let srv: FftServer = JobServer::new(ServerConfig::with_shards(4)).expect("server");
+    let sink = Arc::new(TelemetrySink::for_workers(4));
+    let srv = armed_server(4, &sink);
     let key = ShapeKey { algo: "fft", variant: 0 };
 
     // Cold, then warm: identical results, cache accounting as declared.
@@ -584,6 +652,23 @@ fn smoke() {
     let bstats = bsrv.stats();
     assert_eq!(bstats.cache_misses, 1, "first captured job must miss");
     assert_eq!(bstats.cache_hits, 1, "identical captured resubmit must hit");
+
+    // Server telemetry snapshot: every popped job must be accounted as
+    // exactly one cache hit or miss — the invariant bench_smoke.sh
+    // re-checks with jq from the emitted file.
+    let report = sink.server_report();
+    assert!(report.jobs > 0, "armed smoke server saw no jobs");
+    assert_eq!(
+        report.jobs,
+        report.cache_hits + report.cache_misses,
+        "jobs != cache_hits + cache_misses in server telemetry"
+    );
+    assert!(report.service_nanos > 0, "no service time recorded");
+    assert!(report.dispatch_count > 0, "no dispatches recorded");
+    if let Some(path) = snapshot_out {
+        std::fs::write(path, report.to_json() + "\n").expect("write telemetry snapshot");
+        println!("exp_server smoke: telemetry snapshot -> {path}");
+    }
 
     println!(
         "exp_server smoke: OK (cold/warm/captured/serial-path jobs bit-for-bit at v = {v} \

@@ -2,6 +2,32 @@
 
 use std::fmt;
 
+/// Where a worker that missed a gang barrier was last seen — the phase it
+/// most recently *entered* per its telemetry slot, attached to
+/// [`ModelError::GangStall`] when telemetry is armed so a stall report says
+/// *where* the gang wedged, not just that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalledWorker {
+    /// The missing worker's shard index.
+    pub worker: usize,
+    /// Stable name of the last phase it entered (`None` if it never
+    /// entered one — it wedged before its first instrumented phase).
+    pub site: Option<&'static str>,
+    /// Superstep of that last phase entry.
+    pub superstep: u64,
+}
+
+impl fmt::Display for StalledWorker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.site {
+            Some(site) => {
+                write!(f, "worker {} last in `{site}` at superstep {}", self.worker, self.superstep)
+            }
+            None => write!(f, "worker {} never entered a phase", self.worker),
+        }
+    }
+}
+
 /// Errors raised when constructing or combining model objects.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelError {
@@ -84,6 +110,10 @@ pub enum ModelError {
         round: u64,
         /// Number of workers that had not arrived when the watchdog fired.
         missing: usize,
+        /// Where each missing worker was last seen, read from the run's
+        /// telemetry slots. Empty when telemetry was disarmed (attribution
+        /// needs the armed per-worker phase stamps).
+        stalled: Vec<StalledWorker>,
     },
     /// A deterministic test fault fired at an instrumented failpoint
     /// (see [`crate::fault::FaultPlan`]). Never produced outside fault
@@ -129,10 +159,20 @@ impl fmt::Display for ModelError {
             ModelError::VpPanic { step, vp, payload } => {
                 write!(f, "superstep `{step}`: VP {vp} panicked: {payload}")
             }
-            ModelError::GangStall { round, missing } => write!(
-                f,
-                "gang stalled at barrier round {round}: {missing} worker(s) never arrived"
-            ),
+            ModelError::GangStall { round, missing, stalled } => {
+                write!(
+                    f,
+                    "gang stalled at barrier round {round}: {missing} worker(s) never arrived"
+                )?;
+                for (i, s) in stalled.iter().enumerate() {
+                    f.write_str(if i == 0 { " (" } else { "; " })?;
+                    write!(f, "{s}")?;
+                }
+                if !stalled.is_empty() {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
             ModelError::FaultInjected { site, shard, superstep, occurrence } => write!(
                 f,
                 "injected fault at site `{site}` (shard {shard}, superstep {superstep}, \

@@ -46,10 +46,12 @@ pub mod lower_bounds;
 pub mod machines;
 pub mod metrics;
 pub mod model;
+pub mod telemetry;
 pub mod theorem;
 pub mod wiseness;
 
-pub use error::ModelError;
+pub use error::{ModelError, StalledWorker};
 pub use fault::{FaultArm, FaultKind, FaultPlan};
+pub use telemetry::{RunReport, ServerReport, TelemetrySink};
 pub use metrics::{CommTrace, DegreeCounters, FoldedMetrics, SuperstepRecord};
 pub use model::{DbspMachine, EvalModel, SpecModel};

@@ -76,10 +76,11 @@ use nob_core::fault::FaultPlan;
 use nob_core::folding::message_allowed;
 use nob_core::metrics::{CommTrace, DegreeCounters, TraceBuilder};
 use nob_core::model::log2_exact;
+use nob_core::telemetry::{Site, TelemetrySink};
 use nob_core::ModelError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What to do when a planned superstep's route disagrees with its closure
 /// at run time (a [`ModelError::PlanMismatch`]) on a *non-validated* run.
@@ -168,6 +169,13 @@ pub struct RunOptions {
     /// threads must join before the run can return), which no in-process
     /// watchdog can recover — the documented limit of this mechanism.
     pub stall_timeout: Option<Duration>,
+    /// Phase-level telemetry sink (default: `None`). When armed, the
+    /// executors record per-worker phase spans and barrier waits into the
+    /// sink's pre-sized slots ([`nob_core::telemetry`]); when absent the
+    /// cost is one `Option` discriminant test per phase and `Instant::now`
+    /// is never called — the [`RunOptions::faults`] zero-cost rule, pinned
+    /// by the same allocation tests and bench guard.
+    pub telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl Default for RunOptions {
@@ -182,6 +190,7 @@ impl Default for RunOptions {
             plan_fallback: PlanFallback::Fail,
             faults: None,
             stall_timeout: None,
+            telemetry: None,
         }
     }
 }
@@ -437,6 +446,7 @@ pub(crate) fn run_serial<S: Send, M: Send>(
     // the log), never repeated growth.
     let mut log_scratch: Vec<(u32, u32)> = Vec::new();
     let faults = opts.faults.as_deref();
+    let tele = opts.telemetry.as_deref();
 
     for (t, step) in prog.steps().iter().enumerate() {
         let record_step = step.label < levels;
@@ -451,6 +461,10 @@ pub(crate) fn run_serial<S: Send, M: Send>(
                 Some(fault) if opts.validate => return Err(fault.clone()),
                 Some(_) => {}
                 None => {
+                    let t0 = tele.map(|tl| {
+                        tl.enter(0, Site::SerialPlanned, t);
+                        Instant::now()
+                    });
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if let Some(f) = faults {
                             f.check(FAULT_SERIAL_PLANNED, 0, t)?;
@@ -479,6 +493,9 @@ pub(crate) fn run_serial<S: Send, M: Send>(
                             ))
                         }
                     }
+                    if let (Some(tl), Some(t0)) = (tele, t0) {
+                        tl.record(0, Site::SerialPlanned, t0.elapsed());
+                    }
                     if record_step {
                         trace.push_precomputed(step.label, plan.metrics(), spec.full);
                         if want_log {
@@ -497,6 +514,10 @@ pub(crate) fn run_serial<S: Send, M: Send>(
 
         // --- computation + send phase -----------------------------------
         {
+            let t0 = tele.map(|tl| {
+                tl.enter(0, Site::SerialExec, t);
+                Instant::now()
+            });
             let read = &mut arenas[read_idx];
             let (slab, offsets) = read.take_read();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -511,6 +532,9 @@ pub(crate) fn run_serial<S: Send, M: Send>(
                 Err(payload) => {
                     return Err(vp_panic_error(step.name, stage.outbox.panic_vp(), payload))
                 }
+            }
+            if let (Some(tl), Some(t0)) = (tele, t0) {
+                tl.record(0, Site::SerialExec, t0.elapsed());
             }
         }
         if stage.outbox.take_oob() {
@@ -601,6 +625,7 @@ pub(crate) fn capture_run<S, M>(
     prog: &Program<S, M>,
     mut states: Vec<S>,
     faults: Option<&FaultPlan>,
+    tele: Option<&TelemetrySink>,
 ) -> Result<Vec<Option<(Vec<u32>, Vec<(u32, bool)>)>>, ModelError> {
     let v = prog.v();
     assert_eq!(states.len(), v, "one state per VP required");
@@ -622,6 +647,10 @@ pub(crate) fn capture_run<S, M>(
 
         // --- computation + send phase (always the dynamic path) -----------
         {
+            let t0 = tele.map(|tl| {
+                tl.enter(0, Site::SerialCapture, t);
+                Instant::now()
+            });
             let read = &mut arenas[read_idx];
             let (slab, offsets) = read.take_read();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -636,6 +665,9 @@ pub(crate) fn capture_run<S, M>(
                 Err(payload) => {
                     return Err(vp_panic_error(step.name, stage.outbox.panic_vp(), payload))
                 }
+            }
+            if let (Some(tl), Some(t0)) = (tele, t0) {
+                tl.record(0, Site::SerialCapture, t0.elapsed());
             }
         }
         if stage.outbox.take_oob() {

@@ -227,6 +227,45 @@
 //!   its own job's ticket; the barrier is re-armed with a fresh generation
 //!   and the next job runs on the same, still-warm gang.
 //!
+//! ## Observability
+//!
+//! Phase-level telemetry follows the fault-injection design: structured,
+//! deterministic to wire up, and provably free when off.
+//!
+//! * **Arming** — [`engine::RunOptions::telemetry`] /
+//!   [`server::ServerConfig::telemetry`] take an
+//!   `Option<Arc<`[`nob_core::telemetry::TelemetrySink`]`>>`. Disarmed
+//!   (the default) the cost is one `Option` discriminant test per phase
+//!   boundary — no clock reads, no allocation, no atomics — pinned three
+//!   ways by tier-1: counting-allocator tests
+//!   (`tests/allocation.rs`), a bit-for-bit armed-vs-disarmed
+//!   differential, and the `bench_smoke.sh` throughput guard row (which
+//!   runs disarmed against the checked-in baseline).
+//! * **Sites, not strings** — spans are keyed by the static
+//!   [`nob_core::telemetry::Site`] enum (serial planned/exec/capture;
+//!   shard prepare/exec/exec-planned/fused-exec/commit/flush/gather/
+//!   merge/barrier-wait), one flat slot array per worker: recording is
+//!   two `Instant` reads and a relaxed add, no hashing, no locks, no
+//!   contention between gang members. Lifecycle counters
+//!   ([`nob_core::telemetry::Counter`]) cover the JobServer the same way:
+//!   queue wait, dispatch, service, epoch resets, admission overtakes,
+//!   plan-cache hits/misses/evictions/bytes, the widest worker's mailbox
+//!   arena footprint, pool reuses and serial-path jobs — every popped job
+//!   accounts exactly one cache hit or miss, so `jobs == hits + misses`
+//!   holds as a checkable invariant.
+//! * **Reports** — [`nob_core::telemetry::TelemetrySink::run_report`]
+//!   aggregates worker slots into a stable JSON snapshot
+//!   (`{"schema":"nob-telemetry-v1","kind":"run",...}`, always all 12
+//!   sites) and `server_report` the flat `"kind":"server"` counter
+//!   object; `bench_smoke.sh` emits and jq-validates one of each, and
+//!   the bench binaries surface them as per-row `phase_nanos` and
+//!   queue-wait/service-time percentile columns that
+//!   `bench_compare.sh` diffs informationally.
+//! * **Fault attribution** — an armed sink also enriches
+//!   [`nob_core::ModelError::GangStall`] with the stalled workers' last
+//!   recorded phase, turning "the barrier timed out" into "worker 2
+//!   never left `shard:exec` in superstep 5".
+//!
 //! ## Execution modes
 //!
 //! * [`engine::run`] — full-granularity execution on `M(v)`, sharded across

@@ -152,6 +152,14 @@ impl<M> Arena<M> {
         Arena { slab: Vec::new(), offsets: vec![0; v + 1], filled: 0, uniform_k: Some(0) }
     }
 
+    /// Heap footprint of the message slab in bytes (capacity, not fill) —
+    /// the double buffer's high-water memory signal, recorded as the
+    /// [`nob_core::telemetry::Counter::ArenaBytes`] gauge when a worker
+    /// retires a run with telemetry armed.
+    pub(crate) fn slab_bytes(&self) -> u64 {
+        (self.slab.capacity() * std::mem::size_of::<M>()) as u64
+    }
+
     /// Hands the initialized prefix and the offset table to the read phase,
     /// transferring ownership of the messages to the inboxes the engine will
     /// carve out of the returned slice (invariant 2).

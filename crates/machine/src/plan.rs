@@ -171,6 +171,11 @@ pub struct StepPlan {
     /// Per-destination payload shape, when regular enough to exploit (see
     /// [`PlanLayout`]). `None` keeps the counting-pass path.
     pub(crate) layout: Option<PlanLayout>,
+    /// Approximate resident bytes of this compiled plan: the struct itself,
+    /// the layout table when one was materialized, and — for captured
+    /// plans — the offset/slot tables owned by the route closure. The plan
+    /// cache's LRU budget currency ([`crate::server::ServerConfig`]).
+    pub(crate) approx_bytes: u64,
 }
 
 impl std::fmt::Debug for StepPlan {
@@ -245,6 +250,10 @@ impl StepPlan {
         } else {
             (0, None)
         };
+        let layout_bytes = match &layout {
+            Some(PlanLayout::Table(t)) => (t.len() * std::mem::size_of::<u32>()) as u64,
+            _ => 0,
+        };
         StepPlan {
             route,
             out_degree,
@@ -256,6 +265,7 @@ impl StepPlan {
             fault,
             min_locality,
             layout,
+            approx_bytes: std::mem::size_of::<StepPlan>() as u64 + layout_bytes,
         }
     }
 
@@ -278,6 +288,10 @@ impl StepPlan {
     ) -> StepPlan {
         debug_assert_eq!(offsets.len(), v + 1);
         debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, slots.len());
+        // The captured tables live on in the route closure below; account
+        // them into the plan's resident size before they are moved.
+        let table_bytes = (offsets.len() * std::mem::size_of::<u32>()
+            + slots.len() * std::mem::size_of::<(u32, bool)>()) as u64;
         let out_degree = (0..v).map(|vp| (offsets[vp + 1] - offsets[vp]) as usize).max().unwrap_or(0);
         let route: RouteFn = Box::new(move |ctx: &Ctx, k: usize| {
             let lo = offsets[ctx.vp] as usize;
@@ -292,13 +306,23 @@ impl StepPlan {
                 Route::End
             }
         });
-        StepPlan::compile(v, log_v, n, label, out_degree, route)
+        let mut plan = StepPlan::compile(v, log_v, n, label, out_degree, route);
+        plan.approx_bytes += table_bytes;
+        plan
     }
 
     /// The compile-time route violation, if any.
     #[inline]
     pub fn fault(&self) -> Option<&ModelError> {
         self.fault.as_ref()
+    }
+
+    /// Approximate resident bytes of this compiled plan (struct, layout
+    /// table, captured route tables) — what the server's plan cache budgets
+    /// against.
+    #[inline]
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
     }
 
     /// Declared payload messages per execution.

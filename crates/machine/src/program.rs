@@ -365,18 +365,21 @@ impl<S, M> Program<S, M> {
     /// untouched; the capture run replays them dynamically for fidelity
     /// with the recorded execution.
     pub fn capture_plans(&mut self, states: Vec<S>) -> Result<usize, nob_core::ModelError> {
-        self.capture_plans_with(states, None)
+        self.capture_plans_with(states, None, None)
     }
 
-    /// [`Program::capture_plans`] with a deterministic fault plan armed for
-    /// the capture run itself (site `serial:capture`) — the chaos suite's
-    /// entry point; production callers use [`Program::capture_plans`].
+    /// [`Program::capture_plans`] with a deterministic fault plan and/or a
+    /// telemetry sink armed for the capture run itself (fault site
+    /// `serial:capture`; telemetry spans under the same name) — the chaos
+    /// suite's and the benches' entry point; production callers use
+    /// [`Program::capture_plans`].
     pub fn capture_plans_with(
         &mut self,
         states: Vec<S>,
         faults: Option<&nob_core::fault::FaultPlan>,
+        telemetry: Option<&nob_core::telemetry::TelemetrySink>,
     ) -> Result<usize, nob_core::ModelError> {
-        let captures = crate::engine::capture_run(self, states, faults)?;
+        let captures = crate::engine::capture_run(self, states, faults, telemetry)?;
         let mut added = 0;
         for (t, cap) in captures.into_iter().enumerate() {
             let Some((offsets, slots)) = cap else { continue };
@@ -396,6 +399,13 @@ impl<S, M> Program<S, M> {
     /// plan — the program's plan coverage, reported by the benchmarks.
     pub fn planned_steps(&self) -> usize {
         self.steps.iter().filter(|s| s.plan.as_ref().is_some_and(|p| p.fault().is_none())).count()
+    }
+
+    /// Approximate resident bytes of this program's compiled plans (the sum
+    /// of every step's [`crate::plan::StepPlan::approx_bytes`]) — what the
+    /// job server's LRU plan cache charges an entry for.
+    pub fn plan_bytes(&self) -> u64 {
+        self.steps.iter().filter_map(|s| s.plan.as_ref()).map(|p| p.approx_bytes()).sum()
     }
 
     /// The sequence of sync labels (the paper's per-algorithm label trace).

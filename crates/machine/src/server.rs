@@ -88,12 +88,13 @@ use crate::shard::{
 use nob_core::fault::FaultPlan;
 use nob_core::metrics::{CommTrace, EpochMerge, TraceBuilder};
 use nob_core::model::log2_exact;
+use nob_core::telemetry::{Counter, TelemetrySink};
 use nob_core::ModelError;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
@@ -211,6 +212,13 @@ pub struct JobResult<S> {
     /// The abandoned planned attempt's error when
     /// [`PlanFallback::Dynamic`] re-executed the job dynamically.
     pub fallback: Option<ModelError>,
+    /// Time this job spent queued before the scheduler popped it. `None`
+    /// when the server runs without telemetry ([`ServerConfig::telemetry`])
+    /// — lifecycle timing obeys the same zero-cost arming rule as spans.
+    pub queue_wait: Option<Duration>,
+    /// Time from scheduler pop to fulfillment (resolve + run + gather).
+    /// `None` when telemetry is disarmed.
+    pub service: Option<Duration>,
 }
 
 struct TicketCell<S> {
@@ -253,13 +261,32 @@ pub struct ServerConfig {
     /// A queued large job overtaken this many times becomes non-overtakable
     /// (anti-starvation bound).
     pub max_overtakes: u32,
+    /// Plan-cache budget: total compiled bytes ([`Program::plan_bytes`])
+    /// the cache may hold. When an insertion pushes the total past the
+    /// budget, least-recently-used entries are evicted until it fits (the
+    /// newest entry is always kept, even alone over budget, so an oversized
+    /// program still caches rather than thrashing).
+    pub plan_cache_bytes: u64,
+    /// Server-lifetime telemetry sink: lifecycle counters (queue wait,
+    /// service, dispatch, epoch resets, cache and pool behavior) plus every
+    /// executor phase span of the jobs it runs. Size it with
+    /// [`TelemetrySink::for_workers`]`(n_shards)`. `None` (the default)
+    /// records nothing and pays one `Option` test per site.
+    pub telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl ServerConfig {
     /// A server of `n_shards` persistent workers with default admission
-    /// tuning (small = `v ≤ 2^12`, at most 64 overtakes).
+    /// tuning (small = `v ≤ 2^12`, at most 64 overtakes), a 64 MiB plan
+    /// cache, and no telemetry.
     pub fn with_shards(n_shards: usize) -> Self {
-        ServerConfig { n_shards, small_cutoff: 1 << 12, max_overtakes: 64 }
+        ServerConfig {
+            n_shards,
+            small_cutoff: 1 << 12,
+            max_overtakes: 64,
+            plan_cache_bytes: 64 << 20,
+            telemetry: None,
+        }
     }
 }
 
@@ -315,6 +342,10 @@ struct JobRequest<S, M> {
     source: Option<ProgramSource<S, M>>,
     states_fp: Option<u64>,
     ticket: Arc<TicketCell<S>>,
+    /// Submission timestamp, stamped only when the server's telemetry is
+    /// armed (queue-wait attribution; disarmed submissions never read the
+    /// clock).
+    enqueued: Option<Instant>,
 }
 
 struct Pending<S, M> {
@@ -328,6 +359,9 @@ pub(crate) struct Admission<S, M> {
     pending: Vec<Pending<S, M>>,
     small_cutoff: u64,
     max_overtakes: u32,
+    /// Lifetime total of overtakes performed (telemetry reads this under
+    /// the queue lock and mirrors it into [`Counter::Overtakes`]).
+    overtakes: u64,
 }
 
 impl<S, M> Admission<S, M> {
@@ -336,6 +370,7 @@ impl<S, M> Admission<S, M> {
             pending: Vec::new(),
             small_cutoff: cfg.small_cutoff,
             max_overtakes: cfg.max_overtakes,
+            overtakes: 0,
         }
     }
 
@@ -359,6 +394,7 @@ impl<S, M> Admission<S, M> {
                 self.pending.iter().position(|p| Self::weight(p) <= self.small_cutoff)
             {
                 self.pending[0].overtaken += 1;
+                self.overtakes += 1;
                 return Some(self.pending.remove(i).job);
             }
         }
@@ -399,10 +435,64 @@ struct CacheEntry<S, M> {
     /// Per-shard, per-step declared payload totals, harvested from the
     /// first cold gang run ([`prepare_run`]'s output); `None` until then.
     totals: Option<Arc<Vec<Vec<u64>>>>,
+    /// Compiled-plan footprint of `prog` ([`Program::plan_bytes`]) — the
+    /// unit the LRU budget is accounted in.
+    bytes: u64,
+    /// Recency stamp from the cache's tick counter (LRU victim = minimum).
+    last_used: u64,
 }
 
 struct PlanCache<S, M> {
     entries: HashMap<CacheKey, CacheEntry<S, M>>,
+    /// Total compiled bytes the cache may hold ([`ServerConfig::plan_cache_bytes`]).
+    budget_bytes: u64,
+    /// Sum of every resident entry's `bytes`.
+    total_bytes: u64,
+    /// Monotone access clock for `last_used` stamps.
+    tick: u64,
+}
+
+impl<S, M> PlanCache<S, M> {
+    /// Bumps an entry's recency stamp (a hit).
+    fn touch(&mut self, key: &CacheKey) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(key) {
+            e.last_used = self.tick;
+        }
+    }
+
+    /// Inserts a freshly resolved program and enforces the byte budget:
+    /// least-recently-used entries are evicted (O(n) min-scan — the cache
+    /// is small by construction once bounded) until the total fits. The
+    /// entry just inserted is never the victim: it carries the maximal
+    /// stamp and the scan stops with one survivor, so a single oversized
+    /// program still caches instead of thrashing every submission.
+    fn insert(&mut self, key: CacheKey, prog: Arc<Program<S, M>>, tele: Option<&TelemetrySink>) {
+        let bytes = prog.plan_bytes();
+        self.tick += 1;
+        let entry = CacheEntry { prog, totals: None, bytes, last_used: self.tick };
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.total_bytes -= old.bytes;
+        }
+        self.total_bytes += bytes;
+        while self.total_bytes > self.budget_bytes && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(k) = victim else { break };
+            if let Some(e) = self.entries.remove(&k) {
+                self.total_bytes -= e.bytes;
+            }
+            if let Some(tl) = tele {
+                tl.add(Counter::CacheEvictions, 1);
+            }
+        }
+        if let Some(tl) = tele {
+            tl.set(Counter::CacheBytes, self.total_bytes);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -507,19 +597,22 @@ fn gang_member<S: Send + 'static, M: Send + 'static>(w: usize, chan: Arc<Chan<S,
         match chan.job.take() {
             GangMsg::Shutdown => return,
             GangMsg::Job { view, vps, prep, mut chunk } => {
-                let kit_now = match kit.take() {
-                    Some(mut k) => {
-                        k.reset(vps);
-                        k
-                    }
-                    None => WorkerKit::new(vps),
-                };
                 let totals;
                 {
                     // SAFETY: scoped rendezvous — the scheduler keeps the
                     // pointee alive until our `done.put` below, and this
                     // reference dies at the end of this block, before it.
                     let shared = unsafe { view.get() };
+                    let kit_now = match kit.take() {
+                        Some(mut k) => {
+                            if let Some(tl) = shared.telemetry {
+                                tl.add(Counter::PoolReuses, 1);
+                            }
+                            k.reset(vps);
+                            k
+                        }
+                        None => WorkerKit::new(vps),
+                    };
                     let mut me = Worker::from_kit(w, w * vps, vps, &mut chunk, kit_now);
                     match &prep {
                         Prep::Cold => prepare_run(&mut me, shared),
@@ -560,6 +653,9 @@ struct Gang<S: Send + 'static, M: Send + 'static> {
     cur_shape: Option<u32>,
     trace: TraceBuilder,
     cache: PlanCache<S, M>,
+    /// The server's telemetry sink ([`ServerConfig::telemetry`]), shared
+    /// with every job's `Shared` view and run options.
+    telemetry: Option<Arc<TelemetrySink>>,
 }
 
 impl<S: Send + 'static, M: Send + 'static> Gang<S, M> {
@@ -601,7 +697,13 @@ impl<S: Send + 'static, M: Send + 'static> Gang<S, M> {
             shapes: HashMap::new(),
             cur_shape: None,
             trace: TraceBuilder::new(1, 1, 0),
-            cache: PlanCache { entries: HashMap::new() },
+            cache: PlanCache {
+                entries: HashMap::new(),
+                budget_bytes: u64::MAX,
+                total_bytes: 0,
+                tick: 0,
+            },
+            telemetry: None,
         }
     }
 
@@ -651,6 +753,9 @@ pub struct JobServer<S: Send + 'static, M: Send + 'static> {
     inner: Arc<ServerInner<S, M>>,
     stats: Arc<StatsInner>,
     scheduler: Option<std::thread::JoinHandle<()>>,
+    /// Kept so `enqueue` knows whether to stamp submission times (and so a
+    /// caller-held sink is the only other owner).
+    telemetry: Option<Arc<TelemetrySink>>,
 }
 
 fn closed_error() -> ModelError {
@@ -676,6 +781,7 @@ where
             cv: Condvar::new(),
         });
         let stats = Arc::new(StatsInner::default());
+        let telemetry = config.telemetry.clone();
         let scheduler = {
             let inner = Arc::clone(&inner);
             let stats = Arc::clone(&stats);
@@ -687,7 +793,7 @@ where
                     reason: "could not spawn the scheduler thread",
                 })?
         };
-        Ok(JobServer { inner, stats, scheduler: Some(scheduler) })
+        Ok(JobServer { inner, stats, scheduler: Some(scheduler), telemetry })
     }
 
     fn enqueue(
@@ -708,6 +814,7 @@ where
             source: Some(source),
             states_fp,
             ticket: Arc::clone(&cell),
+            enqueued: self.telemetry.is_some().then(Instant::now),
         };
         {
             let mut g = lock(&self.inner.queue);
@@ -792,6 +899,8 @@ where
     M: Send + 'static,
 {
     let mut gang: Gang<S, M> = Gang::spawn(cfg.n_shards);
+    gang.telemetry = cfg.telemetry.clone();
+    gang.cache.budget_bytes = cfg.plan_cache_bytes;
     loop {
         let job = {
             let mut g = lock(&inner.queue);
@@ -802,6 +911,11 @@ where
                     break None;
                 }
                 if let Some(job) = g.q.pop() {
+                    if let Some(tl) = gang.telemetry.as_deref() {
+                        // Mirror the queue's lifetime overtake total while
+                        // the lock still serializes it (idempotent store).
+                        tl.set(Counter::Overtakes, g.q.overtakes);
+                    }
                     break Some(job);
                 }
                 g = inner.cv.wait(g).unwrap_or_else(|e| e.into_inner());
@@ -829,6 +943,7 @@ fn resolve_program<S: Send + Clone, M: Send>(
     cache: &mut PlanCache<S, M>,
     job: &mut JobRequest<S, M>,
     n_shards: usize,
+    tele: Option<&TelemetrySink>,
 ) -> Result<(Arc<Program<S, M>>, bool), ModelError> {
     let key = CacheKey {
         shape: job.spec.shape.fingerprint(),
@@ -854,14 +969,10 @@ fn resolve_program<S: Send + Clone, M: Send>(
                 });
             }
             let hit = cache.entries.contains_key(&key);
-            if !hit {
-                cache.entries.insert(
-                    key,
-                    CacheEntry {
-                        prog: Arc::clone(&prog),
-                        totals: None,
-                    },
-                );
+            if hit {
+                cache.touch(&key);
+            } else {
+                cache.insert(key, Arc::clone(&prog), tele);
             }
             Ok((prog, hit))
         }
@@ -869,6 +980,7 @@ fn resolve_program<S: Send + Clone, M: Send>(
             if cache.entries.contains_key(&key) =>
         {
             drop(build);
+            cache.touch(&key);
             // allow-panic: guarded by the contains_key arm condition above.
             let entry = cache.entries.get(&key).expect("checked above");
             Ok((Arc::clone(&entry.prog), true))
@@ -883,13 +995,7 @@ fn resolve_program<S: Send + Clone, M: Send>(
                 });
             }
             let prog = Arc::new(prog);
-            cache.entries.insert(
-                key,
-                CacheEntry {
-                    prog: Arc::clone(&prog),
-                    totals: None,
-                },
-            );
+            cache.insert(key, Arc::clone(&prog), tele);
             Ok((prog, false))
         }
         ProgramSource::BuildCaptured(build) => {
@@ -901,15 +1007,9 @@ fn resolve_program<S: Send + Clone, M: Send>(
                     got: job.states.len(),
                 });
             }
-            prog.capture_plans(job.states.clone())?;
+            prog.capture_plans_with(job.states.clone(), None, tele)?;
             let prog = Arc::new(prog);
-            cache.entries.insert(
-                key,
-                CacheEntry {
-                    prog: Arc::clone(&prog),
-                    totals: None,
-                },
-            );
+            cache.insert(key, Arc::clone(&prog), tele);
             Ok((prog, false))
         }
     }
@@ -920,10 +1020,28 @@ where
     S: Send + Clone + 'static,
     M: Send + 'static,
 {
+    // Lifecycle timing: queue wait ended the moment this job was popped
+    // (process_job is called right after), service runs until fulfillment.
+    // Every clock read is gated on the armed sink.
+    let tele_arc = gang.telemetry.clone();
+    let tele = tele_arc.as_deref();
+    let queue_wait = match (tele, job.enqueued) {
+        (Some(tl), Some(t0)) => {
+            let d = t0.elapsed();
+            tl.add(Counter::QueueWaitNanos, d.as_nanos() as u64);
+            Some(d)
+        }
+        _ => None,
+    };
+    let svc0 = tele.map(|tl| {
+        tl.add(Counter::Jobs, 1);
+        Instant::now()
+    });
+
     let v = job.states.len();
     let serial = v < gang.n_shards || gang.n_shards == 1;
     let width = if serial { 1 } else { gang.n_shards };
-    let (prog, hit) = match resolve_program(&mut gang.cache, &mut job, width) {
+    let (prog, hit) = match resolve_program(&mut gang.cache, &mut job, width, tele) {
         Ok(r) => r,
         Err(e) => {
             stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -933,16 +1051,38 @@ where
     };
     if hit {
         stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(tl) = tele {
+            tl.add(Counter::CacheHits, 1);
+        }
     } else {
         stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(tl) = tele {
+            tl.add(Counter::CacheMisses, 1);
+        }
     }
 
     let outcome = if serial {
         stats.serial_jobs.fetch_add(1, Ordering::Relaxed);
+        if let Some(tl) = tele {
+            tl.add(Counter::SerialJobs, 1);
+        }
         serial_job(gang, &prog, &mut job)
     } else {
         gang_job(gang, &prog, &mut job)
     };
+    let service = match (tele, svc0) {
+        (Some(tl), Some(t0)) => {
+            let d = t0.elapsed();
+            tl.add(Counter::ServiceNanos, d.as_nanos() as u64);
+            Some(d)
+        }
+        _ => None,
+    };
+    let outcome = outcome.map(|mut r| {
+        r.queue_wait = queue_wait;
+        r.service = service;
+        r
+    });
     match &outcome {
         Ok(r) => {
             if r.fallback.is_some() {
@@ -957,7 +1097,7 @@ where
     fulfill(&job.ticket, outcome);
 }
 
-fn run_options(opts: &JobOptions) -> RunOptions {
+fn run_options(opts: &JobOptions, telemetry: Option<Arc<TelemetrySink>>) -> RunOptions {
     RunOptions {
         parallel: false,
         validate: opts.validate,
@@ -968,6 +1108,7 @@ fn run_options(opts: &JobOptions) -> RunOptions {
         plan_fallback: opts.plan_fallback,
         faults: opts.faults.clone(),
         stall_timeout: opts.stall_timeout,
+        telemetry,
     }
 }
 
@@ -994,7 +1135,7 @@ where
 {
     let opts = &job.spec.opts;
     let spec = GranSpec { levels: prog.log_v(), gran_shift: 0, full: true };
-    let ropts = run_options(opts);
+    let ropts = run_options(opts, gang.telemetry.clone());
     let armed = fallback_armed(opts, prog);
     let saved = armed.then(|| job.states.clone());
     gang.trace.reset(prog.v(), prog.n(), prog.steps().len());
@@ -1018,6 +1159,8 @@ where
         message_log: log,
         rounds: 0,
         fallback,
+        queue_wait: None,
+        service: None,
     })
 }
 
@@ -1069,8 +1212,15 @@ where
     };
 
     // --- recycle the pooled run state -----------------------------------
+    let tele_arc = gang.telemetry.clone();
+    let tele = tele_arc.as_deref();
+    let t0 = tele.map(|_| Instant::now());
     gang.ensure_shape(log_v);
     gang.core.reset_for_job(opts.stall_timeout);
+    if let (Some(tl), Some(t0)) = (tele, t0) {
+        tl.add(Counter::EpochResetNanos, t0.elapsed().as_nanos() as u64);
+        tl.add(Counter::EpochResetCount, 1);
+    }
     // The lane plan is always derived from the program actually executing
     // (allocation-free in-place recompute, O(steps)), so even a shape key
     // that misdescribes its Prebuilt program cannot misroute the dynamic
@@ -1113,7 +1263,9 @@ where
         log_v,
         n_shards: n,
         log_shards: gang.log_shards,
+        telemetry: tele,
     };
+    let t0 = tele.map(|_| Instant::now());
     for i in 1..n {
         let chunk = std::mem::take(&mut gang.chunks[i - 1]);
         let prep_i = match &prep {
@@ -1128,10 +1280,17 @@ where
             chunk,
         });
     }
+    if let (Some(tl), Some(t0)) = (tele, t0) {
+        tl.add(Counter::DispatchNanos, t0.elapsed().as_nanos() as u64);
+        tl.add(Counter::DispatchCount, 1);
+    }
 
     // --- worker 0 (this thread) -----------------------------------------
     let kit0 = match gang.kit0.take() {
         Some(mut k) => {
+            if let Some(tl) = tele {
+                tl.add(Counter::PoolReuses, 1);
+            }
             k.reset(vps);
             k
         }
@@ -1201,6 +1360,8 @@ where
         message_log: log,
         rounds,
         fallback: None,
+        queue_wait: None,
+        service: None,
     })
 }
 
@@ -1215,12 +1376,14 @@ mod tests {
             source: Some(ProgramSource::Prebuilt(Arc::new(Program::new(v, v)))),
             states_fp: None,
             ticket: Arc::new(TicketCell { slot: Mutex::new(None), cv: Condvar::new() }),
+            enqueued: None,
         }
     }
 
     #[test]
     fn admission_small_overtakes_large_head() {
-        let cfg = ServerConfig { n_shards: 2, small_cutoff: 8, max_overtakes: 2 };
+        let cfg =
+            ServerConfig { small_cutoff: 8, max_overtakes: 2, ..ServerConfig::with_shards(2) };
         let mut q: Admission<u64, u64> = Admission::new(&cfg);
         q.push(req(64)); // large head
         q.push(req(4)); // small
@@ -1236,7 +1399,8 @@ mod tests {
 
     #[test]
     fn admission_small_head_is_fifo() {
-        let cfg = ServerConfig { n_shards: 2, small_cutoff: 8, max_overtakes: 4 };
+        let cfg =
+            ServerConfig { small_cutoff: 8, max_overtakes: 4, ..ServerConfig::with_shards(2) };
         let mut q: Admission<u64, u64> = Admission::new(&cfg);
         q.push(req(4));
         q.push(req(2));

@@ -161,6 +161,16 @@
 //! `tests/chaos.rs` sweeps site × flavor × width asserting structured
 //! errors, lockstep exit, and bit-for-bit clean reruns.
 //!
+//! ## Telemetry
+//!
+//! The same phase boundaries carry telemetry spans when a sink is armed
+//! ([`RunOptions::telemetry`]): each phase stamps its entry (worker, site,
+//! superstep — what [`ModelError::GangStall`] attribution reads) and
+//! records its duration on success, and every gang wait is a
+//! `shard:barrier_wait` span plus an arrival stamp. Disarmed runs pay the
+//! same single `Option` test per phase as disarmed fault injection and
+//! never read the clock (see `nob_core::telemetry`).
+//!
 //! # Why not the rayon pool?
 //!
 //! The workers are std scoped threads, not pool tasks: a barrier-coupled
@@ -188,11 +198,12 @@ use nob_core::folding::message_allowed;
 use nob_core::metrics::{DegreeCounters, EpochMerge, TraceBuilder};
 use nob_core::model::log2_exact;
 use nob_core::fault::FaultPlan;
-use nob_core::ModelError;
+use nob_core::telemetry::{Counter, Site, TelemetrySink};
+use nob_core::{ModelError, StalledWorker};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Fault-injection sites instrumented by this executor, one per phase
 /// boundary of the two protocols (see the module docs' failure-protocol
@@ -305,6 +316,12 @@ pub(crate) struct Shared<'p, S, M> {
     pub(crate) core: &'p GangCore<M>,
     /// The run's fault-injection plan, if any (see the module docs).
     pub(crate) faults: Option<&'p FaultPlan>,
+    /// The run's telemetry sink, if any ([`RunOptions::telemetry`]): every
+    /// phase records an entry stamp + duration span under the same site
+    /// taxonomy as fault injection (plus `shard:exec` for the dynamic exec
+    /// half and `shard:barrier_wait` for gang waits). Disarmed runs pay one
+    /// `Option` discriminant test per phase and never touch the clock.
+    pub(crate) telemetry: Option<&'p TelemetrySink>,
     pub(crate) spec: GranSpec,
     pub(crate) validate: bool,
     pub(crate) collect_log: bool,
@@ -603,6 +620,7 @@ pub(crate) fn run_sharded<S: Send, M: Send>(
         prog,
         core: &core,
         faults: opts.faults.as_deref(),
+        telemetry: opts.telemetry.as_deref(),
         spec,
         validate: opts.validate,
         collect_log: message_log.is_some(),
@@ -668,18 +686,73 @@ fn fault_check<S, M>(
     }
 }
 
+/// Opens a telemetry span for phase `site` on worker `w` at superstep `t`:
+/// stamps the slot's last-entered phase (what stall attribution reads) and
+/// takes the clock. Free — one `Option` discriminant test, no `Instant` —
+/// when the run's sink is disarmed.
+#[inline]
+fn span_start<S, M>(shared: &Shared<'_, S, M>, w: usize, site: Site, t: usize) -> Option<Instant> {
+    shared.telemetry.map(|tl| {
+        tl.enter(w, site, t);
+        Instant::now()
+    })
+}
+
+/// Closes a span opened by [`span_start`], adding the elapsed nanos to the
+/// worker's slot. Failure paths simply never close their span — the entry
+/// stamp survives for stall attribution, the duration is not recorded.
+#[inline]
+fn span_end<S, M>(shared: &Shared<'_, S, M>, w: usize, site: Site, t0: Option<Instant>) {
+    if let (Some(tl), Some(t0)) = (shared.telemetry, t0) {
+        tl.record(w, site, t0.elapsed());
+    }
+}
+
+/// Attributes a watchdog stall: every worker whose latest recorded barrier
+/// arrival predates `round` is reported with the phase it was last seen
+/// entering. Empty when telemetry is disarmed — attribution needs the armed
+/// per-worker stamps.
+fn stalled_workers<S, M>(shared: &Shared<'_, S, M>, round: u64) -> Vec<StalledWorker> {
+    let Some(tl) = shared.telemetry else {
+        return Vec::new();
+    };
+    (0..shared.n_shards)
+        .filter(|&w| tl.arrived_round(w).is_none_or(|r| r < round))
+        .map(|w| {
+            let (site, superstep) = match tl.last_phase(w) {
+                Some((s, t)) => (Some(s.name()), t),
+                None => (None, 0),
+            };
+            StalledWorker { worker: w, site, superstep }
+        })
+        .collect()
+}
+
 /// Waits at the gang barrier. On a watchdog stall this worker records the
 /// structured [`ModelError::GangStall`] in its own cell (every worker
 /// records one, so the run reports the lowest shard's, per the usual rule)
 /// and must exit its loop without further waits; returns whether the round
 /// completed normally.
 fn gang_wait<S, M>(shared: &Shared<'_, S, M>, w: usize, next_round: u64) -> bool {
-    match shared.core.barrier.wait() {
+    // The arrival stamp lands *before* the wait: a worker blocked at the
+    // barrier has arrived, and must not be misattributed as missing by a
+    // peer whose watchdog fires while this one is still parked.
+    let t0 = shared.telemetry.map(|tl| {
+        tl.enter(w, Site::ShardBarrierWait, next_round as usize);
+        tl.arrive(w, next_round);
+        Instant::now()
+    });
+    let waited = shared.core.barrier.wait();
+    if let (Some(tl), Some(t0)) = (shared.telemetry, t0) {
+        tl.record(w, Site::ShardBarrierWait, t0.elapsed());
+    }
+    match waited {
         Ok(()) => true,
         Err(missing) => {
+            let stalled = stalled_workers(shared, next_round);
             lock(&shared.core.cells[w])
                 .error
-                .get_or_insert(ModelError::GangStall { round: next_round, missing });
+                .get_or_insert(ModelError::GangStall { round: next_round, missing, stalled });
             false
         }
     }
@@ -777,6 +850,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             // step never pipelines a prepare for its successor: publishing
             // a window a *peer* would read with no intervening barrier is
             // exactly the race the parity discipline forbids.
+            let t0 = span_start(shared, me.w, Site::ShardFusedExec, t);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 fault_check(shared, FAULT_FUSED_EXEC, me.w, t)?;
                 if !prepared {
@@ -810,6 +884,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                 }
                 break;
             }
+            span_end(shared, me.w, Site::ShardFusedExec, t0);
             prepared = false;
             read_idx = 1 - read_idx;
             continue;
@@ -821,10 +896,14 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             if !prepared {
                 // First planned superstep of a run (or after a dynamic
                 // one): publish the windows, then let everyone see them.
+                let t0 = span_start(shared, me.w, Site::ShardPrepare, t);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     fault_check(shared, FAULT_PREPARE, me.w, t)?;
                     prepare_direct(me, shared, t, plan, widx)
                 }));
+                if matches!(outcome, Ok(Ok(()))) {
+                    span_end(shared, me.w, Site::ShardPrepare, t0);
+                }
                 let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
                 settle(shared, me.w, outcome, step.name, vp, rounds + 1);
                 if !gang_wait(shared, me.w, rounds + 1) {
@@ -837,6 +916,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             }
             let next_plan = steps.get(t + 1).and_then(|s| active_plan(shared, s));
             let mut prepped_next = false;
+            let t0 = span_start(shared, me.w, Site::ShardExecPlanned, t);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 fault_check(shared, FAULT_EXEC_PLANNED, me.w, t)?;
                 exec_planned(me, shared, step, plan, t, read_idx)?;
@@ -860,6 +940,12 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                 }
                 Ok(())
             }));
+            if matches!(outcome, Ok(Ok(()))) {
+                // The pipelined prepare of `t + 1` (when taken) is billed to
+                // this exec span: it is overlapped with peers' exec phases
+                // by construction, never a standalone phase of its own.
+                span_end(shared, me.w, Site::ShardExecPlanned, t0);
+            }
             let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
             settle(shared, me.w, outcome, step.name, vp, rounds + 1);
             if !gang_wait(shared, me.w, rounds + 1) {
@@ -876,6 +962,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             // next round and pay exactly one more wait — the round every
             // healthy peer reaches next — so the gang still exits in
             // lockstep; at the last superstep there is no next round.
+            let t0 = span_start(shared, me.w, Site::ShardCommit, t);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 fault_check(shared, FAULT_COMMIT, me.w, t)?;
                 me.arenas[widx].commit_write(me.pending_total[widx]);
@@ -889,6 +976,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                 }
                 break;
             }
+            span_end(shared, me.w, Site::ShardCommit, t0);
             prepared = prepped_next;
             read_idx = 1 - read_idx;
             continue;
@@ -909,6 +997,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                     return Err(fault.clone());
                 }
             }
+            let t0 = span_start(shared, me.w, Site::ShardExec, t);
             {
                 let read = &mut me.arenas[read_idx];
                 let (slab, offsets) = read.take_read();
@@ -923,8 +1012,12 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                     &mut me.stage,
                 );
             }
+            span_end(shared, me.w, Site::ShardExec, t0);
+            let t0 = span_start(shared, me.w, Site::ShardFlush, t);
             let mut cell = lock(&shared.core.cells[me.w]);
-            flush(me, shared, &mut cell, step, record_step)
+            flush(me, shared, &mut cell, step, record_step)?;
+            span_end(shared, me.w, Site::ShardFlush, t0);
+            Ok(())
         }));
         let vp = if outcome.is_err() { me.stage.outbox.panic_vp() } else { me.vp_lo };
         settle(shared, me.w, outcome, step.name, vp, rounds + 1);
@@ -939,8 +1032,11 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
         // --- phase 2: gather ----------------------------------------------
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             fault_check(shared, FAULT_GATHER, me.w, t)?;
+            let t0 = span_start(shared, me.w, Site::ShardGather, t);
             let mut cell = lock(&shared.core.cells[me.w]);
-            gather(me, shared, &mut cell, t, record_step, 1 - read_idx)
+            gather(me, shared, &mut cell, t, record_step, 1 - read_idx)?;
+            span_end(shared, me.w, Site::ShardGather, t0);
+            Ok(())
         }));
         settle(shared, me.w, outcome, step.name, me.vp_lo, rounds + 1);
         if !gang_wait(shared, me.w, rounds + 1) {
@@ -953,7 +1049,9 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             if shared.core.abort_round.load(Ordering::SeqCst) > rounds {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     fault_check(shared, FAULT_MERGE, 0, t)?;
+                    let t0 = span_start(shared, 0, Site::ShardMerge, t);
                     merge_superstep(c, shared, step.label, record_step);
+                    span_end(shared, 0, Site::ShardMerge, t0);
                     Ok(())
                 }));
                 settle(shared, 0, outcome, step.name, 0, rounds + 1);
@@ -968,6 +1066,15 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
         }
         read_idx = 1 - read_idx;
     }
+    // Mailbox seam: this worker's double-buffered arena footprint is the
+    // run's per-worker memory high-water signal — keep the widest worker
+    // seen so far in the gauge.
+    if let Some(tl) = shared.telemetry {
+        tl.set_max(
+            Counter::ArenaBytes,
+            me.arenas[0].slab_bytes() + me.arenas[1].slab_bytes(),
+        );
+    }
     rounds
 }
 
@@ -978,6 +1085,7 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
 /// steady state therefore starts at its high-water capacity instead of
 /// growing into it during the first label cycle.
 pub(crate) fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared<'_, S, M>) {
+    let t0 = span_start(shared, me.w, Site::ShardPrepare, 0);
     let shard_shift = shared.log_v - shared.log_shards;
     let n = shared.n_shards;
     let mut hdr_need = vec![0usize; n];
@@ -1045,6 +1153,7 @@ pub(crate) fn prepare_run<S, M: Send>(me: &mut Worker<'_, S, M>, shared: &Shared
             tabs.cursors.resize(n * me.vps, 0);
         }
     }
+    span_end(shared, me.w, Site::ShardPrepare, t0);
 }
 
 /// The warm-path counterpart of [`prepare_run`] for a plan-cache hit: the
@@ -1063,6 +1172,7 @@ pub(crate) fn prepare_run_cached<S, M: Send>(
     shared: &Shared<'_, S, M>,
     totals: &[u64],
 ) {
+    let t0 = span_start(shared, me.w, Site::ShardPrepare, 0);
     debug_assert_eq!(totals.len(), shared.prog.steps().len());
     me.send_total.clear();
     me.send_total.extend_from_slice(totals);
@@ -1077,6 +1187,7 @@ pub(crate) fn prepare_run_cached<S, M: Send>(
             tabs.cursors.resize(n * me.vps, 0);
         }
     }
+    span_end(shared, me.w, Site::ShardPrepare, t0);
 }
 
 /// Lays out this worker's write arena of parity `widx` for planned
@@ -1736,7 +1847,7 @@ mod tests {
         let (_, outcome) = run_raw(&prog, &mut states, 2, &opts);
         assert_eq!(
             outcome.unwrap_err(),
-            ModelError::GangStall { round: 1, missing: 1 },
+            ModelError::GangStall { round: 1, missing: 1, stalled: vec![] },
             "a lost worker must become a structured error"
         );
     }

@@ -190,6 +190,78 @@ fn sharded_planned_steady_state_does_not_allocate_per_superstep() {
 }
 
 #[test]
+fn telemetry_armed_sharded_steady_state_does_not_allocate() {
+    use nob_core::telemetry::{Site, TelemetrySink};
+
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Arming telemetry must not break the zero-alloc property: the sink's
+    // slots are pre-sized at construction ([`TelemetrySink::for_workers`]),
+    // so armed steady-state recording — span clock reads, per-site atomic
+    // adds, barrier-arrival stamps — costs time but never heap. Same
+    // windowing as the disarmed sharded test above.
+    let v = 1 << 8;
+    let rounds = 24;
+    let prog = planned_butterfly_armed(v, rounds, 16);
+    let states: Vec<u64> = (0..v as u64).collect();
+    let sink = std::sync::Arc::new(TelemetrySink::for_workers(4));
+    let opts = RunOptions {
+        workers: Some(4),
+        telemetry: Some(std::sync::Arc::clone(&sink)),
+        ..Default::default()
+    };
+    let res = run(&prog, states, &opts).unwrap();
+    assert!(!COUNTING.load(Ordering::SeqCst), "final superstep must disarm the counter");
+    assert_eq!(res.trace.superstep_count(), rounds);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "{allocs} heap allocations during {} telemetry-armed sharded supersteps of v = {v}",
+        rounds - 17,
+    );
+    // The window wasn't vacuous: the armed run recorded real spans on both
+    // planned tiers and the barrier.
+    let report = sink.run_report();
+    assert!(report.count(Site::ShardExecPlanned) > 0, "no planned-tier spans recorded");
+    assert!(report.count(Site::ShardFusedExec) > 0, "no fused-tier spans recorded");
+    assert!(report.count(Site::ShardBarrierWait) > 0, "no barrier-wait spans recorded");
+    assert!(report.nanos(Site::ShardBarrierWait) > 0 || report.nanos(Site::ShardExecPlanned) > 0);
+}
+
+#[test]
+fn telemetry_disarmed_runs_are_bit_for_bit_unchanged() {
+    use nob_core::telemetry::TelemetrySink;
+
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The observability rule in both directions: arming telemetry must not
+    // perturb results (it only reads clocks), and a disarmed run is the
+    // exact run the armed one observed — states, trace and message log all
+    // bit-for-bit, on the serial and sharded paths.
+    let v = 1 << 8;
+    let rounds = 16;
+    for workers in [1usize, 4] {
+        let prog = counting_butterfly_silent(v, rounds);
+        let states: Vec<u64> = (0..v as u64).collect();
+        let disarmed = RunOptions {
+            workers: Some(workers),
+            collect_messages: true,
+            ..Default::default()
+        };
+        let armed = RunOptions {
+            telemetry: Some(std::sync::Arc::new(TelemetrySink::for_workers(workers))),
+            ..disarmed.clone()
+        };
+        let plain = run(&prog, states.clone(), &disarmed).unwrap();
+        let observed = run(&prog, states, &armed).unwrap();
+        assert_eq!(plain.states, observed.states, "states diverge at width {workers}");
+        assert_eq!(plain.trace, observed.trace, "trace diverges at width {workers}");
+        assert_eq!(
+            plain.message_log, observed.message_log,
+            "message log diverges at width {workers}"
+        );
+    }
+}
+
+#[test]
 fn planned_steady_state_supersteps_do_not_allocate() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // The planned serial path — route counting pass, prefix sum, direct

@@ -236,6 +236,45 @@ fn every_instrumented_site_is_reachable() {
 }
 
 #[test]
+fn armed_telemetry_attributes_gang_stalls() {
+    use nob_core::telemetry::TelemetrySink;
+    // VP 5 (shard 1 of 2) outsleeps the watchdog inside its exec phase.
+    // Disarmed, this surfaces as a bare `GangStall` (pinned by the shard
+    // module's own test); armed, the error must *name* the lost worker and
+    // the phase it was last seen entering — the whole point of threading
+    // the entry stamps through the executor.
+    let v = 8usize;
+    let mut prog: Program<u64, u64> = Program::new(v, v);
+    prog.step(0, "naps", |_, ctx, _, _| {
+        if ctx.vp == 5 {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+    });
+    let sink = Arc::new(TelemetrySink::for_workers(2));
+    let run_opts = RunOptions {
+        workers: Some(2),
+        stall_timeout: Some(Duration::from_millis(50)),
+        telemetry: Some(Arc::clone(&sink)),
+        ..Default::default()
+    };
+    let err = run(&prog, vec![0u64; v], &run_opts).expect_err("stall must fail the run");
+    match err {
+        ModelError::GangStall { round: 1, missing: 1, stalled } => {
+            assert_eq!(stalled.len(), 1, "exactly the lost worker is attributed");
+            assert_eq!(stalled[0].worker, 1, "shard 1 holds VP 5");
+            assert_eq!(stalled[0].site, Some("shard:exec"), "last seen in its exec phase");
+            assert_eq!(stalled[0].superstep, 0);
+        }
+        other => panic!("wrong error {other:?}"),
+    }
+    // The rendered error carries the attribution too.
+    let sink2 = Arc::new(TelemetrySink::for_workers(2));
+    let run_opts = RunOptions { telemetry: Some(Arc::clone(&sink2)), ..run_opts };
+    let msg = run(&prog, vec![0u64; v], &run_opts).expect_err("stall must fail").to_string();
+    assert!(msg.contains("worker 1 last in `shard:exec`"), "unhelpful stall report: {msg}");
+}
+
+#[test]
 fn capture_failpoint_is_reachable_and_structured() {
     // The capture run has its own failpoint (`serial:capture`, inside the
     // per-step `catch_unwind`): both flavors must surface structured, the
@@ -251,7 +290,7 @@ fn capture_failpoint_is_reachable_and_structured() {
             FaultKind::Panic => FaultPlan::panic_at("serial:capture", 0, 0),
         };
         let err = prog
-            .capture_plans_with(init_states(), Some(&plan))
+            .capture_plans_with(init_states(), Some(&plan), None)
             .expect_err("armed capture must fail");
         assert_eq!(plan.fired(), 1, "{kind:?}: capture failpoint did not fire");
         match kind {

@@ -363,6 +363,75 @@ fn gang_survives_stall_between_jobs() {
     assert_eq!(res.states, want.states, "gang not serviceable after stall");
 }
 
+/// The compiled-plan cache is bounded by `plan_cache_bytes`: an adversarial
+/// stream of fresh shape keys stays under the byte budget by evicting the
+/// least-recently-used entries, and an evicted shape transparently
+/// recompiles on resubmission instead of replaying a freed plan.
+#[test]
+fn plan_cache_evicts_by_bytes_and_recompiles() {
+    use nob_core::telemetry::{Counter, TelemetrySink};
+    use std::sync::atomic::AtomicU64;
+
+    let v = 64;
+    let states = seed_states(v, 29);
+    let want = run(&butterfly(v), states.clone(), &RunOptions::default()).unwrap();
+    let entry_bytes = butterfly(v).plan_bytes();
+    assert!(entry_bytes > 0, "butterfly must carry compiled plans");
+
+    // Room for three entries (all butterfly(v) programs compile to the
+    // same plan footprint), then an adversarial stream of nine.
+    let sink = Arc::new(TelemetrySink::for_workers(4));
+    let cfg = ServerConfig {
+        plan_cache_bytes: 3 * entry_bytes,
+        telemetry: Some(Arc::clone(&sink)),
+        ..ServerConfig::with_shards(4)
+    };
+    let srv: JobServer<u64, u64> = JobServer::new(cfg).unwrap();
+    let builds = Arc::new(AtomicU64::new(0));
+    let submit = |variant: u64| {
+        let b = Arc::clone(&builds);
+        let res = srv
+            .run_job(
+                JobSpec::new(ShapeKey { algo: "bfly", variant }),
+                states.clone(),
+                ProgramSource::Build(Box::new(move || {
+                    b.fetch_add(1, Ordering::Relaxed);
+                    butterfly(v)
+                })),
+            )
+            .unwrap();
+        assert_eq!(res.states, want.states, "variant {variant}");
+    };
+    for variant in 0..8 {
+        submit(variant);
+    }
+    assert_eq!(builds.load(Ordering::Relaxed), 8, "every fresh shape compiles");
+    let bytes = sink.get(Counter::CacheBytes);
+    assert!(
+        bytes <= 3 * entry_bytes && bytes > 0,
+        "cache bytes {bytes} escaped the {}-byte budget",
+        3 * entry_bytes
+    );
+    assert!(
+        sink.get(Counter::CacheEvictions) >= 5,
+        "stream of 8 into a 3-entry budget must evict, saw {}",
+        sink.get(Counter::CacheEvictions)
+    );
+
+    // Variant 0 is long evicted: the resubmission is a miss that
+    // recompiles and still runs bit-for-bit.
+    submit(0);
+    assert_eq!(builds.load(Ordering::Relaxed), 9, "evicted shape must recompile");
+    // A hot shape keeps hitting: the last-submitted variant is resident.
+    submit(0);
+    assert_eq!(builds.load(Ordering::Relaxed), 9, "resident shape must not recompile");
+    let stats = srv.stats();
+    assert_eq!(stats.cache_misses, 9);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(sink.get(Counter::CacheMisses), 9, "telemetry mirrors stats");
+    assert_eq!(sink.get(Counter::CacheHits), 1);
+}
+
 /// Prebuilt submissions share one program across jobs; dropping the server
 /// fails still-queued tickets structurally instead of running the backlog.
 #[test]

@@ -24,6 +24,12 @@
 # the row's own VmHWM growth, unlike the cumulative peak_rss_kb), matched
 # rows' deltas are reported too (informational: memory use is
 # environment-sensitive, so growth is printed, not failed on).
+#
+# When both files carry telemetry columns (PR-9+: engine rows attach
+# per-site `phase_nanos` from an armed shadow run; server workloads
+# carry the queue_p99_us/service_p99_us latency split), matched keys'
+# phase-time shifts are reported the same way — informational only,
+# since absolute phase durations are even noisier than rates.
 set -euo pipefail
 
 if [ $# -lt 2 ] || [ $# -gt 3 ]; then
@@ -118,6 +124,35 @@ if [ -n "$old_mem" ] && [ -n "$new_mem" ]; then
         [ -n "$new_kb" ] || continue
         echo "bench_compare: mem $key rss_delta ${old_kb}kB -> ${new_kb}kB"
     done <<<"$old_mem"
+fi
+
+# Phase-time deltas (informational; requires the key in both files).
+# Engine keys are (v/program/threads/site) over armed-run phase_nanos;
+# server keys are (name/width/column) over the queue/service split (µs).
+extract_phase() {
+    if [ "$kind" = server ]; then
+        jq -r '.workloads[]
+            | select(.queue_p99_us != null and .service_p99_us != null)
+            | "\(.name)/w\(.width)/queue_p99_us \(.queue_p99_us)",
+              "\(.name)/w\(.width)/service_p99_us \(.service_p99_us)"' "$1"
+    else
+        jq -r '.rows[] | select(.phase_nanos != null)
+            | "\(.v)/\(.program)/\(.threads // 1)" as $k
+            | .phase_nanos | to_entries[] | select(.value > 0)
+            | "\($k)/\(.key) \(.value)"' "$1"
+    fi
+}
+old_phase=$(extract_phase "$old_file")
+new_phase=$(extract_phase "$new_file")
+if [ -n "$old_phase" ] && [ -n "$new_phase" ]; then
+    while read -r key old_val; do
+        new_val=$(awk -v k="$key" '$1 == k { print $2; exit }' <<<"$new_phase")
+        [ -n "$new_val" ] || continue
+        awk -v k="$key" -v o="$old_val" -v n="$new_val" 'BEGIN {
+            d = (o > 0) ? sprintf(" (%+.1f%%)", (n / o - 1) * 100) : "";
+            printf "bench_compare: phase %s %s -> %s%s\n", k, o, n, d;
+        }'
+    done <<<"$old_phase"
 fi
 
 if [ "$matched" -eq 0 ]; then

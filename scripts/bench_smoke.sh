@@ -12,30 +12,58 @@
 # immediately instead of waiting for a full bench run. Takes a few
 # seconds (release build assumed warm from tier-1).
 #
-# It also times the fft v = 2^10 serial row (faults disarmed — the default)
-# into a one-row guard file and diffs it against the checked-in
-# BENCH_engine.json baseline: the throughput tripwire proving the
-# fault-injection/watchdog plumbing costs nothing when disabled. The
-# threshold (percent) is deliberately loose — CI containers are noisy —
-# and tunable via NOB_SMOKE_BENCH_TOL; requires jq (skipped with a notice
-# when absent, like bench_compare.sh itself would fail).
+# It also times the fft v = 2^10 serial row (faults and telemetry
+# disarmed — the default) into a one-row guard file and diffs it against
+# the checked-in BENCH_engine.json baseline: the throughput tripwire
+# proving the fault-injection/watchdog and telemetry plumbing cost
+# nothing when disabled. The threshold (percent) is deliberately loose —
+# CI containers are noisy — and tunable via NOB_SMOKE_BENCH_TOL; requires
+# jq (skipped with a notice when absent, like bench_compare.sh itself
+# would fail).
+#
+# Finally, both smoke binaries emit one armed `nob-telemetry-v1` snapshot
+# each (a run report covering every engine phase site, and a server
+# report of JobServer lifecycle counters) which are jq-validated here:
+# schema string, all 12 span sites observed with non-negative durations,
+# and the lifecycle invariant jobs == cache_hits + cache_misses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 guard="$(mktemp /tmp/BENCH_smoke.XXXXXX.json)"
-trap 'rm -f "$guard"' EXIT
+run_snap="$(mktemp /tmp/nob_telemetry_run.XXXXXX.json)"
+srv_snap="$(mktemp /tmp/nob_telemetry_server.XXXXXX.json)"
+trap 'rm -f "$guard" "$run_snap" "$srv_snap"' EXIT
 
-cargo run --release --offline -q -p nob-bench --bin exp_engine_throughput -- --smoke "$guard"
+cargo run --release --offline -q -p nob-bench --bin exp_engine_throughput -- --smoke "$guard" "$run_snap"
 
 # Job-server smoke: served results (cold/warm/captured/serial-path) must be
 # bit-for-bit identical to direct runs on a persistent gang, and a faulted
 # job must leave the gang serviceable. Correctness only — the jobs/sec
 # numbers live in BENCH_server.json via `exp_server` (diffable across runs
 # with scripts/bench_compare.sh, which understands both bench schemas).
-cargo run --release --offline -q -p nob-bench --bin exp_server -- --smoke
+cargo run --release --offline -q -p nob-bench --bin exp_server -- --smoke "$srv_snap"
 
 if command -v jq >/dev/null 2>&1; then
     scripts/bench_compare.sh BENCH_engine.json "$guard" "${NOB_SMOKE_BENCH_TOL:-35}"
+
+    # Telemetry snapshot schema checks. The run report must name every
+    # phase site with a positive observation count (the smoke workload is
+    # constructed to touch serial, planned, fused, dynamic and capture
+    # paths); the server report's counters must satisfy the per-job
+    # accounting invariant.
+    jq -e '
+        .schema == "nob-telemetry-v1" and .kind == "run"
+        and (.sites | length) == 12
+        and ([.sites[] | select(.count <= 0 or .nanos < 0)] | length) == 0
+    ' "$run_snap" >/dev/null \
+        || { echo "bench_smoke: run telemetry snapshot failed schema check:" >&2; cat "$run_snap" >&2; exit 1; }
+    jq -e '
+        .schema == "nob-telemetry-v1" and .kind == "server"
+        and .jobs > 0 and .jobs == .cache_hits + .cache_misses
+        and .service_nanos > 0 and .dispatch_count > 0
+    ' "$srv_snap" >/dev/null \
+        || { echo "bench_smoke: server telemetry snapshot failed schema check:" >&2; cat "$srv_snap" >&2; exit 1; }
+    echo "bench_smoke: telemetry snapshots OK (12 run sites observed; server jobs == hits + misses)"
 else
-    echo "bench_smoke: jq not found, skipping throughput guard comparison" >&2
+    echo "bench_smoke: jq not found, skipping throughput guard and telemetry snapshot checks" >&2
 fi
