@@ -1,7 +1,6 @@
 //! Job-server experiment: jobs/second and latency percentiles of the
 //! multi-tenant [`JobServer`] — the persistent gang + compiled-plan cache
-//! + pooled arenas serving path — against the per-job cold cost it
-//! amortizes.
+//! + pooled arenas serving path — against the per-job cold cost it amortizes.
 //!
 //! Workloads (each one row in `BENCH_server.json`):
 //!

@@ -138,6 +138,9 @@ impl FaultPlan {
                             occurrence: seen,
                         })
                     }
+                    // allow-panic: this IS the injected fault — the panic
+                    // flavor exists to traverse the executor's real unwind
+                    // path.
                     FaultKind::Panic => panic!(
                         "injected panic at site `{site}` (shard {shard}, superstep {superstep})"
                     ),

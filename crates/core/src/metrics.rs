@@ -217,6 +217,7 @@ impl DegreeCounters {
         shard: usize,
         count_internal: bool,
     ) -> Self {
+        // allow-panic: constructor contract on engine-internal wiring.
         assert!(levels <= log_v, "cannot track more fold levels than log v");
         assert!(split <= levels, "shards must not outnumber fold-level processors");
         assert!(shard < (1usize << split) || (split == 0 && shard == 0), "shard out of range");
@@ -520,6 +521,7 @@ pub struct EpochMerge {
 impl EpochMerge {
     /// A merger for `2^log_shards` shards tracking `levels` fold levels.
     pub fn new(levels: u32, log_shards: u32) -> Self {
+        // allow-panic: constructor contract on engine-internal wiring.
         assert!(log_shards <= levels, "shards must not outnumber fold-level processors");
         let coarse_slots = (1usize << (log_shards + 1)) - 2;
         EpochMerge {
@@ -845,6 +847,7 @@ impl CommTrace {
     /// # Panics
     /// Panics if `p` is not a power of two in `[2, v]`.
     pub fn fold(&self, p: usize) -> FoldedMetrics {
+        // allow-panic: documented `# Panics` API contract.
         assert!(
             p.is_power_of_two() && p >= 2 && p <= self.v(),
             "fold target p = {p} must be a power of two in [2, {}]",
@@ -873,6 +876,7 @@ impl CommTrace {
     /// # Panics
     /// Panics if the machine is larger than the trace's `M(v)`.
     pub fn comm_time(&self, machine: &DbspMachine) -> f64 {
+        // allow-panic: fold(machine.p) yields matching metrics by construction.
         self.fold(machine.p)
             .comm_time(machine)
             .expect("fold(machine.p) produces matching metrics")
@@ -881,6 +885,7 @@ impl CommTrace {
     /// Appends the records of `other` (executed on the same machine size) to
     /// this trace, as if the two programs ran back to back.
     pub fn extend(&mut self, other: &CommTrace) {
+        // allow-panic: documented API contract (same machine size).
         assert_eq!(self.log_v, other.log_v, "traces from different machine sizes");
         self.steps.extend(other.steps.iter().cloned());
     }
@@ -892,13 +897,16 @@ impl CommTrace {
     pub fn to_text(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        // allow-panic: fmt::Write to a String is infallible.
         writeln!(out, "commtrace v1 log_v={} n={} steps={}", self.log_v, self.n, self.steps.len())
             .unwrap();
         for s in &self.steps {
+            // allow-panic: as above — writing to a String cannot fail.
             write!(out, "{} {}", s.label, s.total_msgs).unwrap();
             for h in &s.h_by_fold {
                 write!(out, " {h}").unwrap();
             }
+            // allow-panic: as above.
             writeln!(out).unwrap();
         }
         out

@@ -1,0 +1,82 @@
+//! CLI: `nob-lint [--root DIR] [--baseline FILE] [--json FILE]
+//! [--update-baseline] [--quiet]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => baseline = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--update-baseline" => update_baseline = true,
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "nob-lint: static analysis of the engine's unsafe/panic/ordering/site invariants\n\n\
+                     USAGE: nob-lint [--root DIR] [--baseline FILE] [--json FILE] [--update-baseline] [--quiet]\n\n\
+                     --root DIR          repository root to scan (default: .)\n\
+                     --baseline FILE     unsafe-inventory baseline (default: ROOT/crates/lint/unsafe_inventory.txt)\n\
+                     --json FILE         also write the machine-readable nob-lint-v1 report\n\
+                     --update-baseline   rewrite the baseline from the scanned tree\n\
+                     --quiet             suppress the per-finding lines (summary only)\n\n\
+                     Exit codes: 0 clean, 1 findings, 2 usage/I-O error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nob-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut config = nob_lint::Config::new(root.unwrap_or_else(|| PathBuf::from(".")));
+    if let Some(b) = baseline {
+        config.baseline = b;
+    }
+    config.update_baseline = update_baseline;
+
+    let report = match nob_lint::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nob-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for f in &report.findings {
+            println!("{f}");
+        }
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("nob-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if update_baseline {
+        eprintln!("nob-lint: baseline rewritten: {}", config.baseline.display());
+    }
+    eprintln!(
+        "nob-lint: {} finding(s) across {} file(s) scanned",
+        report.findings.len(),
+        report.files_scanned
+    );
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn startup_stamp() -> Instant {
+    // instant-ok: one-shot at process start, never on the superstep path.
+    Instant::now()
+}

@@ -1,0 +1,34 @@
+//! Doc comment mentioning .unwrap() and panic!("x") and unsafe { *p } —
+//! comments never count as code.
+
+/* Block comment: a.load(Ordering::SeqCst) and Instant::now().
+   /* Nested block: x.saturating_add(1) and assert!(false). */
+   Still inside the outer comment: .expect("boom").
+*/
+
+pub fn strings_do_not_fire() -> usize {
+    let s = "call .unwrap() then panic!(\"no\") inside a plain string";
+    let r = r#"raw string with unsafe { *p } and Ordering::SeqCst"#;
+    let rr = r##"raw# string with "quotes" and Instant::now()"##;
+    let b = b"byte string with .expect(oops)";
+    let br = br#"raw byte: assert!(x.saturating_mul(2) > 0)"#;
+    let decoy = "const FAULT_PHANTOM: &str = \"f:phantom\";";
+    let q = '"'; // a char literal holding a quote must not open a string
+    let esc = '\u{1F600}';
+    let nl = '\n';
+    s.len()
+        + r.len()
+        + rr.len()
+        + b.len()
+        + br.len()
+        + decoy.len()
+        + (q as usize)
+        + (esc as usize)
+        + (nl as usize)
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    // The 'a above must not be lexed as an unterminated char literal —
+    // that would blank the rest of the file as "string".
+    x
+}

@@ -1,0 +1,21 @@
+//! Docs mentioning `.unwrap()` and `panic!` never fire.
+
+/// Call `.unwrap()` at your peril — this doc comment is not code.
+pub fn clean(x: Option<u32>) -> u32 {
+    let s = "contains .unwrap() and panic! and assert!(false)";
+    let t = r#"raw with .expect("x")"#;
+    /* block comment: .unwrap() panic! assert!(true) */
+    debug_assert!(!s.is_empty());
+    assert_eq!(s.len(), s.len());
+    assert_ne!(t.len(), 0);
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1u32).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,14 @@
+//! `saturating_add` in docs is fine.
+
+pub fn bump(a: u32, b: u32) -> Option<u32> {
+    let _doc = "saturating_mul belongs in strings";
+    a.checked_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(u32::MAX.saturating_add(1), u32::MAX);
+    }
+}

@@ -1,0 +1,4 @@
+pub fn clamp_for_display(a: u64, b: u64) -> u64 {
+    // allow-saturating: display-only clamp, never a scatter count.
+    a.saturating_add(b)
+}

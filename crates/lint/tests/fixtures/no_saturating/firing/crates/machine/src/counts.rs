@@ -1,0 +1,3 @@
+pub fn bump(a: u32, b: u32) -> u32 {
+    a.saturating_add(b)
+}

@@ -1,0 +1,7 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn observe(a: &AtomicU64) -> u64 {
+    // ordering: SeqCst — this fixture needs a single total order over
+    // publications and checks.
+    a.load(Ordering::SeqCst)
+}

@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn observe(a: &AtomicU64) -> u64 {
+    a.load(Ordering::SeqCst)
+}

@@ -1,0 +1,17 @@
+//! Fixture telemetry module — every site instrumented and tested.
+
+pub enum Site {
+    Covered,
+    Uninstrumented,
+    Untested,
+}
+
+impl Site {
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Covered => "x:covered",
+            Site::Uninstrumented => "x:uninst",
+            Site::Untested => "x:untested",
+        }
+    }
+}

@@ -1,0 +1,10 @@
+pub const FAULT_COVERED: &str = "f:covered";
+
+pub fn run(observe: impl Fn(&'static str), armed: impl Fn(&str) -> bool) {
+    observe(Site::Covered.name());
+    observe(Site::Uninstrumented.name());
+    observe(Site::Untested.name());
+    if armed(FAULT_COVERED) {
+        return;
+    }
+}

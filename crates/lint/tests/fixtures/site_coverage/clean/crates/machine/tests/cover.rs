@@ -1,0 +1,6 @@
+pub fn exercise() {
+    // Name-string coverage for two sites and the failpoint …
+    let _ = ("x:covered", "x:uninst", "f:covered");
+    // … and code-path coverage for the third.
+    let _ = Site::Untested;
+}

@@ -1,0 +1,17 @@
+//! Fixture telemetry module for the site-coverage rule.
+
+pub enum Site {
+    Covered,
+    Uninstrumented,
+    Untested,
+}
+
+impl Site {
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Covered => "x:covered",
+            Site::Uninstrumented => "x:uninst",
+            Site::Untested => "x:untested",
+        }
+    }
+}

@@ -1,0 +1,14 @@
+pub const FAULT_COVERED: &str = "f:covered";
+pub const FAULT_UNCHECKED: &str = "f:unchecked";
+pub const FAULT_UNTESTED: &str = "f:untested";
+
+pub fn run(observe: impl Fn(&'static str), armed: impl Fn(&str) -> bool) {
+    observe(Site::Covered.name());
+    observe(Site::Untested.name());
+    if armed(FAULT_COVERED) {
+        return;
+    }
+    if armed(FAULT_UNTESTED) {
+        return;
+    }
+}

@@ -1,0 +1,4 @@
+pub fn exercise() {
+    let _ = ("x:covered", "f:covered");
+    let _ = Site::Uninstrumented;
+}

@@ -1,0 +1,4 @@
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture — documented and counted in the baseline.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture — documented, so only the inventory rule fires.
+    unsafe { *p }
+}

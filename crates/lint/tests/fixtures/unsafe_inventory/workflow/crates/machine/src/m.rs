@@ -1,0 +1,4 @@
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: fixture — the --update-baseline workflow records this one.
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+//! No unsafe code at all; the word unsafe in docs does not count.
+
+pub fn safe(x: u8) -> u8 {
+    let _s = "unsafe in a string is not the keyword";
+    x
+}

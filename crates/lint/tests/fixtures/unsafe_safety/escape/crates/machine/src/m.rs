@@ -1,0 +1,23 @@
+pub struct Grid {
+    cell: std::cell::UnsafeCell<u8>,
+}
+
+// SAFETY: a multi-line justification block whose header sits more than
+// three lines above the keyword still documents it — the contiguous
+// comment block immediately above is searched as a unit, matching how
+// real invariant write-ups read.
+unsafe impl Send for Grid {}
+// SAFETY: same discipline as the Send impl above.
+unsafe impl Sync for Grid {}
+
+impl Grid {
+    /// Reads the cell.
+    ///
+    /// # Safety
+    /// The rustdoc `# Safety` section is the documented convention for
+    /// `unsafe fn` contracts and satisfies the rule too.
+    pub unsafe fn get(&self) -> u8 {
+        // SAFETY: the fn's contract above.
+        unsafe { *self.cell.get() }
+    }
+}

@@ -1,0 +1,3 @@
+pub unsafe fn no_docs(p: *const u8) -> u8 {
+    unsafe { *p }
+}

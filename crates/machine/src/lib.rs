@@ -266,6 +266,40 @@
 //!   recorded phase, turning "the barrier timed out" into "worker 2
 //!   never left `shard:exec` in superstep 5".
 //!
+//! ## Correctness tooling
+//!
+//! The contracts above that no compiler checks are enforced by
+//! `nob-lint` (`crates/lint`), an offline, zero-dependency static
+//! analyzer run by tier-1 (`cargo run --release -p nob-lint`). Its
+//! scanner is comment/string/attribute-aware and skips `#[cfg(test)]`
+//! items at module granularity, so the rules fire on exactly the
+//! non-test engine code:
+//!
+//! * **no-panic** (NL001) — non-test engine code surfaces failures as
+//!   `ModelError`s; every residual `unwrap`/`expect`/`panic!`/bare
+//!   `assert!` carries an `allow-panic:` justification.
+//! * **no-saturating** (NL002) — counts feeding the unsafe scatters use
+//!   checked adds; `allow-saturating:` justifies display-only clamps.
+//! * **unsafe-safety / unsafe-inventory** (NL003/NL004) — every `unsafe`
+//!   carries a `// SAFETY:` comment (or rustdoc `# Safety` section), and
+//!   per-file unsafe counts are pinned to a checked-in baseline so the
+//!   surface documented above cannot grow silently.
+//! * **ordering-justified** (NL005) — every `Ordering::SeqCst` carries an
+//!   `// ordering:` comment saying why a total order is required (the
+//!   round-stamped abort protocol is the canonical holder).
+//! * **site-coverage** (NL006) — every telemetry [`Site`] and failpoint
+//!   string is statically verified to have an instrumentation call site
+//!   in the executors and a reference under `tests/`.
+//! * **instant-gate** (NL007) — the zero-cost telemetry contract:
+//!   `Instant::now` appears only behind an armed-sink guard
+//!   (`tele.map(…)`), so disarmed runs never read the clock.
+//!
+//! Rules, escape hatches and the baseline workflow are documented in
+//! `crates/lint/README.md`; the deterministic JSON report
+//! (`LINT_report.json`) is checked in next to the bench baselines.
+//!
+//! [`Site`]: nob_core::telemetry::Site
+//!
 //! ## Execution modes
 //!
 //! * [`engine::run`] — full-granularity execution on `M(v)`, sharded across

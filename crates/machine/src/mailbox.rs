@@ -191,8 +191,9 @@ impl<M> Arena<M> {
             acc += u64::from(counts[d]);
             counts[d] = 0;
         }
-        // Strict: a saturated per-destination count (u32::MAX) must also
-        // fail here rather than under-size the slab.
+        // allow-panic: release-mode hard guard — a saturated per-destination
+        // count (u32::MAX) must fail here rather than under-size the slab
+        // and send the unsafe scatter out of bounds.
         assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
         self.offsets[v] = acc as u32;
         let total = acc as usize;
@@ -226,6 +227,8 @@ impl<M> Arena<M> {
             *cursor = acc as u32;
             acc += u64::from(count_of(d));
         }
+        // allow-panic: release-mode hard guard — a wrapped u32 offset table
+        // would send the unsafe scatter out of bounds.
         assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
         self.offsets[v] = acc as u32;
         let total = acc as usize;
@@ -246,8 +249,9 @@ impl<M> Arena<M> {
     pub(crate) fn prepare_write_uniform(&mut self, k: u32, cursors: Option<&mut [u32]>) -> usize {
         debug_assert_eq!(self.filled, 0, "arena overwritten while holding messages");
         let v = self.offsets.len() - 1;
-        // Same fit check as `prepare_write`: a wrapped u32 offset table
-        // would send the unsafe scatter out of bounds.
+        // Same release-mode fit check as `prepare_write` — a wrapped u32
+        // offset table would send the unsafe scatter out of bounds.
+        // allow-panic: the hard guard must survive release builds.
         let acc = v as u64 * u64::from(k);
         assert!(acc < u64::from(u32::MAX), "superstep exceeds the 2^32 - 1 message design limit");
         if self.uniform_k != Some(k) {
@@ -936,6 +940,7 @@ pub(crate) struct DirectGrid<M> {
 // published pointers are phase-disciplined by the executor's barrier, and
 // `M` only ever moves between threads.
 unsafe impl<M: Send> Send for DirectGrid<M> {}
+// SAFETY: same phase discipline as the Send impl above (invariant 5).
 unsafe impl<M: Send> Sync for DirectGrid<M> {}
 
 impl<M> DirectGrid<M> {
@@ -955,6 +960,8 @@ impl<M> DirectGrid<M> {
     /// have no remaining readers (guaranteed by parity alternation).
     pub(crate) unsafe fn publish(&self, parity: usize, shard: usize, window: DirectWindow<M>) {
         debug_assert!(parity < 2 && shard < self.shards);
+        // SAFETY: the fn's contract — this slot is the calling worker's
+        // exclusively during this parity's prepare phase.
         unsafe { *self.windows[parity * self.shards + shard].get() = window };
     }
 }
@@ -1030,6 +1037,8 @@ impl<M> DirectShard<M> {
     ) -> Self {
         debug_assert!(parity < 2 && span.end <= grid.shards && span.contains(&shard));
         DirectShard {
+            // SAFETY: `parity < 2` (debug-asserted), so the offset stays
+            // inside the grid's `2 × shards` window array.
             windows: unsafe { grid.windows.as_ptr().add(parity * grid.shards) },
             shard,
             span_lo: span.start,
@@ -1235,6 +1244,8 @@ impl<M> LaneGrid<M> {
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn lane_out(&self, src: usize, dst: usize) -> &mut Lane<M> {
         debug_assert!(src < self.shards && dst < self.shards);
+        // SAFETY: the fn's contract — row `src` is the calling worker's
+        // exclusively until the next barrier (invariant 3).
         unsafe { &mut *self.lanes[src * self.shards + dst].get() }
     }
 
@@ -1248,6 +1259,8 @@ impl<M> LaneGrid<M> {
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn lane_in(&self, src: usize, dst: usize) -> &mut Lane<M> {
         debug_assert!(src < self.shards && dst < self.shards);
+        // SAFETY: the fn's contract — column `dst` is the calling worker's
+        // exclusively until the next barrier (invariant 3).
         unsafe { &mut *self.lanes[src * self.shards + dst].get() }
     }
 

@@ -253,6 +253,8 @@ impl<S, M> Program<S, M> {
     /// Creates an empty program for a machine of `v` VPs (a power of two ≥ 2)
     /// and input size `n`.
     pub fn new(v: usize, n: usize) -> Self {
+        // allow-panic: documented builder-time contract — program
+        // construction, never the run path.
         assert!(v.is_power_of_two() && v >= 2, "v = {v} must be a power of two >= 2");
         Program { v, log_v: log2_exact(v), n, steps: Vec::new() }
     }
@@ -291,6 +293,7 @@ impl<S, M> Program<S, M> {
         name: &'static str,
         exec: impl Fn(&mut S, &Ctx, &mut Inbox<'_, M>, &mut Outbox<M>) + Send + Sync + 'static,
     ) -> &mut Self {
+        // allow-panic: documented builder-time contract.
         assert!(
             label < self.log_v.max(1),
             "label {label} out of range for v = {} (program step `{name}`)",
@@ -327,6 +330,7 @@ impl<S, M> Program<S, M> {
         route: impl Fn(&Ctx, usize) -> Route + Send + Sync + 'static,
         exec: impl Fn(&mut S, &Ctx, &mut Inbox<'_, M>, &mut Outbox<M>) + Send + Sync + 'static,
     ) -> &mut Self {
+        // allow-panic: documented builder-time contract.
         assert!(
             label < self.log_v.max(1),
             "label {label} out of range for v = {} (program step `{name}`)",
@@ -458,6 +462,7 @@ impl LanePlan {
     /// Computes the plan for `prog` on `n_shards` executor shards
     /// (a power of two dividing `v`).
     pub fn new<S, M>(prog: &Program<S, M>, n_shards: usize) -> Self {
+        // allow-panic: documented builder-time contract.
         assert!(
             n_shards.is_power_of_two() && n_shards <= prog.v(),
             "shard count {n_shards} must be a power of two ≤ v = {}",

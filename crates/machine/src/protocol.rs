@@ -122,6 +122,8 @@ fn ascend_descend_with(
     p: usize,
     telescoped: bool,
 ) -> CommTrace {
+    // allow-panic: analysis-harness API contract (offline protocol
+    // replay, never the engine run path).
     assert!(p.is_power_of_two() && p >= 2 && (p as u64) <= (1u64 << trace.log_v));
     assert_eq!(trace.steps.len(), log.len(), "message log does not match trace");
     let log_v = trace.log_v;

@@ -526,6 +526,8 @@ impl<S: 'static, M: 'static> SharedView<S, M> {
     /// Caller must be inside the scoped rendezvous described on the type:
     /// the scheduler still awaits this worker's done handshake.
     unsafe fn get(&self) -> &Shared<'static, S, M> {
+        // SAFETY: the fn's contract — the pointee outlives the rendezvous
+        // the caller is inside of.
         unsafe { &*self.ptr }
     }
 }
@@ -1320,7 +1322,8 @@ where
             peer_totals.push(done.totals);
         }
     }
-    drop(shared);
+    // `shared` (borrowed by the erased views) stays alive until here —
+    // past every done handshake — and is dead from this point on.
 
     // --- harvest cold totals into the cache -----------------------------
     if cold {

@@ -778,6 +778,12 @@ fn settle<S, M>(
         Err(p) => crate::engine::vp_panic_error(step, vp, p),
     };
     lock(&shared.core.cells[w]).error.get_or_insert(err);
+    // ordering: SeqCst — the round-stamped abort proof (module docs) assumes
+    // one total order over every abort publication and every worker's
+    // post-barrier check, so no worker can observe round r+1's barrier
+    // without also observing an abort stamped at or before r+1. Cold
+    // failure path: the strongest fence costs nothing measurable here and
+    // spares a subtler Acquire/Release argument.
     shared.core.abort_round.fetch_min(next_round, Ordering::SeqCst);
 }
 
@@ -910,6 +916,8 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                     break;
                 }
                 rounds += 1;
+                // ordering: SeqCst load — pairs with settle's fetch_min
+                // publication (see that site's justification).
                 if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
                     break;
                 }
@@ -952,6 +960,8 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
                 break;
             }
             rounds += 1;
+            // ordering: SeqCst load — pairs with settle's fetch_min
+            // publication (see that site's justification).
             if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
                 break;
             }
@@ -1025,6 +1035,8 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             break;
         }
         rounds += 1;
+        // ordering: SeqCst load — pairs with settle's fetch_min publication
+        // (see that site's justification).
         if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
         }
@@ -1046,6 +1058,8 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
 
         // --- phase 3: merge (coordinator only) ----------------------------
         if let Some(c) = coord.as_mut() {
+            // ordering: SeqCst load — pairs with settle's fetch_min
+            // publication (see that site's justification).
             if shared.core.abort_round.load(Ordering::SeqCst) > rounds {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     fault_check(shared, FAULT_MERGE, 0, t)?;
@@ -1061,6 +1075,8 @@ pub(crate) fn shard_loop<S: Send, M: Send>(
             break;
         }
         rounds += 1;
+        // ordering: SeqCst load — pairs with settle's fetch_min publication
+        // (see that site's justification).
         if shared.core.abort_round.load(Ordering::SeqCst) <= rounds {
             break;
         }
@@ -1583,7 +1599,7 @@ fn merge_superstep<S, M>(
         }
     }
     coord.merge.finish();
-    coord.trace.push_merged(label, &coord.merge);
+    coord.trace.push_merged(label, coord.merge);
     if let (Some(log), Some(entry)) = (coord.log.as_deref_mut(), entry) {
         log.push(entry);
     }
